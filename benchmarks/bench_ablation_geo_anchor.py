@@ -1,0 +1,76 @@
+"""Ablation A2: the geo-anchoring constraint.
+
+§3.1: "for this demo, each of the groups always specify the state as their geo
+condition in order to allow rendering of the explanation in the map."  That
+constraint costs objective value (the best unconstrained description may not
+mention a state) and changes the candidate space.  This ablation measures both
+sides so the price of map-renderability is explicit.
+
+Shape to hold: dropping the anchor can only improve (or match) the similarity
+objective, while anchoring keeps every returned group renderable.
+"""
+
+import pytest
+
+from repro.config import MiningConfig
+from repro.core.cube import enumerate_candidates
+from repro.core.problems import SimilarityProblem
+from repro.core.rhe import RandomizedHillExploration
+
+ANCHORED = MiningConfig(max_groups=3, min_coverage=0.25, min_group_support=5, rhe_restarts=6)
+UNANCHORED = MiningConfig(
+    max_groups=3,
+    min_coverage=0.25,
+    min_group_support=5,
+    rhe_restarts=6,
+    require_geo_anchor=False,
+)
+
+CONFIGS = {"geo_anchored": ANCHORED, "unconstrained": UNANCHORED}
+
+
+@pytest.mark.parametrize("variant", sorted(CONFIGS))
+def test_candidate_space(benchmark, toy_story_slice, variant):
+    """Size of the candidate cube with and without the geo anchor."""
+    config = CONFIGS[variant]
+    candidates = benchmark(enumerate_candidates, toy_story_slice, config)
+    if variant == "geo_anchored":
+        assert all(c.descriptor.has_attribute("state") for c in candidates)
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["candidates"] = len(candidates)
+
+
+@pytest.mark.parametrize("variant", sorted(CONFIGS))
+def test_similarity_mining(benchmark, toy_story_slice, variant):
+    """SM quality and runtime with and without the geo anchor."""
+    config = CONFIGS[variant]
+    candidates = enumerate_candidates(toy_story_slice, config)
+    problem = SimilarityProblem(toy_story_slice, candidates, config)
+    solver = RandomizedHillExploration.from_config(config)
+    result = benchmark.pedantic(lambda: solver.solve(problem), rounds=3, iterations=1)
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["objective"] = round(result.objective, 4)
+    benchmark.extra_info["groups"] = [g.label() for g in result.groups]
+    if variant == "geo_anchored":
+        assert all(g.descriptor.has_attribute("state") for g in result.groups)
+
+
+def test_anchor_price_on_the_objective(benchmark, toy_story_slice):
+    """The unconstrained optimum is at least as good as the anchored one."""
+
+    def both():
+        results = {}
+        for variant, config in CONFIGS.items():
+            candidates = enumerate_candidates(toy_story_slice, config)
+            problem = SimilarityProblem(toy_story_slice, candidates, config)
+            results[variant] = RandomizedHillExploration(
+                restarts=8, max_iterations=250, seed=29
+            ).solve(problem)
+        return results
+
+    results = benchmark.pedantic(both, rounds=1, iterations=1)
+    # The anchored candidate set is a subset of the unconstrained one, so the
+    # unconstrained solver has at least as much room (modulo RHE noise).
+    assert results["unconstrained"].objective >= results["geo_anchored"].objective - 0.1
+    benchmark.extra_info["anchored_objective"] = round(results["geo_anchored"].objective, 4)
+    benchmark.extra_info["unconstrained_objective"] = round(results["unconstrained"].objective, 4)

@@ -1,0 +1,61 @@
+"""Ablation A1: the RHE restart / iteration budget.
+
+DESIGN.md calls out the solver budget as the knob that trades latency for
+solution quality.  This ablation sweeps the number of random restarts (and a
+reduced iteration budget) and records objective value and runtime, so the
+quality/latency curve behind the demo's default (8 restarts) is reproducible.
+
+Shape to hold: quality is non-decreasing in the restart budget for a fixed
+seed, while runtime grows roughly linearly.
+"""
+
+import pytest
+
+from repro.core.problems import SimilarityProblem
+from repro.core.rhe import RandomizedHillExploration
+from repro.core.cube import enumerate_candidates
+
+RESTART_BUDGETS = [1, 4, 16]
+
+
+@pytest.fixture(scope="module")
+def problem(toy_story_slice, bench_config):
+    candidates = enumerate_candidates(toy_story_slice, bench_config)
+    return SimilarityProblem(toy_story_slice, candidates, bench_config)
+
+
+@pytest.mark.parametrize("restarts", RESTART_BUDGETS)
+def test_restart_budget(benchmark, problem, restarts):
+    """Quality and runtime of RHE for a given restart budget."""
+    solver = RandomizedHillExploration(restarts=restarts, max_iterations=200, seed=17)
+    result = benchmark.pedantic(lambda: solver.solve(problem), rounds=3, iterations=1)
+    benchmark.extra_info["restarts"] = restarts
+    benchmark.extra_info["objective"] = round(result.objective, 4)
+    benchmark.extra_info["penalized"] = round(problem.penalized_objective(result.groups), 4)
+    benchmark.extra_info["iterations"] = result.iterations
+    benchmark.extra_info["feasible"] = result.feasible
+
+
+def test_quality_is_monotone_in_the_restart_budget(benchmark, problem):
+    """For a fixed seed, more restarts never produce a worse selection."""
+
+    def sweep():
+        scores = []
+        for restarts in RESTART_BUDGETS:
+            solver = RandomizedHillExploration(restarts=restarts, max_iterations=200, seed=17)
+            result = solver.solve(problem)
+            scores.append(problem.penalized_objective(result.groups))
+        return scores
+
+    scores = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(b >= a - 1e-9 for a, b in zip(scores, scores[1:]))
+    benchmark.extra_info["penalized_by_budget"] = dict(zip(RESTART_BUDGETS, [round(s, 4) for s in scores]))
+
+
+@pytest.mark.parametrize("max_iterations", [25, 200])
+def test_iteration_budget(benchmark, problem, max_iterations):
+    """Effect of the per-restart swap budget on quality and runtime."""
+    solver = RandomizedHillExploration(restarts=4, max_iterations=max_iterations, seed=23)
+    result = benchmark.pedantic(lambda: solver.solve(problem), rounds=3, iterations=1)
+    benchmark.extra_info["max_iterations"] = max_iterations
+    benchmark.extra_info["objective"] = round(result.objective, 4)

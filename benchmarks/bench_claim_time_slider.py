@@ -1,0 +1,49 @@
+"""Experiment "§3.1 claim": the time slider shows how interpretations evolve.
+
+"Moving the time slider over the range of values allows the user to observe
+reviewer groups that provide best interpretations for the movie and how they
+change over time."
+
+The synthetic dataset plants a movie ("Drifting Star") whose reception decays
+across the rating years.  This benchmark measures the two time-dimension
+operations and records the planted drift so EXPERIMENTS.md can compare the
+shape against the paper's narrative:
+
+* re-mining each year of the slider (the expensive reading), and
+* the per-year trend of a fixed group (the cheap reading).
+"""
+
+import pytest
+
+QUERY = 'title:"Drifting Star"'
+
+
+def test_interpretations_per_year(benchmark, system):
+    """Re-mining SM + DM for every year of the slider."""
+    slices = benchmark.pedantic(
+        lambda: system.timeline(QUERY, min_ratings=20), rounds=3, iterations=1
+    )
+    mined = [s for s in slices if s.result is not None]
+    assert len(mined) >= 2
+    benchmark.extra_info["years"] = [s.year for s in slices]
+    benchmark.extra_info["avg_by_year"] = {
+        s.year: s.result.query.average_rating for s in mined
+    }
+
+
+def test_group_trend_over_years(benchmark, system):
+    """Per-year average of the all-reviewers group (the trend chart series)."""
+    trend = benchmark(lambda: system.group_trend(QUERY, {}))
+    assert len(trend) >= 2
+    drift = trend[-1].mean - trend[0].mean
+    assert drift < -1.0, "the planted decay must be visible in the trend"
+    benchmark.extra_info["series"] = [(p.year, p.mean) for p in trend]
+    benchmark.extra_info["drift"] = round(drift, 3)
+
+
+def test_stable_movie_has_no_drift(benchmark, system):
+    """Control: a non-drifting movie's trend stays flat (|drift| small)."""
+    trend = benchmark(lambda: system.group_trend('title:"Forrest Gump"', {}))
+    drift = abs(trend[-1].mean - trend[0].mean)
+    assert drift < 0.6
+    benchmark.extra_info["series"] = [(p.year, p.mean) for p in trend]

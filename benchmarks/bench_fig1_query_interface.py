@@ -1,0 +1,68 @@
+"""Experiment "Figure 1": the query interface.
+
+Figure 1 of the paper is the search UI: an attribute query (movie name, actor,
+director, genre), a query type, a time interval and the additional search
+settings.  This benchmark measures the front-end query path — parsing the
+query string and evaluating it against the item catalogue — for each query
+type the demo plan (§3.2) mentions, plus the title auto-completion the search
+box needs.
+
+Shape to hold: query evaluation is interactive (well under a millisecond per
+catalogue scan at this scale) and is dwarfed by the mining cost measured in
+the Figure-2 benchmark.
+"""
+
+import pytest
+
+from repro.query.engine import QueryEngine, TimeInterval
+from repro.query.parser import parse_query
+
+#: The §3.2 example queries, labelled by query type.
+EXAMPLE_QUERIES = {
+    "movie_name": 'title:"Toy Story"',
+    "movie_set": '"Lord of the Rings"',
+    "actor": 'actor:"Tom Hanks"',
+    "director_genre": 'genre:Thriller AND director:"Steven Spielberg"',
+    "disjunction": 'actor:"Tom Hanks" OR director:"Woody Allen"',
+}
+
+
+@pytest.fixture(scope="module")
+def engine(small_dataset):
+    return QueryEngine(small_dataset)
+
+
+@pytest.mark.parametrize("query_type", sorted(EXAMPLE_QUERIES))
+def test_parse_query_string(benchmark, query_type):
+    """Latency of parsing one query string into a predicate tree."""
+    query = EXAMPLE_QUERIES[query_type]
+    predicate = benchmark(parse_query, query)
+    assert predicate.describe()
+
+
+@pytest.mark.parametrize("query_type", sorted(EXAMPLE_QUERIES))
+def test_evaluate_query_against_catalogue(benchmark, engine, query_type):
+    """Latency of evaluating a parsed query over the full item catalogue."""
+    query = EXAMPLE_QUERIES[query_type]
+    items = benchmark(engine.matching_items, query)
+    assert items, f"query {query!r} should match items in the benchmark dataset"
+    benchmark.extra_info["matched_items"] = len(items)
+
+
+def test_query_with_time_interval(benchmark, engine):
+    """Evaluating a query together with the Figure-1 time interval setting."""
+    interval = TimeInterval.for_years(2001, 2002)
+
+    def run():
+        compiled = engine.compile('title:"Toy Story"', interval)
+        return engine.matching_item_ids(compiled)
+
+    item_ids = benchmark(run)
+    assert item_ids
+
+
+def test_title_autocompletion(benchmark, engine):
+    """Prefix auto-completion of the search box."""
+    titles = benchmark(engine.suggest_titles, "The", 10)
+    assert titles
+    benchmark.extra_info["suggestions"] = len(titles)

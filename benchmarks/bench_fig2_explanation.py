@@ -1,0 +1,81 @@
+"""Experiment "Figure 2": the Explain Ratings result.
+
+Figure 2 is the core output of MapRat: the Similarity Mining and Diversity
+Mining interpretations for the queried movie, rendered as state choropleths.
+This benchmark regenerates that result end to end and measures each stage:
+
+* the full explain pipeline (slice → candidate cube → RHE for SM and DM),
+* each mining task in isolation,
+* rendering the interpretation as the choropleth SVG and the HTML report.
+
+Shape to hold: the mining dominates the rendering by an order of magnitude,
+and the whole uncached pipeline stays interactive (well under a second at the
+benchmark scale), which is what makes the §2.3 caching claim worth measuring
+separately (see bench_claim_latency_caching).
+"""
+
+import pytest
+
+from repro.core.cube import enumerate_candidates
+from repro.viz.choropleth import render_explanation_map
+from repro.viz.report import ExplanationReport
+
+QUERY = 'title:"Toy Story"'
+
+
+@pytest.fixture(scope="module")
+def mining_result(system):
+    return system.explain(QUERY, use_cache=False)
+
+
+def test_end_to_end_explain_uncached(benchmark, system, bench_config):
+    """The full Figure-2 pipeline: query, slice, SM + DM mining."""
+    result = benchmark.pedantic(
+        lambda: system.explain(QUERY, use_cache=False), rounds=5, iterations=1
+    )
+    assert result.similarity.feasible
+    benchmark.extra_info["ratings"] = result.query.num_ratings
+    benchmark.extra_info["sm_groups"] = [g.label for g in result.similarity.groups]
+    benchmark.extra_info["dm_groups"] = [g.label for g in result.diversity.groups]
+    benchmark.extra_info["sm_coverage"] = result.similarity.coverage
+
+
+def test_candidate_enumeration(benchmark, toy_story_slice, bench_config):
+    """Building the data cube of candidate groups for the queried ratings."""
+    candidates = benchmark(enumerate_candidates, toy_story_slice, bench_config)
+    assert candidates
+    benchmark.extra_info["candidates"] = len(candidates)
+    benchmark.extra_info["ratings"] = len(toy_story_slice)
+
+
+def test_similarity_mining_only(benchmark, miner, toy_story_slice, bench_config):
+    """Similarity Mining (candidate cube + RHE) in isolation."""
+    explanation = benchmark.pedantic(
+        lambda: miner.mine_similarity(toy_story_slice, bench_config), rounds=5, iterations=1
+    )
+    assert explanation.groups
+    benchmark.extra_info["objective"] = explanation.objective
+
+
+def test_diversity_mining_only(benchmark, miner, toy_story_slice, bench_config):
+    """Diversity Mining (candidate cube + RHE) in isolation."""
+    explanation = benchmark.pedantic(
+        lambda: miner.mine_diversity(toy_story_slice, bench_config), rounds=5, iterations=1
+    )
+    assert explanation.groups
+    benchmark.extra_info["disagreement"] = explanation.disagreement
+
+
+def test_render_choropleth_svg(benchmark, mining_result):
+    """Rendering one interpretation as the tile-grid choropleth SVG."""
+    svg = benchmark(render_explanation_map, mining_result.similarity)
+    assert svg.startswith("<svg")
+    benchmark.extra_info["svg_bytes"] = len(svg)
+
+
+def test_render_full_html_report(benchmark, mining_result):
+    """Rendering the complete Figure-2 HTML page (both tabs, both maps)."""
+    report = ExplanationReport()
+    html = benchmark(report.render, mining_result)
+    assert "Similarity Mining" in html
+    benchmark.extra_info["html_bytes"] = len(html)

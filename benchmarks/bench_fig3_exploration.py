@@ -1,0 +1,67 @@
+"""Experiment "Figure 3": interactive exploration of one selected group.
+
+Figure 3 shows the exploration view that opens when the user clicks the result
+"Male reviewers from California": detailed rating statistics, a comparison of
+related groups and city-level drill-down.  This benchmark measures each of
+those interactions plus the full exploration HTML page.
+
+Shape to hold: every exploration interaction is much cheaper than the original
+mining (they are numpy aggregations over the already-sliced ratings), which is
+what makes the drill-down feel instantaneous in the demo.
+"""
+
+import pytest
+
+from repro.explore.drilldown import DrillDown
+from repro.explore.statistics import compare_groups, group_statistics
+
+QUERY = 'title:"Toy Story"'
+
+
+@pytest.fixture(scope="module")
+def explained(system):
+    result = system.explain(QUERY)
+    rating_slice = system.miner.slice_for_items(result.query.item_ids)
+    group = result.similarity.groups[0]
+    return result, rating_slice, group
+
+
+def test_group_statistics_panel(benchmark, explained):
+    """The statistics panel for the clicked group."""
+    _, rating_slice, group = explained
+    stats = benchmark(group_statistics, rating_slice, group.pairs)
+    assert stats.size == group.size
+    benchmark.extra_info["group"] = group.label
+    benchmark.extra_info["mean"] = stats.mean
+
+
+def test_compare_related_groups(benchmark, explained):
+    """Side-by-side comparison of every selected group plus the baseline."""
+    result, rating_slice, _ = explained
+    rows = benchmark(
+        compare_groups,
+        rating_slice,
+        [g.pairs for g in result.similarity.groups],
+        [g.label for g in result.similarity.groups],
+    )
+    assert rows[0].label == "all reviewers"
+
+
+def test_city_drilldown(benchmark, explained):
+    """State → city drill-down of the selected group (§3.1)."""
+    _, rating_slice, group = explained
+    driller = DrillDown(rating_slice)
+    aggregates = benchmark(driller.drill, group.pairs)
+    assert aggregates
+    benchmark.extra_info["cities"] = [a.location for a in aggregates]
+
+
+def test_full_exploration_page(benchmark, system):
+    """The complete Figure-3 HTML page (statistics + comparison + drill-down + trend)."""
+    html = benchmark.pedantic(
+        lambda: system.exploration_html(QUERY, task="similarity", group_index=0),
+        rounds=5,
+        iterations=1,
+    )
+    assert "Rating distribution" in html
+    benchmark.extra_info["html_bytes"] = len(html)

@@ -1,0 +1,102 @@
+"""Experiment "MRI-S": scalability of the mining pipeline.
+
+The paper calls efficient group selection over "thousands of potential
+candidates" the main technical challenge (§1), because the underlying problems
+are NP-hard.  This benchmark measures how the two tractable stages scale with
+the size of the input rating set, and records how fast the *intractable*
+exhaustive alternative blows up (by counting, not executing, its evaluations).
+
+Shapes to hold:
+
+* candidate enumeration and RHE scale roughly linearly in the number of rating
+  tuples of the query (the cube is bounded by the attribute domains),
+* the exhaustive selection count grows by orders of magnitude with the
+  candidate count, which is why RHE exists.
+"""
+
+import pytest
+
+from repro.config import MiningConfig
+from repro.core.baselines import ExhaustiveSolver
+from repro.core.cube import CandidateEnumerator, enumerate_candidates
+from repro.core.problems import SimilarityProblem
+from repro.core.rhe import RandomizedHillExploration
+from repro.data.storage import RatingStore
+from repro.data.synthetic import SyntheticConfig, SyntheticMovieLens
+
+#: Rating-set sizes exercised by the scaling sweep (per-query slice sizes).
+SWEEP_FRACTIONS = {"quarter": 0.25, "half": 0.5, "full": 1.0}
+
+SCALING_CONFIG = MiningConfig(
+    max_groups=3, min_coverage=0.25, min_group_support=5, rhe_restarts=4
+)
+
+
+@pytest.fixture(scope="module")
+def scaling_store():
+    """A dedicated mid-size dataset so the sweep has headroom (~1200 reviewers)."""
+    dataset = SyntheticMovieLens(
+        SyntheticConfig(num_reviewers=1200, num_movies=300, ratings_per_reviewer=50, seed=5)
+    ).generate(name="scaling")
+    return RatingStore(dataset)
+
+
+@pytest.fixture(scope="module")
+def popular_slice(scaling_store):
+    """The rating slice of the most-rated item of the scaling dataset."""
+    item_id, _ = scaling_store.most_rated_items(limit=1)[0]
+    return scaling_store.slice_for_items([item_id])
+
+
+def _sub_slice(rating_slice, fraction):
+    """A prefix sub-slice with the requested fraction of the rating tuples."""
+    import numpy as np
+
+    size = max(50, int(len(rating_slice) * fraction))
+    mask = np.zeros(len(rating_slice), dtype=bool)
+    mask[:size] = True
+    return rating_slice.restrict(mask)
+
+
+@pytest.mark.parametrize("label", sorted(SWEEP_FRACTIONS))
+def test_candidate_enumeration_scaling(benchmark, popular_slice, label):
+    """Cube enumeration time as the rating slice grows."""
+    rating_slice = _sub_slice(popular_slice, SWEEP_FRACTIONS[label])
+    candidates = benchmark(enumerate_candidates, rating_slice, SCALING_CONFIG)
+    benchmark.extra_info["ratings"] = len(rating_slice)
+    benchmark.extra_info["candidates"] = len(candidates)
+
+
+@pytest.mark.parametrize("label", sorted(SWEEP_FRACTIONS))
+def test_rhe_scaling(benchmark, popular_slice, label):
+    """RHE solve time as the rating slice (and candidate cube) grows."""
+    rating_slice = _sub_slice(popular_slice, SWEEP_FRACTIONS[label])
+    candidates = enumerate_candidates(rating_slice, SCALING_CONFIG)
+    problem = SimilarityProblem(rating_slice, candidates, SCALING_CONFIG)
+    solver = RandomizedHillExploration(restarts=4, max_iterations=150, seed=3)
+    result = benchmark.pedantic(lambda: solver.solve(problem), rounds=3, iterations=1)
+    benchmark.extra_info["ratings"] = len(rating_slice)
+    benchmark.extra_info["candidates"] = len(candidates)
+    benchmark.extra_info["objective"] = round(result.objective, 4)
+    benchmark.extra_info["feasible"] = result.feasible
+
+
+def test_exhaustive_blowup_is_counted_not_executed(benchmark, popular_slice):
+    """How many selections exhaustive search would need as the cube grows."""
+    solver = ExhaustiveSolver()
+
+    def count_all():
+        counts = {}
+        for label, fraction in SWEEP_FRACTIONS.items():
+            rating_slice = _sub_slice(popular_slice, fraction)
+            candidates = enumerate_candidates(rating_slice, SCALING_CONFIG)
+            counts[label] = {
+                "candidates": len(candidates),
+                "selections_to_evaluate": solver.count_selections(len(candidates), 3),
+            }
+        return counts
+
+    counts = benchmark.pedantic(count_all, rounds=1, iterations=1)
+    assert counts["full"]["selections_to_evaluate"] > counts["quarter"]["selections_to_evaluate"]
+    assert counts["full"]["selections_to_evaluate"] > 100_000
+    benchmark.extra_info["exhaustive_counts"] = counts

@@ -1,0 +1,67 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark runs against the deterministic synthetic MovieLens-shaped
+dataset (the offline stand-in for MovieLens-1M, see DESIGN.md).  The "small"
+scale (~24k ratings) is the default workload; the scalability benchmark
+additionally generates larger scales on demand.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark prints / attaches (``extra_info``) the rows or series of the
+experiment it regenerates, as indexed in DESIGN.md §4 and recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the src layout importable when the package is not installed.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.config import MiningConfig, PipelineConfig
+from repro.core.miner import RatingMiner
+from repro.data.synthetic import generate_dataset
+from repro.server.api import MapRat
+
+#: Mining configuration used by the headline benchmarks (Figure 1 settings).
+BENCH_MINING_CONFIG = MiningConfig(max_groups=3, min_coverage=0.25, rhe_restarts=6)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """The default benchmark dataset (~600 reviewers, ~24k ratings)."""
+    return generate_dataset("small")
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return BENCH_MINING_CONFIG
+
+
+@pytest.fixture(scope="session")
+def system(small_dataset, bench_config):
+    """A full MapRat system over the benchmark dataset."""
+    return MapRat.for_dataset(small_dataset, PipelineConfig(mining=bench_config))
+
+
+@pytest.fixture(scope="session")
+def miner(system):
+    return system.miner
+
+
+@pytest.fixture(scope="session")
+def toy_story_ids(small_dataset):
+    return [item.item_id for item in small_dataset.items_by_title("Toy Story")]
+
+
+@pytest.fixture(scope="session")
+def toy_story_slice(miner, toy_story_ids):
+    return miner.slice_for_items(toy_story_ids)

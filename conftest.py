@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (offline environments without the ``wheel`` package cannot complete
+a PEP 660 editable install).  When ``repro`` is already installed this is a
+no-op: the installed location simply wins if it appears first on ``sys.path``.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Reproduce the §1 "Twilight Saga: Eclipse" Diversity Mining example.
+
+The paper motivates Diversity Mining with a controversial movie: the overall
+average hides that "male reviewers under 18 and female reviewers under 18
+consistently disagree on their ratings for the movie: the former group hates
+it while the latter loves it".
+
+This script runs both mining tasks on the planted controversial movie of the
+synthetic dataset and prints the contrast between the single overall aggregate
+(what rating sites show today) and the mined interpretations::
+
+    python examples/controversial_movie.py
+"""
+
+from repro import MapRat, MiningConfig, PipelineConfig, generate_dataset
+from repro.explore.statistics import group_statistics
+from repro.viz.text import render_explanation_text
+
+
+def main() -> None:
+    dataset = generate_dataset("small")
+    maprat = MapRat.for_dataset(dataset, PipelineConfig())
+    query = 'title:"The Twilight Saga: Eclipse"'
+
+    # The DM example of §1 is about demographic (gender × age) groups, so we
+    # relax the geo-anchoring constraint for this run.
+    config = MiningConfig(
+        max_groups=3,
+        min_coverage=0.2,
+        require_geo_anchor=False,
+        grouping_attributes=("gender", "age_group", "occupation"),
+    )
+    result = maprat.explain(query, config=config)
+
+    print(f"Query: {query}")
+    print(f"Overall average rating: {result.query.average_rating:.2f} "
+          f"({result.query.num_ratings} ratings)")
+    print("That single number hides the real structure:\n")
+
+    print(render_explanation_text(result.diversity))
+    print()
+    print(render_explanation_text(result.similarity))
+
+    rating_slice = maprat.miner.slice_for_items(result.query.item_ids)
+    female_teens = group_statistics(rating_slice, {"gender": "F", "age_group": "Under 18"})
+    male_teens = group_statistics(rating_slice, {"gender": "M", "age_group": "Under 18"})
+    print("\nThe paper's exact contrast:")
+    print(f"  female reviewers under 18: avg {female_teens.mean:.2f} "
+          f"({female_teens.size} ratings, {female_teens.share_positive:.0%} positive)")
+    print(f"  male reviewers under 18:   avg {male_teens.mean:.2f} "
+          f"({male_teens.size} ratings, {male_teens.share_negative:.0%} negative)")
+    print(f"  gap: {female_teens.mean - male_teens.mean:+.2f} rating points")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Reproduce the Figure 1 → Figure 2 walkthrough for "Toy Story".
+
+The paper's walkthrough: the user types the query of Figure 1 ("Toy Story",
+query type Movie Name, three groups, a coverage setting), clicks *Explain
+Ratings*, and gets the two choropleth tabs of Figure 2 (Similarity Mining and
+Diversity Mining), where the best SM groups turn out to be male reviewers from
+California, male reviewers from Massachusetts and young female students from
+New York.
+
+Running this script regenerates those artefacts from the synthetic dataset::
+
+    python examples/explain_movie.py [output_directory]
+
+It writes ``toy_story_explanation.html`` (the full Figure-2 page) plus one SVG
+choropleth per mining task, and prints the selected groups.
+"""
+
+import sys
+from pathlib import Path
+
+from repro import MapRat, MiningConfig, PipelineConfig, generate_dataset
+from repro.viz.choropleth import ChoroplethMap
+from repro.viz.report import ExplanationReport
+from repro.viz.text import render_result_text
+
+
+def main() -> None:
+    output_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("examples_output")
+    output_dir.mkdir(parents=True, exist_ok=True)
+
+    dataset = generate_dataset("small")
+    # The search settings of Figure 1: at most three groups.  A 15% coverage
+    # target matches the granularity of the paper's example groups (each of
+    # the three Figure-2 segments covers roughly 5% of the ratings).
+    config = PipelineConfig(mining=MiningConfig(max_groups=3, min_coverage=0.15))
+    maprat = MapRat.for_dataset(dataset, config)
+
+    query = 'title:"Toy Story"'
+    result = maprat.explain(query)
+    print(render_result_text(result))
+
+    report_path = output_dir / "toy_story_explanation.html"
+    ExplanationReport().render_to_file(result, str(report_path), title=f"MapRat — {query}")
+    print(f"\nwrote {report_path}")
+
+    choropleth = ChoroplethMap()
+    for explanation in result.explanations():
+        svg_path = output_dir / f"toy_story_{explanation.task}.svg"
+        choropleth.render_to_file(explanation, str(svg_path))
+        print(f"wrote {svg_path}")
+
+    planted = {"male reviewers from California"}
+    found = {group.label for group in result.similarity.groups}
+    if planted & found:
+        print("\nThe planted Figure-2 group (male reviewers from California) was recovered.")
+    else:
+        print("\nNote: the planted group was not in the top-3 this run; inspect the HTML report.")
+
+
+if __name__ == "__main__":
+    main()

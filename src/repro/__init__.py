@@ -1,0 +1,112 @@
+"""MapRat reproduction: meaningful explanation, interactive exploration and
+geo-visualization of collaborative ratings (VLDB 2012 demo).
+
+Quickstart::
+
+    from repro import MapRat, generate_dataset
+
+    dataset = generate_dataset("small")
+    maprat = MapRat.for_dataset(dataset)
+    result = maprat.explain('title:"Toy Story"')
+    for group in result.similarity.groups:
+        print(group.label, group.average_rating)
+
+The high-level façade :class:`~repro.server.api.MapRat` wires the whole
+pipeline (query → mining → exploration → visualization → caching).  The
+individual layers are importable from their subpackages: :mod:`repro.data`,
+:mod:`repro.geo`, :mod:`repro.core`, :mod:`repro.query`, :mod:`repro.explore`,
+:mod:`repro.viz` and :mod:`repro.server`.
+"""
+
+from .version import PAPER, __version__
+from .config import (
+    GEO_ATTRIBUTE,
+    MAX_RATING,
+    MIN_RATING,
+    MiningConfig,
+    PipelineConfig,
+    ServerConfig,
+    VizConfig,
+)
+from .errors import (
+    CacheError,
+    ConstraintError,
+    DataError,
+    EmptyRatingSetError,
+    GeoError,
+    InfeasibleProblemError,
+    MapRatError,
+    MiningError,
+    QueryError,
+    QuerySyntaxError,
+    SchemaError,
+    ServerError,
+    VisualizationError,
+)
+from .data import (
+    Item,
+    Rating,
+    RatingDataset,
+    RatingStore,
+    Reviewer,
+    SyntheticConfig,
+    SyntheticMovieLens,
+    generate_dataset,
+    load_movielens_directory,
+)
+from .core import (
+    Explanation,
+    GroupDescriptor,
+    MiningResult,
+    RandomizedHillExploration,
+    RatingMiner,
+)
+
+__all__ = [
+    "PAPER",
+    "__version__",
+    "GEO_ATTRIBUTE",
+    "MAX_RATING",
+    "MIN_RATING",
+    "MiningConfig",
+    "PipelineConfig",
+    "ServerConfig",
+    "VizConfig",
+    "CacheError",
+    "ConstraintError",
+    "DataError",
+    "EmptyRatingSetError",
+    "GeoError",
+    "InfeasibleProblemError",
+    "MapRatError",
+    "MiningError",
+    "QueryError",
+    "QuerySyntaxError",
+    "SchemaError",
+    "ServerError",
+    "VisualizationError",
+    "Item",
+    "Rating",
+    "RatingDataset",
+    "RatingStore",
+    "Reviewer",
+    "SyntheticConfig",
+    "SyntheticMovieLens",
+    "generate_dataset",
+    "load_movielens_directory",
+    "Explanation",
+    "GroupDescriptor",
+    "MiningResult",
+    "RandomizedHillExploration",
+    "RatingMiner",
+    "MapRat",
+]
+
+
+def __getattr__(name: str):
+    """Lazily expose the :class:`MapRat` façade to avoid an import cycle."""
+    if name == "MapRat":
+        from .server.api import MapRat
+
+        return MapRat
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

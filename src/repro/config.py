@@ -1,0 +1,150 @@
+"""Configuration objects shared across the MapRat pipeline.
+
+The paper's user interface (Figure 1) exposes a handful of search settings —
+the query, the query type, a time interval, the maximum number of groups and
+the required rating coverage.  :class:`MiningConfig` captures those settings
+plus the solver knobs of the Randomized Hill Exploration algorithm, and
+:class:`VizConfig` captures the rendering options of the choropleth layer
+(Figure 2).  Both are plain frozen dataclasses so they can be hashed and used
+as part of cache keys by :mod:`repro.server.cache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from .errors import ConstraintError
+
+#: Rating scale used by MovieLens and assumed throughout the paper (§2.1).
+MIN_RATING = 1
+MAX_RATING = 5
+
+#: Default reviewer attributes used to describe groups (§1, §2.1).
+DEFAULT_GROUPING_ATTRIBUTES = ("gender", "age_group", "occupation", "state")
+
+#: The attribute that anchors every group on the map (§2.3, §3.1).
+GEO_ATTRIBUTE = "state"
+
+
+@dataclass(frozen=True)
+class MiningConfig:
+    """Settings for one Similarity/Diversity mining run.
+
+    Parameters mirror the "additional search settings" of Figure 1.
+
+    Attributes:
+        max_groups: maximum number of groups returned per mining task
+            ("limit the number of such chosen groups to be small enough, not
+            to overwhelm a user", §2.2).
+        min_coverage: minimum fraction of the input rating tuples that the
+            selected groups must collectively cover.
+        max_description_length: maximum number of attribute/value pairs in a
+            group description, keeping groups "easily understandable".
+        min_group_support: smallest number of rating tuples a candidate group
+            must contain to be considered at all.
+        require_geo_anchor: when True every returned group must include the
+            geo attribute so it can be rendered on the map (§3.1).
+        grouping_attributes: reviewer attributes over which the data cube of
+            candidate groups is built.
+        diversity_penalty: λ weight of the within-group error term subtracted
+            from the Diversity Mining objective.
+        rhe_restarts: number of random restarts of the RHE solver.
+        rhe_max_iterations: maximum hill-climbing swaps per restart.
+        seed: seed for all randomised components of the solver.
+    """
+
+    max_groups: int = 3
+    min_coverage: float = 0.3
+    max_description_length: int = 3
+    min_group_support: int = 5
+    require_geo_anchor: bool = True
+    grouping_attributes: Sequence[str] = DEFAULT_GROUPING_ATTRIBUTES
+    diversity_penalty: float = 0.25
+    rhe_restarts: int = 8
+    rhe_max_iterations: int = 200
+    seed: int = 2012
+
+    def __post_init__(self) -> None:
+        if self.max_groups < 1:
+            raise ConstraintError("max_groups must be at least 1")
+        if not 0.0 <= self.min_coverage <= 1.0:
+            raise ConstraintError("min_coverage must lie in [0, 1]")
+        if self.max_description_length < 1:
+            raise ConstraintError("max_description_length must be at least 1")
+        if self.min_group_support < 1:
+            raise ConstraintError("min_group_support must be at least 1")
+        if self.diversity_penalty < 0:
+            raise ConstraintError("diversity_penalty must be non-negative")
+        if self.rhe_restarts < 1:
+            raise ConstraintError("rhe_restarts must be at least 1")
+        if self.rhe_max_iterations < 1:
+            raise ConstraintError("rhe_max_iterations must be at least 1")
+        # Normalise to a hashable tuple so configs can be used as cache keys.
+        object.__setattr__(
+            self, "grouping_attributes", tuple(self.grouping_attributes)
+        )
+        if self.require_geo_anchor and GEO_ATTRIBUTE not in self.grouping_attributes:
+            raise ConstraintError(
+                "require_geo_anchor needs %r among grouping_attributes" % GEO_ATTRIBUTE
+            )
+
+    def with_overrides(self, **changes: object) -> "MiningConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def cache_key(self) -> tuple:
+        """Hashable tuple identifying this configuration for result caching."""
+        return (
+            self.max_groups,
+            round(self.min_coverage, 6),
+            self.max_description_length,
+            self.min_group_support,
+            self.require_geo_anchor,
+            tuple(self.grouping_attributes),
+            round(self.diversity_penalty, 6),
+            self.rhe_restarts,
+            self.rhe_max_iterations,
+            self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class VizConfig:
+    """Rendering options for the choropleth / report layer (Figure 2).
+
+    Attributes:
+        low_color: hex colour of the lowest rating (dark red in the paper).
+        high_color: hex colour of the highest rating (dark green).
+        missing_color: fill for states not named by any returned group.
+        tile_size: side length in pixels of one state tile of the grid map.
+        show_icons: annotate groups with attribute icons.
+        title: optional title rendered above the map.
+    """
+
+    low_color: str = "#8b0000"
+    high_color: str = "#006400"
+    missing_color: str = "#d9d9d9"
+    tile_size: int = 44
+    show_icons: bool = True
+    title: str = ""
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Settings for the latency layer and the JSON API (§2.3 "caching")."""
+
+    cache_capacity: int = 256
+    cache_ttl_seconds: float | None = None
+    precompute_top_items: int = 50
+    host: str = "127.0.0.1"
+    port: int = 8912
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Bundle of the per-layer configurations used by high-level façades."""
+
+    mining: MiningConfig = field(default_factory=MiningConfig)
+    viz: VizConfig = field(default_factory=VizConfig)
+    server: ServerConfig = field(default_factory=ServerConfig)

@@ -1,0 +1,82 @@
+"""Rating-mining core: the paper's primary contribution.
+
+Given the rating tuples of one item query, this package
+
+* enumerates candidate reviewer groups in data-cube fashion
+  (:mod:`repro.core.cube`, §2.1),
+* scores selections of groups with the Similarity / Diversity objectives
+  (:mod:`repro.core.measures`, §2.2),
+* enforces the meaningfulness constraints — few groups, minimum coverage,
+  short descriptions, geo anchoring (:mod:`repro.core.constraints`),
+* solves the two NP-hard selection problems with Randomized Hill Exploration
+  (:mod:`repro.core.rhe`) or one of the reference baselines
+  (:mod:`repro.core.baselines`), and
+* packages the result as explanation objects consumed by the visualization and
+  exploration layers (:mod:`repro.core.explanation`).
+
+:class:`~repro.core.miner.RatingMiner` is the façade that ties these steps
+together — it is the "Rating Mining" architecture component of §2.3.
+"""
+
+from .groups import Group, GroupDescriptor
+from .cube import CandidateEnumerator, enumerate_candidates
+from .measures import (
+    coverage,
+    covered_positions,
+    diversity_objective,
+    pairwise_disagreement,
+    similarity_objective,
+    within_group_error,
+)
+from .constraints import (
+    ConstraintSet,
+    DescriptionLengthConstraint,
+    GeoAnchorConstraint,
+    MaxGroupsConstraint,
+    MinCoverageConstraint,
+    MinSupportConstraint,
+)
+from .problems import DiversityProblem, MiningProblem, SimilarityProblem
+from .rhe import RandomizedHillExploration, SolveResult
+from .annealing import SimulatedAnnealingSolver
+from .baselines import (
+    ExhaustiveSolver,
+    GreedyCoverageSolver,
+    RandomSolver,
+    TopKBySizeSolver,
+)
+from .explanation import Explanation, GroupExplanation, MiningResult
+from .miner import RatingMiner
+
+__all__ = [
+    "Group",
+    "GroupDescriptor",
+    "CandidateEnumerator",
+    "enumerate_candidates",
+    "coverage",
+    "covered_positions",
+    "diversity_objective",
+    "pairwise_disagreement",
+    "similarity_objective",
+    "within_group_error",
+    "ConstraintSet",
+    "DescriptionLengthConstraint",
+    "GeoAnchorConstraint",
+    "MaxGroupsConstraint",
+    "MinCoverageConstraint",
+    "MinSupportConstraint",
+    "DiversityProblem",
+    "MiningProblem",
+    "SimilarityProblem",
+    "RandomizedHillExploration",
+    "SolveResult",
+    "SimulatedAnnealingSolver",
+    "ExhaustiveSolver",
+    "GreedyCoverageSolver",
+    "RandomSolver",
+    "TopKBySizeSolver",
+    "Explanation",
+    "GroupExplanation",
+    "MiningResult",
+    "RatingMiner",
+]

@@ -1,0 +1,114 @@
+"""Simulated-annealing solver: an optional alternative to RHE.
+
+RHE's swap hill climbing can stall in a local optimum when the candidate space
+is rugged (many near-duplicate groups).  :class:`SimulatedAnnealingSolver`
+explores the same swap neighbourhood but accepts worsening moves with a
+temperature-controlled probability, annealing toward pure hill climbing.  It
+is *not* part of the paper's system — it is provided as an extension point and
+as an extra comparison line for the solver-quality benchmark; the default
+pipeline keeps RHE.
+
+The solver shares the :class:`~repro.core.rhe.SolveResult` shape so it can be
+swapped into :class:`~repro.core.miner.RatingMiner` or benchmarked next to the
+baselines without adapters.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import InfeasibleProblemError
+from .groups import Group
+from .problems import MiningProblem
+from .rhe import RandomizedHillExploration, SolveResult
+
+
+class SimulatedAnnealingSolver:
+    """Swap-neighbourhood simulated annealing over candidate group selections.
+
+    Attributes:
+        initial_temperature: starting temperature; higher accepts more uphill
+            (worsening) moves early on.
+        cooling: multiplicative cooling factor applied after every step.
+        steps: number of proposed swaps per restart.
+        restarts: independent annealing runs; the best feasible result wins.
+        seed: seed of the proposal/acceptance randomness.
+    """
+
+    name = "annealing"
+
+    def __init__(
+        self,
+        initial_temperature: float = 1.0,
+        cooling: float = 0.97,
+        steps: int = 400,
+        restarts: int = 2,
+        seed: int = 2012,
+    ) -> None:
+        if not 0 < cooling < 1:
+            raise ValueError("cooling must lie strictly between 0 and 1")
+        if initial_temperature <= 0:
+            raise ValueError("initial_temperature must be positive")
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.steps = max(1, steps)
+        self.restarts = max(1, restarts)
+        self.seed = seed
+
+    # -- public API ---------------------------------------------------------------
+
+    def solve(self, problem: MiningProblem) -> SolveResult:
+        """Anneal over selections of at most ``k`` candidate groups."""
+        started_at = time.perf_counter()
+        candidates = problem.candidates
+        k = min(problem.max_groups, len(candidates))
+        if k == 0:
+            raise InfeasibleProblemError("the problem has no candidate groups")
+        rng = np.random.default_rng(self.seed)
+        # Reuse RHE's feasibility-repairing random start so annealing begins
+        # from the same kind of state the paper's solver does.
+        starter = RandomizedHillExploration(restarts=1, max_iterations=1, seed=self.seed)
+
+        best: List[Group] = []
+        best_penalized = float("-inf")
+        iterations = 0
+        trace: List[float] = []
+
+        for _ in range(self.restarts):
+            current = starter._random_start(problem, candidates, k, rng)
+            current_value = problem.penalized_objective(current)
+            temperature = self.initial_temperature
+            for _ in range(self.steps):
+                iterations += 1
+                position = int(rng.integers(0, len(current)))
+                replacement = candidates[int(rng.integers(0, len(candidates)))]
+                if any(replacement.descriptor == g.descriptor for g in current):
+                    temperature *= self.cooling
+                    continue
+                trial = list(current)
+                trial[position] = replacement
+                trial_value = problem.penalized_objective(trial)
+                delta = trial_value - current_value
+                if delta >= 0 or rng.random() < math.exp(delta / max(temperature, 1e-9)):
+                    current, current_value = trial, trial_value
+                temperature *= self.cooling
+            trace.append(current_value)
+            if current_value > best_penalized:
+                best_penalized = current_value
+                best = current
+
+        ordered = sorted(best, key=lambda g: (-g.size, g.descriptor))
+        return SolveResult(
+            groups=ordered,
+            objective=problem.objective(ordered),
+            feasible=problem.is_feasible(ordered),
+            iterations=iterations,
+            restarts=self.restarts,
+            elapsed_seconds=time.perf_counter() - started_at,
+            solver=self.name,
+            trace=trace,
+        )

@@ -1,0 +1,208 @@
+"""Reference solvers the RHE algorithm is compared against.
+
+The paper positions RHE as the practical answer to an NP-hard selection
+problem; to reproduce that argument we need the comparison points:
+
+* :class:`ExhaustiveSolver` — enumerate every feasible selection of at most
+  ``k`` candidates and keep the best.  Optimal, but exponential in ``k`` and
+  therefore only usable on small candidate spaces (quality benchmark MRI-Q).
+* :class:`GreedyCoverageSolver` — iteratively add the candidate whose addition
+  most improves the penalised objective; a natural polynomial heuristic.
+* :class:`TopKBySizeSolver` — the "what sites do today" strawman: just take the
+  k most popular sub-populations regardless of rating consistency.
+* :class:`RandomSolver` — random feasible selection, the floor any optimiser
+  must clear.
+
+All solvers return the same :class:`~repro.core.rhe.SolveResult` shape so the
+benchmark harness can tabulate them side by side.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import combinations
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import InfeasibleProblemError, MiningError
+from .groups import Group
+from .problems import MiningProblem
+from .rhe import SolveResult
+
+
+class BaselineSolver:
+    """Shared conveniences for the baseline solvers."""
+
+    name = "baseline"
+
+    def solve(self, problem: MiningProblem) -> SolveResult:
+        raise NotImplementedError
+
+    def _result(
+        self,
+        problem: MiningProblem,
+        selection: Sequence[Group],
+        iterations: int,
+        started_at: float,
+    ) -> SolveResult:
+        ordered = sorted(selection, key=lambda g: (-g.size, g.descriptor))
+        return SolveResult(
+            groups=list(ordered),
+            objective=problem.objective(ordered) if ordered else float("-inf"),
+            feasible=problem.is_feasible(ordered) if ordered else False,
+            iterations=iterations,
+            restarts=1,
+            elapsed_seconds=time.perf_counter() - started_at,
+            solver=self.name,
+        )
+
+
+class ExhaustiveSolver(BaselineSolver):
+    """Optimal enumeration of every selection of 1..k candidates.
+
+    The number of evaluated selections is Σ_{j≤k} C(n, j); ``max_evaluations``
+    guards against accidentally launching an astronomically large enumeration
+    (the scalability benchmark demonstrates exactly that blow-up).
+    """
+
+    name = "exhaustive"
+
+    def __init__(self, max_evaluations: int = 2_000_000) -> None:
+        self.max_evaluations = max_evaluations
+
+    def count_selections(self, num_candidates: int, k: int) -> int:
+        """Number of selections the solver would have to evaluate."""
+        total = 0
+        for size in range(1, k + 1):
+            count = 1
+            for offset in range(size):
+                count = count * (num_candidates - offset) // (offset + 1)
+            total += count
+        return total
+
+    def solve(self, problem: MiningProblem) -> SolveResult:
+        started_at = time.perf_counter()
+        candidates = problem.candidates
+        k = min(problem.max_groups, len(candidates))
+        expected = self.count_selections(len(candidates), k)
+        if expected > self.max_evaluations:
+            raise MiningError(
+                f"exhaustive search would evaluate {expected} selections, "
+                f"above the safety cap of {self.max_evaluations}"
+            )
+        best: Optional[List[Group]] = None
+        best_value = float("-inf")
+        iterations = 0
+        for size in range(1, k + 1):
+            for combo in combinations(candidates, size):
+                iterations += 1
+                if not problem.is_feasible(combo):
+                    continue
+                value = problem.objective(combo)
+                if value > best_value:
+                    best_value = value
+                    best = list(combo)
+        if best is None:
+            raise InfeasibleProblemError(
+                "no feasible selection exists for the given constraints"
+            )
+        return self._result(problem, best, iterations, started_at)
+
+
+class GreedyCoverageSolver(BaselineSolver):
+    """Greedy construction: repeatedly add the best marginal candidate."""
+
+    name = "greedy"
+
+    def solve(self, problem: MiningProblem) -> SolveResult:
+        started_at = time.perf_counter()
+        candidates = problem.candidates
+        k = min(problem.max_groups, len(candidates))
+        selection: List[Group] = []
+        selected_keys: set = set()
+        iterations = 0
+        while len(selection) < k:
+            best_candidate: Optional[Group] = None
+            best_value = float("-inf")
+            for candidate in candidates:
+                if candidate.descriptor in selected_keys:
+                    continue
+                iterations += 1
+                value = problem.penalized_objective(selection + [candidate])
+                if value > best_value:
+                    best_value = value
+                    best_candidate = candidate
+            if best_candidate is None:
+                break
+            selection.append(best_candidate)
+            selected_keys.add(best_candidate.descriptor)
+            # Stop early once feasible and adding more would only hurt.
+            if problem.is_feasible(selection) and len(selection) >= 2:
+                extended_best = best_value
+                current_value = problem.penalized_objective(selection)
+                if current_value >= extended_best and len(selection) == k:
+                    break
+        if not selection:
+            raise InfeasibleProblemError("greedy construction produced no selection")
+        return self._result(problem, selection, iterations, started_at)
+
+
+class TopKBySizeSolver(BaselineSolver):
+    """Pick the k largest candidate groups — popularity without consistency.
+
+    This mimics the pre-defined aggregates of existing sites the paper
+    criticises in §1: the biggest demographic segments, regardless of whether
+    their members actually agree.
+    """
+
+    name = "top_k_by_size"
+
+    def solve(self, problem: MiningProblem) -> SolveResult:
+        started_at = time.perf_counter()
+        k = min(problem.max_groups, len(problem.candidates))
+        selection = sorted(problem.candidates, key=lambda g: -g.size)[:k]
+        if not selection:
+            raise InfeasibleProblemError("no candidate groups available")
+        return self._result(problem, selection, len(problem.candidates), started_at)
+
+
+class RandomSolver(BaselineSolver):
+    """Uniformly random selection of k candidates (feasibility not sought)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 2012, attempts: int = 16) -> None:
+        self.seed = seed
+        self.attempts = max(1, attempts)
+
+    def solve(self, problem: MiningProblem) -> SolveResult:
+        started_at = time.perf_counter()
+        rng = np.random.default_rng(self.seed)
+        candidates = problem.candidates
+        k = min(problem.max_groups, len(candidates))
+        if k == 0:
+            raise InfeasibleProblemError("no candidate groups available")
+        best: Optional[List[Group]] = None
+        best_value = float("-inf")
+        iterations = 0
+        for _ in range(self.attempts):
+            iterations += 1
+            indices = rng.choice(len(candidates), size=k, replace=False)
+            selection = [candidates[i] for i in indices]
+            value = problem.penalized_objective(selection)
+            if value > best_value:
+                best_value = value
+                best = selection
+        assert best is not None
+        return self._result(problem, best, iterations, started_at)
+
+
+def all_baselines(seed: int = 2012) -> List[BaselineSolver]:
+    """The standard baseline line-up used by the quality benchmark."""
+    return [
+        ExhaustiveSolver(),
+        GreedyCoverageSolver(),
+        TopKBySizeSolver(),
+        RandomSolver(seed=seed),
+    ]

@@ -1,0 +1,227 @@
+"""Constraints that make a selection of groups a *meaningful* explanation.
+
+§2.2: "We include constraints that ensure that each of the returned groups are
+meaningfully labeled and collectively cover a significant fraction of ratings.
+Additionally, we limit the number of such chosen groups to be small enough,
+not to overwhelm a user."  §3.1 adds the demo-specific constraint that "each
+of the groups always specify the state as their geo condition in order to
+allow rendering of the explanation in the map".
+
+Each constraint is a small object with a :meth:`check` predicate and a
+:meth:`violation` explanation; :class:`ConstraintSet` bundles them, exposes
+the aggregate feasibility test used by the solvers and a *penalty* used to
+steer infeasible intermediate solutions toward feasibility during hill
+climbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..config import GEO_ATTRIBUTE, MiningConfig
+from ..errors import ConstraintError
+from .groups import Group
+from .measures import coverage
+
+
+class Constraint:
+    """Interface of a single selection constraint."""
+
+    name = "constraint"
+
+    def check(self, groups: Sequence[Group], total: int) -> bool:
+        """Return True when the selection satisfies the constraint."""
+        raise NotImplementedError
+
+    def violation(self, groups: Sequence[Group], total: int) -> Optional[str]:
+        """Human-readable description of the violation, None when satisfied."""
+        if self.check(groups, total):
+            return None
+        return f"{self.name} violated"
+
+    def penalty(self, groups: Sequence[Group], total: int) -> float:
+        """Non-negative magnitude of the violation (0 when satisfied).
+
+        Solvers subtract a large multiple of the penalty from the objective so
+        that hill climbing gravitates toward feasible selections even when the
+        random start is infeasible.
+        """
+        return 0.0 if self.check(groups, total) else 1.0
+
+
+@dataclass
+class MaxGroupsConstraint(Constraint):
+    """At most ``max_groups`` groups may be returned (don't overwhelm the user)."""
+
+    max_groups: int
+    name = "max_groups"
+
+    def __post_init__(self) -> None:
+        if self.max_groups < 1:
+            raise ConstraintError("max_groups must be at least 1")
+
+    def check(self, groups: Sequence[Group], total: int) -> bool:
+        return 0 < len(groups) <= self.max_groups
+
+    def violation(self, groups: Sequence[Group], total: int) -> Optional[str]:
+        if self.check(groups, total):
+            return None
+        return (
+            f"selection has {len(groups)} groups, allowed 1..{self.max_groups}"
+        )
+
+    def penalty(self, groups: Sequence[Group], total: int) -> float:
+        if not groups:
+            return 1.0
+        return max(0, len(groups) - self.max_groups) / self.max_groups
+
+
+@dataclass
+class MinCoverageConstraint(Constraint):
+    """The selected groups must jointly cover ≥ ``min_coverage`` of the ratings."""
+
+    min_coverage: float
+    name = "min_coverage"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_coverage <= 1.0:
+            raise ConstraintError("min_coverage must lie in [0, 1]")
+
+    def check(self, groups: Sequence[Group], total: int) -> bool:
+        return coverage(groups, total) >= self.min_coverage
+
+    def violation(self, groups: Sequence[Group], total: int) -> Optional[str]:
+        actual = coverage(groups, total)
+        if actual >= self.min_coverage:
+            return None
+        return f"coverage {actual:.3f} below required {self.min_coverage:.3f}"
+
+    def penalty(self, groups: Sequence[Group], total: int) -> float:
+        return max(0.0, self.min_coverage - coverage(groups, total))
+
+
+@dataclass
+class DescriptionLengthConstraint(Constraint):
+    """Every group description must use at most ``max_length`` pairs."""
+
+    max_length: int
+    name = "description_length"
+
+    def __post_init__(self) -> None:
+        if self.max_length < 1:
+            raise ConstraintError("max_length must be at least 1")
+
+    def check(self, groups: Sequence[Group], total: int) -> bool:
+        return all(len(g.descriptor) <= self.max_length for g in groups)
+
+    def violation(self, groups: Sequence[Group], total: int) -> Optional[str]:
+        long_labels = [
+            g.descriptor.short_label()
+            for g in groups
+            if len(g.descriptor) > self.max_length
+        ]
+        if not long_labels:
+            return None
+        return f"descriptions longer than {self.max_length} pairs: {long_labels}"
+
+    def penalty(self, groups: Sequence[Group], total: int) -> float:
+        if not groups:
+            return 0.0
+        excess = sum(max(0, len(g.descriptor) - self.max_length) for g in groups)
+        return excess / len(groups)
+
+
+@dataclass
+class MinSupportConstraint(Constraint):
+    """Every selected group must contain at least ``min_support`` rating tuples."""
+
+    min_support: int
+    name = "min_support"
+
+    def __post_init__(self) -> None:
+        if self.min_support < 1:
+            raise ConstraintError("min_support must be at least 1")
+
+    def check(self, groups: Sequence[Group], total: int) -> bool:
+        return all(g.size >= self.min_support for g in groups)
+
+    def violation(self, groups: Sequence[Group], total: int) -> Optional[str]:
+        small = [g.descriptor.short_label() for g in groups if g.size < self.min_support]
+        if not small:
+            return None
+        return f"groups below support {self.min_support}: {small}"
+
+    def penalty(self, groups: Sequence[Group], total: int) -> float:
+        if not groups:
+            return 0.0
+        short = sum(1 for g in groups if g.size < self.min_support)
+        return short / len(groups)
+
+
+@dataclass
+class GeoAnchorConstraint(Constraint):
+    """Every selected group must carry a geo condition so it is map-renderable."""
+
+    geo_attribute: str = GEO_ATTRIBUTE
+    name = "geo_anchor"
+
+    def check(self, groups: Sequence[Group], total: int) -> bool:
+        return all(g.descriptor.has_attribute(self.geo_attribute) for g in groups)
+
+    def violation(self, groups: Sequence[Group], total: int) -> Optional[str]:
+        missing = [
+            g.descriptor.short_label()
+            for g in groups
+            if not g.descriptor.has_attribute(self.geo_attribute)
+        ]
+        if not missing:
+            return None
+        return f"groups without a {self.geo_attribute} condition: {missing}"
+
+    def penalty(self, groups: Sequence[Group], total: int) -> float:
+        if not groups:
+            return 0.0
+        missing = sum(
+            1 for g in groups if not g.descriptor.has_attribute(self.geo_attribute)
+        )
+        return missing / len(groups)
+
+
+class ConstraintSet:
+    """A bundle of constraints evaluated together by the solvers."""
+
+    def __init__(self, constraints: Sequence[Constraint]) -> None:
+        self.constraints: List[Constraint] = list(constraints)
+
+    @classmethod
+    def from_config(cls, config: MiningConfig) -> "ConstraintSet":
+        """Build the paper's constraint set from a mining configuration."""
+        constraints: List[Constraint] = [
+            MaxGroupsConstraint(config.max_groups),
+            MinCoverageConstraint(config.min_coverage),
+            DescriptionLengthConstraint(config.max_description_length),
+            MinSupportConstraint(config.min_group_support),
+        ]
+        if config.require_geo_anchor:
+            constraints.append(GeoAnchorConstraint())
+        return cls(constraints)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def is_feasible(self, groups: Sequence[Group], total: int) -> bool:
+        """True when the selection satisfies every constraint."""
+        return all(c.check(groups, total) for c in self.constraints)
+
+    def violations(self, groups: Sequence[Group], total: int) -> List[str]:
+        """All violation messages of the selection (empty when feasible)."""
+        messages = [c.violation(groups, total) for c in self.constraints]
+        return [m for m in messages if m]
+
+    def penalty(self, groups: Sequence[Group], total: int) -> float:
+        """Aggregate violation magnitude used to penalise infeasible selections."""
+        return float(sum(c.penalty(groups, total) for c in self.constraints))

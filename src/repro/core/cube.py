@@ -1,0 +1,161 @@
+"""Candidate group enumeration: the data cube over reviewer attributes (§2.1).
+
+"The set of groups that has at least one rating tuple in R_I are then
+constructed" (§2.3).  In practice MapRat restricts candidates to groups that
+
+* are describable with at most ``max_description_length`` attribute/value
+  pairs (so the label stays understandable),
+* contain at least ``min_group_support`` rating tuples (support pruning —
+  group support is anti-monotone in the description, so a DFS over the cube
+  lattice can prune whole subtrees), and
+* optionally include the geographic attribute so the group can be drawn on
+  the map (§3.1).
+
+:class:`CandidateEnumerator` performs that enumeration over one
+:class:`~repro.data.storage.RatingSlice` and returns materialised
+:class:`~repro.core.groups.Group` objects with cached statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import GEO_ATTRIBUTE, MiningConfig
+from ..data.storage import RatingSlice
+from ..errors import MiningError
+from .groups import Group, GroupDescriptor
+
+
+@dataclass(frozen=True)
+class EnumerationStats:
+    """Bookkeeping of one enumeration run (reported by benchmarks)."""
+
+    candidates: int
+    explored: int
+    pruned_by_support: int
+
+
+class CandidateEnumerator:
+    """Enumerate candidate groups of one rating slice with support pruning."""
+
+    def __init__(
+        self,
+        rating_slice: RatingSlice,
+        grouping_attributes: Sequence[str] = ("gender", "age_group", "occupation", "state"),
+        max_description_length: int = 3,
+        min_support: int = 5,
+        require_geo_anchor: bool = False,
+        geo_attribute: str = GEO_ATTRIBUTE,
+    ) -> None:
+        if max_description_length < 1:
+            raise MiningError("max_description_length must be at least 1")
+        if min_support < 1:
+            raise MiningError("min_support must be at least 1")
+        self.rating_slice = rating_slice
+        self.grouping_attributes = tuple(grouping_attributes)
+        self.max_description_length = max_description_length
+        self.min_support = min_support
+        self.require_geo_anchor = require_geo_anchor
+        self.geo_attribute = geo_attribute
+        if require_geo_anchor and geo_attribute not in self.grouping_attributes:
+            raise MiningError(
+                f"geo anchoring requires {geo_attribute!r} among the grouping attributes"
+            )
+        self._explored = 0
+        self._pruned = 0
+
+    @classmethod
+    def from_config(
+        cls, rating_slice: RatingSlice, config: MiningConfig
+    ) -> "CandidateEnumerator":
+        """Build an enumerator from a :class:`~repro.config.MiningConfig`."""
+        return cls(
+            rating_slice,
+            grouping_attributes=config.grouping_attributes,
+            max_description_length=config.max_description_length,
+            min_support=config.min_group_support,
+            require_geo_anchor=config.require_geo_anchor,
+        )
+
+    # -- enumeration -------------------------------------------------------------
+
+    def enumerate(self) -> List[Group]:
+        """Return all candidate groups satisfying support and description limits.
+
+        The DFS walks attributes in a fixed order, extending the current
+        partial mask one attribute/value pair at a time.  A partial group that
+        already falls below the support threshold is pruned together with all
+        of its specialisations.
+        """
+        self._explored = 0
+        self._pruned = 0
+        if self.rating_slice.is_empty():
+            return []
+        value_masks = self._value_masks()
+        groups: List[Group] = []
+        all_mask = np.ones(len(self.rating_slice), dtype=bool)
+        self._extend(
+            descriptor=GroupDescriptor.empty(),
+            mask=all_mask,
+            attribute_index=0,
+            value_masks=value_masks,
+            out=groups,
+        )
+        if self.require_geo_anchor:
+            groups = [g for g in groups if g.descriptor.has_attribute(self.geo_attribute)]
+        return groups
+
+    def stats(self) -> EnumerationStats:
+        """Statistics of the most recent :meth:`enumerate` call."""
+        return EnumerationStats(
+            candidates=-1 if self._explored == 0 else self._explored - self._pruned,
+            explored=self._explored,
+            pruned_by_support=self._pruned,
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _value_masks(self) -> Dict[str, List[Tuple[str, np.ndarray]]]:
+        """Precompute the boolean mask of every attribute/value pair."""
+        masks: Dict[str, List[Tuple[str, np.ndarray]]] = {}
+        for attribute in self.grouping_attributes:
+            per_value: List[Tuple[str, np.ndarray]] = []
+            for value in self.rating_slice.distinct_values(attribute):
+                mask = self.rating_slice.mask_for(attribute, value)
+                if int(mask.sum()) >= self.min_support:
+                    per_value.append((value, mask))
+            masks[attribute] = per_value
+        return masks
+
+    def _extend(
+        self,
+        descriptor: GroupDescriptor,
+        mask: np.ndarray,
+        attribute_index: int,
+        value_masks: Dict[str, List[Tuple[str, np.ndarray]]],
+        out: List[Group],
+    ) -> None:
+        if len(descriptor) >= self.max_description_length:
+            return
+        for next_index in range(attribute_index, len(self.grouping_attributes)):
+            attribute = self.grouping_attributes[next_index]
+            for value, value_mask in value_masks[attribute]:
+                self._explored += 1
+                combined = mask & value_mask
+                support = int(combined.sum())
+                if support < self.min_support:
+                    self._pruned += 1
+                    continue
+                extended = descriptor.with_pair(attribute, value)
+                out.append(Group.from_mask(extended, self.rating_slice, combined))
+                self._extend(extended, combined, next_index + 1, value_masks, out)
+
+
+def enumerate_candidates(
+    rating_slice: RatingSlice, config: MiningConfig
+) -> List[Group]:
+    """Convenience wrapper: enumerate candidates under a mining configuration."""
+    return CandidateEnumerator.from_config(rating_slice, config).enumerate()

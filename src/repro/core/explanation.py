@@ -1,0 +1,240 @@
+"""Result objects: explanations, interpretations and the combined mining result.
+
+§2.3 calls the set of groups produced by one sub-problem a "rating
+interpretation object"; the set of interpretations built from the same input
+ratings forms an *exploration*.  The classes here are those objects:
+
+* :class:`GroupExplanation` — one selected group with everything the UI shows
+  (label, attribute pairs, average rating, coverage, state for the map),
+* :class:`Explanation` — one interpretation (one mining task) with its groups,
+  objective value, coverage and solver diagnostics,
+* :class:`MiningResult` — the pair of interpretations (SM + DM) for one query,
+  which is what the visualization layer turns into the two tabs of Figure 2.
+
+All objects are plain data with ``to_dict`` serialisers so the JSON API and
+the HTML report share one representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..config import MiningConfig
+from ..data.model import Item
+from ..data.storage import RatingSlice
+from .groups import Group
+from .measures import coverage, pairwise_disagreement, within_group_error
+from .rhe import SolveResult
+
+
+@dataclass(frozen=True)
+class GroupExplanation:
+    """One selected reviewer group, ready for display.
+
+    Attributes:
+        label: human-readable group label ("male reviewers from California").
+        pairs: the attribute/value pairs describing the group.
+        size: number of rating tuples in the group.
+        average_rating: the group's average rating (drives the map shading).
+        coverage: fraction of the queried ratings this group covers.
+        state: USPS code of the geo condition (None when not geo-anchored).
+        city: city of the geo condition when drilled down.
+        score_histogram: count of ratings per score value (Figure 3 panel).
+    """
+
+    label: str
+    pairs: Mapping[str, str]
+    size: int
+    average_rating: float
+    coverage: float
+    state: Optional[str] = None
+    city: Optional[str] = None
+    score_histogram: Mapping[float, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_group(
+        cls, group: Group, rating_slice: RatingSlice, total: int
+    ) -> "GroupExplanation":
+        """Build the display object for one selected group."""
+        sub_slice_scores = group.scores(rating_slice)
+        histogram: Dict[float, int] = {}
+        for score in sub_slice_scores.tolist():
+            key = float(round(score))
+            histogram[key] = histogram.get(key, 0) + 1
+        return cls(
+            label=group.label(),
+            pairs=group.descriptor.as_dict(),
+            size=group.size,
+            average_rating=round(group.mean, 4),
+            coverage=round(group.coverage_fraction(total), 4),
+            state=group.descriptor.state,
+            city=group.descriptor.city,
+            score_histogram=histogram,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "pairs": dict(self.pairs),
+            "size": self.size,
+            "average_rating": self.average_rating,
+            "coverage": self.coverage,
+            "state": self.state,
+            "city": self.city,
+            "score_histogram": {str(k): v for k, v in self.score_histogram.items()},
+        }
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """One rating interpretation: the output of one mining task (§2.3).
+
+    Attributes:
+        task: ``"similarity"`` or ``"diversity"``.
+        groups: the selected groups as display objects.
+        objective: the task objective value of the selection.
+        coverage: joint coverage of the selection.
+        feasible: whether the selection satisfies every constraint.
+        solver: name of the solver that produced it.
+        solver_iterations: swap evaluations spent by the solver.
+        elapsed_seconds: solver wall-clock time.
+        within_error: total within-group error of the selection.
+        disagreement: mean pairwise disagreement of the selection.
+    """
+
+    task: str
+    groups: Tuple[GroupExplanation, ...]
+    objective: float
+    coverage: float
+    feasible: bool
+    solver: str
+    solver_iterations: int
+    elapsed_seconds: float
+    within_error: float
+    disagreement: float
+
+    @classmethod
+    def from_solve_result(
+        cls,
+        task: str,
+        result: SolveResult,
+        rating_slice: RatingSlice,
+    ) -> "Explanation":
+        """Wrap a solver result over a slice into a display-ready explanation."""
+        total = len(rating_slice)
+        group_explanations = tuple(
+            GroupExplanation.from_group(group, rating_slice, total)
+            for group in result.groups
+        )
+        return cls(
+            task=task,
+            groups=group_explanations,
+            objective=round(result.objective, 6),
+            coverage=round(coverage(result.groups, total), 4),
+            feasible=result.feasible,
+            solver=result.solver,
+            solver_iterations=result.iterations,
+            elapsed_seconds=round(result.elapsed_seconds, 6),
+            within_error=round(within_group_error(result.groups), 4),
+            disagreement=round(pairwise_disagreement(result.groups), 4),
+        )
+
+    def labels(self) -> List[str]:
+        return [g.label for g in self.groups]
+
+    def group_for_state(self, state: str) -> Optional[GroupExplanation]:
+        """First group anchored on the given state, if any."""
+        for group in self.groups:
+            if group.state == state:
+                return group
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "task": self.task,
+            "groups": [g.to_dict() for g in self.groups],
+            "objective": self.objective,
+            "coverage": self.coverage,
+            "feasible": self.feasible,
+            "solver": self.solver,
+            "solver_iterations": self.solver_iterations,
+            "elapsed_seconds": self.elapsed_seconds,
+            "within_error": self.within_error,
+            "disagreement": self.disagreement,
+        }
+
+
+@dataclass(frozen=True)
+class QuerySummary:
+    """What was asked: the items and rating tuples behind an explanation."""
+
+    description: str
+    item_ids: Tuple[int, ...]
+    item_titles: Tuple[str, ...]
+    num_ratings: int
+    average_rating: float
+    time_interval: Optional[Tuple[int, int]] = None
+
+    @classmethod
+    def build(
+        cls,
+        description: str,
+        items: Sequence[Item],
+        rating_slice: RatingSlice,
+        time_interval: Optional[Tuple[int, int]] = None,
+    ) -> "QuerySummary":
+        return cls(
+            description=description,
+            item_ids=tuple(item.item_id for item in items),
+            item_titles=tuple(item.title for item in items),
+            num_ratings=len(rating_slice),
+            average_rating=round(rating_slice.average(), 4),
+            time_interval=time_interval,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "description": self.description,
+            "item_ids": list(self.item_ids),
+            "item_titles": list(self.item_titles),
+            "num_ratings": self.num_ratings,
+            "average_rating": self.average_rating,
+            "time_interval": list(self.time_interval) if self.time_interval else None,
+        }
+
+
+@dataclass(frozen=True)
+class MiningResult:
+    """The full answer to one "Explain Ratings" click: SM + DM interpretations."""
+
+    query: QuerySummary
+    similarity: Explanation
+    diversity: Explanation
+    config: MiningConfig
+    elapsed_seconds: float = 0.0
+
+    def explanations(self) -> Tuple[Explanation, Explanation]:
+        return (self.similarity, self.diversity)
+
+    def explanation_for(self, task: str) -> Explanation:
+        """Return the interpretation of the given task name."""
+        if task == "similarity":
+            return self.similarity
+        if task == "diversity":
+            return self.diversity
+        raise KeyError(f"unknown mining task {task!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "query": self.query.to_dict(),
+            "similarity": self.similarity.to_dict(),
+            "diversity": self.diversity.to_dict(),
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "config": {
+                "max_groups": self.config.max_groups,
+                "min_coverage": self.config.min_coverage,
+                "max_description_length": self.config.max_description_length,
+                "require_geo_anchor": self.config.require_geo_anchor,
+            },
+        }

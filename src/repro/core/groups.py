@@ -1,0 +1,254 @@
+"""Groups: reviewer sub-populations describable by attribute/value pairs.
+
+§2.1 defines a group as "the set of rating tuples describable by a set of
+attribute value pairs belonging to reviewers" — a cuboid of the data cube over
+reviewer attributes.  :class:`GroupDescriptor` is the describable part (the
+conjunction of pairs, e.g. ``{⟨state, CA⟩, ⟨gender, M⟩}``);
+:class:`Group` binds a descriptor to the concrete rating tuples it selects
+inside one :class:`~repro.data.storage.RatingSlice` and caches the statistics
+the objectives and the UI need (size, mean, within-group error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import GEO_ATTRIBUTE
+from ..errors import MiningError
+from ..geo.states import state_by_code
+from ..data.storage import RatingSlice
+
+#: Phrase templates used to build human-readable group labels.
+_GENDER_WORDS = {"M": "male", "F": "female"}
+_AGE_PHRASES = {
+    "Under 18": "under 18",
+    "18-24": "aged 18-24",
+    "25-34": "aged 25-34",
+    "35-44": "aged 35-44",
+    "45-49": "aged 45-49",
+    "50-55": "aged 50-55",
+    "56+": "aged 56 or older",
+}
+
+
+@dataclass(frozen=True, order=True)
+class GroupDescriptor:
+    """An ordered, hashable conjunction of reviewer attribute/value pairs."""
+
+    pairs: Tuple[Tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        normalized = tuple(sorted(self.pairs))
+        attributes = [name for name, _ in normalized]
+        if len(set(attributes)) != len(attributes):
+            raise MiningError(
+                f"group descriptor repeats an attribute: {self.pairs!r}"
+            )
+        object.__setattr__(self, "pairs", normalized)
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, pairs: Mapping[str, str]) -> "GroupDescriptor":
+        """Build a descriptor from a mapping of attribute → value."""
+        return cls(tuple(pairs.items()))
+
+    @classmethod
+    def empty(cls) -> "GroupDescriptor":
+        """The all-ratings group (the apex cuboid of the data cube)."""
+        return cls(())
+
+    # -- structure --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def as_dict(self) -> Dict[str, str]:
+        return dict(self.pairs)
+
+    def attributes(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.pairs)
+
+    def value_of(self, attribute: str) -> Optional[str]:
+        """Value the descriptor assigns to ``attribute``, None when absent."""
+        for name, value in self.pairs:
+            if name == attribute:
+                return value
+        return None
+
+    def has_attribute(self, attribute: str) -> bool:
+        return self.value_of(attribute) is not None
+
+    def with_pair(self, attribute: str, value: str) -> "GroupDescriptor":
+        """Return a specialisation of this descriptor with one more pair."""
+        if self.has_attribute(attribute):
+            raise MiningError(f"descriptor already constrains {attribute!r}")
+        return GroupDescriptor(self.pairs + ((attribute, value),))
+
+    def without_attribute(self, attribute: str) -> "GroupDescriptor":
+        """Return a generalisation of this descriptor dropping one attribute."""
+        return GroupDescriptor(
+            tuple(pair for pair in self.pairs if pair[0] != attribute)
+        )
+
+    def generalizes(self, other: "GroupDescriptor") -> bool:
+        """True when every pair of this descriptor also appears in ``other``."""
+        return set(self.pairs) <= set(other.pairs)
+
+    def specializes(self, other: "GroupDescriptor") -> bool:
+        """True when this descriptor contains every pair of ``other``."""
+        return other.generalizes(self)
+
+    def matches(self, attributes: Mapping[str, str]) -> bool:
+        """True when a reviewer attribute mapping satisfies every pair."""
+        return all(attributes.get(name) == value for name, value in self.pairs)
+
+    # -- geo --------------------------------------------------------------------
+
+    @property
+    def state(self) -> Optional[str]:
+        """USPS state code of the geo condition, if the descriptor has one."""
+        return self.value_of(GEO_ATTRIBUTE)
+
+    @property
+    def city(self) -> Optional[str]:
+        return self.value_of("city")
+
+    def has_geo_anchor(self) -> bool:
+        """True when the group can be rendered on the state-level map (§3.1)."""
+        return self.state is not None
+
+    # -- presentation -------------------------------------------------------------
+
+    def label(self) -> str:
+        """Human-readable label, e.g. ``"male reviewers from California"``.
+
+        Mirrors the labels of Figure 2 ("Male reviewers from California",
+        "female teen student reviewers from New York").
+        """
+        values = self.as_dict()
+        words: list[str] = []
+        gender = values.get("gender")
+        if gender:
+            words.append(_GENDER_WORDS.get(gender, gender.lower()))
+        occupation = values.get("occupation")
+        if occupation:
+            words.append(occupation)
+        words.append("reviewers")
+        age_group = values.get("age_group")
+        if age_group:
+            words.append(_AGE_PHRASES.get(age_group, age_group))
+        place: list[str] = []
+        if values.get("city"):
+            place.append(values["city"])
+        if values.get("state"):
+            try:
+                place.append(state_by_code(values["state"]).name)
+            except Exception:  # pragma: no cover - unknown code kept verbatim
+                place.append(values["state"])
+        if place:
+            words.append("from " + ", ".join(place))
+        if not self.pairs:
+            return "all reviewers"
+        return " ".join(words)
+
+    def short_label(self) -> str:
+        """Compact ``attr=value`` form used in logs and benchmarks."""
+        if not self.pairs:
+            return "<all>"
+        return ", ".join(f"{name}={value}" for name, value in self.pairs)
+
+
+@dataclass(frozen=True)
+class Group:
+    """A descriptor bound to the rating tuples it selects inside a slice.
+
+    Attributes:
+        descriptor: the describable conjunction of attribute/value pairs.
+        positions: indices into the slice of the rating tuples in the group.
+        size: number of rating tuples.
+        mean: average rating of the group (used to shade the map).
+        error: within-group error Σ (s − mean)², the SM building block.
+    """
+
+    descriptor: GroupDescriptor
+    positions: np.ndarray = field(repr=False, compare=False)
+    size: int
+    mean: float
+    error: float
+
+    @classmethod
+    def from_mask(
+        cls, descriptor: GroupDescriptor, rating_slice: RatingSlice, mask: np.ndarray
+    ) -> "Group":
+        """Materialise a group from a boolean mask over a slice."""
+        positions = np.flatnonzero(mask)
+        return cls.from_positions(descriptor, rating_slice, positions)
+
+    @classmethod
+    def from_positions(
+        cls,
+        descriptor: GroupDescriptor,
+        rating_slice: RatingSlice,
+        positions: np.ndarray,
+    ) -> "Group":
+        """Materialise a group from explicit tuple positions."""
+        scores = rating_slice.scores[positions]
+        size = int(positions.shape[0])
+        if size == 0:
+            mean, error = 0.0, 0.0
+        else:
+            mean = float(scores.mean())
+            error = float(((scores - mean) ** 2).sum())
+        return cls(
+            descriptor=descriptor,
+            positions=positions,
+            size=size,
+            mean=mean,
+            error=error,
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.descriptor)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Group):
+            return NotImplemented
+        return self.descriptor == other.descriptor
+
+    @property
+    def variance(self) -> float:
+        """Per-tuple variance of the group's ratings."""
+        return self.error / self.size if self.size else 0.0
+
+    def coverage_fraction(self, total: int) -> float:
+        """Fraction of the input rating tuples this single group covers."""
+        return self.size / total if total else 0.0
+
+    def scores(self, rating_slice: RatingSlice) -> np.ndarray:
+        """Raw scores of the group's rating tuples."""
+        return rating_slice.scores[self.positions]
+
+    def label(self) -> str:
+        return self.descriptor.label()
+
+    def describe(self, total: int = 0) -> Dict[str, object]:
+        """Summary dict used by explanation objects and the JSON API."""
+        info: Dict[str, object] = {
+            "label": self.label(),
+            "pairs": self.descriptor.as_dict(),
+            "size": self.size,
+            "average_rating": round(self.mean, 4),
+            "within_group_error": round(self.error, 4),
+            "variance": round(self.variance, 4),
+        }
+        if total:
+            info["coverage"] = round(self.coverage_fraction(total), 4)
+        if self.descriptor.state:
+            info["state"] = self.descriptor.state
+        if self.descriptor.city:
+            info["city"] = self.descriptor.city
+        return info

@@ -1,0 +1,120 @@
+"""Objective measures for Similarity and Diversity Mining (§2.2).
+
+The "essential characteristics of a good group" in §2.2 translate into three
+measurable quantities over a *selection* of groups:
+
+* **coverage** — the fraction of the input rating tuples covered by the union
+  of the selected groups ("the groups should together cover a significant
+  proportion of available ratings"),
+* **within-group error** — how far individual ratings inside a group sit from
+  the group mean ("ratings within each group should be as consistent as
+  possible"); Similarity Mining minimises this,
+* **pairwise disagreement** — how far the selected groups' average ratings sit
+  from one another; Diversity Mining maximises this while keeping each group
+  internally consistent.
+
+All functions operate on :class:`~repro.core.groups.Group` objects whose
+statistics were cached at materialisation time, so evaluating a candidate
+selection inside the RHE inner loop costs O(k²) scalar work plus one union of
+position arrays for coverage.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .groups import Group
+
+
+def covered_positions(groups: Sequence[Group]) -> np.ndarray:
+    """Union of the rating-tuple positions covered by a selection of groups."""
+    if not groups:
+        return np.array([], dtype=np.int64)
+    return np.unique(np.concatenate([g.positions for g in groups]))
+
+
+def coverage(groups: Sequence[Group], total: int) -> float:
+    """Fraction of the input rating tuples covered by the selection."""
+    if total <= 0:
+        return 0.0
+    return covered_positions(groups).shape[0] / total
+
+
+def within_group_error(groups: Sequence[Group]) -> float:
+    """Total within-group squared error Σ_g Σ_{t∈g} (s_t − mean_g)²."""
+    return float(sum(g.error for g in groups))
+
+
+def normalized_within_group_error(groups: Sequence[Group]) -> float:
+    """Within-group error per covered rating tuple (size-weighted variance).
+
+    Normalising by the number of covered tuples keeps the measure comparable
+    across selections with different coverage, otherwise bigger selections
+    would always look worse.
+    """
+    covered = sum(g.size for g in groups)
+    if covered == 0:
+        return 0.0
+    return within_group_error(groups) / covered
+
+
+def pairwise_disagreement(groups: Sequence[Group]) -> float:
+    """Mean absolute difference between the average ratings of group pairs.
+
+    This is the Diversity Mining signal: "groups of reviewers sharing
+    dissimilar ratings on item(s)" — e.g. a group that hates the movie next to
+    a group that loves it.
+    """
+    if len(groups) < 2:
+        return 0.0
+    deltas = [abs(a.mean - b.mean) for a, b in combinations(groups, 2)]
+    return float(sum(deltas) / len(deltas))
+
+
+def min_pairwise_disagreement(groups: Sequence[Group]) -> float:
+    """Smallest pairwise gap — a stricter notion of 'consistently disagree'."""
+    if len(groups) < 2:
+        return 0.0
+    return float(min(abs(a.mean - b.mean) for a, b in combinations(groups, 2)))
+
+
+def similarity_objective(groups: Sequence[Group]) -> float:
+    """Similarity Mining objective, *higher is better*.
+
+    Defined as the negative per-tuple within-group error, so a selection of
+    perfectly consistent groups scores 0 and noisier selections score below
+    zero.  Using the negated error lets both mining tasks share a single
+    "maximise the objective" solver interface.
+    """
+    if not groups:
+        return float("-inf")
+    return -normalized_within_group_error(groups)
+
+
+def diversity_objective(groups: Sequence[Group], penalty: float = 0.25) -> float:
+    """Diversity Mining objective, higher is better.
+
+    Mean pairwise disagreement between the selected groups minus ``penalty``
+    times the per-tuple within-group error: the selected groups must disagree
+    with one another while each remaining internally consistent (§1's
+    male-under-18 vs female-under-18 example).
+    """
+    if not groups:
+        return float("-inf")
+    return pairwise_disagreement(groups) - penalty * normalized_within_group_error(groups)
+
+
+def selection_summary(groups: Sequence[Group], total: int) -> dict:
+    """Summary of a selection used in reports, benchmarks and EXPERIMENTS.md."""
+    return {
+        "num_groups": len(groups),
+        "coverage": round(coverage(groups, total), 4),
+        "within_group_error": round(within_group_error(groups), 4),
+        "normalized_error": round(normalized_within_group_error(groups), 4),
+        "pairwise_disagreement": round(pairwise_disagreement(groups), 4),
+        "group_means": [round(g.mean, 3) for g in groups],
+        "group_sizes": [g.size for g in groups],
+    }

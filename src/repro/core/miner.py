@@ -1,0 +1,165 @@
+"""RatingMiner: the "Rating Mining" architecture component of §2.3.
+
+"This module accepts a set of items I from the front-end and collects all the
+corresponding rating tuples R_I.  The set of groups that has at least one
+rating tuple in R_I are then constructed.  The next step is to cast the
+problem as an optimization task corresponding to each of the two sub-problems:
+Similarity Mining and Diversity Mining.  For each of the two sub-problems, the
+RHE algorithm is employed to retrieve the best set of reviewer groups that
+provide meaningful rating interpretations."
+
+:class:`RatingMiner` is exactly that pipeline, with the solver pluggable so the
+benchmarks can swap in the baselines.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..config import MiningConfig
+from ..data.model import Item, RatingDataset
+from ..data.storage import RatingSlice, RatingStore
+from ..errors import EmptyRatingSetError, MiningError
+from .cube import enumerate_candidates
+from .explanation import Explanation, MiningResult, QuerySummary
+from .problems import DiversityProblem, MiningProblem, SimilarityProblem
+from .rhe import RandomizedHillExploration, SolveResult
+
+
+class RatingMiner:
+    """End-to-end mining of meaningful explanations for an item selection."""
+
+    def __init__(
+        self,
+        store: RatingStore,
+        config: Optional[MiningConfig] = None,
+        solver: Optional[RandomizedHillExploration] = None,
+    ) -> None:
+        self.store = store
+        self.config = config or MiningConfig()
+        self.solver = solver or RandomizedHillExploration.from_config(self.config)
+
+    @classmethod
+    def for_dataset(
+        cls, dataset: RatingDataset, config: Optional[MiningConfig] = None
+    ) -> "RatingMiner":
+        """Build a miner (and its indexed store) directly from a dataset."""
+        config = config or MiningConfig()
+        grouping = tuple(
+            dict.fromkeys(tuple(config.grouping_attributes) + ("state", "city"))
+        )
+        store = RatingStore(dataset, grouping_attributes=grouping)
+        return cls(store, config)
+
+    # -- slicing ------------------------------------------------------------------
+
+    def slice_for_items(
+        self,
+        item_ids: Iterable[int],
+        time_interval: Optional[Tuple[int, int]] = None,
+    ) -> RatingSlice:
+        """Collect ``R_I`` for the item selection (optionally time-restricted)."""
+        return self.store.slice_for_items(item_ids, time_interval=time_interval)
+
+    # -- mining -------------------------------------------------------------------
+
+    def mine_similarity(
+        self, rating_slice: RatingSlice, config: Optional[MiningConfig] = None
+    ) -> Explanation:
+        """Run Similarity Mining on a prepared slice."""
+        return self._mine(SimilarityProblem, "similarity", rating_slice, config)
+
+    def mine_diversity(
+        self, rating_slice: RatingSlice, config: Optional[MiningConfig] = None
+    ) -> Explanation:
+        """Run Diversity Mining on a prepared slice."""
+        return self._mine(DiversityProblem, "diversity", rating_slice, config)
+
+    def _mine(
+        self,
+        problem_class,
+        task: str,
+        rating_slice: RatingSlice,
+        config: Optional[MiningConfig],
+    ) -> Explanation:
+        config = config or self.config
+        if rating_slice.is_empty():
+            raise EmptyRatingSetError("the item selection matches no rating tuples")
+        candidates = enumerate_candidates(rating_slice, config)
+        if not candidates:
+            raise MiningError(
+                "no candidate group meets the support/description constraints; "
+                "lower min_group_support or relax the description limit"
+            )
+        problem: MiningProblem = problem_class(rating_slice, candidates, config)
+        solver = (
+            self.solver
+            if config is self.config
+            else RandomizedHillExploration.from_config(config)
+        )
+        result: SolveResult = solver.solve(problem)
+        return Explanation.from_solve_result(task, result, rating_slice)
+
+    # -- the one-call façade ---------------------------------------------------------
+
+    def explain_items(
+        self,
+        item_ids: Sequence[int],
+        description: str = "",
+        time_interval: Optional[Tuple[int, int]] = None,
+        config: Optional[MiningConfig] = None,
+    ) -> MiningResult:
+        """Produce the SM + DM interpretations for an item selection.
+
+        This is what the front-end's "Explain Ratings" button triggers: slice
+        the ratings, run both mining tasks, and package the result for the
+        visualization layer.
+
+        Args:
+            item_ids: the items selected by the query layer.
+            description: human-readable query description for reports.
+            time_interval: optional ``(start, end)`` timestamp restriction.
+            config: per-call override of the mining configuration.
+        """
+        config = config or self.config
+        started_at = time.perf_counter()
+        rating_slice = self.slice_for_items(item_ids, time_interval=time_interval)
+        items = [
+            self.store.dataset.item(item_id)
+            for item_id in item_ids
+            if self.store.dataset.has_item(item_id)
+        ]
+        similarity = self.mine_similarity(rating_slice, config)
+        diversity = self.mine_diversity(rating_slice, config)
+        elapsed = time.perf_counter() - started_at
+        query = QuerySummary.build(
+            description or f"{len(items)} item(s)",
+            items,
+            rating_slice,
+            time_interval,
+        )
+        return MiningResult(
+            query=query,
+            similarity=similarity,
+            diversity=diversity,
+            config=config,
+            elapsed_seconds=elapsed,
+        )
+
+    def explain_title(
+        self,
+        title: str,
+        time_interval: Optional[Tuple[int, int]] = None,
+        config: Optional[MiningConfig] = None,
+    ) -> MiningResult:
+        """Convenience: explain the ratings of every item with a given title."""
+        items = self.store.dataset.items_by_title(title)
+        if not items:
+            raise EmptyRatingSetError(f"no item titled {title!r}")
+        return self.explain_items(
+            [item.item_id for item in items],
+            description=f'title:"{title}"',
+            time_interval=time_interval,
+            config=config,
+        )

@@ -1,0 +1,134 @@
+"""The two optimisation problems of §2.2: Similarity Mining and Diversity Mining.
+
+Both share the same shape — pick at most ``k`` candidate groups that satisfy
+the constraint set and maximise a task-specific objective — and are NP-hard
+(the MRI paper proves hardness; MapRat restates it as "the main technical
+challenge").  :class:`MiningProblem` captures the shared structure so the RHE
+solver and the baselines can be written once and parameterised by problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..config import MiningConfig
+from ..data.storage import RatingSlice
+from ..errors import InfeasibleProblemError, MiningError
+from .constraints import ConstraintSet
+from .cube import enumerate_candidates
+from .groups import Group
+from .measures import diversity_objective, similarity_objective
+
+#: Weight of the constraint penalty in the penalised objective.  It dwarfs the
+#: objective's natural range (a few rating points) so feasibility always wins.
+PENALTY_WEIGHT = 100.0
+
+
+class MiningProblem:
+    """One instance of a group-selection optimisation problem.
+
+    Attributes:
+        rating_slice: the rating tuples ``R_I`` of the queried item set.
+        candidates: the candidate groups enumerated from the data cube.
+        config: the mining configuration (k, coverage, solver knobs).
+        constraints: the constraint set derived from the configuration.
+    """
+
+    #: short identifier used in results and cache keys ("similarity"/"diversity")
+    task = "abstract"
+
+    def __init__(
+        self,
+        rating_slice: RatingSlice,
+        candidates: Sequence[Group],
+        config: MiningConfig,
+        constraints: Optional[ConstraintSet] = None,
+    ) -> None:
+        if rating_slice.is_empty():
+            raise MiningError("cannot mine an empty rating slice")
+        self.rating_slice = rating_slice
+        self.candidates: List[Group] = list(candidates)
+        self.config = config
+        self.constraints = constraints or ConstraintSet.from_config(config)
+
+    @classmethod
+    def from_slice(
+        cls, rating_slice: RatingSlice, config: MiningConfig
+    ) -> "MiningProblem":
+        """Enumerate candidates from the slice and build the problem."""
+        candidates = enumerate_candidates(rating_slice, config)
+        if not candidates:
+            raise InfeasibleProblemError(
+                "no candidate group satisfies the support and description limits"
+            )
+        return cls(rating_slice, candidates, config)
+
+    # -- evaluation -----------------------------------------------------------
+
+    @property
+    def total_ratings(self) -> int:
+        return len(self.rating_slice)
+
+    @property
+    def max_groups(self) -> int:
+        return self.config.max_groups
+
+    def objective(self, selection: Sequence[Group]) -> float:
+        """Task-specific objective, higher is better.  Overridden by subclasses."""
+        raise NotImplementedError
+
+    def is_feasible(self, selection: Sequence[Group]) -> bool:
+        """True when the selection satisfies every constraint."""
+        return self.constraints.is_feasible(selection, self.total_ratings)
+
+    def violations(self, selection: Sequence[Group]) -> List[str]:
+        return self.constraints.violations(selection, self.total_ratings)
+
+    def penalized_objective(self, selection: Sequence[Group]) -> float:
+        """Objective minus a large multiple of the constraint violation.
+
+        The penalised form is what the hill climber optimises; on feasible
+        selections it equals the plain objective.
+        """
+        if not selection:
+            return float("-inf")
+        penalty = self.constraints.penalty(selection, self.total_ratings)
+        return self.objective(selection) - PENALTY_WEIGHT * penalty
+
+    def describe(self) -> dict:
+        """Summary of the problem instance for logs and benchmark output."""
+        return {
+            "task": self.task,
+            "ratings": self.total_ratings,
+            "candidates": len(self.candidates),
+            "max_groups": self.config.max_groups,
+            "min_coverage": self.config.min_coverage,
+        }
+
+
+class SimilarityProblem(MiningProblem):
+    """Similarity Mining: groups whose members agree on the item's rating.
+
+    "SM is most useful in identifying reviewer preferences.  Additionally, a
+    user can choose the reviewer group she most identifies with and choose
+    their aggregate rating." (§2.2)
+    """
+
+    task = "similarity"
+
+    def objective(self, selection: Sequence[Group]) -> float:
+        return similarity_objective(selection)
+
+
+class DiversityProblem(MiningProblem):
+    """Diversity Mining: groups that consistently disagree with one another.
+
+    "DM is most useful in identifying reviewer response towards controversial
+    items." (§2.2)
+    """
+
+    task = "diversity"
+
+    def objective(self, selection: Sequence[Group]) -> float:
+        return diversity_objective(selection, penalty=self.config.diversity_penalty)

@@ -1,0 +1,216 @@
+"""Randomized Hill Exploration (RHE): the solver MapRat uses (§2.2, §2.3).
+
+"Each of the sub-problems is modeled as an optimization problem ... the
+optimization problems are solved using Randomized Hill Exploration (RHE)
+algorithm."  The problems are NP-hard, so RHE trades optimality for speed:
+
+1. **Randomized start** — sample ``k`` distinct candidate groups; a greedy
+   repair pass swaps low-coverage picks for high-coverage ones until the
+   coverage constraint is met (or no repair helps).
+2. **Hill exploration** — repeatedly try replacing one selected group with one
+   unselected candidate; accept the swap when it improves the *penalised*
+   objective (objective minus a large constraint-violation penalty).  The
+   neighbourhood is sampled randomly, first-improvement style, which keeps
+   each iteration O(sample × k).
+3. **Restarts** — repeat from a fresh random start and keep the best feasible
+   selection found across restarts.
+
+The solver is deterministic for a fixed seed and exposes per-run statistics
+(iterations, restarts, improvement trace) used by the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InfeasibleProblemError
+from .groups import Group
+from .measures import coverage
+from .problems import MiningProblem
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one solver run.
+
+    Attributes:
+        groups: the selected groups, sorted by size (largest first).
+        objective: plain (unpenalised) objective of the selection.
+        feasible: whether the selection satisfies every constraint.
+        iterations: total accepted + rejected swap evaluations.
+        restarts: number of random restarts actually executed.
+        elapsed_seconds: wall-clock solve time.
+        solver: name of the solver that produced the result.
+        trace: best penalised objective after each restart (ablation data).
+    """
+
+    groups: List[Group]
+    objective: float
+    feasible: bool
+    iterations: int
+    restarts: int
+    elapsed_seconds: float
+    solver: str = "rhe"
+    trace: List[float] = field(default_factory=list)
+
+    def labels(self) -> List[str]:
+        return [g.label() for g in self.groups]
+
+    def describe(self) -> dict:
+        return {
+            "solver": self.solver,
+            "objective": round(self.objective, 6),
+            "feasible": self.feasible,
+            "iterations": self.iterations,
+            "restarts": self.restarts,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "groups": [g.label() for g in self.groups],
+        }
+
+
+class RandomizedHillExploration:
+    """Swap-based randomized hill climbing over candidate group selections."""
+
+    name = "rhe"
+
+    def __init__(
+        self,
+        restarts: int = 8,
+        max_iterations: int = 200,
+        neighborhood_sample: int = 64,
+        seed: int = 2012,
+    ) -> None:
+        self.restarts = max(1, restarts)
+        self.max_iterations = max(1, max_iterations)
+        self.neighborhood_sample = max(1, neighborhood_sample)
+        self.seed = seed
+
+    @classmethod
+    def from_config(cls, config) -> "RandomizedHillExploration":
+        """Build a solver from a :class:`~repro.config.MiningConfig`."""
+        return cls(
+            restarts=config.rhe_restarts,
+            max_iterations=config.rhe_max_iterations,
+            seed=config.seed,
+        )
+
+    # -- public API -------------------------------------------------------------
+
+    def solve(self, problem: MiningProblem) -> SolveResult:
+        """Solve one mining problem, returning the best selection found."""
+        start_time = time.perf_counter()
+        candidates = problem.candidates
+        k = min(problem.max_groups, len(candidates))
+        if k == 0:
+            raise InfeasibleProblemError("the problem has no candidate groups")
+        rng = np.random.default_rng(self.seed)
+
+        best_selection: Optional[List[Group]] = None
+        best_penalized = float("-inf")
+        total_iterations = 0
+        trace: List[float] = []
+
+        for _ in range(self.restarts):
+            selection = self._random_start(problem, candidates, k, rng)
+            selection, iterations = self._hill_climb(problem, candidates, selection, rng)
+            total_iterations += iterations
+            penalized = problem.penalized_objective(selection)
+            trace.append(penalized)
+            if penalized > best_penalized:
+                best_penalized = penalized
+                best_selection = selection
+
+        assert best_selection is not None
+        elapsed = time.perf_counter() - start_time
+        ordered = sorted(best_selection, key=lambda g: (-g.size, g.descriptor))
+        return SolveResult(
+            groups=ordered,
+            objective=problem.objective(ordered),
+            feasible=problem.is_feasible(ordered),
+            iterations=total_iterations,
+            restarts=self.restarts,
+            elapsed_seconds=elapsed,
+            solver=self.name,
+            trace=trace,
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _random_start(
+        self,
+        problem: MiningProblem,
+        candidates: Sequence[Group],
+        k: int,
+        rng: np.random.Generator,
+    ) -> List[Group]:
+        """Sample k distinct candidates, then greedily repair coverage."""
+        indices = rng.choice(len(candidates), size=k, replace=False)
+        selection = [candidates[i] for i in indices]
+        return self._repair_coverage(problem, candidates, selection, rng)
+
+    def _repair_coverage(
+        self,
+        problem: MiningProblem,
+        candidates: Sequence[Group],
+        selection: List[Group],
+        rng: np.random.Generator,
+    ) -> List[Group]:
+        """Swap smallest groups for large candidates until coverage is met."""
+        total = problem.total_ratings
+        required = getattr(problem.config, "min_coverage", 0.0)
+        if coverage(selection, total) >= required:
+            return selection
+        by_size = sorted(candidates, key=lambda g: -g.size)
+        repaired = list(selection)
+        selected_keys = {g.descriptor for g in repaired}
+        for big in by_size:
+            if coverage(repaired, total) >= required:
+                break
+            if big.descriptor in selected_keys:
+                continue
+            smallest_index = min(range(len(repaired)), key=lambda i: repaired[i].size)
+            selected_keys.discard(repaired[smallest_index].descriptor)
+            repaired[smallest_index] = big
+            selected_keys.add(big.descriptor)
+        return repaired
+
+    def _hill_climb(
+        self,
+        problem: MiningProblem,
+        candidates: Sequence[Group],
+        selection: List[Group],
+        rng: np.random.Generator,
+    ) -> Tuple[List[Group], int]:
+        """First-improvement swap hill climbing on the penalised objective."""
+        current = list(selection)
+        current_value = problem.penalized_objective(current)
+        iterations = 0
+        improved = True
+        while improved and iterations < self.max_iterations:
+            improved = False
+            selected_keys = {g.descriptor for g in current}
+            sample_size = min(self.neighborhood_sample, len(candidates))
+            neighbor_indices = rng.choice(len(candidates), size=sample_size, replace=False)
+            for candidate_index in neighbor_indices:
+                candidate = candidates[candidate_index]
+                if candidate.descriptor in selected_keys:
+                    continue
+                for position in range(len(current)):
+                    iterations += 1
+                    if iterations > self.max_iterations:
+                        return current, iterations
+                    trial = list(current)
+                    trial[position] = candidate
+                    trial_value = problem.penalized_objective(trial)
+                    if trial_value > current_value + 1e-12:
+                        current = trial
+                        current_value = trial_value
+                        improved = True
+                        break
+                if improved:
+                    break
+        return current, iterations

@@ -1,0 +1,48 @@
+"""Data model and storage substrate for collaborative rating sites.
+
+The package models a collaborative rating site ``D = <I, U, R>`` exactly as in
+§2.1 of the paper: a set of items ``I``, a set of reviewers ``U`` and a set of
+rating triples ``R``.  Both reviewers and items carry categorical attributes;
+reviewer attributes (age, gender, occupation, location) are what the mining
+layer builds groups from, item attributes (title, genre, actor, director) are
+what the query layer searches over.
+"""
+
+from .model import Item, Rating, RatingDataset, Reviewer
+from .schema import (
+    AGE_GROUPS,
+    GENDERS,
+    GENRES,
+    OCCUPATIONS,
+    AttributeSchema,
+    DatasetSchema,
+    age_group_for,
+    default_schema,
+)
+from .storage import RatingStore
+from .synthetic import SyntheticConfig, SyntheticMovieLens, generate_dataset
+from .movielens import load_movielens_directory, write_movielens_directory
+from .imdb import SyntheticImdbCatalog, enrich_with_imdb
+
+__all__ = [
+    "Item",
+    "Rating",
+    "RatingDataset",
+    "Reviewer",
+    "AGE_GROUPS",
+    "GENDERS",
+    "GENRES",
+    "OCCUPATIONS",
+    "AttributeSchema",
+    "DatasetSchema",
+    "age_group_for",
+    "default_schema",
+    "RatingStore",
+    "SyntheticConfig",
+    "SyntheticMovieLens",
+    "generate_dataset",
+    "load_movielens_directory",
+    "write_movielens_directory",
+    "SyntheticImdbCatalog",
+    "enrich_with_imdb",
+]

@@ -1,0 +1,307 @@
+"""Core entities of a collaborative rating site: the triple ⟨I, U, R⟩ (§2.1).
+
+``Reviewer`` and ``Item`` are lightweight immutable records; ``Rating`` is the
+triple ⟨item, reviewer, score⟩ extended with a timestamp so that the time
+dimension of MapRat (time slider, §3.1) can be exercised.  ``RatingDataset``
+owns the three collections, validates referential integrity and offers simple
+lookup helpers.  Heavier indexing (inverted indexes per attribute value) lives
+in :mod:`repro.data.storage`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import DataError
+from .schema import DatasetSchema, age_group_for, default_schema
+
+
+@dataclass(frozen=True)
+class Reviewer:
+    """A member of the reviewing community (``u ∈ U``).
+
+    Attributes:
+        reviewer_id: unique integer identifier.
+        gender: ``"M"`` or ``"F"`` (MovieLens coding).
+        age: MovieLens age code (lower bound of the band) or exact age.
+        occupation: human-readable occupation label.
+        zipcode: raw 5-digit zip code string.
+        state: USPS state code resolved from the zip code (geo substrate).
+        city: city resolved from the zip code (geo substrate).
+    """
+
+    reviewer_id: int
+    gender: str
+    age: int
+    occupation: str
+    zipcode: str
+    state: str = ""
+    city: str = ""
+
+    @property
+    def age_group(self) -> str:
+        """The age band label used for group descriptions."""
+        return age_group_for(self.age)
+
+    def attribute(self, name: str) -> str:
+        """Return the value of a reviewer attribute by name.
+
+        Supported names: ``gender``, ``age_group``, ``occupation``, ``state``,
+        ``city``, ``zipcode``.
+        """
+        if name == "gender":
+            return self.gender
+        if name == "age_group":
+            return self.age_group
+        if name == "occupation":
+            return self.occupation
+        if name == "state":
+            return self.state
+        if name == "city":
+            return self.city
+        if name == "zipcode":
+            return self.zipcode
+        raise DataError(f"reviewer has no attribute {name!r}")
+
+    def attributes(self, names: Iterable[str]) -> Dict[str, str]:
+        """Return a dict of the requested attribute values."""
+        return {name: self.attribute(name) for name in names}
+
+
+@dataclass(frozen=True)
+class Item:
+    """A rated item (``i ∈ I``), a movie in the demo dataset.
+
+    Attributes:
+        item_id: unique integer identifier.
+        title: movie title (without the release year suffix).
+        year: release year, 0 when unknown.
+        genres: movie genres.
+        actors: lead actors (IMDB enrichment, §3).
+        directors: directors (IMDB enrichment, §3).
+    """
+
+    item_id: int
+    title: str
+    year: int = 0
+    genres: Tuple[str, ...] = ()
+    actors: Tuple[str, ...] = ()
+    directors: Tuple[str, ...] = ()
+
+    def attribute_values(self, name: str) -> Tuple[str, ...]:
+        """Return all values of a (possibly multi-valued) item attribute."""
+        if name == "title":
+            return (self.title,)
+        if name == "genre":
+            return self.genres
+        if name == "actor":
+            return self.actors
+        if name == "director":
+            return self.directors
+        if name == "year":
+            return (str(self.year),) if self.year else ()
+        raise DataError(f"item has no attribute {name!r}")
+
+
+@dataclass(frozen=True)
+class Rating:
+    """A rating triple ⟨i, u, s⟩ with a timestamp (``r ∈ R``).
+
+    Attributes:
+        item_id: the rated item.
+        reviewer_id: the rating reviewer.
+        score: integer rating on the site's scale (1-5 for MovieLens).
+        timestamp: seconds since the Unix epoch.
+    """
+
+    item_id: int
+    reviewer_id: int
+    score: float
+    timestamp: int = 0
+
+    @property
+    def when(self) -> datetime:
+        """Timestamp as an aware UTC datetime."""
+        return datetime.fromtimestamp(self.timestamp, tz=timezone.utc)
+
+    @property
+    def year(self) -> int:
+        """Calendar year of the rating, used by the time slider."""
+        return self.when.year
+
+
+class RatingDataset:
+    """A collaborative rating site ``D = ⟨I, U, R⟩``.
+
+    The dataset owns the reviewers, items and ratings, enforces referential
+    integrity on construction and exposes simple lookups.  It is intentionally
+    storage-agnostic: the mining layer goes through :class:`~repro.data.storage.RatingStore`
+    which builds inverted indexes on top of a dataset.
+    """
+
+    def __init__(
+        self,
+        reviewers: Iterable[Reviewer],
+        items: Iterable[Item],
+        ratings: Iterable[Rating],
+        schema: Optional[DatasetSchema] = None,
+        name: str = "dataset",
+        validate: bool = True,
+    ) -> None:
+        self.name = name
+        self.schema = schema if schema is not None else default_schema()
+        self._reviewers: Dict[int, Reviewer] = {r.reviewer_id: r for r in reviewers}
+        self._items: Dict[int, Item] = {i.item_id: i for i in items}
+        self._ratings: List[Rating] = list(ratings)
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        for rating in self._ratings:
+            if rating.item_id not in self._items:
+                raise DataError(
+                    f"rating references unknown item {rating.item_id}"
+                )
+            if rating.reviewer_id not in self._reviewers:
+                raise DataError(
+                    f"rating references unknown reviewer {rating.reviewer_id}"
+                )
+            self.schema.validate_rating(rating.score)
+
+    # -- sizes -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ratings)
+
+    @property
+    def num_reviewers(self) -> int:
+        return len(self._reviewers)
+
+    @property
+    def num_items(self) -> int:
+        return len(self._items)
+
+    @property
+    def num_ratings(self) -> int:
+        return len(self._ratings)
+
+    # -- access ----------------------------------------------------------------
+
+    def reviewers(self) -> Iterator[Reviewer]:
+        return iter(self._reviewers.values())
+
+    def items(self) -> Iterator[Item]:
+        return iter(self._items.values())
+
+    def ratings(self) -> Iterator[Rating]:
+        return iter(self._ratings)
+
+    def reviewer(self, reviewer_id: int) -> Reviewer:
+        try:
+            return self._reviewers[reviewer_id]
+        except KeyError as exc:
+            raise DataError(f"unknown reviewer {reviewer_id}") from exc
+
+    def item(self, item_id: int) -> Item:
+        try:
+            return self._items[item_id]
+        except KeyError as exc:
+            raise DataError(f"unknown item {item_id}") from exc
+
+    def has_item(self, item_id: int) -> bool:
+        return item_id in self._items
+
+    def has_reviewer(self, reviewer_id: int) -> bool:
+        return reviewer_id in self._reviewers
+
+    def items_by_title(self, title: str) -> List[Item]:
+        """Return items whose title matches ``title`` case-insensitively."""
+        wanted = title.strip().lower()
+        return [item for item in self._items.values() if item.title.lower() == wanted]
+
+    def ratings_for_items(self, item_ids: Iterable[int]) -> List[Rating]:
+        """Return all rating tuples of the given items (``R_I`` in §2.2)."""
+        wanted = set(item_ids)
+        return [r for r in self._ratings if r.item_id in wanted]
+
+    def ratings_for_reviewer(self, reviewer_id: int) -> List[Rating]:
+        return [r for r in self._ratings if r.reviewer_id == reviewer_id]
+
+    # -- statistics --------------------------------------------------------------
+
+    def global_average(self) -> float:
+        """Average of all ratings — the single aggregate the paper criticises."""
+        if not self._ratings:
+            return 0.0
+        return sum(r.score for r in self._ratings) / len(self._ratings)
+
+    def item_average(self, item_id: int) -> float:
+        scores = [r.score for r in self._ratings if r.item_id == item_id]
+        if not scores:
+            return 0.0
+        return sum(scores) / len(scores)
+
+    def rating_counts_by_item(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for rating in self._ratings:
+            counts[rating.item_id] = counts.get(rating.item_id, 0) + 1
+        return counts
+
+    def time_range(self) -> Tuple[int, int]:
+        """Return the (min, max) rating timestamps, (0, 0) when empty."""
+        if not self._ratings:
+            return (0, 0)
+        stamps = [r.timestamp for r in self._ratings]
+        return (min(stamps), max(stamps))
+
+    # -- derivation ---------------------------------------------------------------
+
+    def restricted_to_items(self, item_ids: Iterable[int], name: str = "") -> "RatingDataset":
+        """Return a new dataset containing only ratings of the given items."""
+        wanted = set(item_ids)
+        ratings = [r for r in self._ratings if r.item_id in wanted]
+        reviewer_ids = {r.reviewer_id for r in ratings}
+        return RatingDataset(
+            reviewers=[self._reviewers[rid] for rid in reviewer_ids],
+            items=[self._items[iid] for iid in wanted if iid in self._items],
+            ratings=ratings,
+            schema=self.schema,
+            name=name or f"{self.name}[items={len(wanted)}]",
+            validate=False,
+        )
+
+    def restricted_to_interval(
+        self, start_timestamp: int, end_timestamp: int, name: str = ""
+    ) -> "RatingDataset":
+        """Return a new dataset with ratings inside ``[start, end]`` only."""
+        if end_timestamp < start_timestamp:
+            raise DataError("time interval end precedes start")
+        ratings = [
+            r
+            for r in self._ratings
+            if start_timestamp <= r.timestamp <= end_timestamp
+        ]
+        reviewer_ids = {r.reviewer_id for r in ratings}
+        item_ids = {r.item_id for r in ratings}
+        return RatingDataset(
+            reviewers=[self._reviewers[rid] for rid in reviewer_ids],
+            items=[self._items[iid] for iid in item_ids],
+            ratings=ratings,
+            schema=self.schema,
+            name=name or f"{self.name}[interval]",
+            validate=False,
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """Small summary dict used by reports and the JSON API."""
+        lo, hi = self.time_range()
+        return {
+            "name": self.name,
+            "reviewers": self.num_reviewers,
+            "items": self.num_items,
+            "ratings": self.num_ratings,
+            "global_average": round(self.global_average(), 4),
+            "time_range": [lo, hi],
+        }

@@ -1,0 +1,217 @@
+"""Attribute schemas for reviewers and items.
+
+The demo uses the MovieLens-1M coding of reviewer demographics (§3): seven age
+bands, two genders, twenty-one occupations and a free-form zip code, plus the
+locations derived from the zip code (state and city).  Item attributes are the
+movie title, genre, and the IMDB enrichment attributes actor and director.
+
+The schema objects defined here are consulted by
+
+* the synthetic generator (to emit valid values),
+* the MovieLens loader (to validate parsed rows),
+* the data-cube candidate enumerator (to know which values an attribute can
+  take), and
+* the query parser (to reject unknown attributes early).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import SchemaError
+
+#: MovieLens-1M age codes and their human-readable band labels.
+AGE_GROUPS: Mapping[int, str] = {
+    1: "Under 18",
+    18: "18-24",
+    25: "25-34",
+    35: "35-44",
+    45: "45-49",
+    50: "50-55",
+    56: "56+",
+}
+
+#: MovieLens-1M occupation codes.
+OCCUPATIONS: Mapping[int, str] = {
+    0: "other",
+    1: "academic/educator",
+    2: "artist",
+    3: "clerical/admin",
+    4: "college/grad student",
+    5: "customer service",
+    6: "doctor/health care",
+    7: "executive/managerial",
+    8: "farmer",
+    9: "homemaker",
+    10: "K-12 student",
+    11: "lawyer",
+    12: "programmer",
+    13: "retired",
+    14: "sales/marketing",
+    15: "scientist",
+    16: "self-employed",
+    17: "technician/engineer",
+    18: "tradesman/craftsman",
+    19: "unemployed",
+    20: "writer",
+}
+
+GENDERS: Sequence[str] = ("M", "F")
+
+#: The 18 MovieLens-1M genres.
+GENRES: Sequence[str] = (
+    "Action",
+    "Adventure",
+    "Animation",
+    "Children's",
+    "Comedy",
+    "Crime",
+    "Documentary",
+    "Drama",
+    "Fantasy",
+    "Film-Noir",
+    "Horror",
+    "Musical",
+    "Mystery",
+    "Romance",
+    "Sci-Fi",
+    "Thriller",
+    "War",
+    "Western",
+)
+
+#: Reviewer attributes the mining layer may group on, in display order.
+REVIEWER_ATTRIBUTES: Sequence[str] = (
+    "gender",
+    "age_group",
+    "occupation",
+    "state",
+    "city",
+)
+
+#: Item attributes the query layer may search over, in display order.
+ITEM_ATTRIBUTES: Sequence[str] = ("title", "genre", "actor", "director", "year")
+
+
+def age_group_for(age_code: int) -> str:
+    """Return the band label for a raw MovieLens age code or exact age.
+
+    MovieLens stores the *lower bound* of the band (1, 18, 25, ...).  Exact
+    ages (e.g. 42) are also accepted and folded into the enclosing band, which
+    the synthetic generator relies on.
+    """
+    if age_code in AGE_GROUPS:
+        return AGE_GROUPS[age_code]
+    if age_code < 1:
+        raise SchemaError(f"age code must be positive, got {age_code}")
+    label = AGE_GROUPS[1]
+    for lower_bound, band in sorted(AGE_GROUPS.items()):
+        if age_code >= lower_bound:
+            label = band
+    return label
+
+
+@dataclass(frozen=True)
+class AttributeSchema:
+    """Schema of one categorical attribute.
+
+    Attributes:
+        name: attribute identifier (e.g. ``"gender"``).
+        entity: ``"reviewer"`` or ``"item"``.
+        values: the closed domain of the attribute, or an empty tuple when the
+            domain is open (e.g. ``title``, ``zipcode``).
+        description: short human-readable explanation used in reports.
+    """
+
+    name: str
+    entity: str
+    values: tuple[str, ...] = ()
+    description: str = ""
+
+    def is_open_domain(self) -> bool:
+        """True when any string is an acceptable value."""
+        return not self.values
+
+    def validate(self, value: str) -> str:
+        """Return ``value`` if it belongs to the domain, raise otherwise."""
+        if self.is_open_domain():
+            return value
+        if value not in self.values:
+            raise SchemaError(
+                f"{value!r} is not a valid value for attribute {self.name!r}"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class DatasetSchema:
+    """Complete reviewer + item schema of a collaborative rating site."""
+
+    reviewer_attributes: tuple[AttributeSchema, ...]
+    item_attributes: tuple[AttributeSchema, ...]
+    rating_min: int = 1
+    rating_max: int = 5
+    _by_name: Mapping[str, AttributeSchema] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        mapping = {a.name: a for a in self.reviewer_attributes}
+        mapping.update({a.name: a for a in self.item_attributes})
+        object.__setattr__(self, "_by_name", mapping)
+
+    def attribute(self, name: str) -> AttributeSchema:
+        """Return the schema of ``name`` or raise :class:`SchemaError`."""
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise SchemaError(f"unknown attribute {name!r}") from exc
+
+    def has_attribute(self, name: str) -> bool:
+        return name in self._by_name
+
+    def reviewer_attribute_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.reviewer_attributes)
+
+    def item_attribute_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.item_attributes)
+
+    def validate_rating(self, score: float) -> float:
+        """Check that a rating score falls on the site's rating scale."""
+        if not self.rating_min <= score <= self.rating_max:
+            raise SchemaError(
+                f"rating {score} outside scale "
+                f"[{self.rating_min}, {self.rating_max}]"
+            )
+        return score
+
+
+def default_schema(states: Iterable[str] = (), cities: Iterable[str] = ()) -> DatasetSchema:
+    """Build the MovieLens-1M + IMDB schema used by the demo (§3).
+
+    Args:
+        states: closed domain for the ``state`` attribute; empty means open.
+        cities: closed domain for the ``city`` attribute; empty means open.
+    """
+    reviewer_attrs = (
+        AttributeSchema("gender", "reviewer", tuple(GENDERS), "Reviewer gender"),
+        AttributeSchema(
+            "age_group", "reviewer", tuple(AGE_GROUPS.values()), "Reviewer age band"
+        ),
+        AttributeSchema(
+            "occupation",
+            "reviewer",
+            tuple(OCCUPATIONS.values()),
+            "Reviewer occupation (MovieLens coding)",
+        ),
+        AttributeSchema("state", "reviewer", tuple(states), "US state of residence"),
+        AttributeSchema("city", "reviewer", tuple(cities), "City of residence"),
+        AttributeSchema("zipcode", "reviewer", (), "Raw 5-digit zip code"),
+    )
+    item_attrs = (
+        AttributeSchema("title", "item", (), "Movie title"),
+        AttributeSchema("genre", "item", tuple(GENRES), "Movie genre"),
+        AttributeSchema("actor", "item", (), "Lead actor (IMDB enrichment)"),
+        AttributeSchema("director", "item", (), "Director (IMDB enrichment)"),
+        AttributeSchema("year", "item", (), "Release year"),
+    )
+    return DatasetSchema(reviewer_attrs, item_attrs)

@@ -1,0 +1,250 @@
+"""In-memory rating store with the indexes the mining layer needs.
+
+The Rating Mining module of the paper "accepts a set of items I from the
+front-end and collects all the corresponding rating tuples R_I" (§2.3), then
+builds reviewer groups over those tuples.  :class:`RatingStore` is the storage
+substrate that makes this fast:
+
+* an inverted index item → rating positions,
+* per-reviewer attribute columns materialised once, and
+* :class:`RatingSlice`, a columnar view over the rating tuples of one query
+  (numpy arrays for scores/timestamps, per-attribute string columns) that the
+  data-cube enumerator and the objective functions operate on directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DataError, EmptyRatingSetError
+from .model import Rating, RatingDataset, Reviewer
+
+
+@dataclass
+class RatingSlice:
+    """Columnar view of the rating tuples selected by one item query (``R_I``).
+
+    Attributes:
+        item_ids: array of item ids, one per rating tuple.
+        reviewer_ids: array of reviewer ids, one per rating tuple.
+        scores: float array of rating scores.
+        timestamps: int array of rating timestamps.
+        attribute_columns: mapping attribute name → list of string values,
+            aligned with the arrays above (reviewer attributes of the rater).
+    """
+
+    item_ids: np.ndarray
+    reviewer_ids: np.ndarray
+    scores: np.ndarray
+    timestamps: np.ndarray
+    attribute_columns: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return int(self.scores.shape[0])
+
+    @property
+    def size(self) -> int:
+        return len(self)
+
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    def average(self) -> float:
+        """Overall average rating of the slice (the aggregate sites show today)."""
+        if self.is_empty():
+            return 0.0
+        return float(self.scores.mean())
+
+    def attribute_values(self, attribute: str) -> np.ndarray:
+        """Column of reviewer attribute values aligned with the rating tuples."""
+        try:
+            return self.attribute_columns[attribute]
+        except KeyError as exc:
+            raise DataError(f"slice has no attribute column {attribute!r}") from exc
+
+    def distinct_values(self, attribute: str) -> List[str]:
+        """Sorted distinct non-empty values of an attribute column."""
+        column = self.attribute_values(attribute)
+        values = {v for v in column.tolist() if v}
+        return sorted(values)
+
+    def mask_for(self, attribute: str, value: str) -> np.ndarray:
+        """Boolean mask of tuples whose reviewer has ``attribute == value``."""
+        return self.attribute_values(attribute) == value
+
+    def restrict(self, mask: np.ndarray, copy_columns: bool = True) -> "RatingSlice":
+        """Return a sub-slice containing only the tuples selected by ``mask``."""
+        columns = {
+            name: col[mask] if copy_columns else col
+            for name, col in self.attribute_columns.items()
+        }
+        return RatingSlice(
+            item_ids=self.item_ids[mask],
+            reviewer_ids=self.reviewer_ids[mask],
+            scores=self.scores[mask],
+            timestamps=self.timestamps[mask],
+            attribute_columns=columns,
+        )
+
+    def restrict_to_interval(self, start: int, end: int) -> "RatingSlice":
+        """Return the sub-slice of ratings with timestamps in ``[start, end]``."""
+        if end < start:
+            raise DataError("time interval end precedes start")
+        mask = (self.timestamps >= start) & (self.timestamps <= end)
+        return self.restrict(mask)
+
+    def score_histogram(self, bins: Sequence[float] = (1, 2, 3, 4, 5)) -> Dict[float, int]:
+        """Count of ratings per score value (Figure 3 statistics)."""
+        histogram: Dict[float, int] = {float(b): 0 for b in bins}
+        for score in self.scores.tolist():
+            key = float(round(score))
+            histogram[key] = histogram.get(key, 0) + 1
+        return histogram
+
+    def years(self) -> List[int]:
+        """Sorted distinct calendar years present in the slice."""
+        if self.is_empty():
+            return []
+        years = np.unique(self.timestamps.astype("datetime64[s]").astype("datetime64[Y]"))
+        return sorted(int(str(y)) for y in years)
+
+
+class RatingStore:
+    """Indexed, column-oriented store built once over a :class:`RatingDataset`.
+
+    Construction cost is paid once per dataset ("aggressive data
+    pre-processing", §2.3); after that, slicing the ratings of any item set is
+    an index lookup plus a few numpy gathers.
+    """
+
+    def __init__(
+        self,
+        dataset: RatingDataset,
+        grouping_attributes: Sequence[str] = ("gender", "age_group", "occupation", "state", "city"),
+    ) -> None:
+        self.dataset = dataset
+        self.grouping_attributes = tuple(grouping_attributes)
+        ratings = list(dataset.ratings())
+        self._item_ids = np.array([r.item_id for r in ratings], dtype=np.int64)
+        self._reviewer_ids = np.array([r.reviewer_id for r in ratings], dtype=np.int64)
+        self._scores = np.array([r.score for r in ratings], dtype=np.float64)
+        self._timestamps = np.array([r.timestamp for r in ratings], dtype=np.int64)
+        self._positions_by_item: Dict[int, np.ndarray] = self._build_item_index()
+        self._attribute_columns = self._build_attribute_columns()
+
+    # -- construction ------------------------------------------------------------
+
+    def _build_item_index(self) -> Dict[int, np.ndarray]:
+        positions: Dict[int, List[int]] = {}
+        for pos, item_id in enumerate(self._item_ids.tolist()):
+            positions.setdefault(item_id, []).append(pos)
+        return {
+            item_id: np.array(pos_list, dtype=np.int64)
+            for item_id, pos_list in positions.items()
+        }
+
+    def _build_attribute_columns(self) -> Dict[str, np.ndarray]:
+        reviewer_values: Dict[int, Dict[str, str]] = {}
+        for reviewer in self.dataset.reviewers():
+            reviewer_values[reviewer.reviewer_id] = {
+                name: reviewer.attribute(name) for name in self.grouping_attributes
+            }
+        columns: Dict[str, List[str]] = {name: [] for name in self.grouping_attributes}
+        for reviewer_id in self._reviewer_ids.tolist():
+            values = reviewer_values[reviewer_id]
+            for name in self.grouping_attributes:
+                columns[name].append(values[name])
+        return {
+            name: np.array(values, dtype=object)
+            for name, values in columns.items()
+        }
+
+    # -- sizes --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._scores.shape[0])
+
+    @property
+    def num_ratings(self) -> int:
+        return len(self)
+
+    def item_rating_count(self, item_id: int) -> int:
+        positions = self._positions_by_item.get(item_id)
+        return 0 if positions is None else int(positions.shape[0])
+
+    def most_rated_items(self, limit: int = 10) -> List[Tuple[int, int]]:
+        """Return ``(item_id, rating_count)`` pairs sorted by popularity."""
+        counts = [
+            (item_id, int(pos.shape[0]))
+            for item_id, pos in self._positions_by_item.items()
+        ]
+        counts.sort(key=lambda pair: (-pair[1], pair[0]))
+        return counts[:limit]
+
+    # -- slicing ------------------------------------------------------------------
+
+    def slice_for_items(
+        self,
+        item_ids: Iterable[int],
+        time_interval: Optional[Tuple[int, int]] = None,
+        allow_empty: bool = False,
+    ) -> RatingSlice:
+        """Collect the rating tuples ``R_I`` of an item set as a columnar slice.
+
+        Args:
+            item_ids: items selected by the front-end query.
+            time_interval: optional ``(start, end)`` timestamp restriction
+                (the time-interval search setting of Figure 1).
+            allow_empty: return an empty slice instead of raising when the
+                selection matches no ratings.
+        """
+        wanted = [iid for iid in item_ids if iid in self._positions_by_item]
+        if wanted:
+            positions = np.concatenate([self._positions_by_item[iid] for iid in wanted])
+            positions.sort()
+        else:
+            positions = np.array([], dtype=np.int64)
+        rating_slice = RatingSlice(
+            item_ids=self._item_ids[positions],
+            reviewer_ids=self._reviewer_ids[positions],
+            scores=self._scores[positions],
+            timestamps=self._timestamps[positions],
+            attribute_columns={
+                name: column[positions]
+                for name, column in self._attribute_columns.items()
+            },
+        )
+        if time_interval is not None:
+            rating_slice = rating_slice.restrict_to_interval(*time_interval)
+        if rating_slice.is_empty() and not allow_empty:
+            raise EmptyRatingSetError(
+                "the item selection matches no rating tuples"
+            )
+        return rating_slice
+
+    def slice_all(self) -> RatingSlice:
+        """Slice over every rating of the dataset."""
+        everything = np.arange(len(self), dtype=np.int64)
+        return RatingSlice(
+            item_ids=self._item_ids[everything],
+            reviewer_ids=self._reviewer_ids[everything],
+            scores=self._scores[everything],
+            timestamps=self._timestamps[everything],
+            attribute_columns=dict(self._attribute_columns),
+        )
+
+    # -- aggregate helpers ----------------------------------------------------------
+
+    def item_average(self, item_id: int) -> float:
+        positions = self._positions_by_item.get(item_id)
+        if positions is None or positions.shape[0] == 0:
+            return 0.0
+        return float(self._scores[positions].mean())
+
+    def global_average(self) -> float:
+        if len(self) == 0:
+            return 0.0
+        return float(self._scores.mean())

@@ -1,0 +1,533 @@
+"""MovieLens-1M-shaped synthetic dataset generator with planted group structure.
+
+The demo runs on the MovieLens "Million rating data set" joined with IMDB
+metadata (§3).  That download is unavailable offline, so this module generates
+a dataset with the same *shape*:
+
+* reviewers with MovieLens demographics (gender, age band, occupation code,
+  zip code) whose marginal distributions follow the real ML-1M ones,
+* movies with genres, release years and IMDB-style actor/director credits,
+* rating triples whose scores follow a demographic bias model.
+
+Crucially, the generator *plants* the group structure that the paper's
+narrative relies on, so the mining layer's output is verifiable:
+
+* ``"Toy Story"`` is loved by male reviewers in California, male reviewers in
+  Massachusetts and young female students in New York (the three groups of
+  Figure 2),
+* ``"The Twilight Saga: Eclipse"`` polarises male vs. female reviewers under
+  18 (the Diversity Mining example of §1),
+* ``"Drifting Star"`` starts loved and ends disliked over the rating years
+  (the time-slider claim of §3.1).
+
+Everything is driven by an explicit seed: the same configuration always
+produces the identical dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DataError
+from ..geo.states import ALL_STATE_CODES, state_by_code
+from ..geo.zipcodes import zipcode_for
+from .imdb import SyntheticImdbCatalog
+from .model import Item, Rating, RatingDataset, Reviewer
+from .schema import AGE_GROUPS, GENRES, OCCUPATIONS, age_group_for, default_schema
+
+# ---------------------------------------------------------------------------
+# Distributions approximating MovieLens-1M marginals
+# ---------------------------------------------------------------------------
+
+#: P(gender) — ML-1M is male-heavy.
+GENDER_WEIGHTS: Mapping[str, float] = {"M": 0.72, "F": 0.28}
+
+#: P(age code) over the MovieLens age bands.
+AGE_WEIGHTS: Mapping[int, float] = {
+    1: 0.04,
+    18: 0.18,
+    25: 0.35,
+    35: 0.20,
+    45: 0.09,
+    50: 0.08,
+    56: 0.06,
+}
+
+#: Approximate relative population weights for the states used when placing
+#: reviewers; only the ratios matter.
+STATE_WEIGHTS: Mapping[str, float] = {
+    "CA": 12.0, "TX": 8.5, "NY": 6.5, "FL": 6.3, "PA": 4.2, "IL": 4.1, "OH": 3.8,
+    "GA": 3.4, "NC": 3.3, "MI": 3.2, "NJ": 2.9, "VA": 2.7, "WA": 2.4, "AZ": 2.3,
+    "MA": 2.2, "TN": 2.2, "IN": 2.1, "MO": 2.0, "MD": 1.9, "WI": 1.9, "CO": 1.8,
+    "MN": 1.8, "SC": 1.6, "AL": 1.6, "LA": 1.5, "KY": 1.4, "OR": 1.3, "OK": 1.3,
+    "CT": 1.1, "UT": 1.0, "IA": 1.0, "NV": 1.0, "AR": 0.9, "MS": 0.9, "KS": 0.9,
+    "NM": 0.7, "NE": 0.6, "ID": 0.6, "WV": 0.6, "HI": 0.5, "NH": 0.4, "ME": 0.4,
+    "MT": 0.4, "RI": 0.3, "DE": 0.3, "SD": 0.3, "ND": 0.2, "AK": 0.2, "DC": 0.2,
+    "VT": 0.2, "WY": 0.2,
+}
+
+#: Per-genre rating affinity by gender: score delta added when the reviewer's
+#: gender matches.
+GENRE_GENDER_AFFINITY: Mapping[str, Mapping[str, float]] = {
+    "Romance": {"F": 0.35, "M": -0.10},
+    "War": {"M": 0.25, "F": -0.10},
+    "Western": {"M": 0.20, "F": -0.10},
+    "Action": {"M": 0.15, "F": -0.05},
+    "Musical": {"F": 0.25},
+    "Horror": {"F": -0.15, "M": 0.10},
+}
+
+#: Per-genre affinity by age band.
+GENRE_AGE_AFFINITY: Mapping[str, Mapping[str, float]] = {
+    "Animation": {"Under 18": 0.45, "18-24": 0.15, "56+": -0.10},
+    "Children's": {"Under 18": 0.50, "25-34": -0.10, "56+": -0.15},
+    "Horror": {"Under 18": 0.20, "18-24": 0.25, "50-55": -0.20, "56+": -0.30},
+    "Film-Noir": {"45-49": 0.25, "50-55": 0.30, "56+": 0.35, "Under 18": -0.25},
+    "Documentary": {"45-49": 0.20, "56+": 0.25, "Under 18": -0.20},
+    "Sci-Fi": {"18-24": 0.20, "25-34": 0.15, "56+": -0.10},
+    "Romance": {"Under 18": 0.15, "45-49": 0.10},
+}
+
+#: Occupations with a small extra affinity for selected genres.
+GENRE_OCCUPATION_AFFINITY: Mapping[str, Mapping[str, float]] = {
+    "Animation": {"K-12 student": 0.25, "college/grad student": 0.10},
+    "Sci-Fi": {"programmer": 0.25, "technician/engineer": 0.20, "scientist": 0.20},
+    "Documentary": {"academic/educator": 0.25, "scientist": 0.15},
+    "Drama": {"writer": 0.20, "artist": 0.15},
+}
+
+
+@dataclass(frozen=True)
+class PlantedRule:
+    """A planted demographic effect for one movie.
+
+    Attributes:
+        conditions: reviewer attribute/value pairs that must all match.
+        delta: score delta added when the reviewer matches.
+    """
+
+    conditions: Mapping[str, str]
+    delta: float
+
+    def matches(self, reviewer: Reviewer) -> bool:
+        return all(
+            reviewer.attribute(name) == value for name, value in self.conditions.items()
+        )
+
+
+@dataclass(frozen=True)
+class SeedMovie:
+    """A named movie with planted structure referenced by the paper."""
+
+    title: str
+    year: int
+    genres: Tuple[str, ...]
+    base_quality: float
+    popularity: float = 5.0
+    rules: Tuple[PlantedRule, ...] = ()
+    yearly_trend: Mapping[int, float] = field(default_factory=dict)
+
+
+def default_seed_movies() -> Tuple[SeedMovie, ...]:
+    """The seed movies that make the paper's examples reproducible."""
+    return (
+        SeedMovie(
+            title="Toy Story",
+            year=1995,
+            genres=("Animation", "Children's", "Comedy"),
+            base_quality=3.6,
+            popularity=9.0,
+            rules=(
+                PlantedRule({"gender": "M", "state": "CA"}, 1.0),
+                PlantedRule({"gender": "M", "state": "MA"}, 0.9),
+                PlantedRule(
+                    {
+                        "gender": "F",
+                        "age_group": AGE_GROUPS[1],
+                        "occupation": "K-12 student",
+                        "state": "NY",
+                    },
+                    0.6,
+                ),
+            ),
+        ),
+        SeedMovie(
+            title="The Twilight Saga: Eclipse",
+            year=2003,
+            genres=("Romance", "Drama"),
+            base_quality=2.6,
+            popularity=8.0,
+            rules=(
+                PlantedRule({"gender": "F", "age_group": AGE_GROUPS[1]}, 1.9),
+                PlantedRule({"gender": "F", "age_group": AGE_GROUPS[45]}, 1.7),
+                PlantedRule({"gender": "M", "age_group": AGE_GROUPS[1]}, -1.4),
+            ),
+        ),
+        SeedMovie(
+            title="Drifting Star",
+            year=2000,
+            genres=("Drama",),
+            base_quality=3.5,
+            popularity=6.0,
+            yearly_trend={2000: 1.2, 2001: 0.5, 2002: -0.4, 2003: -1.1},
+        ),
+        SeedMovie(
+            title="The Social Network",
+            year=2003,
+            genres=("Drama",),
+            base_quality=4.1,
+            popularity=6.0,
+        ),
+        SeedMovie(
+            title="The Lord of the Rings: The Fellowship of the Ring",
+            year=2001,
+            genres=("Adventure", "Fantasy"),
+            base_quality=4.3,
+            popularity=8.0,
+        ),
+        SeedMovie(
+            title="The Lord of the Rings: The Two Towers",
+            year=2002,
+            genres=("Adventure", "Fantasy"),
+            base_quality=4.2,
+            popularity=7.0,
+        ),
+        SeedMovie(
+            title="The Lord of the Rings: The Return of the King",
+            year=2003,
+            genres=("Adventure", "Fantasy"),
+            base_quality=4.3,
+            popularity=7.0,
+        ),
+        SeedMovie(
+            title="Jurassic Park",
+            year=1993,
+            genres=("Action", "Sci-Fi", "Thriller"),
+            base_quality=3.9,
+            popularity=7.0,
+        ),
+        SeedMovie(
+            title="Jaws",
+            year=1975,
+            genres=("Thriller", "Horror"),
+            base_quality=4.0,
+            popularity=5.0,
+        ),
+        SeedMovie(
+            title="Minority Report",
+            year=2002,
+            genres=("Sci-Fi", "Thriller"),
+            base_quality=3.8,
+            popularity=5.0,
+        ),
+        SeedMovie(
+            title="Saving Private Ryan",
+            year=1998,
+            genres=("Drama", "War"),
+            base_quality=4.3,
+            popularity=7.0,
+        ),
+        SeedMovie(
+            title="Forrest Gump",
+            year=1994,
+            genres=("Comedy", "Drama", "Romance"),
+            base_quality=4.1,
+            popularity=7.0,
+        ),
+        SeedMovie(
+            title="Apollo 13",
+            year=1995,
+            genres=("Drama",),
+            base_quality=3.9,
+            popularity=5.0,
+        ),
+        SeedMovie(
+            title="Annie Hall",
+            year=1977,
+            genres=("Comedy", "Romance"),
+            base_quality=4.0,
+            popularity=4.0,
+        ),
+        SeedMovie(
+            title="Manhattan",
+            year=1979,
+            genres=("Comedy", "Drama", "Romance"),
+            base_quality=3.9,
+            popularity=4.0,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Knobs of the synthetic generator.
+
+    Attributes:
+        num_reviewers: size of the reviewer community ``U``.
+        num_movies: size of the catalogue ``I`` (including seed movies).
+        ratings_per_reviewer: mean number of ratings each reviewer produces.
+        start_year / end_year: calendar range of rating timestamps.
+        noise_std: standard deviation of the per-rating Gaussian noise.
+        seed: seed of the NumPy generator driving every random choice.
+    """
+
+    num_reviewers: int = 600
+    num_movies: int = 240
+    ratings_per_reviewer: float = 40.0
+    start_year: int = 2000
+    end_year: int = 2003
+    noise_std: float = 0.65
+    seed: int = 2012
+
+    def __post_init__(self) -> None:
+        if self.num_reviewers < 1 or self.num_movies < 1:
+            raise DataError("the dataset needs at least one reviewer and one movie")
+        if self.ratings_per_reviewer < 1:
+            raise DataError("ratings_per_reviewer must be at least 1")
+        if self.end_year < self.start_year:
+            raise DataError("end_year precedes start_year")
+
+
+#: Named presets covering test, example and benchmark scales.
+SCALE_PRESETS: Mapping[str, SyntheticConfig] = {
+    "tiny": SyntheticConfig(num_reviewers=150, num_movies=60, ratings_per_reviewer=25.0),
+    "small": SyntheticConfig(num_reviewers=600, num_movies=240, ratings_per_reviewer=40.0),
+    "medium": SyntheticConfig(num_reviewers=2000, num_movies=900, ratings_per_reviewer=60.0),
+    "ml1m": SyntheticConfig(num_reviewers=6040, num_movies=3883, ratings_per_reviewer=165.0),
+}
+
+
+class SyntheticMovieLens:
+    """Generator producing a :class:`RatingDataset` from a :class:`SyntheticConfig`."""
+
+    def __init__(
+        self,
+        config: Optional[SyntheticConfig] = None,
+        seed_movies: Optional[Sequence[SeedMovie]] = None,
+    ) -> None:
+        self.config = config or SyntheticConfig()
+        self.seed_movies = tuple(seed_movies if seed_movies is not None else default_seed_movies())
+        if len(self.seed_movies) > self.config.num_movies:
+            self.seed_movies = self.seed_movies[: self.config.num_movies]
+        self._rng = np.random.default_rng(self.config.seed)
+        self._imdb = SyntheticImdbCatalog()
+
+    # -- public API -----------------------------------------------------------
+
+    def generate(self, name: str = "synthetic-movielens") -> RatingDataset:
+        """Generate the full dataset (reviewers, movies, ratings)."""
+        reviewers = self._generate_reviewers()
+        items = self._generate_items()
+        ratings = self._generate_ratings(reviewers, items)
+        schema = default_schema(states=ALL_STATE_CODES)
+        return RatingDataset(
+            reviewers=reviewers,
+            items=items,
+            ratings=ratings,
+            schema=schema,
+            name=name,
+            validate=False,
+        )
+
+    # -- reviewers --------------------------------------------------------------
+
+    def _generate_reviewers(self) -> List[Reviewer]:
+        config = self.config
+        rng = self._rng
+        genders = list(GENDER_WEIGHTS)
+        gender_p = np.array([GENDER_WEIGHTS[g] for g in genders])
+        age_codes = list(AGE_WEIGHTS)
+        age_p = np.array([AGE_WEIGHTS[a] for a in age_codes])
+        occupations = list(OCCUPATIONS.values())
+        state_codes = list(STATE_WEIGHTS)
+        state_p = np.array([STATE_WEIGHTS[s] for s in state_codes])
+        state_p = state_p / state_p.sum()
+
+        chosen_genders = rng.choice(genders, size=config.num_reviewers, p=gender_p / gender_p.sum())
+        chosen_ages = rng.choice(age_codes, size=config.num_reviewers, p=age_p / age_p.sum())
+        chosen_occupations = rng.choice(occupations, size=config.num_reviewers)
+        chosen_states = rng.choice(state_codes, size=config.num_reviewers, p=state_p)
+
+        reviewers: List[Reviewer] = []
+        for idx in range(config.num_reviewers):
+            state_code = str(chosen_states[idx])
+            state = state_by_code(state_code)
+            city_index = int(rng.integers(0, max(len(state.cities), 1)))
+            zipcode = zipcode_for(state_code, city_index=city_index, offset=idx)
+            reviewers.append(
+                Reviewer(
+                    reviewer_id=idx + 1,
+                    gender=str(chosen_genders[idx]),
+                    age=int(chosen_ages[idx]),
+                    occupation=str(chosen_occupations[idx]),
+                    zipcode=zipcode,
+                    state=state_code,
+                    city=state.cities[city_index] if state.cities else state.name,
+                )
+            )
+        return reviewers
+
+    # -- items -------------------------------------------------------------------
+
+    def _generate_items(self) -> List[Item]:
+        config = self.config
+        rng = self._rng
+        items: List[Item] = []
+        for idx, seed in enumerate(self.seed_movies):
+            items.append(
+                Item(
+                    item_id=idx + 1,
+                    title=seed.title,
+                    year=seed.year,
+                    genres=seed.genres,
+                )
+            )
+        genre_list = list(GENRES)
+        for idx in range(len(self.seed_movies), config.num_movies):
+            n_genres = int(rng.integers(1, 4))
+            genres = tuple(
+                sorted(rng.choice(genre_list, size=n_genres, replace=False).tolist())
+            )
+            year = int(rng.integers(1960, config.end_year + 1))
+            items.append(
+                Item(
+                    item_id=idx + 1,
+                    title=f"Synthetic Movie {idx + 1:04d}",
+                    year=year,
+                    genres=genres,
+                )
+            )
+        return [self._imdb.enrich(item) for item in items]
+
+    # -- ratings -----------------------------------------------------------------
+
+    def _item_base_qualities(self, items: Sequence[Item]) -> np.ndarray:
+        rng = self._rng
+        base = rng.normal(loc=3.5, scale=0.45, size=len(items))
+        for idx, seed in enumerate(self.seed_movies):
+            base[idx] = seed.base_quality
+        return np.clip(base, 1.5, 4.7)
+
+    def _item_popularities(self, items: Sequence[Item]) -> np.ndarray:
+        """Long-tailed sampling weights; seed movies get a popularity boost."""
+        rng = self._rng
+        ranks = np.arange(1, len(items) + 1, dtype=np.float64)
+        rng.shuffle(ranks)
+        weights = 1.0 / np.power(ranks, 0.8)
+        for idx, seed in enumerate(self.seed_movies):
+            weights[idx] = max(weights[idx], seed.popularity * weights.max() / 5.0)
+        return weights / weights.sum()
+
+    def _genre_matrix(self, items: Sequence[Item]) -> Tuple[np.ndarray, List[str]]:
+        genre_list = list(GENRES)
+        genre_index = {g: i for i, g in enumerate(genre_list)}
+        matrix = np.zeros((len(items), len(genre_list)), dtype=np.float64)
+        for row, item in enumerate(items):
+            for genre in item.genres:
+                col = genre_index.get(genre)
+                if col is not None:
+                    matrix[row, col] = 1.0
+        return matrix, genre_list
+
+    def _affinity_vector(self, reviewer: Reviewer, genre_list: Sequence[str]) -> np.ndarray:
+        """Per-genre score delta for this reviewer's demographics."""
+        weights = np.zeros(len(genre_list), dtype=np.float64)
+        for col, genre in enumerate(genre_list):
+            weights[col] += GENRE_GENDER_AFFINITY.get(genre, {}).get(reviewer.gender, 0.0)
+            weights[col] += GENRE_AGE_AFFINITY.get(genre, {}).get(reviewer.age_group, 0.0)
+            weights[col] += GENRE_OCCUPATION_AFFINITY.get(genre, {}).get(
+                reviewer.occupation, 0.0
+            )
+        return weights
+
+    def _generate_ratings(
+        self, reviewers: Sequence[Reviewer], items: Sequence[Item]
+    ) -> List[Rating]:
+        config = self.config
+        rng = self._rng
+        num_items = len(items)
+        base_quality = self._item_base_qualities(items)
+        popularity = self._item_popularities(items)
+        genre_matrix, genre_list = self._genre_matrix(items)
+
+        start_ts = int(datetime(config.start_year, 1, 1, tzinfo=timezone.utc).timestamp())
+        end_ts = int(datetime(config.end_year, 12, 31, 23, 59, 59, tzinfo=timezone.utc).timestamp())
+
+        planted_by_item: Dict[int, SeedMovie] = {
+            idx: seed for idx, seed in enumerate(self.seed_movies)
+        }
+
+        ratings: List[Rating] = []
+        for reviewer in reviewers:
+            count = int(
+                np.clip(
+                    rng.lognormal(mean=np.log(config.ratings_per_reviewer), sigma=0.5),
+                    5,
+                    max(6, num_items),
+                )
+            )
+            count = min(count, num_items)
+            sampled = rng.choice(num_items, size=count, replace=False, p=popularity)
+            reviewer_bias = float(rng.normal(0.0, 0.25))
+            affinity = genre_matrix[sampled] @ self._affinity_vector(reviewer, genre_list)
+            noise = rng.normal(0.0, config.noise_std, size=count)
+            timestamps = rng.integers(start_ts, end_ts + 1, size=count)
+            scores = base_quality[sampled] + affinity + reviewer_bias + noise
+
+            for offset, item_index in enumerate(sampled.tolist()):
+                delta = 0.0
+                seed_movie = planted_by_item.get(item_index)
+                if seed_movie is not None:
+                    for rule in seed_movie.rules:
+                        if rule.matches(reviewer):
+                            delta += rule.delta
+                    if seed_movie.yearly_trend:
+                        year = datetime.fromtimestamp(
+                            int(timestamps[offset]), tz=timezone.utc
+                        ).year
+                        delta += seed_movie.yearly_trend.get(year, 0.0)
+                score = float(np.clip(round(scores[offset] + delta), 1, 5))
+                ratings.append(
+                    Rating(
+                        item_id=items[item_index].item_id,
+                        reviewer_id=reviewer.reviewer_id,
+                        score=score,
+                        timestamp=int(timestamps[offset]),
+                    )
+                )
+        return ratings
+
+
+def generate_dataset(
+    scale: str = "small",
+    seed: Optional[int] = None,
+    name: Optional[str] = None,
+) -> RatingDataset:
+    """Generate a synthetic MovieLens-shaped dataset by preset name.
+
+    Args:
+        scale: one of ``"tiny"``, ``"small"``, ``"medium"``, ``"ml1m"``.
+        seed: overrides the preset's seed when given.
+        name: overrides the dataset name.
+    """
+    if scale not in SCALE_PRESETS:
+        raise DataError(
+            f"unknown scale {scale!r}; expected one of {sorted(SCALE_PRESETS)}"
+        )
+    config = SCALE_PRESETS[scale]
+    if seed is not None:
+        config = SyntheticConfig(
+            num_reviewers=config.num_reviewers,
+            num_movies=config.num_movies,
+            ratings_per_reviewer=config.ratings_per_reviewer,
+            start_year=config.start_year,
+            end_year=config.end_year,
+            noise_std=config.noise_std,
+            seed=seed,
+        )
+    generator = SyntheticMovieLens(config)
+    return generator.generate(name=name or f"synthetic-{scale}")

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the MapRat reproduction.
+
+All library-raised exceptions derive from :class:`MapRatError` so callers can
+catch a single base class.  Each subclass marks one failure domain (data,
+query, mining, geo, visualization, server) which mirrors the package layout.
+"""
+
+from __future__ import annotations
+
+
+class MapRatError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class DataError(MapRatError):
+    """Raised when a dataset is malformed or violates the ⟨I, U, R⟩ model."""
+
+
+class SchemaError(DataError):
+    """Raised when an attribute value does not conform to its schema."""
+
+
+class DatasetFormatError(DataError):
+    """Raised when an on-disk dataset file cannot be parsed."""
+
+
+class GeoError(MapRatError):
+    """Raised when a location (zip code, state, city) cannot be resolved."""
+
+
+class QueryError(MapRatError):
+    """Raised when an item query cannot be parsed or evaluated."""
+
+
+class QuerySyntaxError(QueryError):
+    """Raised for malformed query strings (unbalanced quotes, bad operators)."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class UnknownAttributeError(QueryError):
+    """Raised when a query references an attribute absent from the schema."""
+
+
+class MiningError(MapRatError):
+    """Raised when a mining task cannot be set up or solved."""
+
+
+class InfeasibleProblemError(MiningError):
+    """Raised when no group selection can satisfy the stated constraints."""
+
+
+class EmptyRatingSetError(MiningError):
+    """Raised when the item query matches no rating tuples."""
+
+
+class ConstraintError(MiningError):
+    """Raised when a constraint is configured with invalid parameters."""
+
+
+class VisualizationError(MapRatError):
+    """Raised when an explanation cannot be rendered (e.g. missing geo pair)."""
+
+
+class ExplorationError(MapRatError):
+    """Raised by the interactive-exploration layer (drill-down, timeline)."""
+
+
+class CacheError(MapRatError):
+    """Raised by the result cache / pre-computation layer."""
+
+
+class ServerError(MapRatError):
+    """Raised by the JSON API layer for invalid requests."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status

@@ -1,0 +1,112 @@
+"""Geographic drill-down: from state-level groups to city-level aggregates.
+
+§2.3: "the system also allows a user to drill deeper and view lower level
+aggregate statistics.  For example, if the original geo condition was over a
+state, the drill down provides city level statistics."  §3.1 repeats the same
+interaction for the demo.
+
+:class:`DrillDown` takes the rating slice of the current query plus the
+attribute pairs of a selected group and produces one aggregate per child
+location (cities of the group's state, or states of the whole country when the
+group has no geo condition yet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..config import GEO_ATTRIBUTE
+from ..data.storage import RatingSlice
+from ..errors import ExplorationError
+from ..geo.hierarchy import LocationHierarchy, LocationLevel
+from .statistics import GroupStatistics, group_statistics
+
+
+@dataclass(frozen=True)
+class CityAggregate:
+    """One drill-down row: the selected group restricted to a child location.
+
+    Attributes:
+        location: the child location (a city, or a state when drilling from
+            the whole country).
+        level: hierarchy level of the child location.
+        statistics: full rating statistics of the restricted group.
+    """
+
+    location: str
+    level: LocationLevel
+    statistics: GroupStatistics
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "location": self.location,
+            "level": self.level.value,
+            "statistics": self.statistics.to_dict(),
+        }
+
+
+class DrillDown:
+    """Drill a group's geo condition one level down over a rating slice."""
+
+    def __init__(
+        self,
+        rating_slice: RatingSlice,
+        hierarchy: Optional[LocationHierarchy] = None,
+        min_size: int = 1,
+    ) -> None:
+        if min_size < 1:
+            raise ExplorationError("min_size must be at least 1")
+        self.rating_slice = rating_slice
+        self.hierarchy = hierarchy or LocationHierarchy()
+        self.min_size = min_size
+
+    # -- public API -------------------------------------------------------------
+
+    def drill(self, pairs: Mapping[str, str]) -> List[CityAggregate]:
+        """Return child-location aggregates for the group described by ``pairs``.
+
+        * A group with a ``state`` condition drills into the cities of that
+          state (keeping all other pairs fixed).
+        * A group without any geo condition drills into states.
+        * A group already at city level cannot be drilled further.
+        """
+        pairs = dict(pairs)
+        if "city" in pairs:
+            raise ExplorationError("the group is already at city level")
+        if GEO_ATTRIBUTE in pairs:
+            state = pairs[GEO_ATTRIBUTE]
+            children = self.hierarchy.cities_of(state)
+            level = LocationLevel.CITY
+            child_attribute = "city"
+        else:
+            children = self.hierarchy.children(LocationLevel.COUNTRY)
+            level = LocationLevel.STATE
+            child_attribute = GEO_ATTRIBUTE
+        aggregates: List[CityAggregate] = []
+        for child in children:
+            child_pairs = dict(pairs)
+            child_pairs[child_attribute] = child
+            stats = group_statistics(self.rating_slice, child_pairs)
+            if stats.size < self.min_size:
+                continue
+            aggregates.append(CityAggregate(location=child, level=level, statistics=stats))
+        aggregates.sort(key=lambda agg: (-agg.statistics.size, agg.location))
+        return aggregates
+
+    def drill_state(self, state: str, pairs: Optional[Mapping[str, str]] = None) -> List[CityAggregate]:
+        """Convenience: city aggregates of one state for a (possibly empty) group."""
+        merged = dict(pairs or {})
+        merged[GEO_ATTRIBUTE] = state
+        return self.drill(merged)
+
+    def roll_up(self, pairs: Mapping[str, str]) -> GroupStatistics:
+        """Inverse operation: statistics of the group one geo level coarser."""
+        pairs = dict(pairs)
+        if "city" in pairs:
+            pairs.pop("city")
+        elif GEO_ATTRIBUTE in pairs:
+            pairs.pop(GEO_ATTRIBUTE)
+        else:
+            raise ExplorationError("the group has no geo condition to roll up")
+        return group_statistics(self.rating_slice, pairs)

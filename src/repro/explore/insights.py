@@ -1,0 +1,142 @@
+"""Natural-language insights: one-sentence takeaways from an explanation.
+
+The paper's goal is to let a user "quickly decide the desirability of an item"
+without reading every review.  The structured explanation objects already carry
+the numbers; this module turns them into the short sentences a demo presenter
+would say out loud — which group to trust if you identify with it, how far the
+groups disagree, and whether the overall average is misleading.
+
+The insights are derived purely from the explanation/statistics objects, so
+they also serve as a compact textual summary in reports and the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.explanation import Explanation, MiningResult
+
+
+@dataclass(frozen=True)
+class Insight:
+    """One takeaway sentence with the quantitative evidence behind it.
+
+    Attributes:
+        kind: short machine-readable category (``"consensus"``,
+            ``"controversy"``, ``"hidden_structure"``, ``"coverage"``).
+        sentence: the human-readable takeaway.
+        evidence: the numbers backing the sentence (group labels, means, gaps).
+    """
+
+    kind: str
+    sentence: str
+    evidence: dict
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "sentence": self.sentence, "evidence": self.evidence}
+
+
+def _best_and_worst(explanation: Explanation):
+    groups = sorted(explanation.groups, key=lambda g: g.average_rating)
+    return groups[0], groups[-1]
+
+
+def similarity_insights(result: MiningResult) -> List[Insight]:
+    """Takeaways from the Similarity Mining interpretation."""
+    explanation = result.similarity
+    if not explanation.groups:
+        return []
+    insights: List[Insight] = []
+    worst, best = _best_and_worst(explanation)
+    insights.append(
+        Insight(
+            kind="consensus",
+            sentence=(
+                f"If you identify with {best.label}, expect to like it: that group "
+                f"averages {best.average_rating:.1f} over {best.size} ratings."
+            ),
+            evidence={"group": best.label, "average": best.average_rating, "size": best.size},
+        )
+    )
+    if best.average_rating - worst.average_rating >= 0.5:
+        insights.append(
+            Insight(
+                kind="hidden_structure",
+                sentence=(
+                    f"The overall average of {result.query.average_rating:.1f} hides a spread: "
+                    f"{worst.label} average only {worst.average_rating:.1f} while "
+                    f"{best.label} average {best.average_rating:.1f}."
+                ),
+                evidence={
+                    "overall": result.query.average_rating,
+                    "low_group": worst.label,
+                    "low": worst.average_rating,
+                    "high_group": best.label,
+                    "high": best.average_rating,
+                },
+            )
+        )
+    insights.append(
+        Insight(
+            kind="coverage",
+            sentence=(
+                f"The {len(explanation.groups)} groups together describe "
+                f"{explanation.coverage:.0%} of the {result.query.num_ratings} ratings."
+            ),
+            evidence={"coverage": explanation.coverage, "ratings": result.query.num_ratings},
+        )
+    )
+    return insights
+
+
+def diversity_insights(result: MiningResult) -> List[Insight]:
+    """Takeaways from the Diversity Mining interpretation."""
+    explanation = result.diversity
+    if len(explanation.groups) < 2:
+        return []
+    worst, best = _best_and_worst(explanation)
+    gap = best.average_rating - worst.average_rating
+    insights = [
+        Insight(
+            kind="controversy",
+            sentence=(
+                f"Opinions split by {gap:.1f} points: {best.label} love it "
+                f"({best.average_rating:.1f}) while {worst.label} do not "
+                f"({worst.average_rating:.1f})."
+            ),
+            evidence={
+                "gap": round(gap, 3),
+                "high_group": best.label,
+                "high": best.average_rating,
+                "low_group": worst.label,
+                "low": worst.average_rating,
+            },
+        )
+    ]
+    if gap >= 1.5:
+        insights.append(
+            Insight(
+                kind="controversy",
+                sentence="This item is controversial — check which side you identify with "
+                "before trusting the overall average.",
+                evidence={"gap": round(gap, 3)},
+            )
+        )
+    return insights
+
+
+def summarize(result: MiningResult, limit: int = 0) -> List[Insight]:
+    """All insights of a mining result, most important first."""
+    insights = similarity_insights(result) + diversity_insights(result)
+    ordered = sorted(
+        insights, key=lambda i: {"controversy": 0, "hidden_structure": 1, "consensus": 2, "coverage": 3}[i.kind]
+    )
+    return ordered[:limit] if limit else ordered
+
+
+def render_insights(insights: Sequence[Insight]) -> str:
+    """Plain-text bullet list of insights (used by the CLI and reports)."""
+    if not insights:
+        return "(no insights available)"
+    return "\n".join(f"- {insight.sentence}" for insight in insights)

@@ -1,0 +1,197 @@
+"""Stateful exploration session: the interaction flow of §3 as an object.
+
+The demo walkthrough is: type a query (Figure 1) → click *Explain Ratings* →
+inspect the SM/DM tabs (Figure 2) → click a group for statistics and city
+drill-down (Figure 3) → move the time slider.  :class:`ExplorationSession`
+provides exactly those verbs so scripted examples, tests and the JSON API all
+exercise the same flow a demo attendee would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..config import MiningConfig
+from ..core.explanation import Explanation, GroupExplanation, MiningResult
+from ..core.miner import RatingMiner
+from ..data.model import Item, RatingDataset
+from ..data.storage import RatingSlice
+from ..errors import EmptyRatingSetError, ExplorationError, QueryError
+from ..query.engine import ItemQuery, QueryEngine, TimeInterval
+from .drilldown import CityAggregate, DrillDown
+from .statistics import GroupStatistics, compare_groups, group_statistics
+from .timeline import GroupTrendPoint, TimelineExplorer, TimelineSlice
+
+
+@dataclass
+class SessionState:
+    """What the session currently has on screen."""
+
+    query: Optional[ItemQuery] = None
+    item_ids: Tuple[int, ...] = ()
+    rating_slice: Optional[RatingSlice] = None
+    result: Optional[MiningResult] = None
+    selected_task: str = "similarity"
+    selected_group_index: Optional[int] = None
+    history: List[str] = field(default_factory=list)
+
+
+class ExplorationSession:
+    """One user's interactive exploration of a dataset."""
+
+    def __init__(
+        self,
+        dataset: RatingDataset,
+        config: Optional[MiningConfig] = None,
+        miner: Optional[RatingMiner] = None,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config or MiningConfig()
+        self.miner = miner or RatingMiner.for_dataset(dataset, self.config)
+        self.engine = QueryEngine(dataset)
+        self.timeline_explorer = TimelineExplorer(self.miner, self.config)
+        self.state = SessionState()
+
+    # -- step 1: search (Figure 1) --------------------------------------------------
+
+    def search(
+        self, query: str, time_interval: Optional[TimeInterval] = None
+    ) -> List[Item]:
+        """Evaluate the search box query and remember the matching items."""
+        compiled = self.engine.compile(query, time_interval)
+        items = self.engine.matching_items(compiled)
+        if not items:
+            raise QueryError(f"query {compiled.describe()!r} matches no items")
+        self.state = SessionState(
+            query=compiled,
+            item_ids=tuple(sorted(item.item_id for item in items)),
+            history=self.state.history + [f"search: {compiled.describe()}"],
+        )
+        return items
+
+    # -- step 2: explain ratings (Figure 2) -------------------------------------------
+
+    def explain(self, config: Optional[MiningConfig] = None) -> MiningResult:
+        """Run SM + DM over the current item selection."""
+        if not self.state.item_ids:
+            raise ExplorationError("no items selected; call search() first")
+        interval = (
+            self.state.query.time_interval.as_tuple()
+            if self.state.query and self.state.query.time_interval
+            else None
+        )
+        result = self.miner.explain_items(
+            list(self.state.item_ids),
+            description=self.state.query.describe() if self.state.query else "",
+            time_interval=interval,
+            config=config or self.config,
+        )
+        self.state.result = result
+        self.state.rating_slice = self.miner.slice_for_items(
+            self.state.item_ids, time_interval=interval
+        )
+        self.state.history.append("explain ratings")
+        return result
+
+    def explain_query(
+        self,
+        query: str,
+        time_interval: Optional[TimeInterval] = None,
+        config: Optional[MiningConfig] = None,
+    ) -> MiningResult:
+        """Search and explain in a single call (what the demo button does)."""
+        self.search(query, time_interval)
+        return self.explain(config)
+
+    # -- step 3: select a group and inspect it (Figure 3) ------------------------------
+
+    def current_explanation(self, task: Optional[str] = None) -> Explanation:
+        """The SM or DM interpretation currently displayed."""
+        if self.state.result is None:
+            raise ExplorationError("no mining result yet; call explain() first")
+        return self.state.result.explanation_for(task or self.state.selected_task)
+
+    def select_group(self, index: int, task: Optional[str] = None) -> GroupExplanation:
+        """Click a group in the current interpretation tab."""
+        explanation = self.current_explanation(task)
+        if not 0 <= index < len(explanation.groups):
+            raise ExplorationError(
+                f"group index {index} out of range 0..{len(explanation.groups) - 1}"
+            )
+        if task:
+            self.state.selected_task = task
+        self.state.selected_group_index = index
+        group = explanation.groups[index]
+        self.state.history.append(f"select group: {group.label}")
+        return group
+
+    def group_statistics(self, index: Optional[int] = None, task: Optional[str] = None) -> GroupStatistics:
+        """Detailed statistics of the selected (or indexed) group."""
+        group = self._resolve_group(index, task)
+        return group_statistics(self._require_slice(), group.pairs, label=group.label)
+
+    def compare_selected_groups(self, task: Optional[str] = None) -> List[GroupStatistics]:
+        """Side-by-side statistics of every group of the current interpretation."""
+        explanation = self.current_explanation(task)
+        return compare_groups(
+            self._require_slice(),
+            [g.pairs for g in explanation.groups],
+            labels=[g.label for g in explanation.groups],
+        )
+
+    def drill_down(
+        self, index: Optional[int] = None, task: Optional[str] = None, min_size: int = 1
+    ) -> List[CityAggregate]:
+        """City-level aggregates of the selected group (§3.1 drill-down)."""
+        group = self._resolve_group(index, task)
+        driller = DrillDown(self._require_slice(), min_size=min_size)
+        self.state.history.append(f"drill down: {group.label}")
+        return driller.drill(group.pairs)
+
+    # -- step 4: the time slider -----------------------------------------------------
+
+    def timeline(
+        self, years: Optional[Sequence[int]] = None, min_ratings: int = 20
+    ) -> List[TimelineSlice]:
+        """Re-mine each year of the slider for the current item selection."""
+        if not self.state.item_ids:
+            raise ExplorationError("no items selected; call search() first")
+        self.state.history.append("timeline")
+        return self.timeline_explorer.interpretations_by_year(
+            self.state.item_ids, years=years, min_ratings=min_ratings
+        )
+
+    def group_trend(
+        self,
+        index: Optional[int] = None,
+        task: Optional[str] = None,
+        years: Optional[Sequence[int]] = None,
+    ) -> List[GroupTrendPoint]:
+        """Average rating of the selected group per year."""
+        group = self._resolve_group(index, task)
+        return self.timeline_explorer.group_trend(
+            self.state.item_ids, group.pairs, years=years
+        )
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _require_slice(self) -> RatingSlice:
+        if self.state.rating_slice is None:
+            raise ExplorationError("no rating slice yet; call explain() first")
+        return self.state.rating_slice
+
+    def _resolve_group(
+        self, index: Optional[int], task: Optional[str]
+    ) -> GroupExplanation:
+        explanation = self.current_explanation(task)
+        resolved_index = index if index is not None else self.state.selected_group_index
+        if resolved_index is None:
+            raise ExplorationError("no group selected; call select_group() first")
+        if not 0 <= resolved_index < len(explanation.groups):
+            raise ExplorationError(f"group index {resolved_index} out of range")
+        return explanation.groups[resolved_index]
+
+    def history(self) -> List[str]:
+        """The interaction history of the session (useful in demos and tests)."""
+        return list(self.state.history)

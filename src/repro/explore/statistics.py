@@ -1,0 +1,162 @@
+"""Per-group rating statistics: the exploration panel behind Figure 3.
+
+Clicking a group in the explanation view shows "additional statistics about
+the group's rating" and "a convenient way to compare the rating patterns of
+related groups" (§3.1).  :func:`group_statistics` computes those numbers for
+any describable group over any rating slice, and :func:`compare_groups` lines
+several groups up side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..data.storage import RatingSlice
+from ..errors import ExplorationError
+
+
+@dataclass(frozen=True)
+class GroupStatistics:
+    """Detailed rating statistics of one reviewer group on one item selection.
+
+    Attributes:
+        label: human-readable group description.
+        pairs: the attribute/value pairs defining the group.
+        size: number of rating tuples.
+        mean: average rating.
+        std: standard deviation of the ratings.
+        median: median rating.
+        histogram: count of ratings per integer score.
+        share_positive: fraction of ratings ≥ 4 ("loves it").
+        share_negative: fraction of ratings ≤ 2 ("hates it").
+        coverage: fraction of the input rating tuples in this group.
+        lift: group mean minus the overall mean of the input ratings.
+    """
+
+    label: str
+    pairs: Mapping[str, str]
+    size: int
+    mean: float
+    std: float
+    median: float
+    histogram: Mapping[int, int]
+    share_positive: float
+    share_negative: float
+    coverage: float
+    lift: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "pairs": dict(self.pairs),
+            "size": self.size,
+            "mean": self.mean,
+            "std": self.std,
+            "median": self.median,
+            "histogram": {str(k): v for k, v in sorted(self.histogram.items())},
+            "share_positive": self.share_positive,
+            "share_negative": self.share_negative,
+            "coverage": self.coverage,
+            "lift": self.lift,
+        }
+
+
+def _mask_for_pairs(rating_slice: RatingSlice, pairs: Mapping[str, str]) -> np.ndarray:
+    """Boolean mask of the slice tuples whose reviewer matches every pair."""
+    mask = np.ones(len(rating_slice), dtype=bool)
+    for attribute, value in pairs.items():
+        mask &= rating_slice.mask_for(attribute, value)
+    return mask
+
+
+def group_statistics(
+    rating_slice: RatingSlice,
+    pairs: Mapping[str, str],
+    label: str = "",
+) -> GroupStatistics:
+    """Compute the Figure-3 statistics of one group over one rating slice.
+
+    Args:
+        rating_slice: the rating tuples of the current item selection.
+        pairs: attribute/value pairs describing the group (may be empty, which
+            yields statistics of all reviewers).
+        label: display label; defaults to the pair list.
+
+    Raises:
+        ExplorationError: when the slice is empty.
+    """
+    if rating_slice.is_empty():
+        raise ExplorationError("cannot compute statistics over an empty rating slice")
+    mask = _mask_for_pairs(rating_slice, pairs)
+    scores = rating_slice.scores[mask]
+    size = int(scores.shape[0])
+    overall_mean = float(rating_slice.scores.mean())
+    if size == 0:
+        return GroupStatistics(
+            label=label or ", ".join(f"{k}={v}" for k, v in pairs.items()) or "all reviewers",
+            pairs=dict(pairs),
+            size=0,
+            mean=0.0,
+            std=0.0,
+            median=0.0,
+            histogram={},
+            share_positive=0.0,
+            share_negative=0.0,
+            coverage=0.0,
+            lift=0.0,
+        )
+    histogram: Dict[int, int] = {}
+    for score in scores.tolist():
+        key = int(round(score))
+        histogram[key] = histogram.get(key, 0) + 1
+    mean = float(scores.mean())
+    return GroupStatistics(
+        label=label or ", ".join(f"{k}={v}" for k, v in pairs.items()) or "all reviewers",
+        pairs=dict(pairs),
+        size=size,
+        mean=round(mean, 4),
+        std=round(float(scores.std()), 4),
+        median=round(float(np.median(scores)), 4),
+        histogram=histogram,
+        share_positive=round(float((scores >= 4).mean()), 4),
+        share_negative=round(float((scores <= 2).mean()), 4),
+        coverage=round(size / len(rating_slice), 4),
+        lift=round(mean - overall_mean, 4),
+    )
+
+
+def compare_groups(
+    rating_slice: RatingSlice,
+    groups: Sequence[Mapping[str, str]],
+    labels: Optional[Sequence[str]] = None,
+) -> List[GroupStatistics]:
+    """Statistics of several groups over the same slice, for side-by-side display.
+
+    The first entry is always the "all reviewers" baseline so that every group
+    can be read against the overall aggregate the paper criticises.
+    """
+    labels = list(labels) if labels is not None else ["" for _ in groups]
+    if len(labels) != len(groups):
+        raise ExplorationError("labels and groups must have the same length")
+    results = [group_statistics(rating_slice, {}, label="all reviewers")]
+    for pairs, label in zip(groups, labels):
+        results.append(group_statistics(rating_slice, pairs, label=label))
+    return results
+
+
+def related_groups(pairs: Mapping[str, str]) -> List[Dict[str, str]]:
+    """Generalisations of a group obtained by dropping one pair at a time.
+
+    These are the "related groups" a user naturally compares against when
+    exploring: e.g. for male reviewers from California, the related groups are
+    all reviewers from California and all male reviewers.
+    """
+    related: List[Dict[str, str]] = []
+    for attribute in pairs:
+        reduced = {k: v for k, v in pairs.items() if k != attribute}
+        if reduced:
+            related.append(reduced)
+    return related

@@ -1,0 +1,26 @@
+"""Geography substrate: states, zip-code resolution and the location hierarchy.
+
+MapRat anchors every explanation on a geographic condition so it can be drawn
+on a map (§2.3).  The demo derives the reviewer's state (and, for drill-down,
+city) from the MovieLens zip code.  This package provides that resolution
+offline: a USPS-style zip-range → state table, deterministic city synthesis
+within a state, the country ▸ state ▸ city hierarchy used by drill-down, and
+the tile-grid layout of the 50 states + DC used by the SVG choropleth.
+"""
+
+from .states import ALL_STATE_CODES, State, state_by_code, state_by_name, states
+from .zipcodes import ZipResolver, city_for_zipcode, state_for_zipcode
+from .hierarchy import LocationHierarchy, LocationLevel
+
+__all__ = [
+    "ALL_STATE_CODES",
+    "State",
+    "state_by_code",
+    "state_by_name",
+    "states",
+    "ZipResolver",
+    "city_for_zipcode",
+    "state_for_zipcode",
+    "LocationHierarchy",
+    "LocationLevel",
+]

@@ -1,0 +1,112 @@
+"""Location hierarchy used for drill-down: country ▸ state ▸ city (§2.3).
+
+MapRat's exploration lets a user "drill deeper and view lower level aggregate
+statistics — if the original geo condition was over a state, the drill down
+provides city level statistics".  The :class:`LocationHierarchy` models that
+containment relation and answers the two questions the exploration layer asks:
+
+* which locations are the children of this one (for drill-down), and
+* at which level does a given location attribute/value pair sit.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, List, Tuple
+
+from ..errors import GeoError
+from .states import ALL_STATE_CODES, state_by_code, states
+
+
+class LocationLevel(str, Enum):
+    """Levels of the geographic hierarchy, from coarsest to finest."""
+
+    COUNTRY = "country"
+    STATE = "state"
+    CITY = "city"
+
+    def finer(self) -> "LocationLevel":
+        """Return the next finer level, raising at the finest."""
+        if self is LocationLevel.COUNTRY:
+            return LocationLevel.STATE
+        if self is LocationLevel.STATE:
+            return LocationLevel.CITY
+        raise GeoError("city is the finest location level")
+
+    def coarser(self) -> "LocationLevel":
+        """Return the next coarser level, raising at the coarsest."""
+        if self is LocationLevel.CITY:
+            return LocationLevel.STATE
+        if self is LocationLevel.STATE:
+            return LocationLevel.COUNTRY
+        raise GeoError("country is the coarsest location level")
+
+
+#: Attribute name used by the group layer at each hierarchy level.
+LEVEL_ATTRIBUTE: Dict[LocationLevel, str] = {
+    LocationLevel.STATE: "state",
+    LocationLevel.CITY: "city",
+}
+
+
+class LocationHierarchy:
+    """Country ▸ state ▸ city containment relation over the US registry."""
+
+    COUNTRY_NAME = "USA"
+
+    def __init__(self) -> None:
+        self._cities_by_state: Dict[str, Tuple[str, ...]] = {
+            s.code: s.cities for s in states()
+        }
+        self._state_by_city: Dict[str, List[str]] = {}
+        for code, cities in self._cities_by_state.items():
+            for city in cities:
+                self._state_by_city.setdefault(city, []).append(code)
+
+    # -- navigation --------------------------------------------------------------
+
+    def children(self, level: LocationLevel, value: str = "") -> Tuple[str, ...]:
+        """Return the child locations of ``value`` at the given level.
+
+        ``children(COUNTRY)`` lists all state codes; ``children(STATE, "CA")``
+        lists the cities of California.  City has no children.
+        """
+        if level is LocationLevel.COUNTRY:
+            return ALL_STATE_CODES
+        if level is LocationLevel.STATE:
+            state = state_by_code(value)
+            return self._cities_by_state[state.code]
+        raise GeoError("cities have no finer drill-down level")
+
+    def parent(self, level: LocationLevel, value: str) -> str:
+        """Return the parent location of ``value`` at the given level."""
+        if level is LocationLevel.STATE:
+            return self.COUNTRY_NAME
+        if level is LocationLevel.CITY:
+            owners = self._state_by_city.get(value)
+            if not owners:
+                raise GeoError(f"unknown city {value!r}")
+            return owners[0]
+        raise GeoError("the country has no parent")
+
+    def cities_of(self, state_code: str) -> Tuple[str, ...]:
+        """Cities registered for a state (drill-down targets)."""
+        return self.children(LocationLevel.STATE, state_code)
+
+    def states_of_city(self, city: str) -> Tuple[str, ...]:
+        """All states that contain a city with this name (names may repeat)."""
+        return tuple(self._state_by_city.get(city, ()))
+
+    def level_of_attribute(self, attribute: str) -> LocationLevel:
+        """Map a group attribute name to its hierarchy level."""
+        for level, name in LEVEL_ATTRIBUTE.items():
+            if name == attribute:
+                return level
+        raise GeoError(f"attribute {attribute!r} is not a location attribute")
+
+    def is_location_attribute(self, attribute: str) -> bool:
+        return attribute in LEVEL_ATTRIBUTE.values()
+
+    def contains(self, state_code: str, city: str) -> bool:
+        """True when ``city`` belongs to ``state_code``."""
+        return city in self._cities_by_state.get(state_code.upper(), ())

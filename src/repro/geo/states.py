@@ -1,0 +1,151 @@
+"""US state registry: codes, names, zip ranges, cities, and map tile positions.
+
+The table below drives three things:
+
+* zip-code resolution (:mod:`repro.geo.zipcodes`) uses the inclusive 5-digit
+  zip ranges — these follow the USPS first-three-digit allocation closely
+  enough for demographic grouping,
+* city drill-down uses the per-state city list (major cities of each state),
+* the SVG choropleth uses ``grid_col``/``grid_row``, the conventional
+  "tile grid map" layout of the 50 states plus DC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import GeoError
+
+
+@dataclass(frozen=True)
+class State:
+    """One US state (or DC) with everything the pipeline needs to know.
+
+    Attributes:
+        code: two-letter USPS code.
+        name: full state name.
+        zip_ranges: inclusive (low, high) 5-digit zip ranges assigned to it.
+        cities: major cities, used for deterministic city synthesis/drill-down.
+        grid_col: column of the state's tile in the tile-grid US map.
+        grid_row: row of the state's tile in the tile-grid US map.
+    """
+
+    code: str
+    name: str
+    zip_ranges: Tuple[Tuple[int, int], ...]
+    cities: Tuple[str, ...]
+    grid_col: int
+    grid_row: int
+
+    def contains_zip(self, zip5: int) -> bool:
+        """True when the 5-digit zip integer falls in one of the ranges."""
+        return any(low <= zip5 <= high for low, high in self.zip_ranges)
+
+
+def _s(
+    code: str,
+    name: str,
+    ranges: Sequence[Tuple[int, int]],
+    cities: Sequence[str],
+    col: int,
+    row: int,
+) -> State:
+    return State(code, name, tuple(ranges), tuple(cities), col, row)
+
+
+_STATES: List[State] = [
+    _s("AL", "Alabama", [(35000, 36999)], ["Birmingham", "Montgomery", "Mobile", "Huntsville"], 6, 6),
+    _s("AK", "Alaska", [(99500, 99999)], ["Anchorage", "Fairbanks", "Juneau"], 0, 0),
+    _s("AZ", "Arizona", [(85000, 86599)], ["Phoenix", "Tucson", "Mesa", "Flagstaff"], 1, 5),
+    _s("AR", "Arkansas", [(71600, 72999)], ["Little Rock", "Fayetteville", "Fort Smith"], 4, 5),
+    _s("CA", "California", [(90000, 96199)], ["Los Angeles", "San Francisco", "San Diego", "Sacramento", "San Jose", "Fresno"], 0, 4),
+    _s("CO", "Colorado", [(80000, 81699)], ["Denver", "Colorado Springs", "Boulder", "Fort Collins"], 2, 4),
+    _s("CT", "Connecticut", [(6000, 6999)], ["Hartford", "New Haven", "Stamford", "Bridgeport"], 9, 3),
+    _s("DE", "Delaware", [(19700, 19999)], ["Wilmington", "Dover", "Newark"], 9, 4),
+    _s("DC", "District of Columbia", [(20000, 20599)], ["Washington"], 8, 5),
+    _s("FL", "Florida", [(32000, 34999)], ["Miami", "Orlando", "Tampa", "Jacksonville", "Tallahassee"], 8, 7),
+    _s("GA", "Georgia", [(30000, 31999)], ["Atlanta", "Savannah", "Augusta", "Athens"], 7, 6),
+    _s("HI", "Hawaii", [(96700, 96899)], ["Honolulu", "Hilo", "Kailua"], 0, 7),
+    _s("ID", "Idaho", [(83200, 83899)], ["Boise", "Idaho Falls", "Pocatello"], 1, 2),
+    _s("IL", "Illinois", [(60000, 62999)], ["Chicago", "Springfield", "Peoria", "Naperville"], 5, 2),
+    _s("IN", "Indiana", [(46000, 47999)], ["Indianapolis", "Fort Wayne", "Bloomington", "South Bend"], 5, 3),
+    _s("IA", "Iowa", [(50000, 52899)], ["Des Moines", "Cedar Rapids", "Iowa City", "Davenport"], 4, 3),
+    _s("KS", "Kansas", [(66000, 67999)], ["Wichita", "Topeka", "Kansas City", "Lawrence"], 3, 5),
+    _s("KY", "Kentucky", [(40000, 42799)], ["Louisville", "Lexington", "Bowling Green"], 5, 4),
+    _s("LA", "Louisiana", [(70000, 71599)], ["New Orleans", "Baton Rouge", "Shreveport", "Lafayette"], 4, 6),
+    _s("ME", "Maine", [(3900, 4999)], ["Portland", "Augusta", "Bangor"], 11, 0),
+    _s("MD", "Maryland", [(20600, 21999)], ["Baltimore", "Annapolis", "Rockville", "Frederick"], 8, 4),
+    _s("MA", "Massachusetts", [(1000, 2799)], ["Boston", "Worcester", "Cambridge", "Springfield"], 10, 2),
+    _s("MI", "Michigan", [(48000, 49799)], ["Detroit", "Grand Rapids", "Ann Arbor", "Lansing"], 7, 2),
+    _s("MN", "Minnesota", [(55000, 56799)], ["Minneapolis", "Saint Paul", "Duluth", "Rochester"], 4, 2),
+    _s("MS", "Mississippi", [(38600, 39799)], ["Jackson", "Gulfport", "Hattiesburg"], 5, 6),
+    _s("MO", "Missouri", [(63000, 65899)], ["Kansas City", "Saint Louis", "Springfield", "Columbia"], 4, 4),
+    _s("MT", "Montana", [(59000, 59999)], ["Billings", "Missoula", "Bozeman", "Helena"], 2, 2),
+    _s("NE", "Nebraska", [(68000, 69399)], ["Omaha", "Lincoln", "Grand Island"], 3, 4),
+    _s("NV", "Nevada", [(89000, 89899)], ["Las Vegas", "Reno", "Carson City"], 1, 3),
+    _s("NH", "New Hampshire", [(3000, 3899)], ["Manchester", "Concord", "Nashua"], 10, 1),
+    _s("NJ", "New Jersey", [(7000, 8999)], ["Newark", "Jersey City", "Trenton", "Princeton"], 9, 2),
+    _s("NM", "New Mexico", [(87000, 88499)], ["Albuquerque", "Santa Fe", "Las Cruces"], 2, 5),
+    _s("NY", "New York", [(10000, 14999)], ["New York", "Buffalo", "Albany", "Rochester", "Syracuse"], 8, 2),
+    _s("NC", "North Carolina", [(27000, 28999)], ["Charlotte", "Raleigh", "Durham", "Greensboro"], 6, 5),
+    _s("ND", "North Dakota", [(58000, 58899)], ["Fargo", "Bismarck", "Grand Forks"], 3, 2),
+    _s("OH", "Ohio", [(43000, 45999)], ["Columbus", "Cleveland", "Cincinnati", "Dayton"], 6, 3),
+    _s("OK", "Oklahoma", [(73000, 74999)], ["Oklahoma City", "Tulsa", "Norman"], 3, 6),
+    _s("OR", "Oregon", [(97000, 97999)], ["Portland", "Eugene", "Salem", "Bend"], 0, 3),
+    _s("PA", "Pennsylvania", [(15000, 19699)], ["Philadelphia", "Pittsburgh", "Harrisburg", "Allentown"], 8, 3),
+    _s("RI", "Rhode Island", [(2800, 2999)], ["Providence", "Warwick", "Newport"], 10, 3),
+    _s("SC", "South Carolina", [(29000, 29999)], ["Columbia", "Charleston", "Greenville"], 7, 5),
+    _s("SD", "South Dakota", [(57000, 57799)], ["Sioux Falls", "Rapid City", "Pierre"], 3, 3),
+    _s("TN", "Tennessee", [(37000, 38599)], ["Nashville", "Memphis", "Knoxville", "Chattanooga"], 5, 5),
+    _s("TX", "Texas", [(75000, 79999), (88500, 88599)], ["Houston", "Dallas", "Austin", "San Antonio", "El Paso", "Fort Worth"], 3, 7),
+    _s("UT", "Utah", [(84000, 84799)], ["Salt Lake City", "Provo", "Ogden"], 1, 4),
+    _s("VT", "Vermont", [(5000, 5999)], ["Burlington", "Montpelier", "Rutland"], 9, 1),
+    _s("VA", "Virginia", [(22000, 24699)], ["Virginia Beach", "Richmond", "Arlington", "Norfolk"], 7, 4),
+    _s("WA", "Washington", [(98000, 99499)], ["Seattle", "Spokane", "Tacoma", "Olympia"], 0, 2),
+    _s("WV", "West Virginia", [(24700, 26899)], ["Charleston", "Morgantown", "Huntington"], 6, 4),
+    _s("WI", "Wisconsin", [(53000, 54999)], ["Milwaukee", "Madison", "Green Bay"], 6, 2),
+    _s("WY", "Wyoming", [(82000, 83199)], ["Cheyenne", "Casper", "Laramie"], 2, 3),
+]
+
+_BY_CODE: Dict[str, State] = {s.code: s for s in _STATES}
+_BY_NAME: Dict[str, State] = {s.name.lower(): s for s in _STATES}
+
+#: All state codes in alphabetical order (50 states + DC).
+ALL_STATE_CODES: Tuple[str, ...] = tuple(sorted(_BY_CODE))
+
+
+def states() -> Iterator[State]:
+    """Iterate over all states in table order."""
+    return iter(_STATES)
+
+
+def state_by_code(code: str) -> State:
+    """Return the state with the given USPS code (case-insensitive)."""
+    try:
+        return _BY_CODE[code.upper()]
+    except KeyError as exc:
+        raise GeoError(f"unknown state code {code!r}") from exc
+
+
+def state_by_name(name: str) -> State:
+    """Return the state with the given full name (case-insensitive)."""
+    try:
+        return _BY_NAME[name.strip().lower()]
+    except KeyError as exc:
+        raise GeoError(f"unknown state name {name!r}") from exc
+
+
+def state_for_zip5(zip5: int) -> Optional[State]:
+    """Return the state whose zip range contains ``zip5``, or None."""
+    for state in _STATES:
+        if state.contains_zip(zip5):
+            return state
+    return None
+
+
+def grid_dimensions() -> Tuple[int, int]:
+    """Return (columns, rows) of the tile-grid map bounding box."""
+    cols = max(s.grid_col for s in _STATES) + 1
+    rows = max(s.grid_row for s in _STATES) + 1
+    return cols, rows

@@ -1,0 +1,41 @@
+"""Item-query front-end: the search box of Figure 1.
+
+"A user can enter a conjunctive or disjunctive query by entering one or more
+attribute value pairs.  Possible attributes include movie title, actor,
+director and genre.  Furthermore, the user can restrict the mining over a
+specific time interval." (§3.1)
+
+The package provides a small query language over item attributes::
+
+    title:"Toy Story"
+    genre:Thriller AND director:"Steven Spielberg"
+    actor:"Tom Hanks" OR director:"Woody Allen"
+
+plus explicit predicate objects for programmatic construction, and the engine
+that evaluates a query against a dataset's item catalogue.
+"""
+
+from .predicates import (
+    AndPredicate,
+    AttributePredicate,
+    ItemPredicate,
+    NotPredicate,
+    OrPredicate,
+    TitlePredicate,
+)
+from .parser import QueryParser, parse_query
+from .engine import ItemQuery, QueryEngine, TimeInterval
+
+__all__ = [
+    "AndPredicate",
+    "AttributePredicate",
+    "ItemPredicate",
+    "NotPredicate",
+    "OrPredicate",
+    "TitlePredicate",
+    "QueryParser",
+    "parse_query",
+    "ItemQuery",
+    "QueryEngine",
+    "TimeInterval",
+]

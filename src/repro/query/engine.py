@@ -1,0 +1,130 @@
+"""Query engine: evaluate an item query against the catalogue.
+
+The engine turns a query string (or predicate tree) plus the optional time
+interval of Figure 1 into the item-id set that the Rating Mining module then
+collects rating tuples for (§2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..data.model import Item, RatingDataset
+from ..errors import QueryError
+from .parser import parse_query
+from .predicates import ItemPredicate
+
+
+@dataclass(frozen=True)
+class TimeInterval:
+    """Closed timestamp interval restricting the mining (Figure 1 time slider).
+
+    Attributes:
+        start: inclusive start timestamp (seconds since the epoch).
+        end: inclusive end timestamp.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise QueryError("time interval end precedes start")
+
+    @classmethod
+    def for_years(cls, start_year: int, end_year: int) -> "TimeInterval":
+        """Interval spanning whole calendar years (UTC)."""
+        start = int(datetime(start_year, 1, 1, tzinfo=timezone.utc).timestamp())
+        end = int(
+            datetime(end_year, 12, 31, 23, 59, 59, tzinfo=timezone.utc).timestamp()
+        )
+        return cls(start, end)
+
+    @classmethod
+    def for_year(cls, year: int) -> "TimeInterval":
+        return cls.for_years(year, year)
+
+    def as_tuple(self) -> Tuple[int, int]:
+        return (self.start, self.end)
+
+    def contains(self, timestamp: int) -> bool:
+        return self.start <= timestamp <= self.end
+
+
+@dataclass(frozen=True)
+class ItemQuery:
+    """A fully specified front-end query: predicate + optional time interval."""
+
+    predicate: ItemPredicate
+    time_interval: Optional[TimeInterval] = None
+    raw: str = ""
+
+    def describe(self) -> str:
+        """Canonical description used for reports and cache keys."""
+        text = self.raw or self.predicate.describe()
+        if self.time_interval is not None:
+            text += f" @[{self.time_interval.start},{self.time_interval.end}]"
+        return text
+
+
+class QueryEngine:
+    """Evaluates item queries against one dataset's catalogue."""
+
+    def __init__(self, dataset: RatingDataset) -> None:
+        self.dataset = dataset
+
+    # -- parsing ------------------------------------------------------------------
+
+    def compile(
+        self,
+        query: Union[str, ItemPredicate, ItemQuery],
+        time_interval: Optional[TimeInterval] = None,
+    ) -> ItemQuery:
+        """Normalise any accepted query form into an :class:`ItemQuery`."""
+        if isinstance(query, ItemQuery):
+            if time_interval is not None and query.time_interval is None:
+                return ItemQuery(query.predicate, time_interval, query.raw)
+            return query
+        if isinstance(query, ItemPredicate):
+            return ItemQuery(query, time_interval, query.describe())
+        if isinstance(query, str):
+            predicate = parse_query(query)
+            return ItemQuery(predicate, time_interval, query)
+        raise QueryError(f"unsupported query object: {type(query).__name__}")
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def matching_items(self, query: Union[str, ItemPredicate, ItemQuery]) -> List[Item]:
+        """All catalogue items matching the query predicate."""
+        compiled = self.compile(query)
+        return [item for item in self.dataset.items() if compiled.predicate.matches(item)]
+
+    def matching_item_ids(
+        self, query: Union[str, ItemPredicate, ItemQuery]
+    ) -> List[int]:
+        """Ids of matching items, sorted for deterministic downstream behaviour."""
+        return sorted(item.item_id for item in self.matching_items(query))
+
+    def suggest_titles(self, prefix: str, limit: int = 10) -> List[str]:
+        """Title auto-completion for the search box (prefix, case-insensitive)."""
+        wanted = prefix.strip().lower()
+        if not wanted:
+            return []
+        titles = sorted(
+            {
+                item.title
+                for item in self.dataset.items()
+                if item.title.lower().startswith(wanted)
+            }
+        )
+        return titles[:limit]
+
+    def distinct_attribute_values(self, attribute: str, limit: int = 0) -> List[str]:
+        """Distinct values of an item attribute (UI pick lists)."""
+        values: set = set()
+        for item in self.dataset.items():
+            values.update(item.attribute_values(attribute))
+        ordered = sorted(values)
+        return ordered[:limit] if limit else ordered

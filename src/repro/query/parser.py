@@ -1,0 +1,202 @@
+"""Parser for the textual query language of the search box (Figure 1).
+
+Grammar (case-insensitive keywords)::
+
+    query   := or_expr
+    or_expr := and_expr ( OR and_expr )*
+    and_expr:= unary ( [AND] unary )*          # adjacency means AND
+    unary   := NOT unary | '(' or_expr ')' | leaf
+    leaf    := attribute ':' value             # exact match
+             | attribute '~' value             # substring match
+             | value                           # bare term = title substring
+
+    value   := quoted string | bare word
+
+Examples::
+
+    title:"Toy Story"
+    genre:Thriller AND director:"Steven Spielberg"
+    actor:"Tom Hanks" OR director:"Woody Allen"
+    "Lord of the Rings"            (bare term → title substring search)
+
+The parser produces an :class:`~repro.query.predicates.ItemPredicate` tree and
+raises :class:`~repro.errors.QuerySyntaxError` with the offending position on
+malformed input.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import QuerySyntaxError
+from .predicates import (
+    AndPredicate,
+    AttributePredicate,
+    ItemPredicate,
+    NotPredicate,
+    OrPredicate,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<quoted>"[^"]*")
+  | (?P<word>[^\s():~"]+)
+  | (?P<colon>:)
+  | (?P<tilde>~)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"AND", "OR", "NOT"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error reporting)."""
+
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(query: str) -> List[Token]:
+    """Split a query string into tokens, raising on unrecognised characters."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(query):
+        match = _TOKEN_RE.match(query, position)
+        if match is None:
+            raise QuerySyntaxError(
+                f"unexpected character {query[position]!r}", position=position
+            )
+        kind = match.lastgroup or "word"
+        text = match.group()
+        if kind != "ws":
+            if kind == "quoted":
+                text = text[1:-1]
+            tokens.append(Token(kind, text, position))
+        position = match.end()
+    return tokens
+
+
+class QueryParser:
+    """Recursive-descent parser producing an :class:`ItemPredicate` tree."""
+
+    def __init__(self, query: str) -> None:
+        self.query = query
+        self.tokens = tokenize(query)
+        self.index = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    def _peek(self) -> Optional[Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise QuerySyntaxError("unexpected end of query", position=len(self.query))
+        self.index += 1
+        return token
+
+    def _match_keyword(self, keyword: str) -> bool:
+        token = self._peek()
+        if token and token.kind == "word" and token.text.upper() == keyword:
+            self.index += 1
+            return True
+        return False
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse(self) -> ItemPredicate:
+        """Parse the full query and return the predicate tree."""
+        if not self.tokens:
+            raise QuerySyntaxError("empty query", position=0)
+        predicate = self._or_expr()
+        trailing = self._peek()
+        if trailing is not None:
+            raise QuerySyntaxError(
+                f"unexpected token {trailing.text!r}", position=trailing.position
+            )
+        return predicate
+
+    def _or_expr(self) -> ItemPredicate:
+        children = [self._and_expr()]
+        while self._match_keyword("OR"):
+            children.append(self._and_expr())
+        if len(children) == 1:
+            return children[0]
+        return OrPredicate(tuple(children))
+
+    def _and_expr(self) -> ItemPredicate:
+        children = [self._unary()]
+        while True:
+            if self._match_keyword("AND"):
+                children.append(self._unary())
+                continue
+            token = self._peek()
+            if token is None or token.kind == "rparen":
+                break
+            if token.kind == "word" and token.text.upper() == "OR":
+                break
+            children.append(self._unary())
+        if len(children) == 1:
+            return children[0]
+        return AndPredicate(tuple(children))
+
+    def _unary(self) -> ItemPredicate:
+        if self._match_keyword("NOT"):
+            return NotPredicate(self._unary())
+        token = self._peek()
+        if token is None:
+            raise QuerySyntaxError("unexpected end of query", position=len(self.query))
+        if token.kind == "lparen":
+            self._advance()
+            inner = self._or_expr()
+            closing = self._peek()
+            if closing is None or closing.kind != "rparen":
+                raise QuerySyntaxError(
+                    "missing closing parenthesis", position=token.position
+                )
+            self._advance()
+            return inner
+        return self._leaf()
+
+    def _leaf(self) -> ItemPredicate:
+        token = self._advance()
+        if token.kind not in ("word", "quoted"):
+            raise QuerySyntaxError(
+                f"expected a search term, got {token.text!r}", position=token.position
+            )
+        operator = self._peek()
+        if (
+            token.kind == "word"
+            and operator is not None
+            and operator.kind in ("colon", "tilde")
+        ):
+            self._advance()
+            value_token = self._peek()
+            if value_token is None or value_token.kind not in ("word", "quoted"):
+                raise QuerySyntaxError(
+                    f"attribute {token.text!r} is missing a value",
+                    position=operator.position,
+                )
+            self._advance()
+            exact = operator.kind == "colon"
+            return AttributePredicate(
+                attribute=token.text.lower(), value=value_token.text, exact=exact
+            )
+        # Bare term: substring match on the title.
+        return AttributePredicate(attribute="title", value=token.text, exact=False)
+
+
+def parse_query(query: str) -> ItemPredicate:
+    """Parse a query string into a predicate tree."""
+    return QueryParser(query).parse()

@@ -1,0 +1,122 @@
+"""Predicate tree evaluated against items of the catalogue.
+
+A parsed query becomes a small tree of predicates: attribute/value leaf tests
+combined with AND / OR / NOT.  Leaves match case-insensitively and treat
+multi-valued attributes (genres, actors, directors) as "any value matches",
+which is what a user expects when typing ``actor:"Tom Hanks"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..data.model import Item
+from ..errors import QueryError
+
+
+class ItemPredicate:
+    """Interface of a node in the query predicate tree."""
+
+    def matches(self, item: Item) -> bool:
+        """Return True when the item satisfies the predicate."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Canonical string form of the predicate (used in cache keys)."""
+        raise NotImplementedError
+
+    # Convenience combinators for programmatic query construction.
+
+    def __and__(self, other: "ItemPredicate") -> "AndPredicate":
+        return AndPredicate((self, other))
+
+    def __or__(self, other: "ItemPredicate") -> "OrPredicate":
+        return OrPredicate((self, other))
+
+    def __invert__(self) -> "NotPredicate":
+        return NotPredicate(self)
+
+
+@dataclass(frozen=True)
+class AttributePredicate(ItemPredicate):
+    """Leaf test ``attribute:value`` over a (possibly multi-valued) item attribute."""
+
+    attribute: str
+    value: str
+    exact: bool = True
+
+    _SUPPORTED = ("title", "genre", "actor", "director", "year")
+
+    def __post_init__(self) -> None:
+        if self.attribute not in self._SUPPORTED:
+            raise QueryError(
+                f"unsupported query attribute {self.attribute!r}; "
+                f"expected one of {self._SUPPORTED}"
+            )
+
+    def matches(self, item: Item) -> bool:
+        wanted = self.value.strip().lower()
+        values = [v.lower() for v in item.attribute_values(self.attribute)]
+        if self.exact:
+            return wanted in values
+        return any(wanted in v for v in values)
+
+    def describe(self) -> str:
+        operator = ":" if self.exact else "~"
+        return f'{self.attribute}{operator}"{self.value}"'
+
+
+@dataclass(frozen=True)
+class TitlePredicate(AttributePredicate):
+    """Shorthand leaf for the most common query type (Figure 1's Movie Name)."""
+
+    def __init__(self, title: str, exact: bool = True) -> None:
+        super().__init__(attribute="title", value=title, exact=exact)
+
+
+@dataclass(frozen=True)
+class AndPredicate(ItemPredicate):
+    """Conjunction of child predicates."""
+
+    children: Tuple[ItemPredicate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise QueryError("AND needs at least one child predicate")
+
+    def matches(self, item: Item) -> bool:
+        return all(child.matches(item) for child in self.children)
+
+    def describe(self) -> str:
+        return "(" + " AND ".join(c.describe() for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class OrPredicate(ItemPredicate):
+    """Disjunction of child predicates."""
+
+    children: Tuple[ItemPredicate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise QueryError("OR needs at least one child predicate")
+
+    def matches(self, item: Item) -> bool:
+        return any(child.matches(item) for child in self.children)
+
+    def describe(self) -> str:
+        return "(" + " OR ".join(c.describe() for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class NotPredicate(ItemPredicate):
+    """Negation of a child predicate."""
+
+    child: ItemPredicate
+
+    def matches(self, item: Item) -> bool:
+        return not self.child.matches(item)
+
+    def describe(self) -> str:
+        return f"NOT {self.child.describe()}"

@@ -1,0 +1,30 @@
+"""Latency layer and service façade.
+
+§2.3: "Using a combination of aggressive data pre-processing, result
+pre-computation and caching techniques, the latency of MapRat is minimized."
+
+* :mod:`repro.server.cache` — LRU (+ optional TTL) cache of mining results
+  keyed by the normalised query and mining configuration,
+* :mod:`repro.server.precompute` — warm-up of the cache for the most popular
+  items and cheap per-item aggregates,
+* :mod:`repro.server.api` — the :class:`MapRat` façade (query → mining →
+  exploration → visualization, cache-aware) and the JSON endpoint handlers,
+* :mod:`repro.server.app` — a dependency-free HTTP server exposing the JSON
+  API and the HTML reports, standing in for the demo's web front-end.
+"""
+
+from .cache import CacheStats, ResultCache
+from .precompute import ItemAggregate, Precomputer
+from .api import JsonApi, MapRat
+from .app import MapRatHttpServer, run_server
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "ItemAggregate",
+    "Precomputer",
+    "JsonApi",
+    "MapRat",
+    "MapRatHttpServer",
+    "run_server",
+]

@@ -1,0 +1,384 @@
+"""The MapRat façade and the JSON endpoint handlers.
+
+:class:`MapRat` is the one object a downstream user needs: it owns the
+dataset, the indexed store, the query engine, the miner, the exploration
+helpers, the visualization renderers and the result cache, and exposes the
+demo's interactions as methods.  :class:`JsonApi` adapts the façade to plain
+``dict`` in / ``dict`` out handlers used by the HTTP server and by tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..config import MiningConfig, PipelineConfig, VizConfig
+from ..core.explanation import Explanation, GroupExplanation, MiningResult
+from ..core.miner import RatingMiner
+from ..data.model import Item, RatingDataset
+from ..data.storage import RatingStore
+from ..errors import (
+    EmptyRatingSetError,
+    ExplorationError,
+    MapRatError,
+    MiningError,
+    QueryError,
+    ServerError,
+)
+from ..explore.drilldown import CityAggregate, DrillDown
+from ..explore.session import ExplorationSession
+from ..explore.statistics import GroupStatistics, compare_groups, group_statistics
+from ..explore.timeline import GroupTrendPoint, TimelineExplorer, TimelineSlice
+from ..query.engine import ItemQuery, QueryEngine, TimeInterval
+from ..viz.report import ExplanationReport, ExplorationReport
+from ..viz.text import render_result_text
+from .cache import ResultCache
+from .precompute import ItemAggregate, Precomputer
+
+
+class MapRat:
+    """End-to-end MapRat system over one collaborative rating dataset."""
+
+    def __init__(
+        self,
+        dataset: RatingDataset,
+        config: Optional[PipelineConfig] = None,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config or PipelineConfig()
+        self.miner = RatingMiner.for_dataset(dataset, self.config.mining)
+        self.store: RatingStore = self.miner.store
+        self.engine = QueryEngine(dataset)
+        self.timeline_explorer = TimelineExplorer(self.miner, self.config.mining)
+        self.cache = ResultCache(
+            capacity=self.config.server.cache_capacity,
+            ttl_seconds=self.config.server.cache_ttl_seconds,
+        )
+        self.precomputer = Precomputer(self.store, self.miner)
+        self._explanation_report = ExplanationReport(self.config.viz)
+        self._exploration_report = ExplorationReport(self.config.viz)
+
+    # -- constructors ---------------------------------------------------------------
+
+    @classmethod
+    def for_dataset(
+        cls, dataset: RatingDataset, config: Optional[PipelineConfig] = None
+    ) -> "MapRat":
+        """Build a MapRat system over an in-memory dataset."""
+        return cls(dataset, config)
+
+    # -- query + mining ---------------------------------------------------------------
+
+    def search(self, query: str) -> List[Item]:
+        """Evaluate the search-box query against the catalogue (Figure 1)."""
+        return self.engine.matching_items(query)
+
+    def explain(
+        self,
+        query: str,
+        time_interval: Optional[TimeInterval] = None,
+        config: Optional[MiningConfig] = None,
+        use_cache: bool = True,
+    ) -> MiningResult:
+        """Search, mine SM + DM and return the full result (Figure 2).
+
+        Results are cached per (normalised query, time interval, mining
+        configuration); repeated queries answer from the cache.
+        """
+        mining_config = config or self.config.mining
+        compiled = self.engine.compile(query, time_interval)
+        item_ids = self.engine.matching_item_ids(compiled)
+        if not item_ids:
+            raise QueryError(f"query {compiled.describe()!r} matches no items")
+        key = self._cache_key(compiled, item_ids, mining_config)
+        if use_cache:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        result = self._explain_item_ids(item_ids, compiled, mining_config)
+        if use_cache:
+            self.cache.put(key, result)
+        return result
+
+    def explain_items(
+        self,
+        item_ids: Sequence[int],
+        description: str = "",
+        config: Optional[MiningConfig] = None,
+        use_cache: bool = True,
+    ) -> MiningResult:
+        """Explain an explicit item-id selection (used by pre-computation)."""
+        mining_config = config or self.config.mining
+        key = ("items", tuple(sorted(item_ids)), mining_config.cache_key())
+        if use_cache:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        result = self.miner.explain_items(
+            list(item_ids), description=description, config=mining_config
+        )
+        if use_cache:
+            self.cache.put(key, result)
+        return result
+
+    def _explain_item_ids(
+        self,
+        item_ids: Sequence[int],
+        compiled: ItemQuery,
+        mining_config: MiningConfig,
+    ) -> MiningResult:
+        interval = (
+            compiled.time_interval.as_tuple() if compiled.time_interval else None
+        )
+        return self.miner.explain_items(
+            list(item_ids),
+            description=compiled.describe(),
+            time_interval=interval,
+            config=mining_config,
+        )
+
+    def _cache_key(
+        self,
+        compiled: ItemQuery,
+        item_ids: Sequence[int],
+        mining_config: MiningConfig,
+    ) -> Tuple:
+        interval = (
+            compiled.time_interval.as_tuple() if compiled.time_interval else None
+        )
+        return ("query", tuple(item_ids), interval, mining_config.cache_key())
+
+    # -- exploration -------------------------------------------------------------------
+
+    def session(self) -> ExplorationSession:
+        """A fresh interactive exploration session sharing this system's miner."""
+        return ExplorationSession(self.dataset, self.config.mining, miner=self.miner)
+
+    def group_statistics(
+        self,
+        query: str,
+        task: str,
+        group_index: int,
+        time_interval: Optional[TimeInterval] = None,
+    ) -> GroupStatistics:
+        """Figure-3 statistics of one group of a query's interpretation."""
+        result = self.explain(query, time_interval)
+        group = self._group_at(result, task, group_index)
+        rating_slice = self._slice_for_result(result, time_interval)
+        return group_statistics(rating_slice, group.pairs, label=group.label)
+
+    def drill_down(
+        self,
+        query: str,
+        task: str,
+        group_index: int,
+        time_interval: Optional[TimeInterval] = None,
+        min_size: int = 1,
+    ) -> List[CityAggregate]:
+        """City-level drill-down of one group of a query's interpretation."""
+        result = self.explain(query, time_interval)
+        group = self._group_at(result, task, group_index)
+        rating_slice = self._slice_for_result(result, time_interval)
+        return DrillDown(rating_slice, min_size=min_size).drill(group.pairs)
+
+    def timeline(
+        self,
+        query: str,
+        years: Optional[Sequence[int]] = None,
+        min_ratings: int = 20,
+    ) -> List[TimelineSlice]:
+        """Time-slider view: interpretations per year for a query."""
+        item_ids = self.engine.matching_item_ids(query)
+        if not item_ids:
+            raise QueryError(f"query {query!r} matches no items")
+        return self.timeline_explorer.interpretations_by_year(
+            item_ids, years=years, min_ratings=min_ratings
+        )
+
+    def group_trend(
+        self,
+        query: str,
+        pairs: Mapping[str, str],
+        years: Optional[Sequence[int]] = None,
+    ) -> List[GroupTrendPoint]:
+        """Average rating of a fixed group per year for a query."""
+        item_ids = self.engine.matching_item_ids(query)
+        if not item_ids:
+            raise QueryError(f"query {query!r} matches no items")
+        return self.timeline_explorer.group_trend(item_ids, pairs, years=years)
+
+    # -- rendering ----------------------------------------------------------------------
+
+    def explanation_html(self, query: str, time_interval: Optional[TimeInterval] = None) -> str:
+        """The Figure-2 HTML page for a query."""
+        result = self.explain(query, time_interval)
+        return self._explanation_report.render(result, title=f"MapRat — {query}")
+
+    def explanation_text(self, query: str, time_interval: Optional[TimeInterval] = None) -> str:
+        """Terminal rendering of a query's explanation."""
+        return render_result_text(self.explain(query, time_interval))
+
+    def exploration_html(
+        self,
+        query: str,
+        task: str = "similarity",
+        group_index: int = 0,
+        time_interval: Optional[TimeInterval] = None,
+    ) -> str:
+        """The Figure-3 HTML page for one group of a query's interpretation."""
+        result = self.explain(query, time_interval)
+        group = self._group_at(result, task, group_index)
+        rating_slice = self._slice_for_result(result, time_interval)
+        statistics = group_statistics(rating_slice, group.pairs, label=group.label)
+        explanation = result.explanation_for(task)
+        comparisons = compare_groups(
+            rating_slice,
+            [g.pairs for g in explanation.groups],
+            labels=[g.label for g in explanation.groups],
+        )
+        drilldown = DrillDown(rating_slice, min_size=1).drill(group.pairs)
+        trend = self.timeline_explorer.group_trend(
+            list(result.query.item_ids), group.pairs
+        )
+        return self._exploration_report.render(
+            group=group,
+            statistics=statistics,
+            comparisons=comparisons,
+            drilldown=drilldown,
+            trend=trend,
+        )
+
+    # -- warm-up / service info -------------------------------------------------------------
+
+    def warm_up(self, limit: Optional[int] = None) -> dict:
+        """Pre-compute explanations for the most popular items (§2.3)."""
+        limit = limit if limit is not None else self.config.server.precompute_top_items
+        report = self.precomputer.warm_popular_items(
+            lambda item_ids, description: self.explain_items(item_ids, description),
+            limit=limit,
+        )
+        return report.to_dict()
+
+    def suggest_titles(self, prefix: str, limit: int = 10) -> List[str]:
+        return self.engine.suggest_titles(prefix, limit=limit)
+
+    def summary(self) -> dict:
+        """Dataset and cache summary for the landing page / status endpoint."""
+        info = self.dataset.describe()
+        info["cache"] = self.cache.stats.to_dict()
+        info["cache_entries"] = len(self.cache)
+        return info
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _group_at(self, result: MiningResult, task: str, index: int) -> GroupExplanation:
+        try:
+            explanation = result.explanation_for(task)
+        except KeyError as exc:
+            raise ServerError(str(exc), status=400) from exc
+        if not 0 <= index < len(explanation.groups):
+            raise ExplorationError(
+                f"group index {index} out of range 0..{len(explanation.groups) - 1}"
+            )
+        return explanation.groups[index]
+
+    def _slice_for_result(
+        self, result: MiningResult, time_interval: Optional[TimeInterval]
+    ):
+        interval = time_interval.as_tuple() if time_interval else None
+        return self.miner.slice_for_items(result.query.item_ids, time_interval=interval)
+
+
+class JsonApi:
+    """dict-in / dict-out handlers for every endpoint of the HTTP server."""
+
+    def __init__(self, system: MapRat) -> None:
+        self.system = system
+
+    # -- endpoint handlers -----------------------------------------------------------
+
+    def handle_summary(self, params: Mapping[str, str]) -> dict:
+        return self.system.summary()
+
+    def handle_suggest(self, params: Mapping[str, str]) -> dict:
+        prefix = params.get("prefix", "")
+        limit = int(params.get("limit", "10"))
+        return {"titles": self.system.suggest_titles(prefix, limit=limit)}
+
+    def handle_explain(self, params: Mapping[str, str]) -> dict:
+        query = self._require(params, "q")
+        interval = self._interval_from(params)
+        result = self.system.explain(query, time_interval=interval)
+        return result.to_dict()
+
+    def handle_statistics(self, params: Mapping[str, str]) -> dict:
+        query = self._require(params, "q")
+        task = params.get("task", "similarity")
+        index = int(params.get("group", "0"))
+        stats = self.system.group_statistics(query, task, index)
+        return stats.to_dict()
+
+    def handle_drilldown(self, params: Mapping[str, str]) -> dict:
+        query = self._require(params, "q")
+        task = params.get("task", "similarity")
+        index = int(params.get("group", "0"))
+        aggregates = self.system.drill_down(query, task, index)
+        return {"aggregates": [agg.to_dict() for agg in aggregates]}
+
+    def handle_timeline(self, params: Mapping[str, str]) -> dict:
+        query = self._require(params, "q")
+        min_ratings = int(params.get("min_ratings", "20"))
+        slices = self.system.timeline(query, min_ratings=min_ratings)
+        return {"slices": [s.to_dict() for s in slices]}
+
+    def handle_warmup(self, params: Mapping[str, str]) -> dict:
+        limit = int(params.get("limit", "10"))
+        return self.system.warm_up(limit=limit)
+
+    #: Route table used by the HTTP layer.
+    def routes(self) -> Dict[str, callable]:
+        return {
+            "summary": self.handle_summary,
+            "suggest": self.handle_suggest,
+            "explain": self.handle_explain,
+            "statistics": self.handle_statistics,
+            "drilldown": self.handle_drilldown,
+            "timeline": self.handle_timeline,
+            "warmup": self.handle_warmup,
+        }
+
+    def dispatch(self, endpoint: str, params: Mapping[str, str]) -> dict:
+        """Route one request; wraps library errors into :class:`ServerError`."""
+        handler = self.routes().get(endpoint)
+        if handler is None:
+            raise ServerError(f"unknown endpoint {endpoint!r}", status=404)
+        try:
+            return handler(params)
+        except ServerError:
+            raise
+        except (QueryError, ExplorationError, EmptyRatingSetError, MiningError) as exc:
+            raise ServerError(str(exc), status=400) from exc
+        except MapRatError as exc:  # pragma: no cover - defensive catch-all
+            raise ServerError(str(exc), status=500) from exc
+
+    # -- internals ----------------------------------------------------------------------
+
+    @staticmethod
+    def _require(params: Mapping[str, str], name: str) -> str:
+        value = params.get(name, "").strip()
+        if not value:
+            raise ServerError(f"missing required parameter {name!r}", status=400)
+        return value
+
+    @staticmethod
+    def _interval_from(params: Mapping[str, str]) -> Optional[TimeInterval]:
+        start_year = params.get("start_year")
+        end_year = params.get("end_year")
+        if not start_year and not end_year:
+            return None
+        try:
+            start = int(start_year or end_year)
+            end = int(end_year or start_year)
+        except ValueError as exc:
+            raise ServerError("start_year/end_year must be integers", status=400) from exc
+        return TimeInterval.for_years(start, end)

@@ -1,0 +1,209 @@
+"""Dependency-free HTTP front-end standing in for the demo's web UI.
+
+The demo exposes "a web based front-end that allows a user to enter one or
+more items" (§3.1).  This module serves the same interactions over plain
+``http.server``:
+
+* ``GET /``                       — landing page with the dataset summary and
+  a form that links to the HTML explanation report,
+* ``GET /explain?q=...``          — the Figure-2 HTML report,
+* ``GET /explore?q=...&task=...&group=N`` — the Figure-3 HTML report,
+* ``GET /api/<endpoint>?...``     — the JSON API (summary, suggest, explain,
+  statistics, drilldown, timeline, warmup).
+
+The server runs on a background thread (:meth:`MapRatHttpServer.start`) so the
+integration tests and the web example can drive it with ``urllib`` without
+blocking.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+from xml.sax.saxutils import escape
+
+from ..config import PipelineConfig
+from ..data.model import RatingDataset
+from ..errors import MapRatError, ServerError
+from .api import JsonApi, MapRat
+
+_LANDING_TEMPLATE = """<!DOCTYPE html>
+<html><head><meta charset="utf-8"/><title>MapRat</title>
+<style>body{{font-family:Helvetica,Arial,sans-serif;margin:32px;max-width:720px}}
+input,select{{font-size:14px;padding:4px}}</style></head>
+<body>
+<h1>MapRat</h1>
+<p>Meaningful explanation, interactive exploration and geo-visualization of
+collaborative ratings.</p>
+<form action="/explain" method="get">
+  <input name="q" size="48" placeholder='title:&quot;Toy Story&quot; or genre:Thriller AND director:&quot;Steven Spielberg&quot;"/>
+  <button type="submit">Explain Ratings</button>
+</form>
+<h2>Dataset</h2>
+<pre>{summary}</pre>
+<h2>Endpoints</h2>
+<ul>
+<li><code>/explain?q=…</code> — explanation report (Figure 2)</li>
+<li><code>/explore?q=…&amp;task=similarity&amp;group=0</code> — exploration report (Figure 3)</li>
+<li><code>/api/explain?q=…</code>, <code>/api/drilldown?…</code>, <code>/api/timeline?…</code> — JSON API</li>
+</ul>
+</body></html>
+"""
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to one MapRat system via the server instance."""
+
+    server_version = "MapRat/1.0"
+
+    # Provided by MapRatHttpServer via the class attribute trick below.
+    system: MapRat
+    api: JsonApi
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        """Silence per-request logging (tests and demos stay clean)."""
+
+    # -- routing -----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        parsed = urlparse(self.path)
+        params = {key: values[0] for key, values in parse_qs(parsed.query).items()}
+        try:
+            if parsed.path == "/" or parsed.path == "/index.html":
+                self._send_html(self._landing_page())
+            elif parsed.path == "/explain":
+                query = params.get("q", "")
+                if not query:
+                    raise ServerError("missing required parameter 'q'", status=400)
+                self._send_html(self.system.explanation_html(query))
+            elif parsed.path == "/explore":
+                query = params.get("q", "")
+                if not query:
+                    raise ServerError("missing required parameter 'q'", status=400)
+                task = params.get("task", "similarity")
+                group = int(params.get("group", "0"))
+                self._send_html(
+                    self.system.exploration_html(query, task=task, group_index=group)
+                )
+            elif parsed.path.startswith("/api/"):
+                endpoint = parsed.path[len("/api/"):]
+                payload = self.api.dispatch(endpoint, params)
+                self._send_json(200, payload)
+            else:
+                raise ServerError(f"unknown path {parsed.path!r}", status=404)
+        except ServerError as exc:
+            self._send_json(exc.status, {"error": str(exc)})
+        except MapRatError as exc:
+            self._send_json(400, {"error": str(exc)})
+
+    # -- responses ----------------------------------------------------------------
+
+    def _landing_page(self) -> str:
+        summary = json.dumps(self.system.summary(), indent=2)
+        return _LANDING_TEMPLATE.format(summary=escape(summary))
+
+    def _send_html(self, body: str, status: int = 200) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        encoded = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+
+class MapRatHttpServer:
+    """Background-thread HTTP server around one MapRat system."""
+
+    def __init__(
+        self,
+        system: MapRat,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+    ) -> None:
+        self.system = system
+        self.host = host if host is not None else system.config.server.host
+        self.port = port if port is not None else system.config.server.port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Start serving on a daemon thread; returns the bound (host, port)."""
+        handler = type(
+            "BoundHandler",
+            (_Handler,),
+            {"system": self.system, "api": JsonApi(self.system)},
+        )
+        self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
+        self.host, self.port = self._httpd.server_address[0], self._httpd.server_address[1]
+        self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
+        self._thread.start()
+        return (self.host, self.port)
+
+    def stop(self) -> None:
+        """Shut the server down and join the serving thread."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MapRatHttpServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Blocking serve loop for the CLI example (Ctrl-C to stop)."""
+        if self._httpd is None:
+            self.start()
+        assert self._httpd is not None
+        try:
+            self._thread.join()  # type: ignore[union-attr]
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            self.stop()
+
+
+def run_server(
+    dataset: RatingDataset,
+    config: Optional[PipelineConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    warm_up: int = 0,
+) -> MapRatHttpServer:
+    """Build a MapRat system over ``dataset`` and start serving it.
+
+    Args:
+        dataset: the collaborative rating dataset to serve.
+        config: pipeline configuration (defaults apply when omitted).
+        host: bind address.
+        port: bind port; 0 picks a free ephemeral port.
+        warm_up: when positive, pre-compute explanations for that many popular
+            items before returning.
+    """
+    system = MapRat.for_dataset(dataset, config)
+    if warm_up:
+        system.warm_up(limit=warm_up)
+    server = MapRatHttpServer(system, host=host, port=port)
+    server.start()
+    return server

@@ -1,0 +1,136 @@
+"""Result cache: LRU with optional TTL, keyed by query + mining configuration.
+
+Mining a popular movie involves enumerating thousands of candidate groups and
+running two randomized searches; repeating that for every visitor would defeat
+the "interactive" promise of the demo.  The cache keeps the most recent
+results, evicts least-recently-used entries beyond the capacity, optionally
+expires entries after a TTL, and records hit/miss statistics that the latency
+benchmark (claim §2.3) reports.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+from ..errors import CacheError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ResultCache:
+    """Thread-safe LRU cache with optional time-to-live.
+
+    Values are opaque to the cache; the MapRat façade stores
+    :class:`~repro.core.explanation.MiningResult` objects, the pre-computation
+    layer stores aggregates.
+    """
+
+    def __init__(self, capacity: int = 256, ttl_seconds: Optional[float] = None) -> None:
+        if capacity < 1:
+            raise CacheError("cache capacity must be at least 1")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise CacheError("ttl_seconds must be positive when given")
+        self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Hashable, Tuple[float, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- core operations ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self.get(key, record_stats=False) is not None
+
+    def get(self, key: Hashable, default: Any = None, record_stats: bool = True) -> Any:
+        """Return the cached value or ``default``; refreshes LRU order on hit."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                if record_stats:
+                    self.stats.misses += 1
+                return default
+            stored_at, value = entry
+            if self._expired(stored_at):
+                del self._entries[key]
+                self.stats.expirations += 1
+                if record_stats:
+                    self.stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            if record_stats:
+                self.stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh an entry, evicting the LRU entry beyond capacity."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (time.monotonic(), value)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value, computing and storing it on a miss."""
+        sentinel = object()
+        value = self.get(key, default=sentinel)
+        if value is not sentinel:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns True when it existed."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def keys(self) -> list:
+        with self._lock:
+            return list(self._entries.keys())
+
+    # -- internals ------------------------------------------------------------------
+
+    def _expired(self, stored_at: float) -> bool:
+        if self.ttl_seconds is None:
+            return False
+        return (time.monotonic() - stored_at) > self.ttl_seconds

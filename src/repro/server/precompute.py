@@ -1,0 +1,144 @@
+"""Pre-processing and result pre-computation (§2.3 latency techniques).
+
+Two of the three latency levers the paper names live here (the third, caching,
+is :mod:`repro.server.cache`):
+
+* **aggressive data pre-processing** — the indexed
+  :class:`~repro.data.storage.RatingStore` is built once per dataset; this
+  module additionally materialises per-item aggregates (count, average,
+  histogram) so query summaries never re-scan ratings,
+* **result pre-computation** — the explanations of the most-rated items are
+  mined ahead of time and pushed into the result cache, so the popular demo
+  queries ("Toy Story", blockbusters) answer from memory.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.explanation import MiningResult
+from ..core.miner import RatingMiner
+from ..data.storage import RatingStore
+from ..errors import MiningError
+
+
+@dataclass(frozen=True)
+class ItemAggregate:
+    """Cheap per-item statistics materialised ahead of queries.
+
+    Attributes:
+        item_id: the item.
+        title: item title (for display without a catalogue lookup).
+        count: number of ratings.
+        average: average rating.
+        histogram: count of ratings per integer score.
+    """
+
+    item_id: int
+    title: str
+    count: int
+    average: float
+    histogram: Dict[int, int]
+
+    def to_dict(self) -> dict:
+        return {
+            "item_id": self.item_id,
+            "title": self.title,
+            "count": self.count,
+            "average": self.average,
+            "histogram": {str(k): v for k, v in sorted(self.histogram.items())},
+        }
+
+
+@dataclass
+class PrecomputeReport:
+    """What a warm-up run did (reported by the latency benchmark)."""
+
+    items_aggregated: int = 0
+    results_precomputed: int = 0
+    failures: int = 0
+    elapsed_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "items_aggregated": self.items_aggregated,
+            "results_precomputed": self.results_precomputed,
+            "failures": self.failures,
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+        }
+
+
+class Precomputer:
+    """Builds per-item aggregates and warms the result cache for popular items."""
+
+    def __init__(self, store: RatingStore, miner: RatingMiner) -> None:
+        self.store = store
+        self.miner = miner
+        self._aggregates: Dict[int, ItemAggregate] = {}
+
+    # -- data pre-processing --------------------------------------------------------
+
+    def build_item_aggregates(self) -> Dict[int, ItemAggregate]:
+        """Materialise (count, average, histogram) for every item in the store."""
+        aggregates: Dict[int, ItemAggregate] = {}
+        for item in self.store.dataset.items():
+            rating_slice = self.store.slice_for_items([item.item_id], allow_empty=True)
+            if rating_slice.is_empty():
+                continue
+            histogram = {
+                int(score): count
+                for score, count in rating_slice.score_histogram().items()
+                if count
+            }
+            aggregates[item.item_id] = ItemAggregate(
+                item_id=item.item_id,
+                title=item.title,
+                count=len(rating_slice),
+                average=round(rating_slice.average(), 4),
+                histogram=histogram,
+            )
+        self._aggregates = aggregates
+        return aggregates
+
+    def aggregate_for(self, item_id: int) -> Optional[ItemAggregate]:
+        """Return the pre-computed aggregate of one item (None when unrated)."""
+        if not self._aggregates:
+            self.build_item_aggregates()
+        return self._aggregates.get(item_id)
+
+    def top_items(self, limit: int = 10) -> List[ItemAggregate]:
+        """The most-rated items, the natural warm-up set for the demo."""
+        if not self._aggregates:
+            self.build_item_aggregates()
+        ordered = sorted(
+            self._aggregates.values(), key=lambda agg: (-agg.count, agg.item_id)
+        )
+        return ordered[:limit]
+
+    # -- result pre-computation -------------------------------------------------------
+
+    def warm_popular_items(
+        self,
+        explain: Callable[[List[int], str], MiningResult],
+        limit: int = 20,
+    ) -> PrecomputeReport:
+        """Mine the explanations of the ``limit`` most-rated items ahead of time.
+
+        Args:
+            explain: callback that mines and caches one item selection; the
+                MapRat façade passes its own cache-aware ``explain_items``.
+            limit: how many popular items to pre-compute.
+        """
+        report = PrecomputeReport()
+        started_at = time.perf_counter()
+        for aggregate in self.top_items(limit):
+            try:
+                explain([aggregate.item_id], f'title:"{aggregate.title}"')
+                report.results_precomputed += 1
+            except MiningError:
+                report.failures += 1
+        report.items_aggregated = len(self._aggregates)
+        report.elapsed_seconds = time.perf_counter() - started_at
+        return report

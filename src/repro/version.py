@@ -1,0 +1,6 @@
+"""Package version information."""
+
+__version__ = "1.0.0"
+
+#: Short identifier of the reproduced paper.
+PAPER = "MapRat (PVLDB 5(12), 2012, pp. 1986-1989)"

@@ -1,0 +1,39 @@
+"""Geo-visualization: choropleth maps, charts and the explanation report.
+
+The Visualization module of §2.3 renders each rating interpretation "as a
+Choropleth map using the average group rating for shading.  Dark red
+corresponds to lowest rating while dark green denotes the highest and the
+intermediate values are represented by the red-green gradient.  Each group is
+also annotated with icons that identify the attribute value pairs used to
+define it."
+
+Offline we render self-contained SVG (a tile-grid map of the US states) and
+HTML reports that mirror Figures 2 and 3, plus plain-text renderings for
+terminals and tests.  No third-party plotting or mapping dependency is used.
+"""
+
+from .color import LikertScale, hex_to_rgb, rgb_to_hex
+from .icons import icon_for_pair, icons_for_descriptor
+from .usmap import TileGridLayout
+from .choropleth import ChoroplethMap, render_explanation_map
+from .charts import render_bar_chart, render_histogram, render_trend_chart
+from .report import ExplanationReport, ExplorationReport
+from .text import render_explanation_text, render_result_text
+
+__all__ = [
+    "LikertScale",
+    "hex_to_rgb",
+    "rgb_to_hex",
+    "icon_for_pair",
+    "icons_for_descriptor",
+    "TileGridLayout",
+    "ChoroplethMap",
+    "render_explanation_map",
+    "render_bar_chart",
+    "render_histogram",
+    "render_trend_chart",
+    "ExplanationReport",
+    "ExplorationReport",
+    "render_explanation_text",
+    "render_result_text",
+]

@@ -1,0 +1,165 @@
+"""Small SVG charts for the exploration panels (Figure 3).
+
+The exploration view shows a group's rating distribution, comparisons across
+related groups and the evolution of a group's rating over time.  These
+renderers produce dependency-free SVG strings:
+
+* :func:`render_histogram` — rating distribution bars (1★ … 5★),
+* :func:`render_bar_chart` — labelled horizontal bars (group comparisons,
+  drill-down city aggregates),
+* :func:`render_trend_chart` — a polyline of average rating per year (the
+  time-slider view).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+from ..errors import VisualizationError
+from .color import LikertScale
+
+_FONT = 'font-family="Helvetica,Arial,sans-serif"'
+
+
+def _svg_document(width: float, height: float, body: Sequence[str]) -> str:
+    header = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">'
+    )
+    return "\n".join([header, *body, "</svg>"])
+
+
+def render_histogram(
+    histogram: Mapping[int, int] | Mapping[float, int],
+    title: str = "rating distribution",
+    width: float = 320.0,
+    height: float = 180.0,
+    scale: Optional[LikertScale] = None,
+) -> str:
+    """Vertical bars of rating counts per score value."""
+    scale = scale or LikertScale()
+    counts = {int(round(float(k))): int(v) for k, v in histogram.items()}
+    scores = list(range(int(scale.minimum), int(scale.maximum) + 1))
+    maximum = max([counts.get(score, 0) for score in scores] + [1])
+    margin = 28.0
+    plot_width = width - 2 * margin
+    plot_height = height - 2 * margin
+    bar_width = plot_width / len(scores) * 0.7
+    body = [f'<text x="{margin}" y="16" font-size="12" font-weight="bold" {_FONT}>'
+            f"{escape(title)}</text>"]
+    for index, score in enumerate(scores):
+        count = counts.get(score, 0)
+        bar_height = plot_height * count / maximum
+        x = margin + index * plot_width / len(scores) + (plot_width / len(scores) - bar_width) / 2
+        y = margin + plot_height - bar_height
+        body.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_width:.1f}" '
+            f'height="{bar_height:.1f}" fill="{scale.color_for(score)}">'
+            f"<title>{score}★: {count}</title></rect>"
+        )
+        body.append(
+            f'<text x="{x + bar_width / 2:.1f}" y="{margin + plot_height + 14:.1f}" '
+            f'font-size="10" text-anchor="middle" {_FONT}>{score}★</text>'
+        )
+        body.append(
+            f'<text x="{x + bar_width / 2:.1f}" y="{y - 3:.1f}" font-size="9" '
+            f'text-anchor="middle" {_FONT}>{count}</text>'
+        )
+    return _svg_document(width, height, body)
+
+
+def render_bar_chart(
+    rows: Sequence[Tuple[str, float]],
+    title: str = "",
+    width: float = 420.0,
+    value_format: str = "{:.2f}",
+    max_value: Optional[float] = None,
+    scale: Optional[LikertScale] = None,
+) -> str:
+    """Horizontal labelled bars, one per (label, value) row."""
+    if not rows:
+        raise VisualizationError("a bar chart needs at least one row")
+    scale = scale or LikertScale()
+    row_height = 22.0
+    margin_top = 26.0 if title else 8.0
+    height = margin_top + row_height * len(rows) + 8
+    label_width = 190.0
+    plot_width = width - label_width - 60
+    maximum = max_value if max_value is not None else max(value for _, value in rows)
+    maximum = max(maximum, 1e-9)
+    body = []
+    if title:
+        body.append(
+            f'<text x="8" y="16" font-size="12" font-weight="bold" {_FONT}>'
+            f"{escape(title)}</text>"
+        )
+    for index, (label, value) in enumerate(rows):
+        y = margin_top + index * row_height
+        bar = plot_width * min(value, maximum) / maximum
+        body.append(
+            f'<text x="{label_width - 6:.1f}" y="{y + 14:.1f}" font-size="10" '
+            f'text-anchor="end" {_FONT}>{escape(label)}</text>'
+        )
+        body.append(
+            f'<rect x="{label_width:.1f}" y="{y + 4:.1f}" width="{bar:.1f}" height="13" '
+            f'fill="{scale.color_for(value)}"/>'
+        )
+        body.append(
+            f'<text x="{label_width + bar + 5:.1f}" y="{y + 14:.1f}" font-size="10" {_FONT}>'
+            f"{escape(value_format.format(value))}</text>"
+        )
+    return _svg_document(width, height, body)
+
+
+def render_trend_chart(
+    points: Sequence[Tuple[int, float]],
+    title: str = "average rating over time",
+    width: float = 420.0,
+    height: float = 200.0,
+    scale: Optional[LikertScale] = None,
+) -> str:
+    """Polyline of (year, average rating) — the time-slider evolution view."""
+    if not points:
+        raise VisualizationError("a trend chart needs at least one point")
+    scale = scale or LikertScale()
+    margin = 34.0
+    plot_width = width - 2 * margin
+    plot_height = height - 2 * margin
+    years = [year for year, _ in points]
+    year_min, year_max = min(years), max(years)
+    year_span = max(year_max - year_min, 1)
+    body = [
+        f'<text x="{margin}" y="16" font-size="12" font-weight="bold" {_FONT}>'
+        f"{escape(title)}</text>"
+    ]
+    # Horizontal grid lines at each integer rating.
+    for rating in range(int(scale.minimum), int(scale.maximum) + 1):
+        y = margin + plot_height * (1 - scale.fraction(rating))
+        body.append(
+            f'<line x1="{margin}" y1="{y:.1f}" x2="{margin + plot_width:.1f}" '
+            f'y2="{y:.1f}" stroke="#dddddd"/>'
+        )
+        body.append(
+            f'<text x="{margin - 6:.1f}" y="{y + 3:.1f}" font-size="9" '
+            f'text-anchor="end" {_FONT}>{rating}</text>'
+        )
+    coordinates = []
+    for year, value in points:
+        x = margin + plot_width * (year - year_min) / year_span
+        y = margin + plot_height * (1 - scale.fraction(value))
+        coordinates.append((x, y, year, value))
+    polyline = " ".join(f"{x:.1f},{y:.1f}" for x, y, _, _ in coordinates)
+    body.append(
+        f'<polyline points="{polyline}" fill="none" stroke="#4e79a7" stroke-width="2"/>'
+    )
+    for x, y, year, value in coordinates:
+        body.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3.5" fill="{scale.color_for(value)}">'
+            f"<title>{year}: {value:.2f}</title></circle>"
+        )
+        body.append(
+            f'<text x="{x:.1f}" y="{margin + plot_height + 14:.1f}" font-size="9" '
+            f'text-anchor="middle" {_FONT}>{year}</text>'
+        )
+    return _svg_document(width, height, body)

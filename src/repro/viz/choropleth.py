@@ -1,0 +1,180 @@
+"""SVG choropleth of one rating interpretation (the map of Figure 2).
+
+"Each set of such objects are then rendered as a Choropleth map using the
+average group rating for shading. ... Each group is also annotated with icons
+that identify the attribute value pairs used to define it." (§2.3)
+
+:class:`ChoroplethMap` takes one :class:`~repro.core.explanation.Explanation`
+and produces a self-contained SVG string: every state named by a selected
+group is shaded with the group's average rating on the red→green Likert
+scale, annotated with the group's icon glyphs, and every other state keeps a
+neutral fill.  A legend with the scale's stops is drawn underneath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+from xml.sax.saxutils import escape
+
+from ..config import VizConfig
+from ..core.explanation import Explanation, GroupExplanation
+from ..core.groups import GroupDescriptor
+from ..errors import VisualizationError
+from .color import LikertScale
+from .icons import icons_for_descriptor, pin_color_for_age
+from .usmap import TileGridLayout
+
+
+@dataclass
+class ChoroplethMap:
+    """Renderer of one interpretation as a tile-grid choropleth SVG."""
+
+    config: VizConfig = field(default_factory=VizConfig)
+
+    def __post_init__(self) -> None:
+        self.scale = LikertScale(
+            low_color=self.config.low_color, high_color=self.config.high_color
+        )
+        self.layout = TileGridLayout(tile_size=float(self.config.tile_size))
+
+    # -- public API ---------------------------------------------------------------
+
+    def render(self, explanation: Explanation, title: str = "") -> str:
+        """Render one interpretation to an SVG document string."""
+        groups_by_state = self._groups_by_state(explanation)
+        width, height = self.layout.canvas_size()
+        legend_height = 46.0
+        caption_height = 18.0 * max(1, len(explanation.groups))
+        total_height = height + legend_height + caption_height + 10
+        parts: List[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+            f'height="{total_height:.0f}" viewBox="0 0 {width:.0f} {total_height:.0f}">',
+            f'<style>text{{font-family:Helvetica,Arial,sans-serif}}</style>',
+        ]
+        heading = title or self.config.title or f"{explanation.task.title()} Mining"
+        parts.append(
+            f'<text x="{self.layout.margin}" y="{self.layout.margin + 2:.0f}" '
+            f'font-size="13" font-weight="bold">{escape(heading)}</text>'
+        )
+        parts.extend(self._render_tiles(groups_by_state))
+        parts.extend(self._render_legend(height))
+        parts.extend(self._render_captions(explanation, height + legend_height))
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def render_to_file(self, explanation: Explanation, path: str, title: str = "") -> str:
+        """Render and write the SVG to ``path``; returns the path."""
+        svg = self.render(explanation, title=title)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(svg)
+        return path
+
+    # -- pieces ------------------------------------------------------------------
+
+    def _groups_by_state(self, explanation: Explanation) -> Dict[str, GroupExplanation]:
+        groups_by_state: Dict[str, GroupExplanation] = {}
+        for group in explanation.groups:
+            if not group.state:
+                raise VisualizationError(
+                    f"group {group.label!r} has no state condition and cannot be "
+                    "placed on the map; enable require_geo_anchor or drop the group"
+                )
+            groups_by_state.setdefault(group.state, group)
+        return groups_by_state
+
+    def _render_tiles(self, groups_by_state: Dict[str, GroupExplanation]) -> List[str]:
+        parts: List[str] = []
+        for tile in self.layout.tiles():
+            group = groups_by_state.get(tile.state)
+            if group is None:
+                fill = self.config.missing_color
+                tooltip = tile.name
+            else:
+                fill = self.scale.color_for(group.average_rating)
+                tooltip = f"{group.label}: {group.average_rating:.2f}"
+            parts.append(
+                f'<rect x="{tile.x:.1f}" y="{tile.y:.1f}" width="{tile.size:.1f}" '
+                f'height="{tile.size:.1f}" rx="4" fill="{fill}" stroke="#ffffff" '
+                f'stroke-width="1.5"><title>{escape(tooltip)}</title></rect>'
+            )
+            label_color = "#333333" if group is None else "#ffffff"
+            cx, cy = tile.center
+            parts.append(
+                f'<text x="{cx:.1f}" y="{cy - 4:.1f}" font-size="11" fill="{label_color}" '
+                f'text-anchor="middle">{tile.state}</text>'
+            )
+            if group is not None:
+                parts.append(
+                    f'<text x="{cx:.1f}" y="{cy + 9:.1f}" font-size="9" fill="#ffffff" '
+                    f'text-anchor="middle">{group.average_rating:.1f}</text>'
+                )
+                if self.config.show_icons:
+                    parts.extend(self._render_icons(group, tile.x, tile.y))
+        return parts
+
+    def _render_icons(self, group: GroupExplanation, x: float, y: float) -> List[str]:
+        descriptor = GroupDescriptor.from_dict(dict(group.pairs))
+        annotations = icons_for_descriptor(descriptor)
+        parts: List[str] = []
+        pin = pin_color_for_age(dict(group.pairs).get("age_group"))
+        for index, annotation in enumerate(annotations[:3]):
+            icon_x = x + 4 + index * 13
+            icon_y = y + 4
+            parts.append(
+                f'<circle cx="{icon_x + 5:.1f}" cy="{icon_y + 5:.1f}" r="6" '
+                f'fill="{pin}" opacity="0.9">'
+                f"<title>{escape(annotation['text'])}</title></circle>"
+            )
+            parts.append(
+                f'<text x="{icon_x + 5:.1f}" y="{icon_y + 8:.1f}" font-size="8" '
+                f'text-anchor="middle" fill="#ffffff">{escape(annotation["glyph"])}</text>'
+            )
+        return parts
+
+    def _render_legend(self, map_height: float) -> List[str]:
+        parts: List[str] = []
+        y = map_height + 14
+        x = self.layout.margin
+        parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="11">average rating</text>'
+        )
+        swatch = 26.0
+        for index, (rating, color) in enumerate(self.scale.legend_stops(steps=9)):
+            sx = x + 100 + index * (swatch + 2)
+            parts.append(
+                f'<rect x="{sx:.1f}" y="{y - 10:.1f}" width="{swatch:.1f}" height="14" '
+                f'fill="{color}"/>'
+            )
+            if index % 2 == 0:
+                parts.append(
+                    f'<text x="{sx + swatch / 2:.1f}" y="{y + 16:.1f}" font-size="9" '
+                    f'text-anchor="middle">{rating:.1f}</text>'
+                )
+        return parts
+
+    def _render_captions(self, explanation: Explanation, offset: float) -> List[str]:
+        parts: List[str] = []
+        for index, group in enumerate(explanation.groups):
+            y = offset + 16 + index * 18
+            swatch_color = self.scale.color_for(group.average_rating)
+            parts.append(
+                f'<rect x="{self.layout.margin:.1f}" y="{y - 10:.1f}" width="12" height="12" '
+                f'fill="{swatch_color}"/>'
+            )
+            caption = (
+                f"{group.label} — avg {group.average_rating:.2f}, "
+                f"{group.size} ratings, coverage {group.coverage:.0%}"
+            )
+            parts.append(
+                f'<text x="{self.layout.margin + 18:.1f}" y="{y:.1f}" font-size="11">'
+                f"{escape(caption)}</text>"
+            )
+        return parts
+
+
+def render_explanation_map(
+    explanation: Explanation, config: Optional[VizConfig] = None, title: str = ""
+) -> str:
+    """Convenience wrapper: render one interpretation to an SVG string."""
+    return ChoroplethMap(config or VizConfig()).render(explanation, title=title)

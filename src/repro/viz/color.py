@@ -1,0 +1,87 @@
+"""The red→green Likert colour scale used to shade the choropleth (§2.3, §3.1).
+
+"We use a red (rating 1.0) to green (rating 5.0) Likert Scale for depicting
+the average rating."  :class:`LikertScale` interpolates between the two
+endpoint colours in RGB space and clamps out-of-scale values, so every group
+average maps to a stable, reproducible fill colour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..config import MAX_RATING, MIN_RATING
+from ..errors import VisualizationError
+
+
+def hex_to_rgb(color: str) -> Tuple[int, int, int]:
+    """Convert ``"#rrggbb"`` to an (r, g, b) tuple of 0-255 integers."""
+    value = color.lstrip("#")
+    if len(value) != 6:
+        raise VisualizationError(f"not a #rrggbb colour: {color!r}")
+    try:
+        return tuple(int(value[i : i + 2], 16) for i in (0, 2, 4))  # type: ignore[return-value]
+    except ValueError as exc:
+        raise VisualizationError(f"not a #rrggbb colour: {color!r}") from exc
+
+
+def rgb_to_hex(rgb: Tuple[int, int, int]) -> str:
+    """Convert an (r, g, b) tuple to ``"#rrggbb"``."""
+    if any(not 0 <= channel <= 255 for channel in rgb):
+        raise VisualizationError(f"RGB channels must be within 0..255: {rgb!r}")
+    return "#{:02x}{:02x}{:02x}".format(*rgb)
+
+
+@dataclass(frozen=True)
+class LikertScale:
+    """Linear red→green scale over the rating range.
+
+    Attributes:
+        low_color: colour of the minimum rating (dark red in the paper).
+        high_color: colour of the maximum rating (dark green).
+        minimum: lowest rating of the scale.
+        maximum: highest rating of the scale.
+    """
+
+    low_color: str = "#8b0000"
+    high_color: str = "#006400"
+    minimum: float = float(MIN_RATING)
+    maximum: float = float(MAX_RATING)
+
+    def __post_init__(self) -> None:
+        if self.maximum <= self.minimum:
+            raise VisualizationError("the rating scale maximum must exceed the minimum")
+        # Validate the endpoint colours eagerly so failures surface at build time.
+        hex_to_rgb(self.low_color)
+        hex_to_rgb(self.high_color)
+
+    def fraction(self, rating: float) -> float:
+        """Position of a rating on the scale, clamped to [0, 1]."""
+        span = self.maximum - self.minimum
+        return min(1.0, max(0.0, (rating - self.minimum) / span))
+
+    def color_for(self, rating: float) -> str:
+        """Hex fill colour for an average rating."""
+        t = self.fraction(rating)
+        low = hex_to_rgb(self.low_color)
+        high = hex_to_rgb(self.high_color)
+        blended = tuple(round(l + (h - l) * t) for l, h in zip(low, high))
+        return rgb_to_hex(blended)  # type: ignore[arg-type]
+
+    def legend_stops(self, steps: int = 5) -> list[tuple[float, str]]:
+        """(rating, colour) pairs for a legend with ``steps`` evenly spaced stops."""
+        if steps < 2:
+            raise VisualizationError("a legend needs at least two stops")
+        span = self.maximum - self.minimum
+        stops = []
+        for index in range(steps):
+            rating = self.minimum + span * index / (steps - 1)
+            stops.append((round(rating, 2), self.color_for(rating)))
+        return stops
+
+    def text_swatch(self, rating: float) -> str:
+        """Single-character terminal swatch (worst ``-`` … best ``#``)."""
+        ladder = "-~=+#"
+        index = min(len(ladder) - 1, int(self.fraction(rating) * len(ladder)))
+        return ladder[index]

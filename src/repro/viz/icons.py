@@ -1,0 +1,103 @@
+"""Attribute icons: the visual glyphs annotating each group on the map (§3.1).
+
+"The other reviewer attributes associated with the group are highlighted
+through icons as a visual aid to the user.  The color of the pin holding the
+icons depicts the age group of the sub-population."
+
+Offline we encode the icons as short unicode glyphs plus a text fallback, and
+the pin colours as a fixed palette keyed by age band.  The SVG and HTML
+renderers draw them; the text renderer prints the fallback labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from ..core.groups import GroupDescriptor
+
+#: Glyph and textual fallback for gender values.
+GENDER_ICONS: Mapping[str, Tuple[str, str]] = {
+    "M": ("♂", "male"),
+    "F": ("♀", "female"),
+}
+
+#: Glyph and textual fallback per occupation (subset with distinctive glyphs;
+#: everything else falls back to a generic badge).
+OCCUPATION_ICONS: Mapping[str, Tuple[str, str]] = {
+    "K-12 student": ("\U0001F392", "student"),
+    "college/grad student": ("\U0001F393", "college student"),
+    "academic/educator": ("\U0001F4D6", "educator"),
+    "programmer": ("\U0001F4BB", "programmer"),
+    "scientist": ("\U0001F52C", "scientist"),
+    "artist": ("\U0001F3A8", "artist"),
+    "writer": ("✍", "writer"),
+    "doctor/health care": ("⚕", "health care"),
+    "executive/managerial": ("\U0001F4BC", "executive"),
+    "farmer": ("\U0001F33E", "farmer"),
+    "lawyer": ("⚖", "lawyer"),
+    "retired": ("\U0001F474", "retired"),
+    "homemaker": ("\U0001F3E0", "homemaker"),
+}
+
+_GENERIC_OCCUPATION_ICON = ("\U0001F464", "occupation")
+
+#: Pin colour per age band — "the color of the pin ... depicts the age group".
+AGE_PIN_COLORS: Mapping[str, str] = {
+    "Under 18": "#f28e2b",
+    "18-24": "#edc948",
+    "25-34": "#59a14f",
+    "35-44": "#4e79a7",
+    "45-49": "#b07aa1",
+    "50-55": "#9c755f",
+    "56+": "#e15759",
+}
+
+_DEFAULT_PIN_COLOR = "#7f7f7f"
+
+
+def icon_for_pair(attribute: str, value: str) -> Tuple[str, str]:
+    """Return ``(glyph, text)`` for one attribute/value pair.
+
+    Location pairs return the value itself (the map already encodes them);
+    age pairs return a calendar glyph with the band as text.
+    """
+    if attribute == "gender":
+        return GENDER_ICONS.get(value, ("?", value))
+    if attribute == "occupation":
+        return OCCUPATION_ICONS.get(value, _GENERIC_OCCUPATION_ICON)
+    if attribute == "age_group":
+        return ("\U0001F4C5", value)
+    if attribute in ("state", "city"):
+        return ("\U0001F4CD", value)
+    return ("•", f"{attribute}={value}")
+
+
+def pin_color_for_age(age_group: str | None) -> str:
+    """Pin colour encoding the group's age band (grey when unconstrained)."""
+    if age_group is None:
+        return _DEFAULT_PIN_COLOR
+    return AGE_PIN_COLORS.get(age_group, _DEFAULT_PIN_COLOR)
+
+
+def icons_for_descriptor(descriptor: GroupDescriptor) -> List[Dict[str, str]]:
+    """Icon annotations for every non-geo pair of a group descriptor.
+
+    Returns a list of ``{"attribute", "value", "glyph", "text", "pin_color"}``
+    dictionaries ready for the SVG/HTML renderers.
+    """
+    annotations: List[Dict[str, str]] = []
+    pin_color = pin_color_for_age(descriptor.value_of("age_group"))
+    for attribute, value in descriptor.pairs:
+        if attribute == "state":
+            continue  # the map tile itself is the geo annotation
+        glyph, text = icon_for_pair(attribute, value)
+        annotations.append(
+            {
+                "attribute": attribute,
+                "value": value,
+                "glyph": glyph,
+                "text": text,
+                "pin_color": pin_color,
+            }
+        )
+    return annotations

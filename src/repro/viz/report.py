@@ -1,0 +1,201 @@
+"""HTML reports mirroring the demo's result pages (Figures 2 and 3).
+
+* :class:`ExplanationReport` — the "Explain Ratings" result: the query
+  summary, the Similarity Mining and Diversity Mining tabs, each with its
+  choropleth map and group captions (Figure 2).
+* :class:`ExplorationReport` — the per-group exploration view: detailed
+  statistics, comparison against related groups, city drill-down and the
+  time trend (Figure 3).
+
+Both produce a single self-contained HTML document (SVG inlined, a few lines
+of CSS, no JavaScript dependencies) so that the artefacts regenerate anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+from ..config import VizConfig
+from ..core.explanation import Explanation, GroupExplanation, MiningResult
+from ..explore.drilldown import CityAggregate
+from ..explore.statistics import GroupStatistics
+from ..explore.timeline import GroupTrendPoint
+from .charts import render_bar_chart, render_histogram, render_trend_chart
+from .choropleth import ChoroplethMap
+
+_PAGE_CSS = """
+body { font-family: Helvetica, Arial, sans-serif; margin: 24px; color: #222; }
+h1 { font-size: 22px; }
+h2 { font-size: 17px; margin-top: 28px; border-bottom: 1px solid #ccc; padding-bottom: 4px; }
+table { border-collapse: collapse; margin: 10px 0; }
+th, td { border: 1px solid #ccc; padding: 4px 10px; font-size: 13px; text-align: left; }
+th { background: #f2f2f2; }
+.summary { background: #f8f8f8; border: 1px solid #e0e0e0; padding: 10px 14px; font-size: 13px; }
+.tab { margin-top: 16px; }
+.caption { font-size: 12px; color: #555; }
+""".strip()
+
+
+def _html_document(title: str, body: Sequence[str]) -> str:
+    return "\n".join(
+        [
+            "<!DOCTYPE html>",
+            '<html lang="en"><head><meta charset="utf-8"/>',
+            f"<title>{escape(title)}</title>",
+            f"<style>{_PAGE_CSS}</style>",
+            "</head><body>",
+            *body,
+            "</body></html>",
+        ]
+    )
+
+
+def _groups_table(groups: Sequence[GroupExplanation]) -> str:
+    rows = [
+        "<table><tr><th>#</th><th>group</th><th>average rating</th>"
+        "<th>ratings</th><th>coverage</th><th>state</th></tr>"
+    ]
+    for index, group in enumerate(groups, start=1):
+        rows.append(
+            "<tr>"
+            f"<td>{index}</td>"
+            f"<td>{escape(group.label)}</td>"
+            f"<td>{group.average_rating:.2f}</td>"
+            f"<td>{group.size}</td>"
+            f"<td>{group.coverage:.0%}</td>"
+            f"<td>{escape(group.state or '—')}</td>"
+            "</tr>"
+        )
+    rows.append("</table>")
+    return "\n".join(rows)
+
+
+@dataclass
+class ExplanationReport:
+    """The Figure-2 page: SM and DM interpretations with choropleth maps."""
+
+    config: VizConfig = field(default_factory=VizConfig)
+
+    def render(self, result: MiningResult, title: str = "MapRat explanation") -> str:
+        """Render the full explanation page to an HTML string."""
+        choropleth = ChoroplethMap(self.config)
+        query = result.query
+        body: List[str] = [f"<h1>{escape(title)}</h1>"]
+        body.append(
+            '<div class="summary">'
+            f"<b>Query:</b> {escape(query.description)}<br/>"
+            f"<b>Items:</b> {escape(', '.join(query.item_titles) or '—')}<br/>"
+            f"<b>Ratings:</b> {query.num_ratings} &nbsp; "
+            f"<b>Overall average:</b> {query.average_rating:.2f} &nbsp; "
+            f"<b>Mining time:</b> {result.elapsed_seconds:.3f}s"
+            "</div>"
+        )
+        for explanation in result.explanations():
+            body.append(f'<div class="tab"><h2>{explanation.task.title()} Mining</h2>')
+            body.append(
+                '<p class="caption">'
+                f"objective {explanation.objective:.4f}, coverage {explanation.coverage:.0%}, "
+                f"solver {escape(explanation.solver)} "
+                f"({explanation.solver_iterations} iterations, "
+                f"{explanation.elapsed_seconds:.3f}s)</p>"
+            )
+            body.append(_groups_table(explanation.groups))
+            body.append(choropleth.render(explanation))
+            body.append("</div>")
+        return _html_document(title, body)
+
+    def render_to_file(
+        self, result: MiningResult, path: str, title: str = "MapRat explanation"
+    ) -> str:
+        html = self.render(result, title=title)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(html)
+        return path
+
+
+@dataclass
+class ExplorationReport:
+    """The Figure-3 page: one group explored in depth."""
+
+    config: VizConfig = field(default_factory=VizConfig)
+
+    def render(
+        self,
+        group: GroupExplanation,
+        statistics: GroupStatistics,
+        comparisons: Sequence[GroupStatistics] = (),
+        drilldown: Sequence[CityAggregate] = (),
+        trend: Sequence[GroupTrendPoint] = (),
+        title: Optional[str] = None,
+    ) -> str:
+        """Render the exploration page of one selected group."""
+        title = title or f"MapRat exploration — {group.label}"
+        body: List[str] = [f"<h1>{escape(title)}</h1>"]
+        body.append(
+            '<div class="summary">'
+            f"<b>Group:</b> {escape(group.label)}<br/>"
+            f"<b>Average rating:</b> {statistics.mean:.2f} &nbsp; "
+            f"<b>Ratings:</b> {statistics.size} &nbsp; "
+            f"<b>Coverage:</b> {statistics.coverage:.0%} &nbsp; "
+            f"<b>Lift vs all reviewers:</b> {statistics.lift:+.2f}"
+            "</div>"
+        )
+        body.append("<h2>Rating distribution</h2>")
+        body.append(render_histogram(statistics.histogram, title=""))
+        if comparisons:
+            body.append("<h2>Comparison with related groups</h2>")
+            body.append(
+                render_bar_chart(
+                    [(stats.label, stats.mean) for stats in comparisons],
+                    title="average rating",
+                    max_value=5.0,
+                )
+            )
+            body.append(self._statistics_table(comparisons))
+        if drilldown:
+            body.append("<h2>City-level drill-down</h2>")
+            body.append(
+                render_bar_chart(
+                    [
+                        (f"{agg.location} ({agg.statistics.size})", agg.statistics.mean)
+                        for agg in drilldown
+                    ],
+                    title="average rating by city",
+                    max_value=5.0,
+                )
+            )
+        if trend:
+            body.append("<h2>Evolution over time</h2>")
+            body.append(
+                render_trend_chart([(p.year, p.mean) for p in trend], title="")
+            )
+        return _html_document(title, body)
+
+    def render_to_file(self, path: str, **kwargs) -> str:
+        html = self.render(**kwargs)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(html)
+        return path
+
+    @staticmethod
+    def _statistics_table(rows: Sequence[GroupStatistics]) -> str:
+        parts = [
+            "<table><tr><th>group</th><th>ratings</th><th>mean</th><th>std</th>"
+            "<th>% positive</th><th>% negative</th><th>lift</th></tr>"
+        ]
+        for stats in rows:
+            parts.append(
+                "<tr>"
+                f"<td>{escape(stats.label)}</td>"
+                f"<td>{stats.size}</td>"
+                f"<td>{stats.mean:.2f}</td>"
+                f"<td>{stats.std:.2f}</td>"
+                f"<td>{stats.share_positive:.0%}</td>"
+                f"<td>{stats.share_negative:.0%}</td>"
+                f"<td>{stats.lift:+.2f}</td>"
+                "</tr>"
+            )
+        parts.append("</table>")
+        return "\n".join(parts)

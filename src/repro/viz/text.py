@@ -1,0 +1,57 @@
+"""Plain-text rendering of explanations for terminals, logs and tests.
+
+The demo's map is inherently visual, but a terminal rendering of the same
+content (groups, averages, Likert swatches, coverage) is invaluable for
+examples and debugging, and it gives the tests a cheap way to assert on the
+presentation layer without parsing SVG.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.explanation import Explanation, MiningResult
+from .color import LikertScale
+
+
+def render_explanation_text(
+    explanation: Explanation, scale: Optional[LikertScale] = None
+) -> str:
+    """One interpretation as an aligned text table with Likert swatches."""
+    scale = scale or LikertScale()
+    lines: List[str] = [
+        f"{explanation.task.title()} Mining "
+        f"(objective {explanation.objective:.4f}, coverage {explanation.coverage:.0%}, "
+        f"solver {explanation.solver})"
+    ]
+    if not explanation.groups:
+        lines.append("  (no groups selected)")
+        return "\n".join(lines)
+    label_width = max(len(group.label) for group in explanation.groups)
+    for index, group in enumerate(explanation.groups, start=1):
+        swatch = scale.text_swatch(group.average_rating)
+        lines.append(
+            f"  {index}. [{swatch}] {group.label.ljust(label_width)}  "
+            f"avg {group.average_rating:.2f}  "
+            f"({group.size} ratings, {group.coverage:.0%} coverage)"
+        )
+    return "\n".join(lines)
+
+
+def render_result_text(result: MiningResult, scale: Optional[LikertScale] = None) -> str:
+    """The full mining result (query summary + both interpretations) as text."""
+    scale = scale or LikertScale()
+    header = [
+        f"Query: {result.query.description}",
+        f"Items: {', '.join(result.query.item_titles) or '—'}",
+        f"Ratings: {result.query.num_ratings}   "
+        f"overall average {result.query.average_rating:.2f}   "
+        f"mining time {result.elapsed_seconds:.3f}s",
+        "",
+    ]
+    sections = [
+        render_explanation_text(result.similarity, scale),
+        "",
+        render_explanation_text(result.diversity, scale),
+    ]
+    return "\n".join(header + sections)

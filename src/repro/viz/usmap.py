@@ -1,0 +1,73 @@
+"""Tile-grid layout of the US states used by the SVG choropleth.
+
+The paper overlays its explanations on a conventional geographic US map.
+Offline we use the well-known *tile grid map* layout instead: every state is
+an equal-sized square positioned to roughly preserve geography.  The layout
+comes from the ``grid_col``/``grid_row`` columns of the state registry
+(:mod:`repro.geo.states`); this module converts those grid coordinates into
+pixel rectangles for the SVG renderer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from ..geo.states import State, grid_dimensions, states
+
+
+@dataclass(frozen=True)
+class Tile:
+    """Pixel-space rectangle of one state tile."""
+
+    state: str
+    name: str
+    x: float
+    y: float
+    size: float
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (self.x + self.size / 2.0, self.y + self.size / 2.0)
+
+
+@dataclass(frozen=True)
+class TileGridLayout:
+    """Pixel layout of the full tile-grid map.
+
+    Attributes:
+        tile_size: side length of one state square in pixels.
+        padding: gap between squares in pixels.
+        margin: outer margin around the whole grid.
+    """
+
+    tile_size: float = 44.0
+    padding: float = 4.0
+    margin: float = 10.0
+
+    def tile_for(self, state: State) -> Tile:
+        """Pixel rectangle of one state."""
+        step = self.tile_size + self.padding
+        return Tile(
+            state=state.code,
+            name=state.name,
+            x=self.margin + state.grid_col * step,
+            y=self.margin + state.grid_row * step,
+            size=self.tile_size,
+        )
+
+    def tiles(self) -> Iterator[Tile]:
+        """All state tiles in registry order."""
+        for state in states():
+            yield self.tile_for(state)
+
+    def tiles_by_code(self) -> Dict[str, Tile]:
+        return {tile.state: tile for tile in self.tiles()}
+
+    def canvas_size(self) -> Tuple[float, float]:
+        """Total (width, height) in pixels of the map canvas."""
+        cols, rows = grid_dimensions()
+        step = self.tile_size + self.padding
+        width = 2 * self.margin + cols * step - self.padding
+        height = 2 * self.margin + rows * step - self.padding
+        return (width, height)

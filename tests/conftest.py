@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite.
+
+The expensive objects (synthetic dataset, indexed store, MapRat system) are
+session-scoped: tests treat them as read-only inputs.  Mining-related fixtures
+use a slightly relaxed configuration (lower support / coverage) because the
+"tiny" dataset has only 150 reviewers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MiningConfig, PipelineConfig
+from repro.core.cube import enumerate_candidates
+from repro.core.miner import RatingMiner
+from repro.data.storage import RatingStore
+from repro.data.synthetic import SyntheticConfig, SyntheticMovieLens, generate_dataset
+from repro.server.api import MapRat
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A deterministic tiny MovieLens-shaped dataset (150 reviewers, 60 movies)."""
+    return generate_dataset("tiny")
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small dataset with enough ratings to recover the planted structure."""
+    return generate_dataset("small")
+
+
+@pytest.fixture(scope="session")
+def mining_config():
+    """Mining configuration adapted to the tiny dataset's size."""
+    return MiningConfig(min_group_support=3, min_coverage=0.2, rhe_restarts=4)
+
+
+@pytest.fixture(scope="session")
+def tiny_store(tiny_dataset):
+    """Indexed store over the tiny dataset with all grouping attributes."""
+    return RatingStore(tiny_dataset)
+
+
+@pytest.fixture(scope="session")
+def tiny_miner(tiny_dataset, mining_config):
+    return RatingMiner.for_dataset(tiny_dataset, mining_config)
+
+
+@pytest.fixture(scope="session")
+def toy_story_slice(tiny_miner, tiny_dataset):
+    """Rating slice of the "Toy Story" item in the tiny dataset."""
+    items = tiny_dataset.items_by_title("Toy Story")
+    return tiny_miner.slice_for_items([item.item_id for item in items])
+
+
+@pytest.fixture(scope="session")
+def toy_story_candidates(toy_story_slice, mining_config):
+    """Candidate groups for the Toy Story slice."""
+    return enumerate_candidates(toy_story_slice, mining_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_system(tiny_dataset, mining_config):
+    """A full MapRat system over the tiny dataset."""
+    return MapRat.for_dataset(tiny_dataset, PipelineConfig(mining=mining_config))
+
+
+@pytest.fixture()
+def fresh_system(tiny_dataset, mining_config):
+    """A MapRat system with an empty cache (for cache-behaviour tests)."""
+    return MapRat.for_dataset(tiny_dataset, PipelineConfig(mining=mining_config))

@@ -1,0 +1,69 @@
+"""Tests for the simulated-annealing extension solver."""
+
+import pytest
+
+from repro.core.annealing import SimulatedAnnealingSolver
+from repro.core.baselines import RandomSolver
+from repro.core.problems import SimilarityProblem
+from repro.errors import InfeasibleProblemError
+
+
+@pytest.fixture(scope="module")
+def problem(toy_story_slice, toy_story_candidates, mining_config):
+    return SimilarityProblem(toy_story_slice, toy_story_candidates, mining_config)
+
+
+class TestConfiguration:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealingSolver(cooling=1.5)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingSolver(cooling=0.0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingSolver(initial_temperature=0)
+
+    def test_step_and_restart_floors(self):
+        solver = SimulatedAnnealingSolver(steps=0, restarts=0)
+        assert solver.steps == 1
+        assert solver.restarts == 1
+
+
+class TestSolve:
+    def test_returns_at_most_k_distinct_candidate_groups(self, problem, mining_config):
+        result = SimulatedAnnealingSolver(seed=3).solve(problem)
+        assert 1 <= len(result.groups) <= mining_config.max_groups
+        descriptors = [g.descriptor for g in result.groups]
+        assert len(descriptors) == len(set(descriptors))
+        candidate_descriptors = {c.descriptor for c in problem.candidates}
+        assert all(d in candidate_descriptors for d in descriptors)
+
+    def test_deterministic_for_a_seed(self, problem):
+        first = SimulatedAnnealingSolver(seed=11).solve(problem)
+        second = SimulatedAnnealingSolver(seed=11).solve(problem)
+        assert [g.descriptor for g in first.groups] == [g.descriptor for g in second.groups]
+
+    def test_result_is_feasible_on_this_instance(self, problem):
+        result = SimulatedAnnealingSolver(steps=600, restarts=3, seed=1).solve(problem)
+        assert result.feasible
+
+    def test_objective_matches_problem_evaluation(self, problem):
+        result = SimulatedAnnealingSolver(seed=5).solve(problem)
+        assert result.objective == pytest.approx(problem.objective(result.groups))
+
+    def test_beats_or_matches_a_single_random_draw(self, problem):
+        annealed = SimulatedAnnealingSolver(steps=600, restarts=3, seed=2).solve(problem)
+        random_draw = RandomSolver(seed=2, attempts=1).solve(problem)
+        assert problem.penalized_objective(annealed.groups) >= problem.penalized_objective(
+            random_draw.groups
+        )
+
+    def test_solver_name_and_trace(self, problem):
+        result = SimulatedAnnealingSolver(restarts=3, seed=4).solve(problem)
+        assert result.solver == "annealing"
+        assert len(result.trace) == 3
+        assert result.iterations > 0
+
+    def test_no_candidates_raises(self, toy_story_slice, mining_config):
+        empty_problem = SimilarityProblem(toy_story_slice, [], mining_config)
+        with pytest.raises(InfeasibleProblemError):
+            SimulatedAnnealingSolver(seed=1).solve(empty_problem)

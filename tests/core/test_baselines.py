@@ -1,0 +1,101 @@
+"""Tests for the baseline solvers RHE is compared against."""
+
+import pytest
+
+from repro.config import MiningConfig
+from repro.core.baselines import (
+    ExhaustiveSolver,
+    GreedyCoverageSolver,
+    RandomSolver,
+    TopKBySizeSolver,
+    all_baselines,
+)
+from repro.core.cube import CandidateEnumerator
+from repro.core.problems import SimilarityProblem
+from repro.core.rhe import RandomizedHillExploration
+from repro.errors import MiningError
+
+
+@pytest.fixture(scope="module")
+def small_problem(toy_story_slice):
+    """A problem with a deliberately small candidate set (exhaustive is feasible)."""
+    config = MiningConfig(
+        max_groups=2,
+        min_coverage=0.2,
+        min_group_support=5,
+        max_description_length=1,
+        require_geo_anchor=False,
+        grouping_attributes=("gender", "age_group"),
+    )
+    candidates = CandidateEnumerator.from_config(toy_story_slice, config).enumerate()
+    return SimilarityProblem(toy_story_slice, candidates, config)
+
+
+class TestExhaustive:
+    def test_finds_a_feasible_selection(self, small_problem):
+        result = ExhaustiveSolver().solve(small_problem)
+        assert result.feasible
+        assert result.solver == "exhaustive"
+
+    def test_is_at_least_as_good_as_every_other_solver(self, small_problem):
+        optimal = ExhaustiveSolver().solve(small_problem)
+        for solver in (
+            GreedyCoverageSolver(),
+            TopKBySizeSolver(),
+            RandomSolver(seed=3),
+            RandomizedHillExploration(seed=3),
+        ):
+            other = solver.solve(small_problem)
+            if other.feasible:
+                assert optimal.objective >= other.objective - 1e-9
+
+    def test_selection_count_formula(self):
+        solver = ExhaustiveSolver()
+        # C(5,1) + C(5,2) = 5 + 10
+        assert solver.count_selections(5, 2) == 15
+        assert solver.count_selections(4, 4) == 15
+
+    def test_safety_cap_prevents_blowups(self, toy_story_slice, toy_story_candidates, mining_config):
+        big_problem = SimilarityProblem(toy_story_slice, toy_story_candidates, mining_config)
+        capped = ExhaustiveSolver(max_evaluations=10)
+        if capped.count_selections(len(big_problem.candidates), big_problem.max_groups) > 10:
+            with pytest.raises(MiningError):
+                capped.solve(big_problem)
+
+
+class TestGreedy:
+    def test_produces_a_selection_within_the_group_budget(self, small_problem):
+        result = GreedyCoverageSolver().solve(small_problem)
+        assert 1 <= len(result.groups) <= small_problem.max_groups
+        assert result.solver == "greedy"
+
+    def test_greedy_is_feasible_on_the_small_instance(self, small_problem):
+        assert GreedyCoverageSolver().solve(small_problem).feasible
+
+
+class TestTopKBySize:
+    def test_picks_the_largest_candidates(self, small_problem):
+        result = TopKBySizeSolver().solve(small_problem)
+        sizes = sorted((g.size for g in small_problem.candidates), reverse=True)
+        expected = sizes[: small_problem.max_groups]
+        assert sorted((g.size for g in result.groups), reverse=True) == expected
+
+
+class TestRandom:
+    def test_deterministic_for_a_seed(self, small_problem):
+        first = RandomSolver(seed=7).solve(small_problem)
+        second = RandomSolver(seed=7).solve(small_problem)
+        assert [g.descriptor for g in first.groups] == [g.descriptor for g in second.groups]
+
+    def test_more_attempts_never_hurt(self, small_problem):
+        one = RandomSolver(seed=5, attempts=1).solve(small_problem)
+        many = RandomSolver(seed=5, attempts=16).solve(small_problem)
+        assert small_problem.penalized_objective(many.groups) >= (
+            small_problem.penalized_objective(one.groups) - 1e-9
+        )
+
+
+class TestLineup:
+    def test_all_baselines_returns_the_four_reference_solvers(self):
+        names = {solver.name for solver in all_baselines()}
+        assert names == {"exhaustive", "greedy", "top_k_by_size", "random"}

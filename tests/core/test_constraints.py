@@ -1,0 +1,140 @@
+"""Tests for the meaningfulness constraints and the constraint set."""
+
+import pytest
+
+from repro.config import MiningConfig
+from repro.core.constraints import (
+    ConstraintSet,
+    DescriptionLengthConstraint,
+    GeoAnchorConstraint,
+    MaxGroupsConstraint,
+    MinCoverageConstraint,
+    MinSupportConstraint,
+)
+from repro.core.groups import Group, GroupDescriptor
+from repro.errors import ConstraintError
+
+
+def _groups(toy_story_slice, *pair_dicts):
+    groups = []
+    for pairs in pair_dicts:
+        descriptor = GroupDescriptor.from_dict(pairs)
+        mask = None
+        for attribute, value in pairs.items():
+            value_mask = toy_story_slice.mask_for(attribute, value)
+            mask = value_mask if mask is None else (mask & value_mask)
+        groups.append(Group.from_mask(descriptor, toy_story_slice, mask))
+    return groups
+
+
+class TestMaxGroups:
+    def test_within_limit(self, toy_story_slice):
+        constraint = MaxGroupsConstraint(2)
+        groups = _groups(toy_story_slice, {"gender": "M"}, {"gender": "F"})
+        assert constraint.check(groups, len(toy_story_slice))
+        assert constraint.violation(groups, len(toy_story_slice)) is None
+        assert constraint.penalty(groups, len(toy_story_slice)) == 0.0
+
+    def test_above_limit_and_empty(self, toy_story_slice):
+        constraint = MaxGroupsConstraint(1)
+        groups = _groups(toy_story_slice, {"gender": "M"}, {"gender": "F"})
+        assert not constraint.check(groups, len(toy_story_slice))
+        assert "allowed" in constraint.violation(groups, len(toy_story_slice))
+        assert constraint.penalty(groups, len(toy_story_slice)) > 0
+        assert not constraint.check([], len(toy_story_slice))
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConstraintError):
+            MaxGroupsConstraint(0)
+
+
+class TestMinCoverage:
+    def test_full_gender_partition_covers_everything(self, toy_story_slice):
+        constraint = MinCoverageConstraint(0.99)
+        groups = _groups(toy_story_slice, {"gender": "M"}, {"gender": "F"})
+        assert constraint.check(groups, len(toy_story_slice))
+
+    def test_small_group_fails_high_coverage(self, toy_story_slice):
+        constraint = MinCoverageConstraint(0.9)
+        groups = _groups(toy_story_slice, {"state": "CA"})
+        assert not constraint.check(groups, len(toy_story_slice))
+        assert "coverage" in constraint.violation(groups, len(toy_story_slice))
+        penalty = constraint.penalty(groups, len(toy_story_slice))
+        assert 0 < penalty <= 0.9
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConstraintError):
+            MinCoverageConstraint(1.5)
+
+
+class TestDescriptionLength:
+    def test_short_descriptions_pass(self, toy_story_slice):
+        constraint = DescriptionLengthConstraint(2)
+        groups = _groups(toy_story_slice, {"gender": "M", "state": "CA"})
+        assert constraint.check(groups, len(toy_story_slice))
+
+    def test_long_description_fails(self, toy_story_slice):
+        constraint = DescriptionLengthConstraint(1)
+        groups = _groups(toy_story_slice, {"gender": "M", "state": "CA"})
+        assert not constraint.check(groups, len(toy_story_slice))
+        assert constraint.penalty(groups, len(toy_story_slice)) > 0
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConstraintError):
+            DescriptionLengthConstraint(0)
+
+
+class TestMinSupport:
+    def test_support_threshold(self, toy_story_slice):
+        groups = _groups(toy_story_slice, {"gender": "M"})
+        assert MinSupportConstraint(1).check(groups, len(toy_story_slice))
+        huge = MinSupportConstraint(10_000)
+        assert not huge.check(groups, len(toy_story_slice))
+        assert huge.penalty(groups, len(toy_story_slice)) == 1.0
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConstraintError):
+            MinSupportConstraint(0)
+
+
+class TestGeoAnchor:
+    def test_anchored_groups_pass(self, toy_story_slice):
+        constraint = GeoAnchorConstraint()
+        groups = _groups(toy_story_slice, {"gender": "M", "state": "CA"})
+        assert constraint.check(groups, len(toy_story_slice))
+
+    def test_unanchored_group_fails_with_named_violation(self, toy_story_slice):
+        constraint = GeoAnchorConstraint()
+        groups = _groups(toy_story_slice, {"gender": "M"})
+        assert not constraint.check(groups, len(toy_story_slice))
+        assert "state" in constraint.violation(groups, len(toy_story_slice))
+        assert constraint.penalty(groups, len(toy_story_slice)) == 1.0
+
+
+class TestConstraintSet:
+    def test_from_config_includes_geo_anchor_when_required(self, mining_config):
+        constraint_set = ConstraintSet.from_config(mining_config)
+        names = {type(c).__name__ for c in constraint_set}
+        assert "GeoAnchorConstraint" in names
+        assert len(constraint_set) == 5
+
+    def test_from_config_without_geo_anchor(self):
+        config = MiningConfig(require_geo_anchor=False)
+        names = {type(c).__name__ for c in ConstraintSet.from_config(config)}
+        assert "GeoAnchorConstraint" not in names
+
+    def test_feasibility_and_violations(self, toy_story_slice, mining_config):
+        constraint_set = ConstraintSet.from_config(mining_config)
+        good = _groups(
+            toy_story_slice,
+            {"gender": "M", "state": "CA"},
+            {"state": "NY"},
+            {"state": "TX"},
+        )
+        bad = _groups(toy_story_slice, {"gender": "M"})
+        total = len(toy_story_slice)
+        # violations() and is_feasible() must always agree.
+        assert (constraint_set.violations(good, total) == []) == constraint_set.is_feasible(good, total)
+        assert not constraint_set.is_feasible(bad, total)
+        assert constraint_set.violations(bad, total)
+        assert constraint_set.penalty(bad, total) > 0

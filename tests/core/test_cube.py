@@ -1,0 +1,103 @@
+"""Tests for data-cube candidate enumeration with support pruning."""
+
+import pytest
+
+from repro.config import MiningConfig
+from repro.core.cube import CandidateEnumerator, enumerate_candidates
+from repro.errors import MiningError
+
+
+class TestEnumeration:
+    def test_all_candidates_meet_the_support_threshold(self, toy_story_slice):
+        enumerator = CandidateEnumerator(toy_story_slice, min_support=5)
+        for group in enumerator.enumerate():
+            assert group.size >= 5
+
+    def test_all_candidates_respect_the_description_limit(self, toy_story_slice):
+        enumerator = CandidateEnumerator(toy_story_slice, max_description_length=2, min_support=3)
+        assert all(len(g.descriptor) <= 2 for g in enumerator.enumerate())
+
+    def test_no_duplicate_descriptors(self, toy_story_slice):
+        groups = CandidateEnumerator(toy_story_slice, min_support=3).enumerate()
+        descriptors = [g.descriptor for g in groups]
+        assert len(descriptors) == len(set(descriptors))
+
+    def test_single_pair_groups_match_value_counts(self, toy_story_slice):
+        groups = CandidateEnumerator(
+            toy_story_slice,
+            grouping_attributes=("gender",),
+            max_description_length=1,
+            min_support=1,
+        ).enumerate()
+        by_value = {g.descriptor.value_of("gender"): g.size for g in groups}
+        for value, size in by_value.items():
+            assert size == int(toy_story_slice.mask_for("gender", value).sum())
+        assert sum(by_value.values()) == len(toy_story_slice)
+
+    def test_lower_support_yields_at_least_as_many_candidates(self, toy_story_slice):
+        strict = CandidateEnumerator(toy_story_slice, min_support=10).enumerate()
+        relaxed = CandidateEnumerator(toy_story_slice, min_support=3).enumerate()
+        assert len(relaxed) >= len(strict)
+
+    def test_longer_descriptions_yield_at_least_as_many_candidates(self, toy_story_slice):
+        short = CandidateEnumerator(toy_story_slice, max_description_length=1, min_support=3).enumerate()
+        longer = CandidateEnumerator(toy_story_slice, max_description_length=3, min_support=3).enumerate()
+        assert len(longer) >= len(short)
+
+    def test_geo_anchor_keeps_only_state_constrained_groups(self, toy_story_slice):
+        anchored = CandidateEnumerator(
+            toy_story_slice, min_support=3, require_geo_anchor=True
+        ).enumerate()
+        assert anchored
+        assert all(g.descriptor.has_attribute("state") for g in anchored)
+
+    def test_empty_slice_yields_no_candidates(self, tiny_store):
+        empty = tiny_store.slice_for_items([999999], allow_empty=True)
+        assert CandidateEnumerator(empty, min_support=1).enumerate() == []
+
+    def test_candidate_sizes_never_exceed_slice_size(self, toy_story_slice):
+        for group in CandidateEnumerator(toy_story_slice, min_support=3).enumerate():
+            assert group.size <= len(toy_story_slice)
+
+    def test_specialisations_are_never_larger_than_their_parents(self, toy_story_slice):
+        groups = CandidateEnumerator(toy_story_slice, min_support=3).enumerate()
+        by_descriptor = {g.descriptor: g for g in groups}
+        for group in groups:
+            for attribute in group.descriptor.attributes():
+                parent = group.descriptor.without_attribute(attribute)
+                if len(parent) and parent in by_descriptor:
+                    assert group.size <= by_descriptor[parent].size
+
+    def test_enumeration_stats_track_pruning(self, toy_story_slice):
+        enumerator = CandidateEnumerator(toy_story_slice, min_support=5)
+        groups = enumerator.enumerate()
+        stats = enumerator.stats()
+        assert stats.explored >= len(groups)
+        assert stats.pruned_by_support >= 0
+
+
+class TestValidation:
+    def test_invalid_parameters_rejected(self, toy_story_slice):
+        with pytest.raises(MiningError):
+            CandidateEnumerator(toy_story_slice, max_description_length=0)
+        with pytest.raises(MiningError):
+            CandidateEnumerator(toy_story_slice, min_support=0)
+
+    def test_geo_anchor_requires_state_attribute(self, toy_story_slice):
+        with pytest.raises(MiningError):
+            CandidateEnumerator(
+                toy_story_slice,
+                grouping_attributes=("gender",),
+                require_geo_anchor=True,
+            )
+
+    def test_from_config_uses_config_values(self, toy_story_slice, mining_config):
+        enumerator = CandidateEnumerator.from_config(toy_story_slice, mining_config)
+        assert enumerator.min_support == mining_config.min_group_support
+        assert enumerator.max_description_length == mining_config.max_description_length
+        assert enumerator.require_geo_anchor == mining_config.require_geo_anchor
+
+    def test_enumerate_candidates_wrapper(self, toy_story_slice, mining_config):
+        groups = enumerate_candidates(toy_story_slice, mining_config)
+        assert groups
+        assert all(g.size >= mining_config.min_group_support for g in groups)

@@ -1,0 +1,88 @@
+"""Tests for the explanation / interpretation result objects."""
+
+import pytest
+
+from repro.core.explanation import Explanation, GroupExplanation, MiningResult, QuerySummary
+from repro.core.groups import Group, GroupDescriptor
+from repro.core.problems import SimilarityProblem
+from repro.core.rhe import RandomizedHillExploration
+
+
+@pytest.fixture(scope="module")
+def solve_result(toy_story_slice, toy_story_candidates, mining_config):
+    problem = SimilarityProblem(toy_story_slice, toy_story_candidates, mining_config)
+    return RandomizedHillExploration(seed=1).solve(problem)
+
+
+class TestGroupExplanation:
+    def test_from_group_matches_group_statistics(self, toy_story_slice):
+        descriptor = GroupDescriptor.from_dict({"gender": "M", "state": "CA"})
+        mask = toy_story_slice.mask_for("gender", "M") & toy_story_slice.mask_for("state", "CA")
+        group = Group.from_mask(descriptor, toy_story_slice, mask)
+        explanation = GroupExplanation.from_group(group, toy_story_slice, len(toy_story_slice))
+        assert explanation.size == group.size
+        assert explanation.average_rating == pytest.approx(group.mean, abs=1e-3)
+        assert explanation.state == "CA"
+        assert sum(explanation.score_histogram.values()) == group.size
+
+    def test_to_dict_is_json_friendly(self, toy_story_slice):
+        descriptor = GroupDescriptor.from_dict({"state": "CA"})
+        group = Group.from_mask(
+            descriptor, toy_story_slice, toy_story_slice.mask_for("state", "CA")
+        )
+        payload = GroupExplanation.from_group(group, toy_story_slice, len(toy_story_slice)).to_dict()
+        assert payload["label"] == "reviewers from California"
+        assert isinstance(payload["score_histogram"], dict)
+        assert all(isinstance(key, str) for key in payload["score_histogram"])
+
+
+class TestExplanation:
+    def test_from_solve_result_wraps_all_groups(self, solve_result, toy_story_slice):
+        explanation = Explanation.from_solve_result("similarity", solve_result, toy_story_slice)
+        assert explanation.task == "similarity"
+        assert len(explanation.groups) == len(solve_result.groups)
+        assert explanation.solver == "rhe"
+        assert explanation.feasible == solve_result.feasible
+        assert 0 <= explanation.coverage <= 1
+
+    def test_group_for_state(self, solve_result, toy_story_slice):
+        explanation = Explanation.from_solve_result("similarity", solve_result, toy_story_slice)
+        state = explanation.groups[0].state
+        assert explanation.group_for_state(state) is explanation.groups[0]
+        assert explanation.group_for_state("ZZ") is None
+
+    def test_labels_and_to_dict(self, solve_result, toy_story_slice):
+        explanation = Explanation.from_solve_result("similarity", solve_result, toy_story_slice)
+        assert explanation.labels() == [g.label for g in explanation.groups]
+        payload = explanation.to_dict()
+        assert payload["task"] == "similarity"
+        assert len(payload["groups"]) == len(explanation.groups)
+
+
+class TestMiningResult:
+    def test_explanation_lookup_by_task(self, tiny_miner):
+        result = tiny_miner.explain_title("Toy Story")
+        assert result.explanation_for("similarity") is result.similarity
+        assert result.explanation_for("diversity") is result.diversity
+        with pytest.raises(KeyError):
+            result.explanation_for("serendipity")
+
+    def test_query_summary_reflects_the_input(self, tiny_miner, tiny_dataset):
+        result = tiny_miner.explain_title("Toy Story")
+        assert result.query.item_titles == ("Toy Story",)
+        item_id = tiny_dataset.items_by_title("Toy Story")[0].item_id
+        assert result.query.item_ids == (item_id,)
+        assert result.query.num_ratings > 0
+        assert 1 <= result.query.average_rating <= 5
+
+    def test_to_dict_round_trips_through_json(self, tiny_miner):
+        import json
+
+        result = tiny_miner.explain_title("Toy Story")
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["query"]["item_titles"] == ["Toy Story"]
+        assert {"similarity", "diversity"} <= set(payload)
+
+    def test_elapsed_time_recorded(self, tiny_miner):
+        result = tiny_miner.explain_title("Toy Story")
+        assert result.elapsed_seconds > 0

@@ -1,0 +1,159 @@
+"""Tests for group descriptors and materialised groups."""
+
+import numpy as np
+import pytest
+
+from repro.core.groups import Group, GroupDescriptor
+from repro.errors import MiningError
+
+
+class TestDescriptorConstruction:
+    def test_pairs_are_normalised_to_sorted_order(self):
+        descriptor = GroupDescriptor((("state", "CA"), ("gender", "M")))
+        assert descriptor.pairs == (("gender", "M"), ("state", "CA"))
+
+    def test_equality_ignores_pair_order(self):
+        first = GroupDescriptor((("state", "CA"), ("gender", "M")))
+        second = GroupDescriptor((("gender", "M"), ("state", "CA")))
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(MiningError):
+            GroupDescriptor((("gender", "M"), ("gender", "F")))
+
+    def test_from_dict_and_as_dict_roundtrip(self):
+        pairs = {"gender": "F", "state": "NY"}
+        descriptor = GroupDescriptor.from_dict(pairs)
+        assert descriptor.as_dict() == pairs
+
+    def test_empty_descriptor(self):
+        descriptor = GroupDescriptor.empty()
+        assert len(descriptor) == 0
+        assert descriptor.label() == "all reviewers"
+
+
+class TestDescriptorStructure:
+    def test_value_lookup(self):
+        descriptor = GroupDescriptor.from_dict({"gender": "M", "state": "CA"})
+        assert descriptor.value_of("gender") == "M"
+        assert descriptor.value_of("occupation") is None
+        assert descriptor.has_attribute("state")
+
+    def test_with_pair_extends_and_rejects_duplicates(self):
+        descriptor = GroupDescriptor.from_dict({"gender": "M"})
+        extended = descriptor.with_pair("state", "CA")
+        assert extended.has_attribute("state")
+        assert len(extended) == 2
+        with pytest.raises(MiningError):
+            extended.with_pair("gender", "F")
+
+    def test_without_attribute_generalises(self):
+        descriptor = GroupDescriptor.from_dict({"gender": "M", "state": "CA"})
+        reduced = descriptor.without_attribute("state")
+        assert reduced.as_dict() == {"gender": "M"}
+
+    def test_generalizes_and_specializes(self):
+        general = GroupDescriptor.from_dict({"gender": "M"})
+        specific = GroupDescriptor.from_dict({"gender": "M", "state": "CA"})
+        assert general.generalizes(specific)
+        assert specific.specializes(general)
+        assert not specific.generalizes(general)
+
+    def test_matches_reviewer_attributes(self):
+        descriptor = GroupDescriptor.from_dict({"gender": "M", "state": "CA"})
+        assert descriptor.matches({"gender": "M", "state": "CA", "age_group": "25-34"})
+        assert not descriptor.matches({"gender": "F", "state": "CA"})
+
+    def test_geo_helpers(self):
+        anchored = GroupDescriptor.from_dict({"gender": "M", "state": "CA"})
+        assert anchored.has_geo_anchor()
+        assert anchored.state == "CA"
+        unanchored = GroupDescriptor.from_dict({"gender": "M"})
+        assert not unanchored.has_geo_anchor()
+        assert unanchored.state is None
+
+
+class TestDescriptorLabels:
+    def test_paper_style_label_for_state_and_gender(self):
+        descriptor = GroupDescriptor.from_dict({"gender": "M", "state": "CA"})
+        assert descriptor.label() == "male reviewers from California"
+
+    def test_label_with_age_occupation_and_city(self):
+        descriptor = GroupDescriptor.from_dict(
+            {
+                "gender": "F",
+                "age_group": "Under 18",
+                "occupation": "K-12 student",
+                "state": "NY",
+            }
+        )
+        label = descriptor.label()
+        assert label.startswith("female K-12 student reviewers under 18")
+        assert label.endswith("from New York")
+
+    def test_short_label_lists_pairs(self):
+        descriptor = GroupDescriptor.from_dict({"gender": "M", "state": "CA"})
+        assert descriptor.short_label() == "gender=M, state=CA"
+        assert GroupDescriptor.empty().short_label() == "<all>"
+
+    def test_descriptors_are_orderable(self):
+        descriptors = [
+            GroupDescriptor.from_dict({"state": "NY"}),
+            GroupDescriptor.from_dict({"gender": "M"}),
+        ]
+        assert sorted(descriptors)[0].has_attribute("gender")
+
+
+class TestGroupMaterialisation:
+    def test_from_mask_computes_statistics(self, toy_story_slice):
+        descriptor = GroupDescriptor.from_dict({"gender": "M"})
+        mask = toy_story_slice.mask_for("gender", "M")
+        group = Group.from_mask(descriptor, toy_story_slice, mask)
+        scores = toy_story_slice.scores[mask]
+        assert group.size == int(mask.sum())
+        assert group.mean == pytest.approx(float(scores.mean()))
+        assert group.error == pytest.approx(float(((scores - scores.mean()) ** 2).sum()))
+        assert group.variance == pytest.approx(group.error / group.size)
+
+    def test_empty_group_has_zero_statistics(self, toy_story_slice):
+        descriptor = GroupDescriptor.from_dict({"state": "XX"})
+        mask = np.zeros(len(toy_story_slice), dtype=bool)
+        group = Group.from_mask(descriptor, toy_story_slice, mask)
+        assert group.size == 0
+        assert group.mean == 0.0
+        assert group.variance == 0.0
+
+    def test_coverage_fraction(self, toy_story_slice):
+        descriptor = GroupDescriptor.from_dict({"gender": "F"})
+        group = Group.from_mask(
+            descriptor, toy_story_slice, toy_story_slice.mask_for("gender", "F")
+        )
+        assert group.coverage_fraction(len(toy_story_slice)) == pytest.approx(
+            group.size / len(toy_story_slice)
+        )
+        assert group.coverage_fraction(0) == 0.0
+
+    def test_groups_compare_by_descriptor(self, toy_story_slice):
+        descriptor = GroupDescriptor.from_dict({"gender": "M"})
+        first = Group.from_mask(
+            descriptor, toy_story_slice, toy_story_slice.mask_for("gender", "M")
+        )
+        second = Group.from_mask(
+            descriptor, toy_story_slice, toy_story_slice.mask_for("gender", "M")
+        )
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_describe_contains_display_fields(self, toy_story_slice):
+        descriptor = GroupDescriptor.from_dict({"gender": "M", "state": "CA"})
+        group = Group.from_mask(
+            descriptor,
+            toy_story_slice,
+            toy_story_slice.mask_for("gender", "M")
+            & toy_story_slice.mask_for("state", "CA"),
+        )
+        info = group.describe(total=len(toy_story_slice))
+        assert info["label"] == "male reviewers from California"
+        assert info["state"] == "CA"
+        assert 0 <= info["coverage"] <= 1

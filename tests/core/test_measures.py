@@ -1,0 +1,126 @@
+"""Tests for the Similarity/Diversity objective measures."""
+
+import numpy as np
+import pytest
+
+from repro.core.groups import Group, GroupDescriptor
+from repro.core.measures import (
+    coverage,
+    covered_positions,
+    diversity_objective,
+    min_pairwise_disagreement,
+    normalized_within_group_error,
+    pairwise_disagreement,
+    selection_summary,
+    similarity_objective,
+    within_group_error,
+)
+from repro.data.model import Item, Rating, RatingDataset, Reviewer
+from repro.data.storage import RatingStore
+
+
+def _slice_with_scores(groups_scores):
+    """Build a slice where reviewer 'state' encodes group membership.
+
+    ``groups_scores`` maps a state code to the list of scores its reviewers
+    give, which makes hand-computing the measures trivial.
+    """
+    reviewers, ratings = [], []
+    reviewer_id = 0
+    for state, scores in groups_scores.items():
+        for score in scores:
+            reviewer_id += 1
+            reviewers.append(
+                Reviewer(reviewer_id, "M", 25, "programmer", "00000", state=state, city=state)
+            )
+            ratings.append(Rating(1, reviewer_id, float(score)))
+    dataset = RatingDataset(reviewers, [Item(1, "X")], ratings, validate=False)
+    return RatingStore(dataset).slice_for_items([1])
+
+
+def _group(rating_slice, state):
+    descriptor = GroupDescriptor.from_dict({"state": state})
+    return Group.from_mask(descriptor, rating_slice, rating_slice.mask_for("state", state))
+
+
+@pytest.fixture(scope="module")
+def three_group_slice():
+    return _slice_with_scores(
+        {"AA": [5, 5, 5, 5], "BB": [1, 1, 1, 1], "CC": [3, 3, 4, 4]}
+    )
+
+
+class TestCoverage:
+    def test_disjoint_groups_add_up(self, three_group_slice):
+        groups = [_group(three_group_slice, "AA"), _group(three_group_slice, "BB")]
+        assert coverage(groups, len(three_group_slice)) == pytest.approx(8 / 12)
+
+    def test_union_deduplicates_overlap(self, three_group_slice):
+        group = _group(three_group_slice, "AA")
+        assert coverage([group, group], len(three_group_slice)) == pytest.approx(4 / 12)
+
+    def test_empty_selection_and_zero_total(self, three_group_slice):
+        assert coverage([], len(three_group_slice)) == 0.0
+        assert coverage([_group(three_group_slice, "AA")], 0) == 0.0
+        assert covered_positions([]).shape == (0,)
+
+
+class TestWithinGroupError:
+    def test_constant_groups_have_zero_error(self, three_group_slice):
+        groups = [_group(three_group_slice, "AA"), _group(three_group_slice, "BB")]
+        assert within_group_error(groups) == 0.0
+        assert normalized_within_group_error(groups) == 0.0
+
+    def test_mixed_group_error_matches_hand_computation(self, three_group_slice):
+        group = _group(three_group_slice, "CC")
+        # scores 3,3,4,4 → mean 3.5 → error 4 * 0.25 = 1.0
+        assert within_group_error([group]) == pytest.approx(1.0)
+        assert normalized_within_group_error([group]) == pytest.approx(0.25)
+
+    def test_empty_selection(self):
+        assert within_group_error([]) == 0.0
+        assert normalized_within_group_error([]) == 0.0
+
+
+class TestDisagreement:
+    def test_pairwise_disagreement_mean_of_gaps(self, three_group_slice):
+        groups = [
+            _group(three_group_slice, "AA"),  # mean 5
+            _group(three_group_slice, "BB"),  # mean 1
+            _group(three_group_slice, "CC"),  # mean 3.5
+        ]
+        expected = (abs(5 - 1) + abs(5 - 3.5) + abs(1 - 3.5)) / 3
+        assert pairwise_disagreement(groups) == pytest.approx(expected)
+        assert min_pairwise_disagreement(groups) == pytest.approx(1.5)
+
+    def test_single_group_has_no_disagreement(self, three_group_slice):
+        assert pairwise_disagreement([_group(three_group_slice, "AA")]) == 0.0
+        assert min_pairwise_disagreement([_group(three_group_slice, "AA")]) == 0.0
+
+
+class TestObjectives:
+    def test_similarity_prefers_consistent_groups(self, three_group_slice):
+        consistent = [_group(three_group_slice, "AA"), _group(three_group_slice, "BB")]
+        noisy = [_group(three_group_slice, "CC")]
+        assert similarity_objective(consistent) > similarity_objective(noisy)
+        assert similarity_objective(consistent) == pytest.approx(0.0)
+
+    def test_diversity_prefers_far_apart_groups(self, three_group_slice):
+        polarised = [_group(three_group_slice, "AA"), _group(three_group_slice, "BB")]
+        close = [_group(three_group_slice, "AA"), _group(three_group_slice, "CC")]
+        assert diversity_objective(polarised) > diversity_objective(close)
+
+    def test_diversity_penalty_reduces_the_objective(self, three_group_slice):
+        groups = [_group(three_group_slice, "AA"), _group(three_group_slice, "CC")]
+        assert diversity_objective(groups, penalty=1.0) < diversity_objective(groups, penalty=0.0)
+
+    def test_empty_selection_is_worst_possible(self):
+        assert similarity_objective([]) == float("-inf")
+        assert diversity_objective([]) == float("-inf")
+
+    def test_selection_summary_fields(self, three_group_slice):
+        groups = [_group(three_group_slice, "AA"), _group(three_group_slice, "BB")]
+        summary = selection_summary(groups, len(three_group_slice))
+        assert summary["num_groups"] == 2
+        assert summary["coverage"] == pytest.approx(8 / 12, abs=1e-3)
+        assert summary["group_sizes"] == [4, 4]

@@ -1,0 +1,93 @@
+"""Tests for the Similarity/Diversity optimisation problem objects."""
+
+import pytest
+
+from repro.config import MiningConfig
+from repro.core.problems import DiversityProblem, SimilarityProblem
+from repro.errors import InfeasibleProblemError, MiningError
+
+
+@pytest.fixture(scope="module")
+def problems(toy_story_slice, toy_story_candidates, mining_config):
+    similarity = SimilarityProblem(toy_story_slice, toy_story_candidates, mining_config)
+    diversity = DiversityProblem(toy_story_slice, toy_story_candidates, mining_config)
+    return similarity, diversity
+
+
+class TestConstruction:
+    def test_from_slice_enumerates_candidates(self, toy_story_slice, mining_config):
+        problem = SimilarityProblem.from_slice(toy_story_slice, mining_config)
+        assert problem.candidates
+        assert problem.total_ratings == len(toy_story_slice)
+        assert problem.max_groups == mining_config.max_groups
+
+    def test_empty_slice_rejected(self, tiny_store, mining_config):
+        empty = tiny_store.slice_for_items([999999], allow_empty=True)
+        with pytest.raises(MiningError):
+            SimilarityProblem(empty, [], mining_config)
+
+    def test_from_slice_with_impossible_support_raises(self, toy_story_slice):
+        config = MiningConfig(min_group_support=10_000, min_coverage=0.1)
+        with pytest.raises(InfeasibleProblemError):
+            SimilarityProblem.from_slice(toy_story_slice, config)
+
+    def test_describe_reports_problem_shape(self, problems):
+        similarity, _ = problems
+        info = similarity.describe()
+        assert info["task"] == "similarity"
+        assert info["candidates"] == len(similarity.candidates)
+
+
+class TestObjectives:
+    def test_similarity_objective_matches_measures(self, problems):
+        similarity, _ = problems
+        selection = similarity.candidates[:3]
+        from repro.core.measures import similarity_objective
+
+        assert similarity.objective(selection) == pytest.approx(
+            similarity_objective(selection)
+        )
+
+    def test_diversity_objective_uses_config_penalty(self, toy_story_slice, toy_story_candidates):
+        selection = toy_story_candidates[:3]
+        no_penalty = DiversityProblem(
+            toy_story_slice,
+            toy_story_candidates,
+            MiningConfig(min_group_support=3, min_coverage=0.2, diversity_penalty=0.0),
+        )
+        heavy_penalty = DiversityProblem(
+            toy_story_slice,
+            toy_story_candidates,
+            MiningConfig(min_group_support=3, min_coverage=0.2, diversity_penalty=5.0),
+        )
+        assert no_penalty.objective(selection) >= heavy_penalty.objective(selection)
+
+    def test_penalized_objective_equals_objective_when_feasible(self, problems):
+        similarity, _ = problems
+        feasible = None
+        # Find some feasible selection among large candidates.
+        big = sorted(similarity.candidates, key=lambda g: -g.size)[: similarity.max_groups]
+        if similarity.is_feasible(big):
+            feasible = big
+        if feasible is not None:
+            assert similarity.penalized_objective(feasible) == pytest.approx(
+                similarity.objective(feasible)
+            )
+
+    def test_penalized_objective_punishes_infeasible_selections(self, problems):
+        similarity, _ = problems
+        tiny_selection = [min(similarity.candidates, key=lambda g: g.size)]
+        if not similarity.is_feasible(tiny_selection):
+            assert similarity.penalized_objective(tiny_selection) < similarity.objective(
+                tiny_selection
+            )
+
+    def test_empty_selection_is_minus_infinity(self, problems):
+        similarity, diversity = problems
+        assert similarity.penalized_objective([]) == float("-inf")
+        assert diversity.penalized_objective([]) == float("-inf")
+
+    def test_violations_listed_for_infeasible_selection(self, problems):
+        similarity, _ = problems
+        too_many = similarity.candidates[: similarity.max_groups + 2]
+        assert similarity.violations(too_many)

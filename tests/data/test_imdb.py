@@ -1,0 +1,62 @@
+"""Tests for the synthetic IMDB enrichment."""
+
+from repro.data.imdb import KNOWN_CREDITS, SyntheticImdbCatalog, enrich_with_imdb
+from repro.data.model import Item, Rating, RatingDataset, Reviewer
+
+
+class TestCredits:
+    def test_known_titles_get_their_real_credits(self):
+        catalog = SyntheticImdbCatalog()
+        item = Item(1, "Saving Private Ryan", 1998)
+        actors, directors = catalog.credits_for(item)
+        assert "Tom Hanks" in actors
+        assert directors == ("Steven Spielberg",)
+
+    def test_unknown_titles_get_deterministic_pool_credits(self):
+        catalog = SyntheticImdbCatalog()
+        item = Item(42, "Synthetic Movie 0042", 2001)
+        first = catalog.credits_for(item)
+        second = catalog.credits_for(item)
+        assert first == second
+        assert len(first[0]) == 2 and len(first[1]) == 1
+
+    def test_different_items_generally_get_different_credits(self):
+        catalog = SyntheticImdbCatalog()
+        credits = {
+            catalog.credits_for(Item(item_id, f"Movie {item_id}")) for item_id in range(1, 30)
+        }
+        assert len(credits) > 5
+
+    def test_enrich_preserves_existing_credits(self):
+        catalog = SyntheticImdbCatalog()
+        item = Item(5, "Custom", actors=("Someone",), directors=("Someone Else",))
+        assert catalog.enrich(item) is item
+
+    def test_enrich_fills_missing_credits(self):
+        catalog = SyntheticImdbCatalog()
+        enriched = catalog.enrich(Item(5, "Custom"))
+        assert enriched.actors and enriched.directors
+
+    def test_catalog_listings(self):
+        catalog = SyntheticImdbCatalog()
+        items = [Item(i, f"Movie {i}") for i in range(1, 10)]
+        assert catalog.directors_in_catalog(items)
+        assert catalog.actors_in_catalog(items)
+
+
+class TestDatasetEnrichment:
+    def test_enrich_with_imdb_returns_new_dataset_with_credits(self):
+        reviewers = [Reviewer(1, "M", 25, "programmer", "94110", state="CA", city="SF")]
+        items = [Item(1, "Jurassic Park", 1993), Item(2, "Some Indie Film", 2001)]
+        ratings = [Rating(1, 1, 4.0), Rating(2, 1, 3.0)]
+        dataset = RatingDataset(reviewers, items, ratings)
+        enriched = enrich_with_imdb(dataset)
+        assert enriched.item(1).directors == ("Steven Spielberg",)
+        assert enriched.item(2).actors
+        # The original dataset is untouched.
+        assert dataset.item(2).actors == ()
+
+    def test_every_known_credit_title_has_actor_and_director(self):
+        for title, (actors, directors) in KNOWN_CREDITS.items():
+            assert actors, title
+            assert directors, title

@@ -1,0 +1,166 @@
+"""Tests for the ⟨I, U, R⟩ data model."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.data.model import Item, Rating, RatingDataset, Reviewer
+from repro.errors import DataError
+
+
+def _reviewer(reviewer_id=1, **overrides):
+    defaults = dict(
+        reviewer_id=reviewer_id,
+        gender="M",
+        age=25,
+        occupation="programmer",
+        zipcode="94110",
+        state="CA",
+        city="San Francisco",
+    )
+    defaults.update(overrides)
+    return Reviewer(**defaults)
+
+
+def _small_dataset():
+    reviewers = [
+        _reviewer(1),
+        _reviewer(2, gender="F", age=1, state="NY", city="New York", zipcode="10001"),
+    ]
+    items = [
+        Item(item_id=10, title="Alpha", year=1999, genres=("Drama",)),
+        Item(item_id=20, title="Beta", year=2001, genres=("Comedy", "Romance")),
+    ]
+    ratings = [
+        Rating(10, 1, 4.0, timestamp=978307200),   # 2001-01-01
+        Rating(10, 2, 2.0, timestamp=1009843200),  # 2002-01-01
+        Rating(20, 1, 5.0, timestamp=1041379200),  # 2003-01-01
+    ]
+    return RatingDataset(reviewers, items, ratings, name="unit")
+
+
+class TestReviewer:
+    def test_age_group_is_derived_from_age_code(self):
+        assert _reviewer(age=1).age_group == "Under 18"
+        assert _reviewer(age=25).age_group == "25-34"
+
+    def test_attribute_access_by_name(self):
+        reviewer = _reviewer()
+        assert reviewer.attribute("gender") == "M"
+        assert reviewer.attribute("age_group") == "25-34"
+        assert reviewer.attribute("state") == "CA"
+        assert reviewer.attribute("city") == "San Francisco"
+        assert reviewer.attribute("zipcode") == "94110"
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(DataError):
+            _reviewer().attribute("height")
+
+    def test_attributes_returns_requested_subset(self):
+        values = _reviewer().attributes(["gender", "state"])
+        assert values == {"gender": "M", "state": "CA"}
+
+
+class TestItem:
+    def test_multivalued_attributes(self):
+        item = Item(1, "Gamma", 2000, genres=("Drama", "War"), actors=("A", "B"), directors=("D",))
+        assert item.attribute_values("genre") == ("Drama", "War")
+        assert item.attribute_values("actor") == ("A", "B")
+        assert item.attribute_values("director") == ("D",)
+        assert item.attribute_values("title") == ("Gamma",)
+        assert item.attribute_values("year") == ("2000",)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(DataError):
+            Item(1, "Gamma").attribute_values("budget")
+
+    def test_missing_year_yields_empty_values(self):
+        assert Item(1, "Gamma").attribute_values("year") == ()
+
+
+class TestRating:
+    def test_timestamp_conversion(self):
+        rating = Rating(1, 1, 4.0, timestamp=978307200)
+        assert rating.when == datetime(2001, 1, 1, tzinfo=timezone.utc)
+        assert rating.year == 2001
+
+
+class TestRatingDataset:
+    def test_sizes(self):
+        dataset = _small_dataset()
+        assert len(dataset) == 3
+        assert dataset.num_reviewers == 2
+        assert dataset.num_items == 2
+        assert dataset.num_ratings == 3
+
+    def test_referential_integrity_enforced(self):
+        reviewers = [_reviewer(1)]
+        items = [Item(10, "Alpha")]
+        bad_item = [Rating(99, 1, 3.0)]
+        with pytest.raises(DataError):
+            RatingDataset(reviewers, items, bad_item)
+        bad_reviewer = [Rating(10, 99, 3.0)]
+        with pytest.raises(DataError):
+            RatingDataset(reviewers, items, bad_reviewer)
+
+    def test_rating_scale_enforced(self):
+        reviewers = [_reviewer(1)]
+        items = [Item(10, "Alpha")]
+        with pytest.raises(DataError):
+            RatingDataset(reviewers, items, [Rating(10, 1, 9.0)])
+
+    def test_lookups(self):
+        dataset = _small_dataset()
+        assert dataset.item(10).title == "Alpha"
+        assert dataset.reviewer(2).gender == "F"
+        assert dataset.has_item(20)
+        assert not dataset.has_item(999)
+        with pytest.raises(DataError):
+            dataset.item(999)
+
+    def test_items_by_title_is_case_insensitive(self):
+        dataset = _small_dataset()
+        assert [i.item_id for i in dataset.items_by_title("alpha")] == [10]
+        assert dataset.items_by_title("missing") == []
+
+    def test_ratings_for_items(self):
+        dataset = _small_dataset()
+        ratings = dataset.ratings_for_items([10])
+        assert {r.reviewer_id for r in ratings} == {1, 2}
+
+    def test_averages(self):
+        dataset = _small_dataset()
+        assert dataset.global_average() == pytest.approx((4 + 2 + 5) / 3)
+        assert dataset.item_average(10) == pytest.approx(3.0)
+        assert dataset.item_average(999) == 0.0
+
+    def test_restricted_to_items(self):
+        dataset = _small_dataset()
+        restricted = dataset.restricted_to_items([10])
+        assert restricted.num_items == 1
+        assert restricted.num_ratings == 2
+        assert restricted.num_reviewers == 2
+
+    def test_restricted_to_interval(self):
+        dataset = _small_dataset()
+        restricted = dataset.restricted_to_interval(978307200, 1009843200)
+        assert restricted.num_ratings == 2
+        with pytest.raises(DataError):
+            dataset.restricted_to_interval(10, 5)
+
+    def test_time_range_and_describe(self):
+        dataset = _small_dataset()
+        low, high = dataset.time_range()
+        assert low == 978307200 and high == 1041379200
+        info = dataset.describe()
+        assert info["ratings"] == 3
+        assert info["reviewers"] == 2
+
+    def test_empty_dataset_statistics(self):
+        dataset = RatingDataset([_reviewer(1)], [Item(10, "Alpha")], [])
+        assert dataset.global_average() == 0.0
+        assert dataset.time_range() == (0, 0)
+
+    def test_rating_counts_by_item(self):
+        dataset = _small_dataset()
+        assert dataset.rating_counts_by_item() == {10: 2, 20: 1}

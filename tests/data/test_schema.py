@@ -1,0 +1,108 @@
+"""Tests for attribute schemas and the MovieLens coding tables."""
+
+import pytest
+
+from repro.data.schema import (
+    AGE_GROUPS,
+    GENDERS,
+    GENRES,
+    OCCUPATIONS,
+    AttributeSchema,
+    DatasetSchema,
+    age_group_for,
+    default_schema,
+)
+from repro.errors import SchemaError
+
+
+class TestAgeGroups:
+    def test_movielens_codes_map_to_their_band(self):
+        assert age_group_for(1) == "Under 18"
+        assert age_group_for(18) == "18-24"
+        assert age_group_for(25) == "25-34"
+        assert age_group_for(56) == "56+"
+
+    def test_exact_ages_fold_into_enclosing_band(self):
+        assert age_group_for(17) == "Under 18"
+        assert age_group_for(22) == "18-24"
+        assert age_group_for(40) == "35-44"
+        assert age_group_for(70) == "56+"
+
+    def test_non_positive_age_rejected(self):
+        with pytest.raises(SchemaError):
+            age_group_for(0)
+        with pytest.raises(SchemaError):
+            age_group_for(-5)
+
+    def test_band_boundaries_are_inclusive_lower_bounds(self):
+        assert age_group_for(45) == "45-49"
+        assert age_group_for(49) == "45-49"
+        assert age_group_for(50) == "50-55"
+
+
+class TestCodingTables:
+    def test_movielens_has_seven_age_bands(self):
+        assert len(AGE_GROUPS) == 7
+
+    def test_movielens_has_twenty_one_occupations(self):
+        assert len(OCCUPATIONS) == 21
+        assert OCCUPATIONS[0] == "other"
+        assert OCCUPATIONS[12] == "programmer"
+
+    def test_movielens_has_eighteen_genres(self):
+        assert len(GENRES) == 18
+        assert "Animation" in GENRES
+        assert "Film-Noir" in GENRES
+
+    def test_two_genders(self):
+        assert set(GENDERS) == {"M", "F"}
+
+
+class TestAttributeSchema:
+    def test_closed_domain_accepts_member_values(self):
+        schema = AttributeSchema("gender", "reviewer", ("M", "F"))
+        assert schema.validate("M") == "M"
+
+    def test_closed_domain_rejects_unknown_values(self):
+        schema = AttributeSchema("gender", "reviewer", ("M", "F"))
+        with pytest.raises(SchemaError):
+            schema.validate("X")
+
+    def test_open_domain_accepts_anything(self):
+        schema = AttributeSchema("title", "item")
+        assert schema.is_open_domain()
+        assert schema.validate("Any Movie Whatsoever") == "Any Movie Whatsoever"
+
+
+class TestDatasetSchema:
+    def test_default_schema_knows_reviewer_and_item_attributes(self):
+        schema = default_schema()
+        assert "gender" in schema.reviewer_attribute_names()
+        assert "state" in schema.reviewer_attribute_names()
+        assert "genre" in schema.item_attribute_names()
+        assert "director" in schema.item_attribute_names()
+
+    def test_attribute_lookup_by_name(self):
+        schema = default_schema()
+        assert schema.attribute("occupation").entity == "reviewer"
+        assert schema.has_attribute("actor")
+        assert not schema.has_attribute("shoe_size")
+
+    def test_unknown_attribute_raises(self):
+        schema = default_schema()
+        with pytest.raises(SchemaError):
+            schema.attribute("shoe_size")
+
+    def test_rating_scale_validation(self):
+        schema = default_schema()
+        assert schema.validate_rating(3) == 3
+        with pytest.raises(SchemaError):
+            schema.validate_rating(0)
+        with pytest.raises(SchemaError):
+            schema.validate_rating(6)
+
+    def test_state_domain_can_be_closed(self):
+        schema = default_schema(states=("CA", "NY"))
+        assert schema.attribute("state").validate("CA") == "CA"
+        with pytest.raises(SchemaError):
+            schema.attribute("state").validate("ZZ")

@@ -1,0 +1,129 @@
+"""Tests for the indexed rating store and the columnar rating slice."""
+
+import numpy as np
+import pytest
+
+from repro.data.model import Item, Rating, RatingDataset, Reviewer
+from repro.data.storage import RatingStore
+from repro.errors import DataError, EmptyRatingSetError
+
+
+@pytest.fixture(scope="module")
+def store():
+    reviewers = [
+        Reviewer(1, "M", 25, "programmer", "94110", state="CA", city="San Francisco"),
+        Reviewer(2, "F", 1, "K-12 student", "10001", state="NY", city="New York"),
+        Reviewer(3, "M", 45, "lawyer", "60601", state="IL", city="Chicago"),
+    ]
+    items = [Item(10, "Alpha"), Item(20, "Beta"), Item(30, "Unrated")]
+    ratings = [
+        Rating(10, 1, 5.0, timestamp=1_000),
+        Rating(10, 2, 1.0, timestamp=2_000),
+        Rating(10, 3, 3.0, timestamp=3_000),
+        Rating(20, 1, 4.0, timestamp=4_000),
+        Rating(20, 2, 4.0, timestamp=5_000),
+    ]
+    dataset = RatingDataset(reviewers, items, ratings, name="storage-unit")
+    return RatingStore(dataset)
+
+
+class TestRatingStore:
+    def test_sizes_and_counts(self, store):
+        assert len(store) == 5
+        assert store.item_rating_count(10) == 3
+        assert store.item_rating_count(30) == 0
+        assert store.item_rating_count(999) == 0
+
+    def test_most_rated_items_sorted_by_popularity(self, store):
+        assert store.most_rated_items(limit=2) == [(10, 3), (20, 2)]
+
+    def test_item_and_global_average(self, store):
+        assert store.item_average(10) == pytest.approx(3.0)
+        assert store.item_average(30) == 0.0
+        assert store.global_average() == pytest.approx(17 / 5)
+
+    def test_slice_collects_only_requested_items(self, store):
+        rating_slice = store.slice_for_items([10])
+        assert len(rating_slice) == 3
+        assert set(rating_slice.item_ids.tolist()) == {10}
+
+    def test_slice_multiple_items(self, store):
+        rating_slice = store.slice_for_items([10, 20])
+        assert len(rating_slice) == 5
+
+    def test_empty_selection_raises_unless_allowed(self, store):
+        with pytest.raises(EmptyRatingSetError):
+            store.slice_for_items([30])
+        empty = store.slice_for_items([30], allow_empty=True)
+        assert empty.is_empty()
+        assert empty.average() == 0.0
+
+    def test_time_interval_restriction(self, store):
+        rating_slice = store.slice_for_items([10, 20], time_interval=(2_000, 4_000))
+        assert len(rating_slice) == 3
+        assert rating_slice.timestamps.min() >= 2_000
+        assert rating_slice.timestamps.max() <= 4_000
+
+    def test_slice_all_covers_everything(self, store):
+        assert len(store.slice_all()) == 5
+
+
+class TestRatingSlice:
+    def test_attribute_columns_follow_the_rater(self, store):
+        rating_slice = store.slice_for_items([10])
+        states = rating_slice.attribute_values("state").tolist()
+        assert sorted(states) == ["CA", "IL", "NY"]
+
+    def test_mask_for_attribute_value(self, store):
+        rating_slice = store.slice_for_items([10, 20])
+        mask = rating_slice.mask_for("gender", "F")
+        assert int(mask.sum()) == 2
+
+    def test_unknown_attribute_column_raises(self, store):
+        rating_slice = store.slice_for_items([10])
+        with pytest.raises(DataError):
+            rating_slice.attribute_values("favourite_color")
+
+    def test_distinct_values_sorted_and_nonempty(self, store):
+        rating_slice = store.slice_for_items([10, 20])
+        assert rating_slice.distinct_values("state") == ["CA", "IL", "NY"]
+
+    def test_restrict_by_mask(self, store):
+        rating_slice = store.slice_for_items([10, 20])
+        males = rating_slice.restrict(rating_slice.mask_for("gender", "M"))
+        assert len(males) == 3
+        assert set(males.attribute_values("gender").tolist()) == {"M"}
+
+    def test_restrict_to_interval_validates_order(self, store):
+        rating_slice = store.slice_for_items([10])
+        with pytest.raises(DataError):
+            rating_slice.restrict_to_interval(100, 50)
+
+    def test_score_histogram(self, store):
+        rating_slice = store.slice_for_items([10, 20])
+        histogram = rating_slice.score_histogram()
+        assert histogram[4.0] == 2
+        assert histogram[1.0] == 1
+        assert histogram[2.0] == 0
+
+    def test_average(self, store):
+        rating_slice = store.slice_for_items([20])
+        assert rating_slice.average() == pytest.approx(4.0)
+
+    def test_years_from_timestamps(self, store):
+        rating_slice = store.slice_for_items([10, 20])
+        assert rating_slice.years() == [1970]
+
+
+class TestStoreOnSyntheticData:
+    def test_grouping_columns_cover_all_tuples(self, tiny_store):
+        rating_slice = tiny_store.slice_all()
+        for attribute in ("gender", "age_group", "occupation", "state", "city"):
+            column = rating_slice.attribute_values(attribute)
+            assert column.shape[0] == len(rating_slice)
+            assert all(isinstance(value, str) for value in column.tolist())
+
+    def test_item_index_matches_dataset_counts(self, tiny_store, tiny_dataset):
+        counts = tiny_dataset.rating_counts_by_item()
+        for item_id, count in list(counts.items())[:20]:
+            assert tiny_store.item_rating_count(item_id) == count

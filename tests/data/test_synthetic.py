@@ -1,0 +1,130 @@
+"""Tests for the synthetic MovieLens-shaped generator and its planted structure."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import AGE_GROUPS, GENDERS, GENRES, OCCUPATIONS
+from repro.data.synthetic import (
+    SCALE_PRESETS,
+    SyntheticConfig,
+    SyntheticMovieLens,
+    default_seed_movies,
+    generate_dataset,
+)
+from repro.errors import DataError
+
+
+class TestConfig:
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(DataError):
+            SyntheticConfig(num_reviewers=0)
+        with pytest.raises(DataError):
+            SyntheticConfig(ratings_per_reviewer=0)
+        with pytest.raises(DataError):
+            SyntheticConfig(start_year=2003, end_year=2000)
+
+    def test_presets_exist_for_all_documented_scales(self):
+        assert set(SCALE_PRESETS) == {"tiny", "small", "medium", "ml1m"}
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(DataError):
+            generate_dataset("galactic")
+
+
+class TestGeneration:
+    def test_dataset_has_requested_shape(self, tiny_dataset):
+        assert tiny_dataset.num_reviewers == 150
+        assert tiny_dataset.num_items == 60
+        assert tiny_dataset.num_ratings > 1000
+
+    def test_reviewer_attributes_follow_the_movielens_coding(self, tiny_dataset):
+        occupations = set(OCCUPATIONS.values())
+        bands = set(AGE_GROUPS.values())
+        for reviewer in tiny_dataset.reviewers():
+            assert reviewer.gender in GENDERS
+            assert reviewer.occupation in occupations
+            assert reviewer.age_group in bands
+            assert len(reviewer.zipcode) == 5
+            assert reviewer.state != ""
+            assert reviewer.city != ""
+
+    def test_items_carry_genres_years_and_imdb_credits(self, tiny_dataset):
+        for item in tiny_dataset.items():
+            assert item.genres
+            assert all(genre in GENRES for genre in item.genres)
+            assert item.actors
+            assert item.directors
+
+    def test_ratings_on_scale_with_timestamps_in_range(self, tiny_dataset):
+        lo, hi = tiny_dataset.time_range()
+        assert lo > 0
+        for rating in tiny_dataset.ratings():
+            assert 1 <= rating.score <= 5
+            assert 2000 <= rating.year <= 2003
+
+    def test_seed_movies_present(self, tiny_dataset):
+        titles = {item.title for item in tiny_dataset.items()}
+        for seed in default_seed_movies():
+            assert seed.title in titles
+
+    def test_generation_is_deterministic_for_a_seed(self):
+        first = SyntheticMovieLens(SyntheticConfig(num_reviewers=60, num_movies=30, seed=7)).generate()
+        second = SyntheticMovieLens(SyntheticConfig(num_reviewers=60, num_movies=30, seed=7)).generate()
+        assert first.num_ratings == second.num_ratings
+        pairs_first = [(r.item_id, r.reviewer_id, r.score) for r in first.ratings()]
+        pairs_second = [(r.item_id, r.reviewer_id, r.score) for r in second.ratings()]
+        assert pairs_first == pairs_second
+
+    def test_different_seeds_differ(self):
+        first = SyntheticMovieLens(SyntheticConfig(num_reviewers=60, num_movies=30, seed=7)).generate()
+        second = SyntheticMovieLens(SyntheticConfig(num_reviewers=60, num_movies=30, seed=8)).generate()
+        pairs_first = [(r.item_id, r.reviewer_id, r.score) for r in first.ratings()]
+        pairs_second = [(r.item_id, r.reviewer_id, r.score) for r in second.ratings()]
+        assert pairs_first != pairs_second
+
+
+class TestPlantedStructure:
+    """The generator must plant the group effects the paper's narrative uses."""
+
+    @staticmethod
+    def _group_mean(dataset, title, **conditions):
+        items = dataset.items_by_title(title)
+        item_ids = {item.item_id for item in items}
+        scores = []
+        for rating in dataset.ratings():
+            if rating.item_id not in item_ids:
+                continue
+            reviewer = dataset.reviewer(rating.reviewer_id)
+            if all(reviewer.attribute(k) == v for k, v in conditions.items()):
+                scores.append(rating.score)
+        return (sum(scores) / len(scores)) if scores else None, len(scores)
+
+    def test_toy_story_is_loved_by_california_males(self, small_dataset):
+        ca_mean, ca_count = self._group_mean(
+            small_dataset, "Toy Story", gender="M", state="CA"
+        )
+        overall_mean, _ = self._group_mean(small_dataset, "Toy Story")
+        assert ca_count >= 5
+        assert ca_mean > overall_mean
+
+    def test_eclipse_polarises_teenagers_by_gender(self, small_dataset):
+        female_mean, female_count = self._group_mean(
+            small_dataset, "The Twilight Saga: Eclipse", gender="F", age_group="Under 18"
+        )
+        male_mean, male_count = self._group_mean(
+            small_dataset, "The Twilight Saga: Eclipse", gender="M", age_group="Under 18"
+        )
+        assert female_count >= 3 and male_count >= 3
+        assert female_mean - male_mean > 1.0
+
+    def test_drifting_star_declines_over_the_years(self, small_dataset):
+        items = small_dataset.items_by_title("Drifting Star")
+        item_ids = {item.item_id for item in items}
+        by_year = {}
+        for rating in small_dataset.ratings():
+            if rating.item_id in item_ids:
+                by_year.setdefault(rating.year, []).append(rating.score)
+        first_year, last_year = min(by_year), max(by_year)
+        first_mean = np.mean(by_year[first_year])
+        last_mean = np.mean(by_year[last_year])
+        assert first_mean - last_mean > 1.0

@@ -1,0 +1,85 @@
+"""Tests for the state → city drill-down."""
+
+import pytest
+
+from repro.errors import ExplorationError
+from repro.explore.drilldown import DrillDown
+from repro.geo.hierarchy import LocationLevel
+from repro.geo.states import state_by_code
+
+
+@pytest.fixture(scope="module")
+def driller(toy_story_slice):
+    return DrillDown(toy_story_slice, min_size=1)
+
+
+class TestStateDrillDown:
+    def test_children_are_cities_of_the_state(self, driller):
+        aggregates = driller.drill({"state": "CA"})
+        assert aggregates
+        cities = set(state_by_code("CA").cities)
+        assert all(agg.location in cities for agg in aggregates)
+        assert all(agg.level is LocationLevel.CITY for agg in aggregates)
+
+    def test_city_sizes_sum_to_the_state_group_size(self, driller, toy_story_slice):
+        from repro.explore.statistics import group_statistics
+
+        state_stats = group_statistics(toy_story_slice, {"state": "CA"})
+        aggregates = driller.drill({"state": "CA"})
+        assert sum(agg.statistics.size for agg in aggregates) == state_stats.size
+
+    def test_other_pairs_are_kept_during_the_drill(self, driller):
+        aggregates = driller.drill({"state": "CA", "gender": "M"})
+        for agg in aggregates:
+            assert agg.statistics.pairs["gender"] == "M"
+            assert agg.statistics.pairs["city"] == agg.location
+
+    def test_results_sorted_by_size_descending(self, driller):
+        aggregates = driller.drill({"state": "CA"})
+        sizes = [agg.statistics.size for agg in aggregates]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_min_size_filters_small_cities(self, toy_story_slice):
+        strict = DrillDown(toy_story_slice, min_size=1000)
+        assert strict.drill({"state": "CA"}) == []
+
+    def test_to_dict(self, driller):
+        aggregates = driller.drill({"state": "CA"})
+        payload = aggregates[0].to_dict()
+        assert payload["level"] == "city"
+        assert "statistics" in payload
+
+
+class TestCountryDrillDown:
+    def test_group_without_geo_condition_drills_into_states(self, driller):
+        aggregates = driller.drill({"gender": "M"})
+        assert aggregates
+        assert all(agg.level is LocationLevel.STATE for agg in aggregates)
+        assert all(len(agg.location) == 2 for agg in aggregates)
+
+
+class TestValidationAndRollUp:
+    def test_city_level_group_cannot_be_drilled(self, driller):
+        with pytest.raises(ExplorationError):
+            driller.drill({"state": "CA", "city": "Los Angeles"})
+
+    def test_invalid_min_size(self, toy_story_slice):
+        with pytest.raises(ExplorationError):
+            DrillDown(toy_story_slice, min_size=0)
+
+    def test_drill_state_merges_the_state_condition(self, driller):
+        aggregates = driller.drill_state("CA", {"gender": "M"})
+        assert all(agg.statistics.pairs["state"] == "CA" for agg in aggregates)
+
+    def test_roll_up_removes_the_finest_geo_condition(self, driller, toy_story_slice):
+        from repro.explore.statistics import group_statistics
+
+        rolled = driller.roll_up({"state": "CA", "city": "Los Angeles"})
+        assert rolled.pairs == {"state": "CA"}
+        assert rolled.size == group_statistics(toy_story_slice, {"state": "CA"}).size
+        national = driller.roll_up({"state": "CA"})
+        assert national.size == len(toy_story_slice)
+
+    def test_roll_up_without_geo_condition_raises(self, driller):
+        with pytest.raises(ExplorationError):
+            driller.roll_up({"gender": "M"})

@@ -1,0 +1,83 @@
+"""Tests for the natural-language insight summaries."""
+
+import pytest
+
+from repro.config import MiningConfig
+from repro.explore.insights import (
+    Insight,
+    diversity_insights,
+    render_insights,
+    similarity_insights,
+    summarize,
+)
+
+
+@pytest.fixture(scope="module")
+def toy_story_result(tiny_miner):
+    return tiny_miner.explain_title("Toy Story")
+
+
+@pytest.fixture(scope="module")
+def eclipse_result(tiny_miner):
+    config = MiningConfig(
+        min_group_support=3,
+        min_coverage=0.2,
+        require_geo_anchor=False,
+        grouping_attributes=("gender", "age_group", "occupation"),
+    )
+    return tiny_miner.explain_title("The Twilight Saga: Eclipse", config=config)
+
+
+class TestSimilarityInsights:
+    def test_mentions_the_best_group_by_label(self, toy_story_result):
+        insights = similarity_insights(toy_story_result)
+        best = max(toy_story_result.similarity.groups, key=lambda g: g.average_rating)
+        consensus = [i for i in insights if i.kind == "consensus"]
+        assert consensus
+        assert best.label in consensus[0].sentence
+
+    def test_coverage_insight_present(self, toy_story_result):
+        kinds = {insight.kind for insight in similarity_insights(toy_story_result)}
+        assert "coverage" in kinds
+
+    def test_evidence_carries_the_numbers(self, toy_story_result):
+        for insight in similarity_insights(toy_story_result):
+            assert insight.evidence
+            assert insight.to_dict()["sentence"] == insight.sentence
+
+
+class TestDiversityInsights:
+    def test_controversy_gap_matches_the_groups(self, eclipse_result):
+        insights = diversity_insights(eclipse_result)
+        assert insights
+        gap = insights[0].evidence["gap"]
+        means = [g.average_rating for g in eclipse_result.diversity.groups]
+        assert gap == pytest.approx(max(means) - min(means), abs=1e-3)
+
+    def test_large_gap_adds_the_controversial_warning(self, eclipse_result):
+        insights = diversity_insights(eclipse_result)
+        means = [g.average_rating for g in eclipse_result.diversity.groups]
+        if max(means) - min(means) >= 1.5:
+            assert any("controversial" in i.sentence for i in insights)
+
+    def test_single_group_explanation_yields_no_diversity_insight(self, toy_story_result):
+        from dataclasses import replace
+
+        stripped = replace(
+            toy_story_result, diversity=replace(toy_story_result.diversity, groups=toy_story_result.diversity.groups[:1])
+        )
+        assert diversity_insights(stripped) == []
+
+
+class TestSummarize:
+    def test_controversy_comes_first(self, eclipse_result):
+        insights = summarize(eclipse_result)
+        assert insights[0].kind in ("controversy",)
+
+    def test_limit_truncates(self, toy_story_result):
+        assert len(summarize(toy_story_result, limit=2)) == 2
+
+    def test_render_as_bullets(self, toy_story_result):
+        text = render_insights(summarize(toy_story_result))
+        assert text.startswith("- ")
+        assert render_insights([]) == "(no insights available)"

@@ -1,0 +1,119 @@
+"""Tests for the stateful exploration session (the §3 interaction flow)."""
+
+import pytest
+
+from repro.config import MiningConfig
+from repro.errors import ExplorationError, QueryError
+from repro.explore.session import ExplorationSession
+
+
+@pytest.fixture()
+def session(tiny_dataset, tiny_miner, mining_config):
+    return ExplorationSession(tiny_dataset, mining_config, miner=tiny_miner)
+
+
+class TestSearchStep:
+    def test_search_remembers_the_matching_items(self, session):
+        items = session.search('title:"Toy Story"')
+        assert [item.title for item in items] == ["Toy Story"]
+        assert session.state.item_ids
+
+    def test_search_with_no_matches_raises(self, session):
+        with pytest.raises(QueryError):
+            session.search('title:"No Such Movie"')
+
+    def test_search_resets_previous_results(self, session):
+        session.search('title:"Toy Story"')
+        session.explain()
+        session.search('title:"Forrest Gump"')
+        assert session.state.result is None
+
+
+class TestExplainStep:
+    def test_explain_requires_a_search(self, session):
+        with pytest.raises(ExplorationError):
+            session.explain()
+
+    def test_explain_produces_both_interpretations(self, session):
+        session.search('title:"Toy Story"')
+        result = session.explain()
+        assert result.similarity.groups and result.diversity.groups
+        assert session.state.rating_slice is not None
+
+    def test_explain_query_combines_both_steps(self, session):
+        result = session.explain_query('title:"Toy Story"')
+        assert result is session.state.result
+
+    def test_history_records_the_interactions(self, session):
+        session.explain_query('title:"Toy Story"')
+        history = session.history()
+        assert any(entry.startswith("search:") for entry in history)
+        assert "explain ratings" in history
+
+
+class TestGroupSelection:
+    def test_select_group_and_statistics(self, session):
+        session.explain_query('title:"Toy Story"')
+        group = session.select_group(0, task="similarity")
+        stats = session.group_statistics()
+        assert stats.label == group.label
+        assert stats.size == group.size
+
+    def test_out_of_range_group_index(self, session):
+        session.explain_query('title:"Toy Story"')
+        with pytest.raises(ExplorationError):
+            session.select_group(99)
+
+    def test_statistics_without_selection_raises(self, session):
+        session.explain_query('title:"Toy Story"')
+        with pytest.raises(ExplorationError):
+            session.group_statistics()
+
+    def test_compare_selected_groups_includes_the_baseline(self, session):
+        session.explain_query('title:"Toy Story"')
+        rows = session.compare_selected_groups("similarity")
+        assert rows[0].label == "all reviewers"
+        assert len(rows) == len(session.current_explanation("similarity").groups) + 1
+
+    def test_current_explanation_requires_a_result(self, session):
+        with pytest.raises(ExplorationError):
+            session.current_explanation()
+
+
+class TestDrillAndTrend:
+    def test_drill_down_of_the_selected_group(self, session):
+        session.explain_query('title:"Toy Story"')
+        session.select_group(0, task="similarity")
+        aggregates = session.drill_down()
+        assert aggregates
+        selected_state = session.current_explanation().groups[0].state
+        from repro.geo.states import state_by_code
+
+        cities = set(state_by_code(selected_state).cities)
+        assert all(agg.location in cities for agg in aggregates)
+
+    def test_group_trend_of_the_selected_group(self, session):
+        session.explain_query('title:"Toy Story"')
+        session.select_group(0, task="similarity")
+        trend = session.group_trend()
+        assert trend
+        populated = [point for point in trend if point.size > 0]
+        assert populated
+        assert all(1 <= point.mean <= 5 for point in populated)
+
+    def test_timeline_requires_items(self, session):
+        with pytest.raises(ExplorationError):
+            session.timeline()
+
+    def test_timeline_returns_one_slice_per_year(self, session):
+        session.explain_query('title:"Toy Story"')
+        slices = session.timeline(min_ratings=10)
+        assert len(slices) >= 2
+        assert all(s.year in {2000, 2001, 2002, 2003} for s in slices)
+
+
+class TestConfigurationOverride:
+    def test_explain_with_override_config(self, session):
+        session.search('title:"Toy Story"')
+        result = session.explain(MiningConfig(max_groups=2, min_group_support=3, min_coverage=0.1))
+        assert len(result.similarity.groups) <= 2

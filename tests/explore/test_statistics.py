@@ -1,0 +1,85 @@
+"""Tests for per-group statistics and group comparisons."""
+
+import pytest
+
+from repro.errors import ExplorationError
+from repro.explore.statistics import compare_groups, group_statistics, related_groups
+
+
+class TestGroupStatistics:
+    def test_all_reviewers_statistics_match_the_slice(self, toy_story_slice):
+        stats = group_statistics(toy_story_slice, {})
+        assert stats.size == len(toy_story_slice)
+        assert stats.mean == pytest.approx(float(toy_story_slice.scores.mean()), abs=1e-3)
+        assert stats.coverage == pytest.approx(1.0)
+        assert stats.lift == pytest.approx(0.0, abs=1e-6)
+        assert stats.label == "all reviewers"
+
+    def test_histogram_counts_sum_to_the_group_size(self, toy_story_slice):
+        stats = group_statistics(toy_story_slice, {"gender": "M"})
+        assert sum(stats.histogram.values()) == stats.size
+        assert set(stats.histogram) <= {1, 2, 3, 4, 5}
+
+    def test_shares_are_fractions(self, toy_story_slice):
+        stats = group_statistics(toy_story_slice, {"gender": "F"})
+        assert 0 <= stats.share_positive <= 1
+        assert 0 <= stats.share_negative <= 1
+
+    def test_lift_is_relative_to_the_overall_mean(self, toy_story_slice):
+        overall = float(toy_story_slice.scores.mean())
+        stats = group_statistics(toy_story_slice, {"gender": "M", "state": "CA"})
+        assert stats.lift == pytest.approx(stats.mean - overall, abs=1e-3)
+
+    def test_empty_group_yields_zero_statistics(self, toy_story_slice):
+        stats = group_statistics(toy_story_slice, {"state": "CA", "gender": "M", "occupation": "farmer"})
+        if stats.size == 0:
+            assert stats.mean == 0.0
+            assert stats.histogram == {}
+
+    def test_unknown_value_gives_an_empty_group(self, toy_story_slice):
+        stats = group_statistics(toy_story_slice, {"state": "ZZ"})
+        assert stats.size == 0
+
+    def test_empty_slice_rejected(self, tiny_store):
+        empty = tiny_store.slice_for_items([999999], allow_empty=True)
+        with pytest.raises(ExplorationError):
+            group_statistics(empty, {})
+
+    def test_custom_label_and_to_dict(self, toy_story_slice):
+        stats = group_statistics(toy_story_slice, {"gender": "M"}, label="men")
+        assert stats.label == "men"
+        payload = stats.to_dict()
+        assert payload["label"] == "men"
+        assert isinstance(payload["histogram"], dict)
+
+
+class TestCompareGroups:
+    def test_baseline_row_comes_first(self, toy_story_slice):
+        rows = compare_groups(toy_story_slice, [{"gender": "M"}, {"gender": "F"}])
+        assert rows[0].label == "all reviewers"
+        assert len(rows) == 3
+
+    def test_labels_are_applied(self, toy_story_slice):
+        rows = compare_groups(
+            toy_story_slice, [{"gender": "M"}], labels=["male reviewers"]
+        )
+        assert rows[1].label == "male reviewers"
+
+    def test_mismatched_labels_rejected(self, toy_story_slice):
+        with pytest.raises(ExplorationError):
+            compare_groups(toy_story_slice, [{"gender": "M"}], labels=["a", "b"])
+
+    def test_gender_partition_sizes_sum_to_total(self, toy_story_slice):
+        rows = compare_groups(toy_story_slice, [{"gender": "M"}, {"gender": "F"}])
+        assert rows[1].size + rows[2].size == rows[0].size
+
+
+class TestRelatedGroups:
+    def test_dropping_one_pair_at_a_time(self):
+        related = related_groups({"gender": "M", "state": "CA"})
+        assert {"gender": "M"} in related
+        assert {"state": "CA"} in related
+        assert len(related) == 2
+
+    def test_single_pair_group_has_no_related_groups(self):
+        assert related_groups({"gender": "M"}) == []

@@ -1,0 +1,91 @@
+"""Tests for temporal exploration (time slider and group trends)."""
+
+import pytest
+
+from repro.errors import ExplorationError
+from repro.explore.timeline import TimelineExplorer
+
+
+@pytest.fixture(scope="module")
+def explorer(tiny_miner):
+    return TimelineExplorer(tiny_miner)
+
+
+@pytest.fixture(scope="module")
+def toy_story_ids(tiny_dataset):
+    return [item.item_id for item in tiny_dataset.items_by_title("Toy Story")]
+
+
+@pytest.fixture(scope="module")
+def drifting_star_ids(tiny_dataset):
+    return [item.item_id for item in tiny_dataset.items_by_title("Drifting Star")]
+
+
+class TestAvailableYears:
+    def test_years_span_the_synthetic_rating_window(self, explorer, toy_story_ids):
+        years = explorer.available_years(toy_story_ids)
+        assert years == sorted(years)
+        assert set(years) <= {2000, 2001, 2002, 2003}
+        assert len(years) >= 2
+
+
+class TestInterpretationsByYear:
+    def test_one_slice_per_requested_year(self, explorer, toy_story_ids):
+        slices = explorer.interpretations_by_year(
+            toy_story_ids, years=[2000, 2001], min_ratings=10
+        )
+        assert [s.year for s in slices] == [2000, 2001]
+
+    def test_slices_with_enough_ratings_carry_a_result(self, explorer, toy_story_ids):
+        slices = explorer.interpretations_by_year(toy_story_ids, min_ratings=10)
+        mined = [s for s in slices if s.result is not None]
+        assert mined
+        for timeline_slice in mined:
+            assert timeline_slice.labels("similarity")
+            assert timeline_slice.num_ratings >= 10
+
+    def test_min_ratings_gate_skips_sparse_years(self, explorer, toy_story_ids):
+        slices = explorer.interpretations_by_year(toy_story_ids, min_ratings=10_000)
+        assert all(s.result is None for s in slices)
+
+    def test_slice_serialisation(self, explorer, toy_story_ids):
+        slices = explorer.interpretations_by_year(toy_story_ids, min_ratings=10)
+        payload = slices[0].to_dict()
+        assert payload["year"] == slices[0].year
+        assert "num_ratings" in payload
+
+    def test_empty_year_list_raises(self, explorer, tiny_dataset):
+        unrated = max(item.item_id for item in tiny_dataset.items()) + 1
+        with pytest.raises(ExplorationError):
+            explorer.interpretations_by_year([unrated])
+
+
+class TestGroupTrend:
+    def test_overall_trend_covers_every_rated_year(self, explorer, toy_story_ids):
+        trend = explorer.overall_trend(toy_story_ids)
+        years = explorer.available_years(toy_story_ids)
+        assert [p.year for p in trend] == years
+        assert all(1 <= p.mean <= 5 for p in trend)
+        assert all(p.size > 0 for p in trend)
+
+    def test_group_trend_restricts_to_the_group(self, explorer, toy_story_ids):
+        overall = explorer.overall_trend(toy_story_ids)
+        male_only = explorer.group_trend(toy_story_ids, {"gender": "M"})
+        by_year = {p.year: p for p in overall}
+        for point in male_only:
+            assert point.size <= by_year[point.year].size
+
+    def test_drifting_star_declines_over_time(self, explorer, drifting_star_ids):
+        trend = explorer.overall_trend(drifting_star_ids)
+        drift = TimelineExplorer.drift(trend)
+        assert drift < -1.0
+
+    def test_drift_of_a_short_series_is_zero(self, explorer, toy_story_ids):
+        trend = explorer.overall_trend(toy_story_ids)
+        assert TimelineExplorer.drift(trend[:1]) == 0.0
+
+    def test_trend_point_serialisation(self, explorer, toy_story_ids):
+        trend = explorer.overall_trend(toy_story_ids)
+        payload = trend[0].to_dict()
+        assert payload["year"] == trend[0].year
+        assert "statistics" in payload

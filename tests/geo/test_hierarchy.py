@@ -1,0 +1,69 @@
+"""Tests for the country ▸ state ▸ city location hierarchy."""
+
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.hierarchy import LocationHierarchy, LocationLevel
+from repro.geo.states import ALL_STATE_CODES, state_by_code
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    return LocationHierarchy()
+
+
+class TestLevels:
+    def test_finer_walks_down(self):
+        assert LocationLevel.COUNTRY.finer() is LocationLevel.STATE
+        assert LocationLevel.STATE.finer() is LocationLevel.CITY
+
+    def test_coarser_walks_up(self):
+        assert LocationLevel.CITY.coarser() is LocationLevel.STATE
+        assert LocationLevel.STATE.coarser() is LocationLevel.COUNTRY
+
+    def test_boundaries_raise(self):
+        with pytest.raises(GeoError):
+            LocationLevel.CITY.finer()
+        with pytest.raises(GeoError):
+            LocationLevel.COUNTRY.coarser()
+
+
+class TestNavigation:
+    def test_country_children_are_all_states(self, hierarchy):
+        assert hierarchy.children(LocationLevel.COUNTRY) == ALL_STATE_CODES
+
+    def test_state_children_are_its_cities(self, hierarchy):
+        assert hierarchy.children(LocationLevel.STATE, "CA") == state_by_code("CA").cities
+        assert hierarchy.cities_of("NY") == state_by_code("NY").cities
+
+    def test_city_has_no_children(self, hierarchy):
+        with pytest.raises(GeoError):
+            hierarchy.children(LocationLevel.CITY, "Boston")
+
+    def test_parents(self, hierarchy):
+        assert hierarchy.parent(LocationLevel.STATE, "CA") == "USA"
+        assert hierarchy.parent(LocationLevel.CITY, "Boston") == "MA"
+        with pytest.raises(GeoError):
+            hierarchy.parent(LocationLevel.COUNTRY, "USA")
+        with pytest.raises(GeoError):
+            hierarchy.parent(LocationLevel.CITY, "Gotham")
+
+    def test_city_names_can_repeat_across_states(self, hierarchy):
+        owners = hierarchy.states_of_city("Portland")
+        assert set(owners) >= {"ME", "OR"}
+
+    def test_contains(self, hierarchy):
+        assert hierarchy.contains("MA", "Boston")
+        assert not hierarchy.contains("MA", "Chicago")
+
+
+class TestAttributeMapping:
+    def test_location_attributes_map_to_levels(self, hierarchy):
+        assert hierarchy.level_of_attribute("state") is LocationLevel.STATE
+        assert hierarchy.level_of_attribute("city") is LocationLevel.CITY
+        assert hierarchy.is_location_attribute("state")
+        assert not hierarchy.is_location_attribute("gender")
+
+    def test_non_location_attribute_raises(self, hierarchy):
+        with pytest.raises(GeoError):
+            hierarchy.level_of_attribute("occupation")

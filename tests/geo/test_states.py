@@ -1,0 +1,85 @@
+"""Tests for the US state registry."""
+
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.states import (
+    ALL_STATE_CODES,
+    grid_dimensions,
+    state_by_code,
+    state_by_name,
+    state_for_zip5,
+    states,
+)
+
+
+class TestRegistry:
+    def test_fifty_states_plus_dc(self):
+        assert len(ALL_STATE_CODES) == 51
+        assert "DC" in ALL_STATE_CODES
+
+    def test_lookup_by_code_is_case_insensitive(self):
+        assert state_by_code("ca").name == "California"
+        assert state_by_code("NY").code == "NY"
+
+    def test_lookup_by_name(self):
+        assert state_by_name("texas").code == "TX"
+        assert state_by_name("  Rhode Island ").code == "RI"
+
+    def test_unknown_lookups_raise(self):
+        with pytest.raises(GeoError):
+            state_by_code("ZZ")
+        with pytest.raises(GeoError):
+            state_by_name("Atlantis")
+
+    def test_every_state_has_cities_and_zip_ranges(self):
+        for state in states():
+            assert state.cities, state.code
+            assert state.zip_ranges, state.code
+            for low, high in state.zip_ranges:
+                assert low <= high
+
+    def test_zip_ranges_do_not_overlap_across_states(self):
+        ranges = []
+        for state in states():
+            for low, high in state.zip_ranges:
+                ranges.append((low, high, state.code))
+        ranges.sort()
+        for (low_a, high_a, code_a), (low_b, high_b, code_b) in zip(ranges, ranges[1:]):
+            assert high_a < low_b, f"{code_a} overlaps {code_b}"
+
+
+class TestZipContainment:
+    def test_known_zip_assignments(self):
+        assert state_for_zip5(90210).code == "CA"
+        assert state_for_zip5(10001).code == "NY"
+        assert state_for_zip5(2139).code == "MA"
+        assert state_for_zip5(60601).code == "IL"
+
+    def test_unassigned_zip_returns_none(self):
+        assert state_for_zip5(1) is None
+
+    def test_contains_zip(self):
+        texas = state_by_code("TX")
+        assert texas.contains_zip(75001)
+        assert texas.contains_zip(88510)
+        assert not texas.contains_zip(90001)
+
+
+class TestTileGridPositions:
+    def test_positions_are_unique(self):
+        positions = [(s.grid_col, s.grid_row) for s in states()]
+        assert len(positions) == len(set(positions))
+
+    def test_grid_dimensions_cover_all_positions(self):
+        cols, rows = grid_dimensions()
+        for state in states():
+            assert 0 <= state.grid_col < cols
+            assert 0 <= state.grid_row < rows
+
+    def test_rough_geography_is_preserved(self):
+        # West-coast states sit left of east-coast states; Alaska at the top-left.
+        assert state_by_code("CA").grid_col < state_by_code("NY").grid_col
+        assert state_by_code("WA").grid_col < state_by_code("ME").grid_col
+        assert state_by_code("AK").grid_row == 0
+        assert state_by_code("FL").grid_row > state_by_code("GA").grid_row

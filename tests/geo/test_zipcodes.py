@@ -1,0 +1,86 @@
+"""Tests for zip-code resolution and synthesis."""
+
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.states import state_by_code
+from repro.geo.zipcodes import (
+    ZipResolver,
+    city_for_zipcode,
+    normalize_zipcode,
+    state_for_zipcode,
+    zipcode_for,
+)
+
+
+class TestNormalization:
+    def test_five_digit_zip(self):
+        assert normalize_zipcode("94110") == 94110
+
+    def test_zip_plus_four_is_truncated(self):
+        assert normalize_zipcode("98107-2117") == 98107
+
+    def test_whitespace_is_stripped(self):
+        assert normalize_zipcode(" 10001 ") == 10001
+
+    def test_long_numeric_zip_is_truncated_to_five_digits(self):
+        assert normalize_zipcode("941101234") == 94110
+
+    def test_non_numeric_zip_raises(self):
+        with pytest.raises(GeoError):
+            normalize_zipcode("V5K0A1")
+
+
+class TestResolution:
+    def test_state_for_zipcode(self):
+        assert state_for_zipcode("90210") == "CA"
+        assert state_for_zipcode("10001") == "NY"
+        assert state_for_zipcode("02139") == "MA"
+
+    def test_unresolvable_zip_returns_none(self):
+        assert state_for_zipcode("00001") is None
+        assert state_for_zipcode("ABCDE") is None
+
+    def test_city_is_deterministic_and_belongs_to_the_state(self):
+        city_first = city_for_zipcode("94110")
+        city_second = city_for_zipcode("94110")
+        assert city_first == city_second
+        assert city_first in state_by_code("CA").cities
+
+    def test_city_for_unresolvable_zip_is_none(self):
+        assert city_for_zipcode("ABCDE") is None
+
+
+class TestResolver:
+    def test_resolver_caches_results(self):
+        resolver = ZipResolver()
+        assert resolver.cache_size() == 0
+        state, city = resolver.resolve("60601")
+        assert state == "IL"
+        assert city in state_by_code("IL").cities
+        resolver.resolve("60601")
+        assert resolver.cache_size() == 1
+
+    def test_resolver_handles_bad_zip_gracefully(self):
+        resolver = ZipResolver()
+        assert resolver.resolve("not-a-zip") == ("", "")
+        assert resolver.resolve_state("not-a-zip") == ""
+        assert resolver.resolve_city("not-a-zip") == ""
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("state_code", ["CA", "NY", "TX", "RI", "WY", "DC"])
+    def test_synthesised_zip_resolves_back_to_the_state(self, state_code):
+        for city_index in range(3):
+            zipcode = zipcode_for(state_code, city_index=city_index, offset=11)
+            assert state_for_zipcode(zipcode) == state_code
+
+    def test_synthesised_zip_resolves_to_requested_city(self):
+        state = state_by_code("CA")
+        for city_index, city in enumerate(state.cities):
+            zipcode = zipcode_for("CA", city_index=city_index, offset=5)
+            assert city_for_zipcode(zipcode) == city
+
+    def test_offsets_produce_spread_out_zipcodes(self):
+        codes = {zipcode_for("CA", city_index=0, offset=i) for i in range(25)}
+        assert len(codes) > 5

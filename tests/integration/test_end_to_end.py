@@ -1,0 +1,143 @@
+"""End-to-end scenarios reproducing the paper's narrative on synthetic data.
+
+These tests exercise the full pipeline (query → mining → exploration →
+visualization) the way the demo walkthrough of §3 does, and check the
+qualitative claims of the paper:
+
+* Figure 2: the Similarity Mining result for "Toy Story" consists of a few
+  geo-anchored, internally consistent groups that include the planted
+  "male reviewers from California" segment, rendered on a choropleth.
+* §1 (Twilight example): Diversity Mining on the planted controversial movie
+  surfaces groups that strongly disagree, with female groups above male ones.
+* §3.1 (time slider): the interpretation of the planted drifting movie
+  changes over the years.
+"""
+
+import pytest
+
+from repro.config import MiningConfig, PipelineConfig
+from repro.server.api import MapRat
+from repro.viz.choropleth import render_explanation_map
+from repro.viz.report import ExplanationReport
+
+
+@pytest.fixture(scope="module")
+def small_system(small_dataset):
+    config = PipelineConfig(
+        mining=MiningConfig(min_group_support=5, min_coverage=0.25, rhe_restarts=6)
+    )
+    return MapRat.for_dataset(small_dataset, config)
+
+
+class TestFigure2ToyStory:
+    @pytest.fixture(scope="class")
+    def result(self, small_system):
+        return small_system.explain('title:"Toy Story"')
+
+    def test_a_small_number_of_geo_anchored_groups(self, result):
+        for explanation in result.explanations():
+            assert 1 <= len(explanation.groups) <= 3
+            assert all(group.state for group in explanation.groups)
+
+    def test_similarity_groups_cover_the_required_fraction(self, result):
+        assert result.similarity.coverage >= 0.25
+        assert result.similarity.feasible
+
+    def test_similarity_groups_are_internally_consistent(self, result, small_system):
+        rating_slice = small_system.miner.slice_for_items(result.query.item_ids)
+        overall_variance = float(rating_slice.scores.var())
+        # The SM objective is the negated per-tuple within-group error, so the
+        # selected groups must not be noisier than the undivided rating set.
+        assert -result.similarity.objective <= overall_variance + 0.05
+
+    def test_planted_california_males_rate_above_the_overall_average(
+        self, result, small_system
+    ):
+        from repro.explore.statistics import group_statistics
+
+        rating_slice = small_system.miner.slice_for_items(result.query.item_ids)
+        planted = group_statistics(rating_slice, {"gender": "M", "state": "CA"})
+        assert planted.lift > 0.2
+
+    def test_choropleth_renders_every_similarity_group(self, result):
+        svg = render_explanation_map(result.similarity)
+        for group in result.similarity.groups:
+            assert group.label in svg
+
+    def test_full_html_report_regenerates(self, result, tmp_path):
+        path = tmp_path / "figure2.html"
+        ExplanationReport().render_to_file(result, str(path))
+        content = path.read_text(encoding="utf-8")
+        assert "Similarity Mining" in content and "Diversity Mining" in content
+
+
+class TestControversialMovieDiversity:
+    """§1: DM identifies sub-populations that consistently disagree."""
+
+    @pytest.fixture(scope="class")
+    def result(self, small_system):
+        # The paper's DM example uses demographic (not geographic) groups, so
+        # relax the geo anchor for this scenario.
+        config = MiningConfig(
+            min_group_support=5,
+            min_coverage=0.2,
+            require_geo_anchor=False,
+            grouping_attributes=("gender", "age_group", "occupation"),
+            rhe_restarts=6,
+        )
+        return small_system.explain('title:"The Twilight Saga: Eclipse"', config=config)
+
+    def test_diversity_groups_strongly_disagree(self, result):
+        means = [group.average_rating for group in result.diversity.groups]
+        assert max(means) - min(means) > 1.0
+
+    def test_diversity_selection_has_a_large_mean_gap(self, result):
+        assert result.diversity.disagreement > 1.0
+
+    def test_female_groups_sit_above_male_groups_when_both_appear(self, result, small_system):
+        from repro.explore.statistics import group_statistics
+
+        rating_slice = small_system.miner.slice_for_items(result.query.item_ids)
+        female_teens = group_statistics(
+            rating_slice, {"gender": "F", "age_group": "Under 18"}
+        )
+        male_teens = group_statistics(
+            rating_slice, {"gender": "M", "age_group": "Under 18"}
+        )
+        assert female_teens.mean - male_teens.mean > 1.0
+
+
+class TestTimeSliderScenario:
+    """§3.1: moving the slider changes the interpretations."""
+
+    def test_drifting_star_interpretations_change_over_time(self, small_system):
+        slices = small_system.timeline('title:"Drifting Star"', min_ratings=20)
+        mined = [s for s in slices if s.result is not None]
+        assert len(mined) >= 2
+        first, last = mined[0], mined[-1]
+        first_avg = first.result.query.average_rating
+        last_avg = last.result.query.average_rating
+        assert first_avg - last_avg > 1.0
+
+    def test_group_trend_is_consistent_with_the_timeline(self, small_system):
+        trend = small_system.group_trend('title:"Drifting Star"', {})
+        assert trend[0].mean > trend[-1].mean
+
+
+class TestSessionWalkthrough:
+    """The full §3 demo walkthrough as one scripted interaction."""
+
+    def test_search_explain_select_drill_trend(self, small_system):
+        session = small_system.session()
+        items = session.search('genre:Thriller AND director:"Steven Spielberg"')
+        assert {item.title for item in items} >= {"Jurassic Park", "Jaws", "Minority Report"}
+        result = session.explain()
+        assert result.similarity.groups
+        group = session.select_group(0, task="similarity")
+        stats = session.group_statistics()
+        assert stats.size == group.size
+        drill = session.drill_down()
+        assert sum(agg.statistics.size for agg in drill) == stats.size
+        trend = session.group_trend()
+        assert trend
+        assert len(session.history()) >= 4

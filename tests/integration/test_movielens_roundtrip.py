@@ -1,0 +1,41 @@
+"""Integration test: exported MovieLens files feed back into the full pipeline."""
+
+import pytest
+
+from repro.config import MiningConfig, PipelineConfig
+from repro.data.movielens import load_movielens_directory, write_movielens_directory
+from repro.server.api import MapRat
+
+
+@pytest.fixture(scope="module")
+def reloaded_system(tiny_dataset, mining_config, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("ml-roundtrip")
+    write_movielens_directory(tiny_dataset, directory)
+    reloaded = load_movielens_directory(directory, name="reloaded")
+    return MapRat.for_dataset(reloaded, PipelineConfig(mining=mining_config))
+
+
+class TestReloadedPipeline:
+    def test_reloaded_dataset_has_the_same_shape(self, reloaded_system, tiny_dataset):
+        summary = reloaded_system.summary()
+        assert summary["ratings"] == tiny_dataset.num_ratings
+        assert summary["reviewers"] == tiny_dataset.num_reviewers
+
+    def test_mining_on_the_reloaded_dataset_matches_the_original(
+        self, reloaded_system, tiny_system
+    ):
+        original = tiny_system.explain('title:"Toy Story"')
+        reloaded = reloaded_system.explain('title:"Toy Story"')
+        assert reloaded.query.num_ratings == original.query.num_ratings
+        assert reloaded.query.average_rating == pytest.approx(
+            original.query.average_rating, abs=1e-6
+        )
+        # The mining configuration and the seed are identical, so the selected
+        # groups must be identical too (the pipeline is deterministic).
+        assert [g.label for g in reloaded.similarity.groups] == [
+            g.label for g in original.similarity.groups
+        ]
+
+    def test_exploration_works_on_the_reloaded_dataset(self, reloaded_system):
+        aggregates = reloaded_system.drill_down('title:"Toy Story"', "similarity", 0)
+        assert aggregates

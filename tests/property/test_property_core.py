@@ -1,0 +1,202 @@
+"""Property-based tests on the mining core (descriptors, measures, selections)."""
+
+from typing import Dict, List
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.groups import Group, GroupDescriptor
+from repro.core.measures import (
+    coverage,
+    covered_positions,
+    diversity_objective,
+    normalized_within_group_error,
+    pairwise_disagreement,
+    similarity_objective,
+    within_group_error,
+)
+from repro.data.model import Item, Rating, RatingDataset, Reviewer
+from repro.data.storage import RatingSlice, RatingStore
+
+# --------------------------------------------------------------------------
+# Strategies
+# --------------------------------------------------------------------------
+
+ATTRIBUTES = ("gender", "age_group", "occupation", "state")
+VALUES: Dict[str, List[str]] = {
+    "gender": ["M", "F"],
+    "age_group": ["Under 18", "18-24", "25-34"],
+    "occupation": ["programmer", "artist", "lawyer"],
+    "state": ["CA", "NY", "TX"],
+}
+
+pair_strategy = st.sampled_from(ATTRIBUTES).flatmap(
+    lambda attribute: st.tuples(st.just(attribute), st.sampled_from(VALUES[attribute]))
+)
+
+descriptor_strategy = st.lists(pair_strategy, min_size=0, max_size=4).map(
+    lambda pairs: GroupDescriptor(tuple({a: (a, v) for a, v in pairs}.values()))
+)
+
+
+@st.composite
+def rating_slices(draw):
+    """A random small rating slice with categorical reviewer attributes."""
+    size = draw(st.integers(min_value=1, max_value=40))
+    reviewers = []
+    ratings = []
+    for index in range(size):
+        attributes = {name: draw(st.sampled_from(VALUES[name])) for name in ATTRIBUTES}
+        reviewers.append(
+            Reviewer(
+                reviewer_id=index + 1,
+                gender=attributes["gender"],
+                age={"Under 18": 1, "18-24": 18, "25-34": 25}[attributes["age_group"]],
+                occupation=attributes["occupation"],
+                zipcode="00000",
+                state=attributes["state"],
+                city=attributes["state"],
+            )
+        )
+        score = draw(st.integers(min_value=1, max_value=5))
+        ratings.append(Rating(1, index + 1, float(score), timestamp=index))
+    dataset = RatingDataset(reviewers, [Item(1, "Movie")], ratings, validate=False)
+    return RatingStore(dataset).slice_for_items([1])
+
+
+def _groups_from_slice(rating_slice: RatingSlice, max_groups: int = 3) -> List[Group]:
+    """Single-attribute groups materialised from a slice (one per value)."""
+    groups = []
+    for attribute in ATTRIBUTES:
+        for value in rating_slice.distinct_values(attribute):
+            descriptor = GroupDescriptor.from_dict({attribute: value})
+            groups.append(
+                Group.from_mask(descriptor, rating_slice, rating_slice.mask_for(attribute, value))
+            )
+    return groups[: max(1, min(len(groups), max_groups * 3))]
+
+
+# --------------------------------------------------------------------------
+# Descriptor properties
+# --------------------------------------------------------------------------
+
+
+class TestDescriptorProperties:
+    @given(descriptor_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_pairs_always_sorted_and_unique(self, descriptor):
+        attributes = descriptor.attributes()
+        assert list(attributes) == sorted(attributes)
+        assert len(set(attributes)) == len(attributes)
+
+    @given(descriptor_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_through_dict(self, descriptor):
+        assert GroupDescriptor.from_dict(descriptor.as_dict()) == descriptor
+
+    @given(descriptor_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_descriptor_generalizes_itself_and_its_specialisations(self, descriptor):
+        assert descriptor.generalizes(descriptor)
+        free_attributes = [a for a in ATTRIBUTES if not descriptor.has_attribute(a)]
+        if free_attributes:
+            extended = descriptor.with_pair(free_attributes[0], VALUES[free_attributes[0]][0])
+            assert descriptor.generalizes(extended)
+            assert extended.specializes(descriptor)
+            assert not descriptor.specializes(extended)
+
+    @given(descriptor_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_dropping_an_attribute_shortens_the_descriptor(self, descriptor):
+        for attribute in descriptor.attributes():
+            reduced = descriptor.without_attribute(attribute)
+            assert len(reduced) == len(descriptor) - 1
+            assert not reduced.has_attribute(attribute)
+
+    @given(descriptor_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_matching_is_consistent_with_the_pairs(self, descriptor):
+        exact = descriptor.as_dict()
+        complete = {name: VALUES[name][0] for name in ATTRIBUTES}
+        complete.update(exact)
+        assert descriptor.matches(complete)
+        if exact:
+            broken = dict(complete)
+            attribute = next(iter(exact))
+            candidates = [v for v in VALUES[attribute] if v != exact[attribute]]
+            broken[attribute] = candidates[0]
+            assert not descriptor.matches(broken)
+
+
+# --------------------------------------------------------------------------
+# Measure properties
+# --------------------------------------------------------------------------
+
+
+class TestMeasureProperties:
+    @given(rating_slices(), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_coverage_is_a_fraction_and_monotone(self, rating_slice, how_many):
+        groups = _groups_from_slice(rating_slice)[:how_many]
+        total = len(rating_slice)
+        value = coverage(groups, total)
+        assert 0.0 <= value <= 1.0
+        if len(groups) > 1:
+            assert coverage(groups[:-1], total) <= value + 1e-12
+
+    @given(rating_slices())
+    @settings(max_examples=40, deadline=None)
+    def test_covered_positions_is_a_set_of_valid_indices(self, rating_slice):
+        groups = _groups_from_slice(rating_slice)
+        positions = covered_positions(groups)
+        assert len(np.unique(positions)) == len(positions)
+        if len(positions):
+            assert positions.min() >= 0
+            assert positions.max() < len(rating_slice)
+
+    @given(rating_slices())
+    @settings(max_examples=40, deadline=None)
+    def test_gender_partition_covers_everything(self, rating_slice):
+        groups = [
+            Group.from_mask(
+                GroupDescriptor.from_dict({"gender": value}),
+                rating_slice,
+                rating_slice.mask_for("gender", value),
+            )
+            for value in rating_slice.distinct_values("gender")
+        ]
+        assert coverage(groups, len(rating_slice)) == pytest.approx(1.0)
+
+    @given(rating_slices())
+    @settings(max_examples=40, deadline=None)
+    def test_errors_and_disagreement_are_non_negative(self, rating_slice):
+        groups = _groups_from_slice(rating_slice)
+        assert within_group_error(groups) >= 0.0
+        assert normalized_within_group_error(groups) >= 0.0
+        assert pairwise_disagreement(groups) >= 0.0
+
+    @given(rating_slices())
+    @settings(max_examples=40, deadline=None)
+    def test_similarity_objective_is_bounded_by_the_rating_scale(self, rating_slice):
+        groups = _groups_from_slice(rating_slice)
+        value = similarity_objective(groups)
+        assert value <= 0.0
+        assert value >= -16.0  # (5-1)^2 is the largest per-tuple squared error
+
+    @given(rating_slices(), st.floats(min_value=0.0, max_value=2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_diversity_penalty_is_monotone(self, rating_slice, penalty):
+        groups = _groups_from_slice(rating_slice)
+        assert diversity_objective(groups, penalty=penalty) <= (
+            diversity_objective(groups, penalty=0.0) + 1e-12
+        )
+
+    @given(rating_slices())
+    @settings(max_examples=40, deadline=None)
+    def test_group_statistics_match_numpy(self, rating_slice):
+        for group in _groups_from_slice(rating_slice):
+            scores = rating_slice.scores[group.positions]
+            if group.size:
+                assert group.mean == pytest.approx(float(scores.mean()))
+                assert group.error == pytest.approx(float(((scores - scores.mean()) ** 2).sum()))

@@ -1,0 +1,116 @@
+"""Property-based tests for the data-cube candidate enumeration.
+
+The enumerator uses DFS with support pruning; these tests check it against a
+straightforward brute-force reference on small random slices: every group it
+returns must be correct (descriptor selects exactly those tuples) and it must
+return *every* describable group above the support threshold within the
+description-length limit (pruning must be lossless).
+"""
+
+from itertools import combinations
+from typing import Dict, List
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cube import CandidateEnumerator
+from repro.core.groups import GroupDescriptor
+from repro.data.model import Item, Rating, RatingDataset, Reviewer
+from repro.data.storage import RatingStore
+
+ATTRIBUTES = ("gender", "age_group", "state")
+VALUES: Dict[str, List[str]] = {
+    "gender": ["M", "F"],
+    "age_group": ["Under 18", "25-34"],
+    "state": ["CA", "NY", "TX"],
+}
+
+
+@st.composite
+def rating_slices(draw):
+    size = draw(st.integers(min_value=3, max_value=30))
+    reviewers, ratings = [], []
+    for index in range(size):
+        values = {name: draw(st.sampled_from(VALUES[name])) for name in ATTRIBUTES}
+        reviewers.append(
+            Reviewer(
+                reviewer_id=index + 1,
+                gender=values["gender"],
+                age=1 if values["age_group"] == "Under 18" else 25,
+                occupation="other",
+                zipcode="00000",
+                state=values["state"],
+                city=values["state"],
+            )
+        )
+        ratings.append(Rating(1, index + 1, float(draw(st.integers(1, 5)))))
+    dataset = RatingDataset(reviewers, [Item(1, "Movie")], ratings, validate=False)
+    return RatingStore(dataset, grouping_attributes=ATTRIBUTES).slice_for_items([1])
+
+
+def _brute_force_descriptors(rating_slice, max_length, min_support):
+    """Reference enumeration: try every attribute/value combination."""
+    found = set()
+    for length in range(1, max_length + 1):
+        for attributes in combinations(ATTRIBUTES, length):
+            value_lists = [VALUES[a] for a in attributes]
+            stack = [[]]
+            for values in value_lists:
+                stack = [prefix + [v] for prefix in stack for v in values]
+            for values in stack:
+                pairs = dict(zip(attributes, values))
+                mask = np.ones(len(rating_slice), dtype=bool)
+                for attribute, value in pairs.items():
+                    mask &= rating_slice.mask_for(attribute, value)
+                if int(mask.sum()) >= min_support:
+                    found.add(GroupDescriptor.from_dict(pairs))
+    return found
+
+
+class TestEnumerationCompleteness:
+    @given(rating_slices(), st.integers(min_value=1, max_value=3), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_enumerator_matches_brute_force(self, rating_slice, max_length, min_support):
+        enumerator = CandidateEnumerator(
+            rating_slice,
+            grouping_attributes=ATTRIBUTES,
+            max_description_length=max_length,
+            min_support=min_support,
+        )
+        groups = enumerator.enumerate()
+        enumerated = {g.descriptor for g in groups}
+        expected = _brute_force_descriptors(rating_slice, max_length, min_support)
+        assert enumerated == expected
+
+    @given(rating_slices(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_group_membership_is_exactly_the_descriptor_selection(self, rating_slice, min_support):
+        enumerator = CandidateEnumerator(
+            rating_slice,
+            grouping_attributes=ATTRIBUTES,
+            max_description_length=2,
+            min_support=min_support,
+        )
+        for group in enumerator.enumerate():
+            mask = np.ones(len(rating_slice), dtype=bool)
+            for attribute, value in group.descriptor.pairs:
+                mask &= rating_slice.mask_for(attribute, value)
+            assert np.array_equal(np.flatnonzero(mask), group.positions)
+            assert group.size == int(mask.sum())
+
+    @given(rating_slices())
+    @settings(max_examples=30, deadline=None)
+    def test_geo_anchored_enumeration_is_the_filtered_subset(self, rating_slice):
+        plain = CandidateEnumerator(
+            rating_slice, grouping_attributes=ATTRIBUTES, max_description_length=2, min_support=2
+        ).enumerate()
+        anchored = CandidateEnumerator(
+            rating_slice,
+            grouping_attributes=ATTRIBUTES,
+            max_description_length=2,
+            min_support=2,
+            require_geo_anchor=True,
+        ).enumerate()
+        plain_with_state = {g.descriptor for g in plain if g.descriptor.has_attribute("state")}
+        assert {g.descriptor for g in anchored} == plain_with_state

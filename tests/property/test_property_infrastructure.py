@@ -1,0 +1,129 @@
+"""Property-based tests on the supporting substrates: cache, colours, geo, parser."""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.states import ALL_STATE_CODES, state_by_code
+from repro.geo.zipcodes import city_for_zipcode, state_for_zipcode, zipcode_for
+from repro.query.parser import parse_query
+from repro.server.cache import ResultCache
+from repro.viz.color import LikertScale, hex_to_rgb
+
+
+class TestCacheProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=30), st.integers()),
+            min_size=1,
+            max_size=200,
+        ),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_capacity_never_exceeded_and_last_write_wins(self, operations, capacity):
+        cache = ResultCache(capacity=capacity)
+        last_value = {}
+        for key, value in operations:
+            cache.put(key, value)
+            last_value[key] = value
+            assert len(cache) <= capacity
+        for key in cache.keys():
+            assert cache.get(key) == last_value[key]
+
+    @given(st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_hits_plus_misses_equals_requests(self, keys):
+        cache = ResultCache(capacity=4)
+        for key in keys:
+            if cache.get(key) is None:
+                cache.put(key, key)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.requests == len(keys)
+
+
+class TestColorProperties:
+    @given(st.floats(min_value=-5, max_value=15, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_every_rating_maps_to_a_valid_colour(self, rating):
+        color = LikertScale().color_for(rating)
+        channels = hex_to_rgb(color)
+        assert all(0 <= channel <= 255 for channel in channels)
+
+    @given(
+        st.floats(min_value=1, max_value=5, allow_nan=False),
+        st.floats(min_value=1, max_value=5, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_green_channel_is_monotone_in_the_rating(self, first, second):
+        scale = LikertScale()
+        low, high = sorted((first, second))
+        assert hex_to_rgb(scale.color_for(low))[1] <= hex_to_rgb(scale.color_for(high))[1]
+
+    @given(st.floats(min_value=1, max_value=5, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_fraction_stays_in_unit_interval(self, rating):
+        assert 0.0 <= LikertScale().fraction(rating) <= 1.0
+
+
+class TestGeoProperties:
+    @given(
+        st.sampled_from(ALL_STATE_CODES),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_synthesised_zipcodes_resolve_to_their_state_and_a_known_city(
+        self, state_code, city_index, offset
+    ):
+        zipcode = zipcode_for(state_code, city_index=city_index, offset=offset)
+        assert len(zipcode) == 5
+        assert state_for_zipcode(zipcode) == state_code
+        assert city_for_zipcode(zipcode) in state_by_code(state_code).cities
+
+    @given(st.integers(min_value=0, max_value=99999))
+    @settings(max_examples=150, deadline=None)
+    def test_every_numeric_zip_resolves_to_at_most_one_state(self, zip5):
+        zipcode = f"{zip5:05d}"
+        state = state_for_zipcode(zipcode)
+        if state is not None:
+            assert state in ALL_STATE_CODES
+            assert city_for_zipcode(zipcode) in state_by_code(state).cities
+        else:
+            assert city_for_zipcode(zipcode) is None
+
+
+_word = st.text(alphabet=string.ascii_letters, min_size=1, max_size=8)
+_value = st.text(
+    alphabet=string.ascii_letters + string.digits + " ", min_size=1, max_size=12
+).filter(lambda s: s.strip())
+
+
+@st.composite
+def query_strings(draw):
+    """Random syntactically valid query strings built from the grammar."""
+    attribute = draw(st.sampled_from(["title", "genre", "actor", "director"]))
+    leaf = f'{attribute}:"{draw(_value)}"'
+    if draw(st.booleans()):
+        other_attribute = draw(st.sampled_from(["title", "genre", "actor", "director"]))
+        operator = draw(st.sampled_from([" AND ", " OR "]))
+        leaf = f'{leaf}{operator}{other_attribute}:"{draw(_value)}"'
+    if draw(st.booleans()):
+        leaf = f"NOT {leaf}"
+    return leaf
+
+
+class TestParserProperties:
+    @given(query_strings())
+    @settings(max_examples=80, deadline=None)
+    def test_generated_queries_always_parse(self, query):
+        predicate = parse_query(query)
+        assert predicate.describe()
+
+    @given(query_strings())
+    @settings(max_examples=80, deadline=None)
+    def test_describe_is_a_fixed_point_of_parsing(self, query):
+        first = parse_query(query)
+        second = parse_query(first.describe())
+        assert first.describe() == second.describe()

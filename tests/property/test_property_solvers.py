@@ -1,0 +1,103 @@
+"""Property-based tests on the solver layer.
+
+Whatever the rating data looks like, every solver must return selections that
+are drawn from the candidate set, contain no duplicates, respect the group
+budget, and report a ``feasible`` flag that agrees with the constraint set.
+These invariants are checked on randomly generated rating slices.
+"""
+
+from typing import Dict, List
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import MiningConfig
+from repro.core.annealing import SimulatedAnnealingSolver
+from repro.core.baselines import GreedyCoverageSolver, RandomSolver, TopKBySizeSolver
+from repro.core.cube import enumerate_candidates
+from repro.core.problems import DiversityProblem, SimilarityProblem
+from repro.core.rhe import RandomizedHillExploration
+from repro.data.model import Item, Rating, RatingDataset, Reviewer
+from repro.data.storage import RatingStore
+
+ATTRIBUTES = ("gender", "age_group", "state")
+VALUES: Dict[str, List[str]] = {
+    "gender": ["M", "F"],
+    "age_group": ["Under 18", "25-34", "45-49"],
+    "state": ["CA", "NY", "TX", "IL"],
+}
+
+CONFIG = MiningConfig(
+    max_groups=3,
+    min_coverage=0.3,
+    min_group_support=2,
+    max_description_length=2,
+    require_geo_anchor=False,
+    grouping_attributes=ATTRIBUTES,
+    rhe_restarts=2,
+    rhe_max_iterations=60,
+)
+
+SOLVERS = [
+    RandomizedHillExploration(restarts=2, max_iterations=60, seed=13),
+    SimulatedAnnealingSolver(steps=80, restarts=1, seed=13),
+    GreedyCoverageSolver(),
+    TopKBySizeSolver(),
+    RandomSolver(seed=13, attempts=4),
+]
+
+
+@st.composite
+def rating_slices(draw):
+    size = draw(st.integers(min_value=8, max_value=40))
+    reviewers, ratings = [], []
+    for index in range(size):
+        values = {name: draw(st.sampled_from(VALUES[name])) for name in ATTRIBUTES}
+        age = {"Under 18": 1, "25-34": 25, "45-49": 45}[values["age_group"]]
+        reviewers.append(
+            Reviewer(
+                reviewer_id=index + 1,
+                gender=values["gender"],
+                age=age,
+                occupation="other",
+                zipcode="00000",
+                state=values["state"],
+                city=values["state"],
+            )
+        )
+        ratings.append(Rating(1, index + 1, float(draw(st.integers(1, 5)))))
+    dataset = RatingDataset(reviewers, [Item(1, "Movie")], ratings, validate=False)
+    return RatingStore(dataset, grouping_attributes=ATTRIBUTES).slice_for_items([1])
+
+
+class TestSolverInvariants:
+    @given(rating_slices(), st.sampled_from(["similarity", "diversity"]))
+    @settings(max_examples=20, deadline=None)
+    def test_every_solver_returns_a_valid_selection(self, rating_slice, task):
+        candidates = enumerate_candidates(rating_slice, CONFIG)
+        if not candidates:
+            return
+        problem_class = SimilarityProblem if task == "similarity" else DiversityProblem
+        problem = problem_class(rating_slice, candidates, CONFIG)
+        candidate_descriptors = {c.descriptor for c in candidates}
+        for solver in SOLVERS:
+            result = solver.solve(problem)
+            descriptors = [g.descriptor for g in result.groups]
+            assert 1 <= len(descriptors) <= CONFIG.max_groups
+            assert len(descriptors) == len(set(descriptors))
+            assert all(d in candidate_descriptors for d in descriptors)
+            assert result.feasible == problem.is_feasible(result.groups)
+            assert result.objective == pytest.approx(problem.objective(result.groups))
+
+    @given(rating_slices())
+    @settings(max_examples=15, deadline=None)
+    def test_rhe_never_loses_to_its_own_random_start_population(self, rating_slice):
+        candidates = enumerate_candidates(rating_slice, CONFIG)
+        if not candidates:
+            return
+        problem = SimilarityProblem(rating_slice, candidates, CONFIG)
+        rhe = RandomizedHillExploration(restarts=2, max_iterations=60, seed=29).solve(problem)
+        random_draw = RandomSolver(seed=29, attempts=2).solve(problem)
+        assert problem.penalized_objective(rhe.groups) >= (
+            problem.penalized_objective(random_draw.groups) - 1e-9
+        )

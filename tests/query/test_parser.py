@@ -1,0 +1,135 @@
+"""Tests for the query-language tokenizer and parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query.parser import QueryParser, parse_query, tokenize
+from repro.query.predicates import (
+    AndPredicate,
+    AttributePredicate,
+    NotPredicate,
+    OrPredicate,
+)
+
+
+class TestTokenizer:
+    def test_splits_words_operators_and_quotes(self):
+        tokens = tokenize('title:"Toy Story" AND genre:Comedy')
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["word", "colon", "quoted", "word", "word", "colon", "word"]
+
+    def test_quoted_strings_lose_their_quotes(self):
+        tokens = tokenize('"Toy Story"')
+        assert tokens[0].text == "Toy Story"
+
+    def test_positions_are_recorded(self):
+        tokens = tokenize("genre:Drama")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 5
+        assert tokens[2].position == 6
+
+    def test_parentheses(self):
+        kinds = [t.kind for t in tokenize("(a OR b)")]
+        assert kinds == ["lparen", "word", "word", "word", "rparen"]
+
+
+class TestLeafParsing:
+    def test_attribute_exact_match(self):
+        predicate = parse_query('title:"Toy Story"')
+        assert isinstance(predicate, AttributePredicate)
+        assert predicate.attribute == "title"
+        assert predicate.value == "Toy Story"
+        assert predicate.exact is True
+
+    def test_attribute_substring_match(self):
+        predicate = parse_query('title~"Lord of the Rings"')
+        assert predicate.exact is False
+
+    def test_bare_term_becomes_title_substring(self):
+        predicate = parse_query('"Toy Story"')
+        assert isinstance(predicate, AttributePredicate)
+        assert predicate.attribute == "title"
+        assert predicate.exact is False
+
+    def test_attribute_names_are_case_insensitive(self):
+        predicate = parse_query('GENRE:Drama')
+        assert predicate.attribute == "genre"
+
+
+class TestBooleanStructure:
+    def test_explicit_and(self):
+        predicate = parse_query('genre:Thriller AND director:"Steven Spielberg"')
+        assert isinstance(predicate, AndPredicate)
+        assert len(predicate.children) == 2
+
+    def test_adjacency_means_and(self):
+        predicate = parse_query('genre:Thriller director:"Steven Spielberg"')
+        assert isinstance(predicate, AndPredicate)
+
+    def test_or_expression(self):
+        predicate = parse_query('actor:"Tom Hanks" OR director:"Woody Allen"')
+        assert isinstance(predicate, OrPredicate)
+        assert len(predicate.children) == 2
+
+    def test_not_expression(self):
+        predicate = parse_query("NOT genre:Horror")
+        assert isinstance(predicate, NotPredicate)
+
+    def test_and_binds_tighter_than_or(self):
+        predicate = parse_query("genre:Drama AND genre:War OR genre:Comedy")
+        assert isinstance(predicate, OrPredicate)
+        assert isinstance(predicate.children[0], AndPredicate)
+
+    def test_parentheses_override_precedence(self):
+        predicate = parse_query("genre:Drama AND (genre:War OR genre:Comedy)")
+        assert isinstance(predicate, AndPredicate)
+        assert isinstance(predicate.children[1], OrPredicate)
+
+    def test_keywords_are_case_insensitive(self):
+        predicate = parse_query("genre:Drama and genre:War or genre:Comedy")
+        assert isinstance(predicate, OrPredicate)
+
+
+class TestErrors:
+    def test_empty_query(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("")
+        with pytest.raises(QuerySyntaxError):
+            parse_query("   ")
+
+    def test_missing_value_after_colon(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("genre:")
+
+    def test_missing_closing_parenthesis(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("(genre:Drama OR genre:War")
+
+    def test_dangling_operator(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("genre:Drama AND")
+
+    def test_unexpected_trailing_token(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("genre:Drama )")
+
+    def test_error_reports_a_position(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query("(genre:Drama")
+        assert excinfo.value.position is not None
+
+
+class TestDescribeRoundTrip:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            'title:"Toy Story"',
+            "genre:Thriller AND director:\"Steven Spielberg\"",
+            'actor:"Tom Hanks" OR director:"Woody Allen"',
+            "NOT genre:Horror AND genre:Drama",
+        ],
+    )
+    def test_parsing_the_description_yields_an_equivalent_tree(self, query):
+        first = parse_query(query)
+        second = parse_query(first.describe())
+        assert first.describe() == second.describe()

@@ -1,0 +1,101 @@
+"""Tests for item predicates and their combinators."""
+
+import pytest
+
+from repro.data.model import Item
+from repro.errors import QueryError
+from repro.query.predicates import (
+    AndPredicate,
+    AttributePredicate,
+    NotPredicate,
+    OrPredicate,
+    TitlePredicate,
+)
+
+
+@pytest.fixture()
+def movie():
+    return Item(
+        item_id=1,
+        title="Saving Private Ryan",
+        year=1998,
+        genres=("Drama", "War"),
+        actors=("Tom Hanks", "Matt Damon"),
+        directors=("Steven Spielberg",),
+    )
+
+
+class TestAttributePredicate:
+    def test_exact_title_match_is_case_insensitive(self, movie):
+        assert AttributePredicate("title", "saving private ryan").matches(movie)
+        assert not AttributePredicate("title", "Saving Private").matches(movie)
+
+    def test_substring_match(self, movie):
+        assert AttributePredicate("title", "Private", exact=False).matches(movie)
+
+    def test_multivalued_attributes_match_any_value(self, movie):
+        assert AttributePredicate("genre", "War").matches(movie)
+        assert AttributePredicate("actor", "Matt Damon").matches(movie)
+        assert AttributePredicate("director", "Steven Spielberg").matches(movie)
+        assert not AttributePredicate("genre", "Comedy").matches(movie)
+
+    def test_year_matching(self, movie):
+        assert AttributePredicate("year", "1998").matches(movie)
+
+    def test_unsupported_attribute_rejected(self):
+        with pytest.raises(QueryError):
+            AttributePredicate("budget", "high")
+
+    def test_describe_quotes_the_value(self):
+        assert AttributePredicate("genre", "War").describe() == 'genre:"War"'
+        assert AttributePredicate("title", "Ryan", exact=False).describe() == 'title~"Ryan"'
+
+    def test_title_predicate_shorthand(self, movie):
+        assert TitlePredicate("Saving Private Ryan").matches(movie)
+
+
+class TestCombinators:
+    def test_and_requires_all_children(self, movie):
+        predicate = AndPredicate(
+            (AttributePredicate("genre", "War"), AttributePredicate("actor", "Tom Hanks"))
+        )
+        assert predicate.matches(movie)
+        failing = AndPredicate(
+            (AttributePredicate("genre", "War"), AttributePredicate("actor", "Nobody"))
+        )
+        assert not failing.matches(movie)
+
+    def test_or_requires_any_child(self, movie):
+        predicate = OrPredicate(
+            (AttributePredicate("genre", "Comedy"), AttributePredicate("genre", "War"))
+        )
+        assert predicate.matches(movie)
+
+    def test_not_inverts(self, movie):
+        assert NotPredicate(AttributePredicate("genre", "Comedy")).matches(movie)
+        assert not NotPredicate(AttributePredicate("genre", "War")).matches(movie)
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(QueryError):
+            AndPredicate(())
+        with pytest.raises(QueryError):
+            OrPredicate(())
+
+    def test_operator_overloads_build_combinators(self, movie):
+        combined = AttributePredicate("genre", "War") & AttributePredicate("actor", "Tom Hanks")
+        assert isinstance(combined, AndPredicate)
+        assert combined.matches(movie)
+        either = AttributePredicate("genre", "Comedy") | AttributePredicate("genre", "War")
+        assert isinstance(either, OrPredicate)
+        assert either.matches(movie)
+        negated = ~AttributePredicate("genre", "Comedy")
+        assert isinstance(negated, NotPredicate)
+        assert negated.matches(movie)
+
+    def test_describe_nests_parentheses(self):
+        predicate = (
+            AttributePredicate("genre", "War") & AttributePredicate("actor", "Tom Hanks")
+        ) | AttributePredicate("director", "Woody Allen")
+        text = predicate.describe()
+        assert text.startswith("(")
+        assert "AND" in text and "OR" in text

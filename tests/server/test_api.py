@@ -1,0 +1,169 @@
+"""Tests for the MapRat façade and the JSON endpoint handlers."""
+
+import pytest
+
+from repro.config import MiningConfig
+from repro.errors import ExplorationError, QueryError, ServerError
+from repro.query.engine import TimeInterval
+from repro.server.api import JsonApi, MapRat
+
+
+class TestExplain:
+    def test_explain_returns_both_interpretations(self, tiny_system):
+        result = tiny_system.explain('title:"Toy Story"')
+        assert result.similarity.groups
+        assert result.diversity.groups
+
+    def test_results_are_cached_per_query(self, fresh_system):
+        first = fresh_system.explain('title:"Toy Story"')
+        second = fresh_system.explain('title:"Toy Story"')
+        assert second is first
+        assert fresh_system.cache.stats.hits == 1
+
+    def test_cache_distinguishes_different_queries(self, fresh_system):
+        toy = fresh_system.explain('title:"Toy Story"')
+        gump = fresh_system.explain('title:"Forrest Gump"')
+        assert toy is not gump
+        assert len(fresh_system.cache) == 2
+
+    def test_cache_distinguishes_mining_configs(self, fresh_system):
+        default = fresh_system.explain('title:"Toy Story"')
+        smaller = fresh_system.explain(
+            'title:"Toy Story"',
+            config=MiningConfig(max_groups=2, min_group_support=3, min_coverage=0.1),
+        )
+        assert default is not smaller
+        assert len(smaller.similarity.groups) <= 2
+
+    def test_cache_can_be_bypassed(self, fresh_system):
+        first = fresh_system.explain('title:"Toy Story"', use_cache=False)
+        second = fresh_system.explain('title:"Toy Story"', use_cache=False)
+        assert first is not second
+
+    def test_unmatched_query_raises(self, tiny_system):
+        with pytest.raises(QueryError):
+            tiny_system.explain('title:"No Such Movie"')
+
+    def test_time_interval_changes_the_result(self, fresh_system):
+        full = fresh_system.explain('title:"Toy Story"')
+        restricted = fresh_system.explain(
+            'title:"Toy Story"', time_interval=TimeInterval.for_year(2001)
+        )
+        assert restricted.query.num_ratings < full.query.num_ratings
+
+
+class TestExploration:
+    def test_search_returns_catalogue_items(self, tiny_system):
+        items = tiny_system.search('genre:Thriller AND director:"Steven Spielberg"')
+        assert {item.title for item in items} >= {"Jurassic Park", "Jaws"}
+
+    def test_group_statistics_of_a_mined_group(self, tiny_system):
+        result = tiny_system.explain('title:"Toy Story"')
+        stats = tiny_system.group_statistics('title:"Toy Story"', "similarity", 0)
+        assert stats.label == result.similarity.groups[0].label
+        assert stats.size == result.similarity.groups[0].size
+
+    def test_drill_down_of_a_mined_group(self, tiny_system):
+        aggregates = tiny_system.drill_down('title:"Toy Story"', "similarity", 0)
+        assert aggregates
+        assert all(agg.statistics.size > 0 for agg in aggregates)
+
+    def test_out_of_range_group_index_raises(self, tiny_system):
+        with pytest.raises(ExplorationError):
+            tiny_system.group_statistics('title:"Toy Story"', "similarity", 99)
+
+    def test_unknown_task_raises_server_error(self, tiny_system):
+        with pytest.raises(ServerError):
+            tiny_system.group_statistics('title:"Toy Story"', "serendipity", 0)
+
+    def test_timeline_and_group_trend(self, tiny_system):
+        slices = tiny_system.timeline('title:"Toy Story"', min_ratings=10)
+        assert slices
+        trend = tiny_system.group_trend('title:"Toy Story"', {"gender": "M"})
+        assert trend
+
+    def test_session_shares_the_miner(self, tiny_system):
+        session = tiny_system.session()
+        assert session.miner is tiny_system.miner
+
+    def test_suggest_titles(self, tiny_system):
+        assert "Toy Story" in tiny_system.suggest_titles("Toy")
+
+
+class TestRenderingAndWarmup:
+    def test_explanation_html_contains_the_query(self, tiny_system):
+        html = tiny_system.explanation_html('title:"Toy Story"')
+        assert "Toy Story" in html and "<svg" in html
+
+    def test_explanation_text(self, tiny_system):
+        text = tiny_system.explanation_text('title:"Toy Story"')
+        assert "Similarity Mining" in text
+
+    def test_exploration_html(self, tiny_system):
+        html = tiny_system.exploration_html('title:"Toy Story"', "similarity", 0)
+        assert "Rating distribution" in html
+
+    def test_warm_up_populates_the_cache(self, fresh_system):
+        report = fresh_system.warm_up(limit=3)
+        assert report["results_precomputed"] + report["failures"] == 3
+        assert len(fresh_system.cache) >= report["results_precomputed"]
+
+    def test_summary_reports_dataset_and_cache(self, tiny_system):
+        summary = tiny_system.summary()
+        assert summary["ratings"] > 0
+        assert "cache" in summary
+
+
+class TestJsonApi:
+    @pytest.fixture(scope="class")
+    def api(self, tiny_system):
+        return JsonApi(tiny_system)
+
+    def test_summary_endpoint(self, api):
+        payload = api.dispatch("summary", {})
+        assert payload["ratings"] > 0
+
+    def test_suggest_endpoint(self, api):
+        payload = api.dispatch("suggest", {"prefix": "Toy"})
+        assert "Toy Story" in payload["titles"]
+
+    def test_explain_endpoint(self, api):
+        payload = api.dispatch("explain", {"q": 'title:"Toy Story"'})
+        assert payload["query"]["item_titles"] == ["Toy Story"]
+        assert payload["similarity"]["groups"]
+
+    def test_explain_endpoint_with_year_restriction(self, api):
+        payload = api.dispatch(
+            "explain", {"q": 'title:"Toy Story"', "start_year": "2001", "end_year": "2001"}
+        )
+        assert payload["query"]["time_interval"] is not None
+
+    def test_statistics_and_drilldown_endpoints(self, api):
+        stats = api.dispatch("statistics", {"q": 'title:"Toy Story"', "group": "0"})
+        assert stats["size"] > 0
+        drill = api.dispatch("drilldown", {"q": 'title:"Toy Story"', "group": "0"})
+        assert drill["aggregates"]
+
+    def test_timeline_endpoint(self, api):
+        payload = api.dispatch("timeline", {"q": 'title:"Toy Story"', "min_ratings": "10"})
+        assert payload["slices"]
+
+    def test_missing_parameter_is_a_400(self, api):
+        with pytest.raises(ServerError) as excinfo:
+            api.dispatch("explain", {})
+        assert excinfo.value.status == 400
+
+    def test_unknown_endpoint_is_a_404(self, api):
+        with pytest.raises(ServerError) as excinfo:
+            api.dispatch("nonsense", {})
+        assert excinfo.value.status == 404
+
+    def test_bad_query_is_wrapped_into_a_400(self, api):
+        with pytest.raises(ServerError) as excinfo:
+            api.dispatch("explain", {"q": 'title:"No Such Movie"'})
+        assert excinfo.value.status == 400
+
+    def test_bad_year_parameter_is_a_400(self, api):
+        with pytest.raises(ServerError) as excinfo:
+            api.dispatch("explain", {"q": "Toy", "start_year": "not-a-year"})
+        assert excinfo.value.status == 400

@@ -1,0 +1,100 @@
+"""Integration tests for the HTTP front-end (http.server based)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.server.app import MapRatHttpServer, run_server
+
+
+@pytest.fixture(scope="module")
+def server(tiny_system):
+    with MapRatHttpServer(tiny_system, host="127.0.0.1", port=0) as running:
+        yield running
+
+
+def _get(server, path):
+    with urllib.request.urlopen(f"{server.url}{path}", timeout=30) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+class TestHtmlPages:
+    def test_landing_page_shows_the_dataset_summary(self, server):
+        status, body = _get(server, "/")
+        assert status == 200
+        assert "MapRat" in body
+        assert "Explain Ratings" in body
+
+    def test_explain_page_renders_the_report(self, server):
+        status, body = _get(server, "/explain?q=title%3A%22Toy%20Story%22")
+        assert status == 200
+        assert "Similarity Mining" in body
+        assert "<svg" in body
+
+    def test_explore_page_renders_the_group_view(self, server):
+        status, body = _get(
+            server, "/explore?q=title%3A%22Toy%20Story%22&task=similarity&group=0"
+        )
+        assert status == 200
+        assert "Rating distribution" in body
+
+    def test_missing_query_parameter_is_a_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, "/explain")
+        assert excinfo.value.code == 400
+
+    def test_unknown_path_is_a_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, "/definitely/not/here")
+        assert excinfo.value.code == 404
+
+
+class TestJsonEndpoints:
+    def test_summary(self, server):
+        status, body = _get(server, "/api/summary")
+        assert status == 200
+        assert json.loads(body)["ratings"] > 0
+
+    def test_explain(self, server):
+        status, body = _get(server, "/api/explain?q=Toy%20Story")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["similarity"]["groups"]
+
+    def test_suggest(self, server):
+        status, body = _get(server, "/api/suggest?prefix=Toy")
+        assert "Toy Story" in json.loads(body)["titles"]
+
+    def test_error_payload_is_json(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, "/api/explain")
+        assert excinfo.value.code == 400
+        assert "error" in json.loads(excinfo.value.read().decode("utf-8"))
+
+    def test_unknown_endpoint(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, "/api/nothing")
+        assert excinfo.value.code == 404
+
+
+class TestLifecycle:
+    def test_run_server_binds_an_ephemeral_port_and_stops(self, tiny_dataset, mining_config):
+        from repro.config import PipelineConfig
+
+        server = run_server(
+            tiny_dataset, PipelineConfig(mining=mining_config), port=0, warm_up=0
+        )
+        try:
+            status, _ = _get(server, "/api/summary")
+            assert status == 200
+            assert server.port != 0
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent(self, tiny_system):
+        server = MapRatHttpServer(tiny_system, port=0)
+        server.start()
+        server.stop()
+        server.stop()

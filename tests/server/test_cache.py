@@ -1,0 +1,135 @@
+"""Tests for the LRU + TTL result cache."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import CacheError
+from repro.server.cache import ResultCache
+
+
+class TestBasicOperations:
+    def test_get_after_put(self):
+        cache = ResultCache(capacity=4)
+        cache.put("key", "value")
+        assert cache.get("key") == "value"
+        assert "key" in cache
+        assert len(cache) == 1
+
+    def test_miss_returns_the_default(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("absent") is None
+        assert cache.get("absent", default=42) == 42
+
+    def test_put_refreshes_an_existing_key(self):
+        cache = ResultCache(capacity=4)
+        cache.put("key", 1)
+        cache.put("key", 2)
+        assert cache.get("key") == 2
+        assert len(cache) == 1
+
+    def test_invalidate_and_clear(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.invalidate("a") is True
+        assert cache.invalidate("a") is False
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_invalid_configuration(self):
+        with pytest.raises(CacheError):
+            ResultCache(capacity=0)
+        with pytest.raises(CacheError):
+            ResultCache(capacity=4, ttl_seconds=0)
+
+
+class TestLruEviction:
+    def test_capacity_is_never_exceeded(self):
+        cache = ResultCache(capacity=3)
+        for index in range(10):
+            cache.put(index, index)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 7
+
+    def test_least_recently_used_entry_is_evicted_first(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a" so "b" becomes the LRU entry
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+
+    def test_keys_reflect_insertion_and_access_order(self):
+        cache = ResultCache(capacity=3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        assert cache.keys() == ["b", "a"]
+
+
+class TestTtl:
+    def test_entries_expire_after_the_ttl(self):
+        cache = ResultCache(capacity=4, ttl_seconds=0.05)
+        cache.put("key", "value")
+        assert cache.get("key") == "value"
+        time.sleep(0.08)
+        assert cache.get("key") is None
+        assert cache.stats.expirations == 1
+
+    def test_entries_survive_within_the_ttl(self):
+        cache = ResultCache(capacity=4, ttl_seconds=10)
+        cache.put("key", "value")
+        assert cache.get("key") == "value"
+
+
+class TestStatsAndCompute:
+    def test_hit_and_miss_counters(self):
+        cache = ResultCache(capacity=4)
+        cache.get("absent")
+        cache.put("key", 1)
+        cache.get("key")
+        stats = cache.stats
+        assert stats.misses == 1
+        assert stats.hits == 1
+        assert stats.requests == 2
+        assert stats.hit_rate == pytest.approx(0.5)
+        assert cache.stats.to_dict()["hit_rate"] == pytest.approx(0.5)
+
+    def test_get_or_compute_only_computes_on_miss(self):
+        cache = ResultCache(capacity=4)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "expensive"
+
+        assert cache.get_or_compute("key", compute) == "expensive"
+        assert cache.get_or_compute("key", compute) == "expensive"
+        assert len(calls) == 1
+
+    def test_contains_does_not_inflate_the_statistics(self):
+        cache = ResultCache(capacity=4)
+        cache.put("key", 1)
+        _ = "key" in cache
+        assert cache.stats.requests == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_puts_and_gets_do_not_corrupt_the_cache(self):
+        cache = ResultCache(capacity=64)
+
+        def worker(offset):
+            for index in range(200):
+                cache.put((offset, index % 32), index)
+                cache.get((offset, (index + 1) % 32))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) <= 64

@@ -1,0 +1,74 @@
+"""Tests for per-item aggregates and popular-item pre-computation."""
+
+import pytest
+
+from repro.server.precompute import Precomputer
+
+
+@pytest.fixture(scope="module")
+def precomputer(tiny_store, tiny_miner):
+    return Precomputer(tiny_store, tiny_miner)
+
+
+class TestItemAggregates:
+    def test_every_rated_item_gets_an_aggregate(self, precomputer, tiny_store):
+        aggregates = precomputer.build_item_aggregates()
+        rated_items = {item_id for item_id, count in tiny_store.most_rated_items(limit=10_000)}
+        assert set(aggregates) == rated_items
+
+    def test_aggregate_matches_the_store(self, precomputer, tiny_store):
+        aggregates = precomputer.build_item_aggregates()
+        item_id, count = tiny_store.most_rated_items(limit=1)[0]
+        aggregate = aggregates[item_id]
+        assert aggregate.count == count
+        assert aggregate.average == pytest.approx(tiny_store.item_average(item_id), abs=1e-3)
+        assert sum(aggregate.histogram.values()) == count
+
+    def test_aggregate_for_builds_lazily(self, tiny_store, tiny_miner):
+        fresh = Precomputer(tiny_store, tiny_miner)
+        item_id, _ = tiny_store.most_rated_items(limit=1)[0]
+        aggregate = fresh.aggregate_for(item_id)
+        assert aggregate is not None
+        assert aggregate.item_id == item_id
+
+    def test_aggregate_for_unrated_item_is_none(self, precomputer, tiny_dataset):
+        unrated = max(item.item_id for item in tiny_dataset.items()) + 10
+        assert precomputer.aggregate_for(unrated) is None
+
+    def test_top_items_sorted_by_count(self, precomputer):
+        top = precomputer.top_items(limit=5)
+        counts = [aggregate.count for aggregate in top]
+        assert counts == sorted(counts, reverse=True)
+        assert len(top) == 5
+
+    def test_aggregate_serialisation(self, precomputer):
+        aggregate = precomputer.top_items(limit=1)[0]
+        payload = aggregate.to_dict()
+        assert payload["count"] == aggregate.count
+        assert isinstance(payload["histogram"], dict)
+
+
+class TestWarmUp:
+    def test_warm_popular_items_calls_the_explain_callback(self, precomputer):
+        explained = []
+
+        def fake_explain(item_ids, description):
+            explained.append((tuple(item_ids), description))
+            return "result"
+
+        report = precomputer.warm_popular_items(fake_explain, limit=3)
+        assert report.results_precomputed == 3
+        assert report.failures == 0
+        assert len(explained) == 3
+        assert all(description.startswith('title:"') for _, description in explained)
+
+    def test_failures_are_counted_not_raised(self, precomputer):
+        from repro.errors import MiningError
+
+        def failing_explain(item_ids, description):
+            raise MiningError("boom")
+
+        report = precomputer.warm_popular_items(failing_explain, limit=2)
+        assert report.failures == 2
+        assert report.results_precomputed == 0
+        assert report.to_dict()["failures"] == 2

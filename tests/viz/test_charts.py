@@ -1,0 +1,85 @@
+"""Tests for the SVG chart renderers."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import VisualizationError
+from repro.viz.charts import render_bar_chart, render_histogram, render_trend_chart
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _parse(svg):
+    return ET.fromstring(svg)
+
+
+class TestHistogram:
+    def test_one_bar_per_score_value(self):
+        svg = render_histogram({1: 3, 2: 0, 3: 5, 4: 10, 5: 2})
+        root = _parse(svg)
+        bars = root.findall(f".//{SVG_NS}rect")
+        assert len(bars) == 5
+
+    def test_counts_appear_as_labels(self):
+        svg = render_histogram({5: 42})
+        assert ">42<" in svg
+
+    def test_accepts_float_keys(self):
+        svg = render_histogram({4.0: 7, 5.0: 3})
+        assert ">7<" in svg and ">3<" in svg
+
+    def test_title_is_rendered(self):
+        svg = render_histogram({3: 1}, title="my distribution")
+        assert "my distribution" in svg
+
+
+class TestBarChart:
+    def test_one_bar_per_row(self):
+        rows = [("california", 4.2), ("new york", 3.1), ("texas", 2.5)]
+        root = _parse(render_bar_chart(rows))
+        bars = root.findall(f".//{SVG_NS}rect")
+        assert len(bars) == 3
+
+    def test_labels_and_values_rendered(self):
+        svg = render_bar_chart([("male reviewers", 4.25)])
+        assert "male reviewers" in svg
+        assert "4.25" in svg
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(VisualizationError):
+            render_bar_chart([])
+
+    def test_values_capped_at_max_value(self):
+        svg_capped = render_bar_chart([("a", 10.0)], max_value=5.0)
+        root = _parse(svg_capped)
+        bar = root.findall(f".//{SVG_NS}rect")[0]
+        svg_reference = render_bar_chart([("a", 5.0)], max_value=5.0)
+        reference_bar = _parse(svg_reference).findall(f".//{SVG_NS}rect")[0]
+        assert float(bar.get("width")) == pytest.approx(float(reference_bar.get("width")))
+
+
+class TestTrendChart:
+    def test_one_marker_per_point_and_a_polyline(self):
+        points = [(2000, 4.5), (2001, 4.0), (2002, 3.2), (2003, 2.4)]
+        root = _parse(render_trend_chart(points))
+        circles = root.findall(f".//{SVG_NS}circle")
+        polylines = root.findall(f".//{SVG_NS}polyline")
+        assert len(circles) == 4
+        assert len(polylines) == 1
+
+    def test_years_appear_on_the_axis(self):
+        svg = render_trend_chart([(2000, 4.5), (2003, 2.0)])
+        assert ">2000<" in svg and ">2003<" in svg
+
+    def test_single_point_series_renders(self):
+        svg = render_trend_chart([(2001, 3.0)])
+        assert "<circle" in svg
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(VisualizationError):
+            render_trend_chart([])
+
+    def test_well_formed_xml(self):
+        root = _parse(render_trend_chart([(2000, 1.0), (2001, 5.0)]))
+        assert root.tag.endswith("svg")

@@ -1,0 +1,111 @@
+"""Tests for the SVG choropleth renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.config import MiningConfig, VizConfig
+from repro.core.explanation import Explanation, GroupExplanation
+from repro.errors import VisualizationError
+from repro.viz.choropleth import ChoroplethMap, render_explanation_map
+from repro.viz.color import LikertScale
+
+
+def _explanation(groups):
+    return Explanation(
+        task="similarity",
+        groups=tuple(groups),
+        objective=-0.1,
+        coverage=0.4,
+        feasible=True,
+        solver="rhe",
+        solver_iterations=10,
+        elapsed_seconds=0.01,
+        within_error=1.0,
+        disagreement=0.5,
+    )
+
+
+def _group(label, state, rating, pairs=None, size=12, coverage=0.1):
+    return GroupExplanation(
+        label=label,
+        pairs=pairs or {"state": state},
+        size=size,
+        average_rating=rating,
+        coverage=coverage,
+        state=state,
+        score_histogram={rating: size},
+    )
+
+
+@pytest.fixture(scope="module")
+def mined_explanation(tiny_miner):
+    return tiny_miner.explain_title("Toy Story").similarity
+
+
+class TestRendering:
+    def test_svg_is_well_formed_xml(self, mined_explanation):
+        svg = render_explanation_map(mined_explanation)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_tile_per_state_plus_legend_and_captions(self, mined_explanation):
+        svg = render_explanation_map(mined_explanation)
+        root = ET.fromstring(svg)
+        rects = root.findall(".//{http://www.w3.org/2000/svg}rect")
+        # 51 state tiles + 9 legend swatches + one caption swatch per group.
+        assert len(rects) == 51 + 9 + len(mined_explanation.groups)
+
+    def test_selected_states_get_likert_colours(self):
+        explanation = _explanation(
+            [_group("lovers", "CA", 5.0), _group("haters", "NY", 1.0)]
+        )
+        svg = ChoroplethMap().render(explanation)
+        scale = LikertScale()
+        assert scale.color_for(5.0) in svg
+        assert scale.color_for(1.0) in svg
+
+    def test_unselected_states_use_the_missing_colour(self):
+        config = VizConfig(missing_color="#ababab")
+        explanation = _explanation([_group("lovers", "CA", 5.0)])
+        svg = ChoroplethMap(config).render(explanation)
+        assert "#ababab" in svg
+
+    def test_captions_mention_the_group_labels(self):
+        explanation = _explanation([_group("male reviewers from California", "CA", 4.5)])
+        svg = ChoroplethMap().render(explanation)
+        assert "male reviewers from California" in svg
+
+    def test_title_override(self):
+        explanation = _explanation([_group("g", "CA", 4.0)])
+        svg = ChoroplethMap().render(explanation, title="Custom Heading")
+        assert "Custom Heading" in svg
+
+    def test_icons_can_be_disabled(self):
+        group = _group(
+            "male reviewers from California",
+            "CA",
+            4.5,
+            pairs={"state": "CA", "gender": "M"},
+        )
+        with_icons = ChoroplethMap(VizConfig(show_icons=True)).render(_explanation([group]))
+        without_icons = ChoroplethMap(VizConfig(show_icons=False)).render(_explanation([group]))
+        assert with_icons.count("<circle") > without_icons.count("<circle")
+
+    def test_group_without_state_is_rejected(self):
+        group = GroupExplanation(
+            label="male reviewers",
+            pairs={"gender": "M"},
+            size=10,
+            average_rating=4.0,
+            coverage=0.1,
+            state=None,
+        )
+        with pytest.raises(VisualizationError):
+            ChoroplethMap().render(_explanation([group]))
+
+    def test_render_to_file(self, tmp_path, mined_explanation):
+        path = tmp_path / "map.svg"
+        ChoroplethMap().render_to_file(mined_explanation, str(path))
+        assert path.exists()
+        assert path.read_text(encoding="utf-8").startswith("<svg")

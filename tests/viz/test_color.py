@@ -1,0 +1,69 @@
+"""Tests for the red→green Likert colour scale."""
+
+import pytest
+
+from repro.errors import VisualizationError
+from repro.viz.color import LikertScale, hex_to_rgb, rgb_to_hex
+
+
+class TestHexConversion:
+    def test_roundtrip(self):
+        assert rgb_to_hex(hex_to_rgb("#8b0000")) == "#8b0000"
+        assert hex_to_rgb("#006400") == (0, 100, 0)
+
+    def test_hash_prefix_is_optional(self):
+        assert hex_to_rgb("ff00ff") == (255, 0, 255)
+
+    def test_invalid_hex_rejected(self):
+        with pytest.raises(VisualizationError):
+            hex_to_rgb("#12")
+        with pytest.raises(VisualizationError):
+            hex_to_rgb("#zzzzzz")
+
+    def test_invalid_rgb_rejected(self):
+        with pytest.raises(VisualizationError):
+            rgb_to_hex((300, 0, 0))
+
+
+class TestLikertScale:
+    def test_endpoints_match_the_paper_colours(self):
+        scale = LikertScale()
+        assert scale.color_for(1.0) == "#8b0000"  # dark red, worst rating
+        assert scale.color_for(5.0) == "#006400"  # dark green, best rating
+
+    def test_out_of_scale_ratings_are_clamped(self):
+        scale = LikertScale()
+        assert scale.color_for(0.0) == scale.color_for(1.0)
+        assert scale.color_for(9.0) == scale.color_for(5.0)
+
+    def test_fraction_is_monotone(self):
+        scale = LikertScale()
+        fractions = [scale.fraction(r) for r in (1, 2, 3, 4, 5)]
+        assert fractions == sorted(fractions)
+        assert fractions[0] == 0.0 and fractions[-1] == 1.0
+
+    def test_green_channel_increases_with_the_rating(self):
+        scale = LikertScale()
+        greens = [hex_to_rgb(scale.color_for(r))[1] for r in (1, 2, 3, 4, 5)]
+        assert greens == sorted(greens)
+        reds = [hex_to_rgb(scale.color_for(r))[0] for r in (1, 2, 3, 4, 5)]
+        assert reds == sorted(reds, reverse=True)
+
+    def test_legend_stops(self):
+        stops = LikertScale().legend_stops(steps=5)
+        assert len(stops) == 5
+        assert stops[0][0] == 1.0 and stops[-1][0] == 5.0
+        with pytest.raises(VisualizationError):
+            LikertScale().legend_stops(steps=1)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(VisualizationError):
+            LikertScale(minimum=5, maximum=1)
+        with pytest.raises(VisualizationError):
+            LikertScale(low_color="#xyz")
+
+    def test_text_swatch_ladder(self):
+        scale = LikertScale()
+        assert scale.text_swatch(1.0) == "-"
+        assert scale.text_swatch(5.0) == "#"
+        assert scale.text_swatch(3.0) in "~=+"

@@ -1,0 +1,65 @@
+"""Tests for attribute icons and age-band pin colours."""
+
+from repro.core.groups import GroupDescriptor
+from repro.viz.icons import (
+    AGE_PIN_COLORS,
+    icon_for_pair,
+    icons_for_descriptor,
+    pin_color_for_age,
+)
+
+
+class TestIconForPair:
+    def test_gender_icons(self):
+        assert icon_for_pair("gender", "M")[1] == "male"
+        assert icon_for_pair("gender", "F")[1] == "female"
+
+    def test_known_occupation_icon(self):
+        glyph, text = icon_for_pair("occupation", "programmer")
+        assert text == "programmer"
+        assert glyph
+
+    def test_unknown_occupation_falls_back_to_generic_icon(self):
+        assert icon_for_pair("occupation", "astronaut")[1] == "occupation"
+
+    def test_age_and_location_pairs(self):
+        assert icon_for_pair("age_group", "18-24")[1] == "18-24"
+        assert icon_for_pair("state", "CA")[1] == "CA"
+        assert icon_for_pair("city", "Boston")[1] == "Boston"
+
+    def test_unrecognised_attribute(self):
+        glyph, text = icon_for_pair("shoe_size", "42")
+        assert "shoe_size" in text
+
+
+class TestPinColors:
+    def test_every_age_band_has_a_distinct_pin_colour(self):
+        assert len(set(AGE_PIN_COLORS.values())) == len(AGE_PIN_COLORS)
+
+    def test_pin_color_lookup(self):
+        assert pin_color_for_age("Under 18") == AGE_PIN_COLORS["Under 18"]
+        assert pin_color_for_age(None) not in AGE_PIN_COLORS.values()
+        assert pin_color_for_age("not a band") == pin_color_for_age(None)
+
+
+class TestDescriptorIcons:
+    def test_state_pair_is_not_annotated(self):
+        descriptor = GroupDescriptor.from_dict({"gender": "M", "state": "CA"})
+        annotations = icons_for_descriptor(descriptor)
+        assert len(annotations) == 1
+        assert annotations[0]["attribute"] == "gender"
+
+    def test_pin_colour_reflects_the_age_band(self):
+        descriptor = GroupDescriptor.from_dict(
+            {"gender": "F", "age_group": "Under 18", "state": "NY"}
+        )
+        annotations = icons_for_descriptor(descriptor)
+        assert all(a["pin_color"] == AGE_PIN_COLORS["Under 18"] for a in annotations)
+
+    def test_every_annotation_has_glyph_and_text(self):
+        descriptor = GroupDescriptor.from_dict(
+            {"gender": "M", "occupation": "lawyer", "age_group": "35-44", "state": "TX"}
+        )
+        for annotation in icons_for_descriptor(descriptor):
+            assert annotation["glyph"]
+            assert annotation["text"]

@@ -1,0 +1,99 @@
+"""Tests for the HTML explanation and exploration reports."""
+
+import pytest
+
+from repro.explore.drilldown import DrillDown
+from repro.explore.statistics import compare_groups, group_statistics
+from repro.explore.timeline import TimelineExplorer
+from repro.viz.report import ExplanationReport, ExplorationReport
+
+
+@pytest.fixture(scope="module")
+def mining_result(tiny_miner):
+    return tiny_miner.explain_title("Toy Story")
+
+
+class TestExplanationReport:
+    def test_contains_both_mining_tabs(self, mining_result):
+        html = ExplanationReport().render(mining_result)
+        assert "<h2>Similarity Mining</h2>" in html
+        assert "<h2>Diversity Mining</h2>" in html
+
+    def test_contains_the_query_summary(self, mining_result):
+        html = ExplanationReport().render(mining_result)
+        assert "Toy Story" in html
+        assert "Overall average" in html
+
+    def test_contains_every_group_label(self, mining_result):
+        html = ExplanationReport().render(mining_result)
+        for explanation in mining_result.explanations():
+            for group in explanation.groups:
+                assert group.label in html
+
+    def test_embeds_two_choropleth_svgs(self, mining_result):
+        html = ExplanationReport().render(mining_result)
+        assert html.count("<svg") == 2
+
+    def test_is_a_complete_html_document(self, mining_result):
+        html = ExplanationReport().render(mining_result)
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.rstrip().endswith("</html>")
+
+    def test_render_to_file(self, tmp_path, mining_result):
+        path = tmp_path / "explanation.html"
+        ExplanationReport().render_to_file(mining_result, str(path))
+        assert path.exists() and path.stat().st_size > 1000
+
+
+class TestExplorationReport:
+    @pytest.fixture(scope="class")
+    def rendered(self, tiny_miner, mining_result):
+        group = mining_result.similarity.groups[0]
+        rating_slice = tiny_miner.slice_for_items(mining_result.query.item_ids)
+        statistics = group_statistics(rating_slice, group.pairs, label=group.label)
+        comparisons = compare_groups(
+            rating_slice,
+            [g.pairs for g in mining_result.similarity.groups],
+            labels=[g.label for g in mining_result.similarity.groups],
+        )
+        drilldown = DrillDown(rating_slice).drill(group.pairs)
+        trend = TimelineExplorer(tiny_miner).group_trend(
+            list(mining_result.query.item_ids), group.pairs
+        )
+        html = ExplorationReport().render(
+            group=group,
+            statistics=statistics,
+            comparisons=comparisons,
+            drilldown=drilldown,
+            trend=trend,
+        )
+        return group, html
+
+    def test_mentions_the_group_label(self, rendered):
+        group, html = rendered
+        assert group.label in html
+
+    def test_contains_all_sections(self, rendered):
+        _, html = rendered
+        assert "Rating distribution" in html
+        assert "Comparison with related groups" in html
+        assert "City-level drill-down" in html
+        assert "Evolution over time" in html
+
+    def test_optional_sections_can_be_omitted(self, rendered, tiny_miner, mining_result):
+        group = mining_result.similarity.groups[0]
+        rating_slice = tiny_miner.slice_for_items(mining_result.query.item_ids)
+        statistics = group_statistics(rating_slice, group.pairs, label=group.label)
+        html = ExplorationReport().render(group=group, statistics=statistics)
+        assert "Comparison with related groups" not in html
+        assert "City-level drill-down" not in html
+
+    def test_render_to_file(self, tmp_path, rendered, tiny_miner, mining_result):
+        group = mining_result.similarity.groups[0]
+        rating_slice = tiny_miner.slice_for_items(mining_result.query.item_ids)
+        statistics = group_statistics(rating_slice, group.pairs, label=group.label)
+        path = tmp_path / "exploration.html"
+        ExplorationReport().render_to_file(
+            str(path), group=group, statistics=statistics
+        )
+        assert path.exists()

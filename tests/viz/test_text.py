@@ -1,0 +1,46 @@
+"""Tests for the plain-text rendering of explanations."""
+
+import pytest
+
+from repro.viz.text import render_explanation_text, render_result_text
+
+
+@pytest.fixture(scope="module")
+def mining_result(tiny_miner):
+    return tiny_miner.explain_title("Toy Story")
+
+
+class TestExplanationText:
+    def test_header_names_the_task_and_solver(self, mining_result):
+        text = render_explanation_text(mining_result.similarity)
+        assert text.startswith("Similarity Mining")
+        assert "solver rhe" in text
+
+    def test_every_group_gets_a_line_with_its_average(self, mining_result):
+        explanation = mining_result.similarity
+        text = render_explanation_text(explanation)
+        lines = text.splitlines()
+        assert len(lines) == 1 + len(explanation.groups)
+        for group in explanation.groups:
+            assert any(group.label in line for line in lines)
+            assert any(f"avg {group.average_rating:.2f}" in line for line in lines)
+
+    def test_likert_swatch_is_rendered(self, mining_result):
+        text = render_explanation_text(mining_result.similarity)
+        assert "[" in text and "]" in text
+
+    def test_empty_explanation_is_handled(self, mining_result):
+        from dataclasses import replace
+
+        empty = replace(mining_result.similarity, groups=())
+        text = render_explanation_text(empty)
+        assert "no groups selected" in text
+
+
+class TestResultText:
+    def test_contains_query_summary_and_both_tasks(self, mining_result):
+        text = render_result_text(mining_result)
+        assert 'Query: title:"Toy Story"' in text
+        assert "Similarity Mining" in text
+        assert "Diversity Mining" in text
+        assert "overall average" in text

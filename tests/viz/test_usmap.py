@@ -1,0 +1,45 @@
+"""Tests for the tile-grid layout of the US map."""
+
+from repro.geo.states import states
+from repro.viz.usmap import TileGridLayout
+
+
+class TestLayout:
+    def test_one_tile_per_state(self):
+        layout = TileGridLayout()
+        tiles = list(layout.tiles())
+        assert len(tiles) == 51
+        assert len({tile.state for tile in tiles}) == 51
+
+    def test_tiles_do_not_overlap(self):
+        layout = TileGridLayout(tile_size=40, padding=4)
+        tiles = list(layout.tiles())
+        for i, first in enumerate(tiles):
+            for second in tiles[i + 1 :]:
+                horizontal_gap = abs(first.x - second.x) >= first.size
+                vertical_gap = abs(first.y - second.y) >= first.size
+                assert horizontal_gap or vertical_gap
+
+    def test_all_tiles_fit_on_the_canvas(self):
+        layout = TileGridLayout()
+        width, height = layout.canvas_size()
+        for tile in layout.tiles():
+            assert 0 <= tile.x and tile.x + tile.size <= width
+            assert 0 <= tile.y and tile.y + tile.size <= height
+
+    def test_tile_center(self):
+        layout = TileGridLayout(tile_size=40)
+        tile = layout.tiles_by_code()["CA"]
+        cx, cy = tile.center
+        assert cx == tile.x + 20
+        assert cy == tile.y + 20
+
+    def test_tile_size_scales_the_canvas(self):
+        small = TileGridLayout(tile_size=20).canvas_size()
+        large = TileGridLayout(tile_size=60).canvas_size()
+        assert large[0] > small[0] and large[1] > small[1]
+
+    def test_tiles_by_code_covers_every_state(self):
+        layout = TileGridLayout()
+        by_code = layout.tiles_by_code()
+        assert set(by_code) == {state.code for state in states()}
