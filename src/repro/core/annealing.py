@@ -24,7 +24,7 @@ import numpy as np
 from ..errors import InfeasibleProblemError
 from .groups import Group
 from .problems import MiningProblem
-from .rhe import RandomizedHillExploration, SolveResult
+from .rhe import RandomizedHillExploration, SolveResult, make_selection_state
 
 
 class SimulatedAnnealingSolver:
@@ -72,6 +72,10 @@ class SimulatedAnnealingSolver:
         # Reuse RHE's feasibility-repairing random start so annealing begins
         # from the same kind of state the paper's solver does.
         starter = RandomizedHillExploration(restarts=1, max_iterations=1, seed=self.seed)
+        # The naive state: annealing evaluates its own swap trials on group
+        # lists, so building per-candidate bitsets just for the start's
+        # coverage repair would be wasted work.
+        state = make_selection_state(problem, use_fast_eval=False)
 
         best: List[Group] = []
         best_penalized = float("-inf")
@@ -79,7 +83,8 @@ class SimulatedAnnealingSolver:
         trace: List[float] = []
 
         for _ in range(self.restarts):
-            current = starter._random_start(problem, candidates, k, rng)
+            start_indices = starter._random_start(problem, state, k, rng)
+            current = [candidates[i] for i in start_indices]
             current_value = problem.penalized_objective(current)
             temperature = self.initial_temperature
             for _ in range(self.steps):

@@ -1,0 +1,93 @@
+"""Packed-bitset primitives for coverage algebra.
+
+Group membership inside one :class:`~repro.data.storage.RatingSlice` is a set
+of tuple positions.  Coverage of a *selection* of groups is the cardinality of
+the union of those sets — the hottest operation of the RHE inner loop, where
+every swap trial needs the coverage of a slightly different selection.
+
+Packing each membership set into a ``uint8`` bit array (``np.packbits``) turns
+that union into a bitwise OR over ``ceil(n / 8)`` words and the cardinality
+into a popcount, both fully vectorised.  The counts are exact integers, so a
+bitset-derived coverage fraction is bit-identical to the one computed from
+``np.unique`` over position arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "pack_positions",
+    "popcount",
+    "union_rows",
+    "to_int_mask",
+    "leave_one_out_masks",
+]
+
+try:  # numpy >= 2.0 has a hardware popcount ufunc
+    _bitwise_count = np.bitwise_count
+except AttributeError:  # pragma: no cover - exercised only on old numpy
+    _POPCOUNT_TABLE = np.array(
+        [bin(value).count("1") for value in range(256)], dtype=np.uint8
+    )
+
+    def _bitwise_count(words: np.ndarray) -> np.ndarray:
+        return _POPCOUNT_TABLE[words]
+
+
+def pack_positions(positions: np.ndarray, total: int) -> np.ndarray:
+    """Pack a sorted array of tuple positions into a uint8 bitset of ``total`` bits."""
+    member = np.zeros(int(total), dtype=bool)
+    if len(positions):
+        member[positions] = True
+    return np.packbits(member)
+
+
+def popcount(bits: np.ndarray) -> int:
+    """Number of set bits in a packed bitset (exact distinct-position count)."""
+    if bits.size == 0:
+        return 0
+    return int(_bitwise_count(bits).sum())
+
+
+def union_rows(matrix: np.ndarray, indices: Sequence[int]) -> np.ndarray:
+    """Bitwise OR of the selected rows of a (groups × words) packed matrix."""
+    if len(indices) == 0:
+        return np.zeros(matrix.shape[1] if matrix.ndim == 2 else 0, dtype=np.uint8)
+    union = matrix[indices[0]].copy()
+    for index in indices[1:]:
+        np.bitwise_or(union, matrix[index], out=union)
+    return union
+
+
+def to_int_mask(bits: np.ndarray) -> int:
+    """A packed bitset as one Python arbitrary-precision integer.
+
+    For the slice sizes the solver sees (thousands to a few million bits),
+    big-int ``|`` and ``int.bit_count`` run in tight C loops with none of the
+    per-call overhead of small numpy reductions — the solver's inner loop
+    operates on these.  The bit *sets* are identical, so popcounts agree with
+    :func:`popcount` exactly.
+    """
+    return int.from_bytes(bits.tobytes(), "little")
+
+
+def leave_one_out_masks(masks: Sequence[int]) -> list:
+    """For k int masks, the OR of all masks *except* mask p, for every p.
+
+    Computed with prefix/suffix OR sweeps in O(k) big-int operations, so a
+    swap trial at position p only needs ``loo[p] | candidate_mask``.
+    """
+    k = len(masks)
+    loo = [0] * k
+    prefix = 0
+    for p in range(k):  # loo[p] starts as OR(masks[:p])
+        loo[p] = prefix
+        prefix |= masks[p]
+    suffix = 0
+    for p in range(k - 1, -1, -1):  # fold in OR(masks[p+1:])
+        loo[p] |= suffix
+        suffix |= masks[p]
+    return loo

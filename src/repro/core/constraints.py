@@ -12,17 +12,63 @@ Each constraint is a small object with a :meth:`check` predicate and a
 the aggregate feasibility test used by the solvers and a *penalty* used to
 steer infeasible intermediate solutions toward feasibility during hill
 climbing.
+
+For the solver's delta-evaluated inner loop every built-in constraint also
+implements :meth:`penalty_fast` over a :class:`SelectionStats` snapshot
+(covered-position count, per-group sizes and descriptors) instead of the
+materialised group list.  Each fast twin replays the arithmetic of its
+:meth:`penalty` exactly — same integer sums, same divisions — so penalised
+objectives computed incrementally are bit-identical to a full rebuild.
+Custom constraints without a ``penalty_fast`` simply force the solver back
+onto the naive evaluation path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..config import GEO_ATTRIBUTE, MiningConfig
 from ..errors import ConstraintError
-from .groups import Group
-from .measures import coverage
+from .groups import Group, GroupDescriptor
+from .measures import coverage, coverage_from_count
+
+
+class SelectionStats:
+    """Scalar snapshot of a candidate selection for fast constraint checks.
+
+    A plain slotted class (not a dataclass): one is built per swap trial in
+    the solver's hottest loop, so construction cost matters.
+
+    Attributes:
+        covered: number of distinct rating-tuple positions covered by the
+            selection (bitset popcount; equals ``covered_positions(...).shape[0]``).
+        total: number of rating tuples of the mined slice.
+        sizes: per-group tuple counts, in selection order.
+        descriptors: per-group descriptors, in selection order.
+        errors: per-group within-group errors, in selection order (objective
+            inputs; unused by the constraints themselves).
+        means: per-group average ratings, in selection order.
+    """
+
+    __slots__ = ("covered", "total", "sizes", "descriptors", "errors", "means", "count")
+
+    def __init__(
+        self,
+        covered: int,
+        total: int,
+        sizes: Tuple[int, ...],
+        descriptors: Tuple[GroupDescriptor, ...],
+        errors: Tuple[float, ...] = (),
+        means: Tuple[float, ...] = (),
+    ) -> None:
+        self.covered = covered
+        self.total = total
+        self.sizes = sizes
+        self.descriptors = descriptors
+        self.errors = errors
+        self.means = means
+        self.count = len(sizes)
 
 
 class Constraint:
@@ -76,6 +122,11 @@ class MaxGroupsConstraint(Constraint):
             return 1.0
         return max(0, len(groups) - self.max_groups) / self.max_groups
 
+    def penalty_fast(self, stats: SelectionStats) -> float:
+        if stats.count == 0:
+            return 1.0
+        return max(0, stats.count - self.max_groups) / self.max_groups
+
 
 @dataclass
 class MinCoverageConstraint(Constraint):
@@ -99,6 +150,11 @@ class MinCoverageConstraint(Constraint):
 
     def penalty(self, groups: Sequence[Group], total: int) -> float:
         return max(0.0, self.min_coverage - coverage(groups, total))
+
+    def penalty_fast(self, stats: SelectionStats) -> float:
+        return max(
+            0.0, self.min_coverage - coverage_from_count(stats.covered, stats.total)
+        )
 
 
 @dataclass
@@ -131,6 +187,12 @@ class DescriptionLengthConstraint(Constraint):
         excess = sum(max(0, len(g.descriptor) - self.max_length) for g in groups)
         return excess / len(groups)
 
+    def penalty_fast(self, stats: SelectionStats) -> float:
+        if stats.count == 0:
+            return 0.0
+        excess = sum(max(0, len(d) - self.max_length) for d in stats.descriptors)
+        return excess / stats.count
+
 
 @dataclass
 class MinSupportConstraint(Constraint):
@@ -157,6 +219,12 @@ class MinSupportConstraint(Constraint):
             return 0.0
         short = sum(1 for g in groups if g.size < self.min_support)
         return short / len(groups)
+
+    def penalty_fast(self, stats: SelectionStats) -> float:
+        if stats.count == 0:
+            return 0.0
+        short = sum(1 for size in stats.sizes if size < self.min_support)
+        return short / stats.count
 
 
 @dataclass
@@ -186,6 +254,14 @@ class GeoAnchorConstraint(Constraint):
             1 for g in groups if not g.descriptor.has_attribute(self.geo_attribute)
         )
         return missing / len(groups)
+
+    def penalty_fast(self, stats: SelectionStats) -> float:
+        if stats.count == 0:
+            return 0.0
+        missing = sum(
+            1 for d in stats.descriptors if not d.has_attribute(self.geo_attribute)
+        )
+        return missing / stats.count
 
 
 class ConstraintSet:
@@ -225,3 +301,21 @@ class ConstraintSet:
     def penalty(self, groups: Sequence[Group], total: int) -> float:
         """Aggregate violation magnitude used to penalise infeasible selections."""
         return float(sum(c.penalty(groups, total) for c in self.constraints))
+
+    def supports_fast_eval(self) -> bool:
+        """True when every constraint offers the delta-evaluation fast path."""
+        return all(
+            callable(getattr(c, "penalty_fast", None)) for c in self.constraints
+        )
+
+    def penalty_fast(self, stats: SelectionStats) -> float:
+        """Aggregate penalty from scalar stats; bit-identical to :meth:`penalty`.
+
+        Summation runs over the constraints in the same order as the naive
+        path — a left fold starting from integer 0, exactly like ``sum()`` —
+        so the accumulated float is exactly the same value.
+        """
+        total = 0
+        for constraint in self.constraints:
+            total = total + constraint.penalty_fast(stats)
+        return float(total)

@@ -14,6 +14,21 @@ constructed" (§2.3).  In practice MapRat restricts candidates to groups that
 :class:`CandidateEnumerator` performs that enumeration over one
 :class:`~repro.data.storage.RatingSlice` and returns materialised
 :class:`~repro.core.groups.Group` objects with cached statistics.
+
+Two equivalent implementations are provided:
+
+* the **integer-coded kernel** (default): lattice nodes carry the *positions*
+  of their member tuples; expanding a node by one attribute is a single
+  ``np.bincount`` over the node's code column (per-value supports for every
+  value at once) plus one stable argsort that splits the node into per-value
+  position segments.  No full-slice boolean mask is ever built.
+* the **naive reference** (``use_kernel=False``): the seed implementation —
+  one precomputed boolean mask per attribute/value pair, AND-combined per
+  lattice node.  It is kept as the ground truth for the equivalence property
+  tests and the ``BENCH_kernel.json`` before/after comparison.
+
+Both walk the lattice in the same order and materialise groups through the
+same :meth:`Group.from_positions`, so their outputs are bit-identical.
 """
 
 from __future__ import annotations
@@ -31,7 +46,15 @@ from .groups import Group, GroupDescriptor
 
 @dataclass(frozen=True)
 class EnumerationStats:
-    """Bookkeeping of one enumeration run (reported by benchmarks)."""
+    """Bookkeeping of one enumeration run (reported by benchmarks).
+
+    Attributes:
+        candidates: number of candidate groups actually returned by the most
+            recent :meth:`CandidateEnumerator.enumerate` call (after any geo
+            filtering); ``-1`` when enumeration has not run yet.
+        explored: lattice nodes visited (support evaluations performed).
+        pruned_by_support: nodes cut together with their subtrees.
+    """
 
     candidates: int
     explored: int
@@ -49,6 +72,7 @@ class CandidateEnumerator:
         min_support: int = 5,
         require_geo_anchor: bool = False,
         geo_attribute: str = GEO_ATTRIBUTE,
+        use_kernel: bool = True,
     ) -> None:
         if max_description_length < 1:
             raise MiningError("max_description_length must be at least 1")
@@ -60,12 +84,14 @@ class CandidateEnumerator:
         self.min_support = min_support
         self.require_geo_anchor = require_geo_anchor
         self.geo_attribute = geo_attribute
+        self.use_kernel = use_kernel
         if require_geo_anchor and geo_attribute not in self.grouping_attributes:
             raise MiningError(
                 f"geo anchoring requires {geo_attribute!r} among the grouping attributes"
             )
         self._explored = 0
         self._pruned = 0
+        self._emitted: Optional[int] = None
 
     @classmethod
     def from_config(
@@ -86,37 +112,126 @@ class CandidateEnumerator:
         """Return all candidate groups satisfying support and description limits.
 
         The DFS walks attributes in a fixed order, extending the current
-        partial mask one attribute/value pair at a time.  A partial group that
-        already falls below the support threshold is pruned together with all
-        of its specialisations.
+        partial group one attribute/value pair at a time.  A partial group
+        that already falls below the support threshold is pruned together
+        with all of its specialisations.
         """
         self._explored = 0
         self._pruned = 0
         if self.rating_slice.is_empty():
+            self._emitted = 0
             return []
+        if self.use_kernel:
+            # The kernel applies the geo filter at emission time (skipping the
+            # materialisation of groups the filter would drop); the naive
+            # reference keeps the historical post-hoc filter.  Same output.
+            groups = self._enumerate_kernel()
+        else:
+            groups = self._enumerate_naive()
+            if self.require_geo_anchor:
+                groups = [
+                    g for g in groups if g.descriptor.has_attribute(self.geo_attribute)
+                ]
+        self._emitted = len(groups)
+        return groups
+
+    def stats(self) -> EnumerationStats:
+        """Statistics of the most recent :meth:`enumerate` call."""
+        return EnumerationStats(
+            candidates=-1 if self._emitted is None else self._emitted,
+            explored=self._explored,
+            pruned_by_support=self._pruned,
+        )
+
+    # -- integer-coded kernel -----------------------------------------------------
+
+    def _attribute_tables(self) -> List[Tuple[str, np.ndarray, np.ndarray, List[int]]]:
+        """Per attribute: (name, codes, vocabulary, admissible value codes).
+
+        A value code is admissible when the value is non-empty and its
+        slice-level support already meets the threshold — the same filter the
+        naive path applies when precomputing value masks, so both walks visit
+        the exact same (attribute, value) sequence.
+        """
+        tables = []
+        for attribute in self.grouping_attributes:
+            codes = self.rating_slice.codes_for(attribute)
+            vocabulary = self.rating_slice.vocabulary(attribute)
+            counts = np.bincount(codes, minlength=vocabulary.shape[0])
+            admissible = np.array(
+                [
+                    code
+                    for code in np.flatnonzero(counts >= self.min_support).tolist()
+                    if vocabulary[code]
+                ],
+                dtype=np.int64,
+            )
+            tables.append((attribute, codes, vocabulary, admissible))
+        return tables
+
+    def _enumerate_kernel(self) -> List[Group]:
+        tables = self._attribute_tables()
+        groups: List[Group] = []
+        rows = np.arange(len(self.rating_slice), dtype=np.int64)
+        self._extend_kernel(GroupDescriptor.empty(), rows, 0, tables, groups)
+        return groups
+
+    def _extend_kernel(
+        self,
+        descriptor: GroupDescriptor,
+        rows: np.ndarray,
+        attribute_index: int,
+        tables: List[Tuple[str, np.ndarray, np.ndarray, List[int]]],
+        out: List[Group],
+    ) -> None:
+        if len(descriptor) >= self.max_description_length:
+            return
+        for next_index in range(attribute_index, len(tables)):
+            attribute, codes, vocabulary, admissible = tables[next_index]
+            if admissible.shape[0] == 0:
+                continue
+            node_codes = codes[rows]
+            counts = np.bincount(node_codes, minlength=vocabulary.shape[0])
+            admissible_counts = counts[admissible]
+            viable = int((admissible_counts >= self.min_support).sum())
+            self._explored += admissible.shape[0]
+            self._pruned += admissible.shape[0] - viable
+            if viable == 0:
+                continue
+            # Stable sort by code: per-value position segments, each ascending.
+            order = np.argsort(node_codes, kind="stable")
+            sorted_rows = rows[order]
+            ends = np.cumsum(counts)
+            for code, support in zip(
+                admissible.tolist(), admissible_counts.tolist()
+            ):
+                if support < self.min_support:
+                    continue
+                end = int(ends[code])
+                child_rows = sorted_rows[end - support : end]
+                extended = descriptor.with_pair(attribute, vocabulary[code])
+                if not self.require_geo_anchor or extended.has_attribute(
+                    self.geo_attribute
+                ):
+                    out.append(
+                        Group.from_positions(extended, self.rating_slice, child_rows)
+                    )
+                self._extend_kernel(extended, child_rows, next_index + 1, tables, out)
+
+    # -- naive reference ----------------------------------------------------------
+
+    def _enumerate_naive(self) -> List[Group]:
         value_masks = self._value_masks()
         groups: List[Group] = []
         all_mask = np.ones(len(self.rating_slice), dtype=bool)
-        self._extend(
+        self._extend_naive(
             descriptor=GroupDescriptor.empty(),
             mask=all_mask,
             attribute_index=0,
             value_masks=value_masks,
             out=groups,
         )
-        if self.require_geo_anchor:
-            groups = [g for g in groups if g.descriptor.has_attribute(self.geo_attribute)]
         return groups
-
-    def stats(self) -> EnumerationStats:
-        """Statistics of the most recent :meth:`enumerate` call."""
-        return EnumerationStats(
-            candidates=-1 if self._explored == 0 else self._explored - self._pruned,
-            explored=self._explored,
-            pruned_by_support=self._pruned,
-        )
-
-    # -- internals ---------------------------------------------------------------
 
     def _value_masks(self) -> Dict[str, List[Tuple[str, np.ndarray]]]:
         """Precompute the boolean mask of every attribute/value pair."""
@@ -130,7 +245,7 @@ class CandidateEnumerator:
             masks[attribute] = per_value
         return masks
 
-    def _extend(
+    def _extend_naive(
         self,
         descriptor: GroupDescriptor,
         mask: np.ndarray,
@@ -151,7 +266,7 @@ class CandidateEnumerator:
                     continue
                 extended = descriptor.with_pair(attribute, value)
                 out.append(Group.from_mask(extended, self.rating_slice, combined))
-                self._extend(extended, combined, next_index + 1, value_masks, out)
+                self._extend_naive(extended, combined, next_index + 1, value_masks, out)
 
 
 def enumerate_candidates(

@@ -20,6 +20,7 @@ from ..config import GEO_ATTRIBUTE
 from ..errors import MiningError
 from ..geo.states import state_by_code
 from ..data.storage import RatingSlice
+from .bitset import pack_positions
 
 #: Phrase templates used to build human-readable group labels.
 _GENDER_WORDS = {"M": "male", "F": "female"}
@@ -201,8 +202,12 @@ class Group:
         if size == 0:
             mean, error = 0.0, 0.0
         else:
-            mean = float(scores.mean())
-            error = float(((scores - mean) ** 2).sum())
+            # np.add.reduce is what ndarray.mean()/.sum() call underneath;
+            # invoking it directly skips their wrapper layers (this runs once
+            # per enumerated group) while producing bit-identical floats.
+            mean = float(np.add.reduce(scores) / size)
+            deltas = scores - mean
+            error = float(np.add.reduce(deltas * deltas))
         return cls(
             descriptor=descriptor,
             positions=positions,
@@ -218,6 +223,20 @@ class Group:
         if not isinstance(other, Group):
             return NotImplemented
         return self.descriptor == other.descriptor
+
+    def packed_bits(self, total: int) -> np.ndarray:
+        """Membership of this group as a packed bitset over ``total`` slice tuples.
+
+        Packed once and cached on the instance, so the two mining tasks (and
+        every solver restart) share a single materialisation; coverage of any
+        selection is then a bitwise OR plus popcount over these rows.
+        """
+        cached = getattr(self, "_packed_bits", None)
+        if cached is None or getattr(self, "_packed_total", None) != total:
+            cached = pack_positions(self.positions, total)
+            object.__setattr__(self, "_packed_bits", cached)
+            object.__setattr__(self, "_packed_total", total)
+        return cached
 
     @property
     def variance(self) -> float:

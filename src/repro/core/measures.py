@@ -13,10 +13,14 @@ measurable quantities over a *selection* of groups:
   from one another; Diversity Mining maximises this while keeping each group
   internally consistent.
 
-All functions operate on :class:`~repro.core.groups.Group` objects whose
-statistics were cached at materialisation time, so evaluating a candidate
-selection inside the RHE inner loop costs O(k²) scalar work plus one union of
-position arrays for coverage.
+The primary functions operate on :class:`~repro.core.groups.Group` objects
+whose statistics were cached at materialisation time.  Each one has a
+``*_values`` twin operating on plain scalar sequences (sizes, errors, means in
+selection order): those are the building blocks of the solver's incremental
+:class:`~repro.core.rhe.SelectionState` and intentionally replay the exact
+same arithmetic — same summation order, same division — so a delta-evaluated
+selection scores **bit-identically** to a full rebuild.  Any change to a
+measure must be applied to both twins.
 """
 
 from __future__ import annotations
@@ -105,6 +109,62 @@ def diversity_objective(groups: Sequence[Group], penalty: float = 0.25) -> float
     if not groups:
         return float("-inf")
     return pairwise_disagreement(groups) - penalty * normalized_within_group_error(groups)
+
+
+# -- scalar-stat twins (delta-evaluation building blocks) ------------------------
+
+
+def coverage_from_count(covered: int, total: int) -> float:
+    """Mirror of :func:`coverage` given a precomputed covered-position count."""
+    if total <= 0:
+        return 0.0
+    return covered / total
+
+
+def within_group_error_values(errors: Sequence[float]) -> float:
+    """Mirror of :func:`within_group_error` on per-group error scalars."""
+    return float(sum(errors))
+
+
+def normalized_within_group_error_values(
+    errors: Sequence[float], sizes: Sequence[int]
+) -> float:
+    """Mirror of :func:`normalized_within_group_error` on scalar stats."""
+    covered = sum(sizes)
+    if covered == 0:
+        return 0.0
+    return within_group_error_values(errors) / covered
+
+
+def pairwise_disagreement_values(means: Sequence[float]) -> float:
+    """Mirror of :func:`pairwise_disagreement` on per-group mean scalars."""
+    if len(means) < 2:
+        return 0.0
+    deltas = [abs(a - b) for a, b in combinations(means, 2)]
+    return float(sum(deltas) / len(deltas))
+
+
+def similarity_objective_values(
+    errors: Sequence[float], sizes: Sequence[int]
+) -> float:
+    """Mirror of :func:`similarity_objective` on scalar stats."""
+    if not errors:
+        return float("-inf")
+    return -normalized_within_group_error_values(errors, sizes)
+
+
+def diversity_objective_values(
+    means: Sequence[float],
+    errors: Sequence[float],
+    sizes: Sequence[int],
+    penalty: float = 0.25,
+) -> float:
+    """Mirror of :func:`diversity_objective` on scalar stats."""
+    if not means:
+        return float("-inf")
+    return pairwise_disagreement_values(means) - penalty * (
+        normalized_within_group_error_values(errors, sizes)
+    )
 
 
 def selection_summary(groups: Sequence[Group], total: int) -> dict:

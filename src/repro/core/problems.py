@@ -15,10 +15,15 @@ from typing import List, Optional, Sequence
 from ..config import MiningConfig
 from ..data.storage import RatingSlice
 from ..errors import InfeasibleProblemError, MiningError
-from .constraints import ConstraintSet
+from .constraints import ConstraintSet, SelectionStats
 from .cube import enumerate_candidates
 from .groups import Group
-from .measures import diversity_objective, similarity_objective
+from .measures import (
+    diversity_objective,
+    diversity_objective_values,
+    similarity_objective,
+    similarity_objective_values,
+)
 
 #: Weight of the constraint penalty in the penalised objective.  It dwarfs the
 #: objective's natural range (a few rating points) so feasibility always wins.
@@ -74,8 +79,20 @@ class MiningProblem:
     def max_groups(self) -> int:
         return self.config.max_groups
 
+    #: True when :meth:`objective_from_stats` replays :meth:`objective` exactly,
+    #: enabling the solver's delta-evaluated inner loop.
+    supports_fast_objective = False
+
     def objective(self, selection: Sequence[Group]) -> float:
         """Task-specific objective, higher is better.  Overridden by subclasses."""
+        raise NotImplementedError
+
+    def objective_from_stats(self, stats: SelectionStats) -> float:
+        """Objective from a scalar selection snapshot (delta-evaluation path).
+
+        Must be a bit-exact mirror of :meth:`objective`; subclasses that
+        implement it set ``supports_fast_objective = True``.
+        """
         raise NotImplementedError
 
     def is_feasible(self, selection: Sequence[Group]) -> bool:
@@ -116,9 +133,13 @@ class SimilarityProblem(MiningProblem):
     """
 
     task = "similarity"
+    supports_fast_objective = True
 
     def objective(self, selection: Sequence[Group]) -> float:
         return similarity_objective(selection)
+
+    def objective_from_stats(self, stats: SelectionStats) -> float:
+        return similarity_objective_values(stats.errors, stats.sizes)
 
 
 class DiversityProblem(MiningProblem):
@@ -129,6 +150,12 @@ class DiversityProblem(MiningProblem):
     """
 
     task = "diversity"
+    supports_fast_objective = True
 
     def objective(self, selection: Sequence[Group]) -> float:
         return diversity_objective(selection, penalty=self.config.diversity_penalty)
+
+    def objective_from_stats(self, stats: SelectionStats) -> float:
+        return diversity_objective_values(
+            stats.means, stats.errors, stats.sizes, penalty=self.config.diversity_penalty
+        )

@@ -6,21 +6,69 @@ builds reviewer groups over those tuples.  :class:`RatingStore` is the storage
 substrate that makes this fast:
 
 * an inverted index item → rating positions,
-* per-reviewer attribute columns materialised once, and
+* per-reviewer attribute columns factorised once into ``int32`` *code* arrays
+  plus sorted vocabularies ("aggressive data pre-processing"), and
 * :class:`RatingSlice`, a columnar view over the rating tuples of one query
-  (numpy arrays for scores/timestamps, per-attribute string columns) that the
-  data-cube enumerator and the objective functions operate on directly.
+  (numpy arrays for scores/timestamps, integer code columns per attribute)
+  that the data-cube enumerator and the objective functions operate on
+  directly.
+
+The string-valued column API (``attribute_values`` / ``attribute_columns``) is
+kept as a thin compat shim that decodes ``vocabulary[codes]`` lazily; all hot
+paths (masking, distinct values, cube enumeration) run on the integer codes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import DataError, EmptyRatingSetError
 from .model import Rating, RatingDataset, Reviewer
+
+
+def _factorize(column: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Factorise a string column into (sorted vocabulary, int32 codes)."""
+    if column.shape[0] == 0:
+        return np.array([], dtype=object), np.array([], dtype=np.int32)
+    vocabulary, codes = np.unique(column, return_inverse=True)
+    return vocabulary, codes.astype(np.int32, copy=False)
+
+
+class _LazyColumns(Mapping):
+    """Mapping view that decodes string columns from codes on first access.
+
+    Keeps the historical ``slice.attribute_columns[name] -> np.ndarray[str]``
+    contract alive without paying the object-array gather per slice unless a
+    caller actually asks for strings.
+    """
+
+    def __init__(
+        self,
+        code_columns: Dict[str, np.ndarray],
+        vocabularies: Dict[str, np.ndarray],
+    ) -> None:
+        self._code_columns = code_columns
+        self._vocabularies = vocabularies
+        self._decoded: Dict[str, np.ndarray] = {}
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        if name not in self._decoded:
+            codes = self._code_columns[name]
+            vocabulary = self._vocabularies[name]
+            if codes.shape[0] == 0:
+                self._decoded[name] = np.array([], dtype=object)
+            else:
+                self._decoded[name] = vocabulary[codes]
+        return self._decoded[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._code_columns)
+
+    def __len__(self) -> int:
+        return len(self._code_columns)
 
 
 @dataclass
@@ -32,15 +80,25 @@ class RatingSlice:
         reviewer_ids: array of reviewer ids, one per rating tuple.
         scores: float array of rating scores.
         timestamps: int array of rating timestamps.
-        attribute_columns: mapping attribute name → list of string values,
+        attribute_columns: mapping attribute name → array of string values,
             aligned with the arrays above (reviewer attributes of the rater).
+        code_columns: mapping attribute name → ``int32`` codes into the
+            attribute's vocabulary (the mining kernel's working columns).
+        vocabularies: mapping attribute name → sorted array of distinct
+            string values; ``vocabulary[code]`` recovers the string.
     """
 
     item_ids: np.ndarray
     reviewer_ids: np.ndarray
     scores: np.ndarray
     timestamps: np.ndarray
-    attribute_columns: Dict[str, np.ndarray] = field(default_factory=dict)
+    attribute_columns: Mapping[str, np.ndarray] = field(default_factory=dict)
+    code_columns: Dict[str, np.ndarray] = field(default_factory=dict)
+    vocabularies: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.code_columns and not self.attribute_columns:
+            self.attribute_columns = _LazyColumns(self.code_columns, self.vocabularies)
 
     def __len__(self) -> int:
         return int(self.scores.shape[0])
@@ -58,6 +116,32 @@ class RatingSlice:
             return 0.0
         return float(self.scores.mean())
 
+    # -- integer-coded columns ----------------------------------------------------
+
+    def codes_for(self, attribute: str) -> np.ndarray:
+        """``int32`` code column of an attribute (factorised on demand)."""
+        if attribute not in self.code_columns:
+            self._factorize_attribute(attribute)
+        return self.code_columns[attribute]
+
+    def vocabulary(self, attribute: str) -> np.ndarray:
+        """Sorted distinct string values of an attribute; ``vocab[code]`` decodes."""
+        if attribute not in self.vocabularies:
+            self._factorize_attribute(attribute)
+        return self.vocabularies[attribute]
+
+    def _factorize_attribute(self, attribute: str) -> None:
+        """Build codes + vocabulary for a slice constructed from string columns."""
+        try:
+            column = self.attribute_columns[attribute]
+        except KeyError as exc:
+            raise DataError(f"slice has no attribute column {attribute!r}") from exc
+        vocabulary, codes = _factorize(np.asarray(column, dtype=object))
+        self.vocabularies[attribute] = vocabulary
+        self.code_columns[attribute] = codes
+
+    # -- string compat API --------------------------------------------------------
+
     def attribute_values(self, attribute: str) -> np.ndarray:
         """Column of reviewer attribute values aligned with the rating tuples."""
         try:
@@ -67,16 +151,46 @@ class RatingSlice:
 
     def distinct_values(self, attribute: str) -> List[str]:
         """Sorted distinct non-empty values of an attribute column."""
-        column = self.attribute_values(attribute)
-        values = {v for v in column.tolist() if v}
-        return sorted(values)
+        vocabulary = self.vocabulary(attribute)
+        codes = self.codes_for(attribute)
+        if codes.shape[0] == 0:
+            return []
+        present = np.bincount(codes, minlength=vocabulary.shape[0]) > 0
+        return [value for value in vocabulary[present].tolist() if value]
 
     def mask_for(self, attribute: str, value: str) -> np.ndarray:
         """Boolean mask of tuples whose reviewer has ``attribute == value``."""
-        return self.attribute_values(attribute) == value
+        vocabulary = self.vocabulary(attribute)
+        codes = self.codes_for(attribute)
+        index = int(np.searchsorted(vocabulary, value))
+        if index >= vocabulary.shape[0] or vocabulary[index] != value:
+            return np.zeros(len(self), dtype=bool)
+        return codes == np.int32(index)
+
+    # -- restriction --------------------------------------------------------------
 
     def restrict(self, mask: np.ndarray, copy_columns: bool = True) -> "RatingSlice":
         """Return a sub-slice containing only the tuples selected by ``mask``."""
+        if self.code_columns:
+            # A slice built from string columns may be only partially
+            # factorized (mask_for/distinct_values factorize lazily, one
+            # attribute at a time); factorize the rest so the code-column
+            # sub-slice carries every attribute.
+            for name in self.attribute_columns:
+                if name not in self.code_columns:
+                    self._factorize_attribute(name)
+            codes = {
+                name: col[mask] if copy_columns else col
+                for name, col in self.code_columns.items()
+            }
+            return RatingSlice(
+                item_ids=self.item_ids[mask],
+                reviewer_ids=self.reviewer_ids[mask],
+                scores=self.scores[mask],
+                timestamps=self.timestamps[mask],
+                code_columns=codes,
+                vocabularies=dict(self.vocabularies),
+            )
         columns = {
             name: col[mask] if copy_columns else col
             for name, col in self.attribute_columns.items()
@@ -99,9 +213,13 @@ class RatingSlice:
     def score_histogram(self, bins: Sequence[float] = (1, 2, 3, 4, 5)) -> Dict[float, int]:
         """Count of ratings per score value (Figure 3 statistics)."""
         histogram: Dict[float, int] = {float(b): 0 for b in bins}
-        for score in self.scores.tolist():
-            key = float(round(score))
-            histogram[key] = histogram.get(key, 0) + 1
+        if self.is_empty():
+            return histogram
+        rounded = np.rint(self.scores).astype(np.int64)
+        values, counts = np.unique(rounded, return_counts=True)
+        for value, count in zip(values.tolist(), counts.tolist()):
+            key = float(value)
+            histogram[key] = histogram.get(key, 0) + count
         return histogram
 
     def years(self) -> List[int]:
@@ -117,7 +235,9 @@ class RatingStore:
 
     Construction cost is paid once per dataset ("aggressive data
     pre-processing", §2.3); after that, slicing the ratings of any item set is
-    an index lookup plus a few numpy gathers.
+    an index lookup plus a few numpy gathers.  Attribute columns are stored as
+    ``int32`` codes into per-attribute vocabularies, so slices carry compact
+    integer columns and the mining kernel never touches Python strings.
     """
 
     def __init__(
@@ -133,34 +253,57 @@ class RatingStore:
         self._scores = np.array([r.score for r in ratings], dtype=np.float64)
         self._timestamps = np.array([r.timestamp for r in ratings], dtype=np.int64)
         self._positions_by_item: Dict[int, np.ndarray] = self._build_item_index()
-        self._attribute_columns = self._build_attribute_columns()
+        self._attribute_codes: Dict[str, np.ndarray] = {}
+        self._vocabularies: Dict[str, np.ndarray] = {}
+        self._build_attribute_columns()
 
     # -- construction ------------------------------------------------------------
 
     def _build_item_index(self) -> Dict[int, np.ndarray]:
-        positions: Dict[int, List[int]] = {}
-        for pos, item_id in enumerate(self._item_ids.tolist()):
-            positions.setdefault(item_id, []).append(pos)
+        if self._item_ids.shape[0] == 0:
+            return {}
+        order = np.argsort(self._item_ids, kind="stable")
+        sorted_items = self._item_ids[order]
+        unique_items, starts = np.unique(sorted_items, return_index=True)
+        segments = np.split(order, starts[1:])
         return {
-            item_id: np.array(pos_list, dtype=np.int64)
-            for item_id, pos_list in positions.items()
+            int(item_id): segment
+            for item_id, segment in zip(unique_items.tolist(), segments)
         }
 
-    def _build_attribute_columns(self) -> Dict[str, np.ndarray]:
-        reviewer_values: Dict[int, Dict[str, str]] = {}
-        for reviewer in self.dataset.reviewers():
-            reviewer_values[reviewer.reviewer_id] = {
-                name: reviewer.attribute(name) for name in self.grouping_attributes
-            }
-        columns: Dict[str, List[str]] = {name: [] for name in self.grouping_attributes}
-        for reviewer_id in self._reviewer_ids.tolist():
-            values = reviewer_values[reviewer_id]
-            for name in self.grouping_attributes:
-                columns[name].append(values[name])
-        return {
-            name: np.array(values, dtype=object)
-            for name, values in columns.items()
-        }
+    def _build_attribute_columns(self) -> None:
+        """Factorise each reviewer attribute once and gather codes per rating.
+
+        One Python pass over the *reviewers* (unavoidable: attribute access is
+        a Python call), then a vectorised ``searchsorted`` join maps every
+        rating to its reviewer row and a gather yields the per-rating codes.
+        """
+        reviewers = list(self.dataset.reviewers())
+        reviewer_ids = np.array(
+            [r.reviewer_id for r in reviewers], dtype=np.int64
+        )
+        order = np.argsort(reviewer_ids, kind="stable")
+        sorted_ids = reviewer_ids[order]
+        if self._reviewer_ids.shape[0]:
+            if sorted_ids.shape[0] == 0:
+                raise DataError("ratings reference reviewers but the dataset has none")
+            rows = np.searchsorted(sorted_ids, self._reviewer_ids)
+            rows = np.minimum(rows, sorted_ids.shape[0] - 1)
+            bad = sorted_ids[rows] != self._reviewer_ids
+            if bad.any():
+                missing = sorted(set(self._reviewer_ids[bad].tolist()))[:5]
+                raise DataError(f"ratings reference unknown reviewer ids {missing!r}")
+        else:
+            rows = np.array([], dtype=np.int64)
+        for name in self.grouping_attributes:
+            values = np.array(
+                [reviewer.attribute(name) for reviewer in reviewers], dtype=object
+            )[order]
+            vocabulary, reviewer_codes = _factorize(values)
+            self._vocabularies[name] = vocabulary
+            self._attribute_codes[name] = (
+                reviewer_codes[rows] if rows.shape[0] else np.array([], dtype=np.int32)
+            )
 
     # -- sizes --------------------------------------------------------------------
 
@@ -186,6 +329,19 @@ class RatingStore:
 
     # -- slicing ------------------------------------------------------------------
 
+    def _slice_at(self, positions: np.ndarray) -> RatingSlice:
+        return RatingSlice(
+            item_ids=self._item_ids[positions],
+            reviewer_ids=self._reviewer_ids[positions],
+            scores=self._scores[positions],
+            timestamps=self._timestamps[positions],
+            code_columns={
+                name: codes[positions]
+                for name, codes in self._attribute_codes.items()
+            },
+            vocabularies=dict(self._vocabularies),
+        )
+
     def slice_for_items(
         self,
         item_ids: Iterable[int],
@@ -207,16 +363,7 @@ class RatingStore:
             positions.sort()
         else:
             positions = np.array([], dtype=np.int64)
-        rating_slice = RatingSlice(
-            item_ids=self._item_ids[positions],
-            reviewer_ids=self._reviewer_ids[positions],
-            scores=self._scores[positions],
-            timestamps=self._timestamps[positions],
-            attribute_columns={
-                name: column[positions]
-                for name, column in self._attribute_columns.items()
-            },
-        )
+        rating_slice = self._slice_at(positions)
         if time_interval is not None:
             rating_slice = rating_slice.restrict_to_interval(*time_interval)
         if rating_slice.is_empty() and not allow_empty:
@@ -227,14 +374,7 @@ class RatingStore:
 
     def slice_all(self) -> RatingSlice:
         """Slice over every rating of the dataset."""
-        everything = np.arange(len(self), dtype=np.int64)
-        return RatingSlice(
-            item_ids=self._item_ids[everything],
-            reviewer_ids=self._reviewer_ids[everything],
-            scores=self._scores[everything],
-            timestamps=self._timestamps[everything],
-            attribute_columns=dict(self._attribute_columns),
-        )
+        return self._slice_at(np.arange(len(self), dtype=np.int64))
 
     # -- aggregate helpers ----------------------------------------------------------
 

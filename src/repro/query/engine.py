@@ -7,6 +7,7 @@ collects rating tuples for (§2.3).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from typing import List, Optional, Sequence, Tuple, Union
@@ -74,6 +75,7 @@ class QueryEngine:
 
     def __init__(self, dataset: RatingDataset) -> None:
         self.dataset = dataset
+        self._title_index: Optional[Tuple[List[str], List[str]]] = None
 
     # -- parsing ------------------------------------------------------------------
 
@@ -107,19 +109,32 @@ class QueryEngine:
         """Ids of matching items, sorted for deterministic downstream behaviour."""
         return sorted(item.item_id for item in self.matching_items(query))
 
+    def _titles_by_lowercase(self) -> Tuple[List[str], List[str]]:
+        """Distinct titles with their lowered forms, sorted by the latter.
+
+        Built once per engine (the catalogue is immutable), so every
+        keystroke's completion is a binary search over the lowered index
+        instead of a scan of the whole catalogue.
+        """
+        if self._title_index is None:
+            pairs = sorted({(item.title.lower(), item.title) for item in self.dataset.items()})
+            lowered = [low for low, _ in pairs]
+            originals = [title for _, title in pairs]
+            self._title_index = (lowered, originals)
+        return self._title_index
+
     def suggest_titles(self, prefix: str, limit: int = 10) -> List[str]:
         """Title auto-completion for the search box (prefix, case-insensitive)."""
         wanted = prefix.strip().lower()
         if not wanted:
             return []
-        titles = sorted(
-            {
-                item.title
-                for item in self.dataset.items()
-                if item.title.lower().startswith(wanted)
-            }
-        )
-        return titles[:limit]
+        lowered, originals = self._titles_by_lowercase()
+        index = bisect_left(lowered, wanted)
+        matches = set()
+        while index < len(lowered) and lowered[index].startswith(wanted):
+            matches.add(originals[index])
+            index += 1
+        return sorted(matches)[:limit]
 
     def distinct_attribute_values(self, attribute: str, limit: int = 0) -> List[str]:
         """Distinct values of an item attribute (UI pick lists)."""

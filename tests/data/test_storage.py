@@ -94,6 +94,25 @@ class TestRatingSlice:
         assert len(males) == 3
         assert set(males.attribute_values("gender").tolist()) == {"M"}
 
+    def test_restrict_keeps_unfactorized_string_columns(self):
+        """A partially factorized string-built slice must not lose columns."""
+        from repro.data.storage import RatingSlice
+
+        rating_slice = RatingSlice(
+            item_ids=np.array([1, 1, 1]),
+            reviewer_ids=np.array([1, 2, 3]),
+            scores=np.array([5.0, 1.0, 3.0]),
+            timestamps=np.array([0, 1, 2]),
+            attribute_columns={
+                "gender": np.array(["M", "F", "M"], dtype=object),
+                "age": np.array(["young", "old", "old"], dtype=object),
+            },
+        )
+        mask = rating_slice.mask_for("gender", "M")  # factorizes only 'gender'
+        restricted = rating_slice.restrict(mask)
+        assert restricted.attribute_values("age").tolist() == ["young", "old"]
+        assert restricted.distinct_values("age") == ["old", "young"]
+
     def test_restrict_to_interval_validates_order(self, store):
         rating_slice = store.slice_for_items([10])
         with pytest.raises(DataError):

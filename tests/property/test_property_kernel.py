@@ -1,0 +1,240 @@
+"""Equivalence properties of the integer-coded mining kernel.
+
+The optimized pipeline has three layers of machinery that must be *exactly*
+(bit-for-bit) equivalent to the naive reference implementations kept in-tree:
+
+* cube enumeration over integer codes + bincount segments
+  (``CandidateEnumerator(use_kernel=True)``) vs the boolean-mask DFS
+  (``use_kernel=False``),
+* packed-bitset coverage (OR + popcount) vs ``np.unique`` over position
+  arrays,
+* the delta-evaluated ``SelectionState`` (compiled and generic stats paths)
+  vs ``MiningProblem.penalized_objective`` on rebuilt group lists, and
+* whole RHE solves with ``use_fast_eval=True`` vs ``use_fast_eval=False``
+  for a fixed seed.
+
+Every comparison below uses ``==`` on floats deliberately: the fast paths are
+specified to replay the naive arithmetic exactly, not approximately.
+"""
+
+from typing import Dict, List
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import MiningConfig
+from repro.core.bitset import pack_positions, popcount, to_int_mask, union_rows
+from repro.core.cube import CandidateEnumerator
+from repro.core.measures import covered_positions
+from repro.core.problems import DiversityProblem, SimilarityProblem
+from repro.core.rhe import RandomizedHillExploration, SelectionState
+from repro.data.model import Item, Rating, RatingDataset, Reviewer
+from repro.data.storage import RatingStore
+
+ATTRIBUTES = ("gender", "age_group", "state")
+VALUES: Dict[str, List[str]] = {
+    "gender": ["M", "F"],
+    "age_group": ["Under 18", "25-34"],
+    "state": ["CA", "NY", "TX"],
+}
+
+
+@st.composite
+def rating_slices(draw, min_size=3, max_size=40):
+    size = draw(st.integers(min_value=min_size, max_value=max_size))
+    reviewers, ratings = [], []
+    for index in range(size):
+        values = {name: draw(st.sampled_from(VALUES[name])) for name in ATTRIBUTES}
+        reviewers.append(
+            Reviewer(
+                reviewer_id=index + 1,
+                gender=values["gender"],
+                age=1 if values["age_group"] == "Under 18" else 25,
+                occupation="other",
+                zipcode="00000",
+                state=values["state"],
+                city=values["state"],
+            )
+        )
+        score = float(draw(st.integers(1, 5)))
+        ratings.append(Rating(1, index + 1, score, timestamp=1_000 + index))
+    dataset = RatingDataset(reviewers, [Item(1, "Movie")], ratings, validate=False)
+    return RatingStore(dataset, grouping_attributes=ATTRIBUTES).slice_for_items([1])
+
+
+@st.composite
+def mining_configs(draw):
+    return MiningConfig(
+        max_groups=draw(st.integers(2, 4)),
+        min_coverage=draw(st.sampled_from([0.0, 0.2, 0.5])),
+        max_description_length=draw(st.integers(1, 3)),
+        min_group_support=draw(st.integers(1, 4)),
+        require_geo_anchor=draw(st.booleans()),
+        grouping_attributes=ATTRIBUTES,
+        rhe_restarts=2,
+        rhe_max_iterations=40,
+    )
+
+
+def _enumerate(rating_slice, config, use_kernel):
+    enumerator = CandidateEnumerator.from_config(rating_slice, config)
+    enumerator.use_kernel = use_kernel
+    return enumerator, enumerator.enumerate()
+
+
+class TestEnumerationParity:
+    @given(rating_slices(), mining_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_kernel_matches_naive_bit_for_bit(self, rating_slice, config):
+        kernel, kernel_groups = _enumerate(rating_slice, config, True)
+        naive, naive_groups = _enumerate(rating_slice, config, False)
+        assert [g.descriptor for g in kernel_groups] == [
+            g.descriptor for g in naive_groups
+        ]
+        for fast, slow in zip(kernel_groups, naive_groups):
+            assert np.array_equal(fast.positions, slow.positions)
+            assert fast.size == slow.size
+            assert fast.mean == slow.mean
+            assert fast.error == slow.error
+        assert kernel.stats() == naive.stats()
+
+    @given(rating_slices(), mining_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_stats_candidates_is_the_emitted_count(self, rating_slice, config):
+        for use_kernel in (True, False):
+            enumerator, groups = _enumerate(rating_slice, config, use_kernel)
+            stats = enumerator.stats()
+            assert stats.candidates == len(groups)
+            assert stats.explored >= stats.pruned_by_support
+
+    def test_stats_candidates_is_minus_one_before_any_run(self, tiny_store):
+        enumerator = CandidateEnumerator(tiny_store.slice_all(), min_support=3)
+        assert enumerator.stats().candidates == -1
+
+
+class TestCoverageParity:
+    @given(rating_slices(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_bitset_union_counts_match_position_union(self, rating_slice, data):
+        config = MiningConfig(
+            min_coverage=0.0,
+            min_group_support=1,
+            require_geo_anchor=False,
+            grouping_attributes=ATTRIBUTES,
+        )
+        _, groups = _enumerate(rating_slice, config, True)
+        if not groups:
+            return
+        total = len(rating_slice)
+        indices = data.draw(
+            st.lists(
+                st.integers(0, len(groups) - 1), min_size=1, max_size=5, unique=True
+            )
+        )
+        selection = [groups[i] for i in indices]
+        expected = covered_positions(selection).shape[0]
+        matrix = np.stack([g.packed_bits(total) for g in selection])
+        assert popcount(union_rows(matrix, range(len(selection)))) == expected
+        union_int = 0
+        for group in selection:
+            union_int |= to_int_mask(group.packed_bits(total))
+        assert union_int.bit_count() == expected
+        assert popcount(pack_positions(selection[0].positions, total)) == selection[0].size
+
+
+class TestObjectiveParity:
+    @given(rating_slices(), mining_configs(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_selection_state_equals_naive_penalized_objective(
+        self, rating_slice, config, data
+    ):
+        _, candidates = _enumerate(rating_slice, config, True)
+        if not candidates:
+            return
+        for problem_class in (SimilarityProblem, DiversityProblem):
+            problem = problem_class(rating_slice, candidates, config)
+            state = SelectionState.for_problem(problem)
+            assert state is not None
+            assert state._compiled is not None
+            indices = data.draw(
+                st.lists(
+                    st.integers(0, len(candidates) - 1),
+                    min_size=1,
+                    max_size=min(4, len(candidates)),
+                    unique=True,
+                )
+            )
+            expected = problem.penalized_objective([candidates[i] for i in indices])
+            assert state.evaluate(indices) == expected
+            # The generic SelectionStats path must agree as well.
+            state._compiled = None
+            assert state.evaluate(indices) == expected
+            # And the incremental trial must match a from-scratch rebuild.
+            state = SelectionState.for_problem(problem)
+            state.reset(indices)
+            candidate = data.draw(st.integers(0, len(candidates) - 1))
+            position = data.draw(st.integers(0, len(indices) - 1))
+            swapped = list(indices)
+            swapped[position] = candidate
+            assert state.trial(position, candidate) == problem.penalized_objective(
+                [candidates[i] for i in swapped]
+            )
+
+
+class TestSolverEquivalence:
+    @given(rating_slices(min_size=6), mining_configs(), st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_fixed_seed_rhe_selections_identical_fast_vs_naive(
+        self, rating_slice, config, seed
+    ):
+        _, candidates = _enumerate(rating_slice, config, True)
+        if not candidates:
+            return
+        for problem_class in (SimilarityProblem, DiversityProblem):
+            problem = problem_class(rating_slice, candidates, config)
+            fast = RandomizedHillExploration(
+                restarts=2, max_iterations=40, seed=seed, use_fast_eval=True
+            ).solve(problem)
+            naive = RandomizedHillExploration(
+                restarts=2, max_iterations=40, seed=seed, use_fast_eval=False
+            ).solve(problem)
+            assert [g.descriptor for g in fast.groups] == [
+                g.descriptor for g in naive.groups
+            ]
+            assert fast.objective == naive.objective
+            assert fast.trace == naive.trace
+            assert fast.iterations == naive.iterations
+            assert fast.feasible == naive.feasible
+
+    @given(rating_slices(min_size=6), st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_iteration_budget_is_exact(self, rating_slice, seed):
+        config = MiningConfig(
+            max_groups=3,
+            min_coverage=0.3,
+            min_group_support=1,
+            require_geo_anchor=False,
+            grouping_attributes=ATTRIBUTES,
+        )
+        _, candidates = _enumerate(rating_slice, config, True)
+        if not candidates:
+            return
+        problem = SimilarityProblem(rating_slice, candidates, config)
+        for budget in (1, 3, 10):
+            solver = RandomizedHillExploration(
+                restarts=2, max_iterations=budget, seed=seed
+            )
+            result = solver.solve(problem)
+            assert 0 < result.iterations <= solver.restarts * budget
+
+
+class TestScoreHistogramParity:
+    @given(rating_slices())
+    @settings(max_examples=25, deadline=None)
+    def test_vectorized_histogram_matches_python_loop(self, rating_slice):
+        expected = {float(b): 0 for b in (1, 2, 3, 4, 5)}
+        for score in rating_slice.scores.tolist():
+            key = float(round(score))
+            expected[key] = expected.get(key, 0) + 1
+        assert rating_slice.score_histogram() == expected

@@ -96,6 +96,25 @@ class TestCatalogueHelpers:
     def test_suggestion_limit(self, engine):
         assert len(engine.suggest_titles("S", limit=3)) <= 3
 
+    def test_suggestions_match_a_catalogue_scan(self, engine):
+        """The cached lowered-title index must agree with a full naive scan."""
+        for prefix in ("t", "To", "toy story", "S", "zzz-nothing", "  Toy  "):
+            wanted = prefix.strip().lower()
+            expected = sorted(
+                {
+                    item.title
+                    for item in engine.dataset.items()
+                    if item.title.lower().startswith(wanted)
+                }
+            )[:10] if wanted else []
+            assert engine.suggest_titles(prefix) == expected
+
+    def test_suggestion_index_is_cached(self, engine):
+        engine.suggest_titles("Toy")
+        first = engine._title_index
+        engine.suggest_titles("S")
+        assert engine._title_index is first
+
     def test_distinct_attribute_values(self, engine):
         genres = engine.distinct_attribute_values("genre")
         assert "Drama" in genres
