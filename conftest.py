@@ -4,6 +4,14 @@ Makes the ``src`` layout importable even when the package has not been
 installed (offline environments without the ``wheel`` package cannot complete
 a PEP 660 editable install).  When ``repro`` is already installed this is a
 no-op: the installed location simply wins if it appears first on ``sys.path``.
+
+Also registers the suite's markers and options:
+
+* ``slow`` — long-running tests excluded from tier-1 (``-m "not slow"``),
+* ``property`` — property-based equivalence tests (auto-applied to
+  everything under ``tests/property/``),
+* ``--update-golden`` — rewrite the golden response files of
+  ``tests/server/test_golden_api.py`` instead of comparing against them.
 """
 
 import sys
@@ -12,3 +20,32 @@ from pathlib import Path
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden JSON files under tests/server/golden/",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running test, excluded from tier-1 (-m 'not slow')"
+    )
+    config.addinivalue_line(
+        "markers", "property: property-based equivalence test (tests/property/)"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    import os
+
+    import pytest
+
+    property_dir = str(Path(__file__).resolve().parent / "tests" / "property") + os.sep
+    for item in items:
+        if str(item.fspath).startswith(property_dir):
+            item.add_marker(pytest.mark.property)

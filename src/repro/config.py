@@ -132,13 +132,39 @@ class VizConfig:
 
 @dataclass(frozen=True)
 class ServerConfig:
-    """Settings for the latency layer and the JSON API (§2.3 "caching")."""
+    """Settings for the latency layer and the JSON API (§2.3 "caching").
+
+    Attributes:
+        cache_capacity: maximum number of cached mining results.
+        cache_ttl_seconds: optional result expiry age (None: keep forever).
+        single_flight: coalesce concurrent cache misses on one key into one
+            computation (the anti-stampede guarantee of the serving layer).
+        mining_workers: thread count of the mining worker pool; 0 or 1 runs
+            everything inline.  Parallel results are bit-identical to serial
+            ones (fixed per-task seeds, submission-ordered gathering).
+        precompute_top_items: how many popular items the warm-up mines.
+        warm_in_background: run the startup warm-up on a background thread so
+            the server serves immediately while the cache fills.
+        host: bind address of the HTTP front-end.
+        port: bind port of the HTTP front-end.
+    """
 
     cache_capacity: int = 256
     cache_ttl_seconds: float | None = None
+    single_flight: bool = True
+    mining_workers: int = 4
     precompute_top_items: int = 50
+    warm_in_background: bool = True
     host: str = "127.0.0.1"
     port: int = 8912
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity < 1:
+            raise ConstraintError("cache_capacity must be at least 1")
+        if self.mining_workers < 0:
+            raise ConstraintError("mining_workers must be non-negative")
+        if self.precompute_top_items < 0:
+            raise ConstraintError("precompute_top_items must be non-negative")
 
 
 @dataclass(frozen=True)

@@ -109,6 +109,7 @@ class RatingMiner:
         description: str = "",
         time_interval: Optional[Tuple[int, int]] = None,
         config: Optional[MiningConfig] = None,
+        pool=None,
     ) -> MiningResult:
         """Produce the SM + DM interpretations for an item selection.
 
@@ -121,6 +122,14 @@ class RatingMiner:
             description: human-readable query description for reports.
             time_interval: optional ``(start, end)`` timestamp restriction.
             config: per-call override of the mining configuration.
+            pool: optional :class:`~repro.server.pool.MiningWorkerPool`; when
+                it is parallel, the two mining tasks run concurrently.  Each
+                task seeds its own generator from ``config.seed``, so the
+                result is bit-identical to the serial path for a fixed seed.
+                Never pass a pool whose workers may already be executing this
+                call (nested submission can exhaust the pool and deadlock);
+                batch drivers such as the warm-up run their inner explains
+                serially for this reason.
         """
         config = config or self.config
         started_at = time.perf_counter()
@@ -130,8 +139,14 @@ class RatingMiner:
             for item_id in item_ids
             if self.store.dataset.has_item(item_id)
         ]
-        similarity = self.mine_similarity(rating_slice, config)
-        diversity = self.mine_diversity(rating_slice, config)
+        if pool is not None and getattr(pool, "parallel", False):
+            similarity_future = pool.submit(self.mine_similarity, rating_slice, config)
+            diversity_future = pool.submit(self.mine_diversity, rating_slice, config)
+            similarity = similarity_future.result()
+            diversity = diversity_future.result()
+        else:
+            similarity = self.mine_similarity(rating_slice, config)
+            diversity = self.mine_diversity(rating_slice, config)
         elapsed = time.perf_counter() - started_at
         query = QuerySummary.build(
             description or f"{len(items)} item(s)",

@@ -72,6 +72,10 @@ class CacheError(MapRatError):
     """Raised by the result cache / pre-computation layer."""
 
 
+class PoolError(MapRatError):
+    """Raised by the mining worker pool for invalid configuration or use."""
+
+
 class ServerError(MapRatError):
     """Raised by the JSON API layer for invalid requests."""
 

@@ -3,24 +3,32 @@
 §2.3: "Using a combination of aggressive data pre-processing, result
 pre-computation and caching techniques, the latency of MapRat is minimized."
 
-* :mod:`repro.server.cache` — LRU (+ optional TTL) cache of mining results
-  keyed by the normalised query and mining configuration,
+* :mod:`repro.server.cache` — single-flight LRU (+ optional TTL) cache of
+  mining results under canonical (item ids, interval, config) keys,
+* :mod:`repro.server.pool` — the mining worker pool sharding independent
+  mining tasks across threads with deterministic, submission-ordered results,
 * :mod:`repro.server.precompute` — warm-up of the cache for the most popular
-  items and cheap per-item aggregates,
+  items (optionally on a background thread) and cheap per-item aggregates,
 * :mod:`repro.server.api` — the :class:`MapRat` façade (query → mining →
   exploration → visualization, cache-aware) and the JSON endpoint handlers,
 * :mod:`repro.server.app` — a dependency-free HTTP server exposing the JSON
   API and the HTML reports, standing in for the demo's web front-end.
 """
 
-from .cache import CacheStats, ResultCache
-from .precompute import ItemAggregate, Precomputer
+from .cache import CacheStats, ResultCache, canonical_explain_key
+from .pool import MiningWorkerPool, split_seed, split_seeds
+from .precompute import CacheWarmer, ItemAggregate, Precomputer
 from .api import JsonApi, MapRat
 from .app import MapRatHttpServer, run_server
 
 __all__ = [
     "CacheStats",
     "ResultCache",
+    "canonical_explain_key",
+    "MiningWorkerPool",
+    "split_seed",
+    "split_seeds",
+    "CacheWarmer",
     "ItemAggregate",
     "Precomputer",
     "JsonApi",

@@ -9,7 +9,9 @@ demo's interactions as methods.  :class:`JsonApi` adapts the façade to plain
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import CancelledError
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..config import MiningConfig, PipelineConfig, VizConfig
@@ -22,6 +24,7 @@ from ..errors import (
     ExplorationError,
     MapRatError,
     MiningError,
+    PoolError,
     QueryError,
     ServerError,
 )
@@ -32,8 +35,9 @@ from ..explore.timeline import GroupTrendPoint, TimelineExplorer, TimelineSlice
 from ..query.engine import ItemQuery, QueryEngine, TimeInterval
 from ..viz.report import ExplanationReport, ExplorationReport
 from ..viz.text import render_result_text
-from .cache import ResultCache
-from .precompute import ItemAggregate, Precomputer
+from .cache import ResultCache, canonical_explain_key
+from .pool import MiningWorkerPool
+from .precompute import CacheWarmer, ItemAggregate, Precomputer
 
 
 class MapRat:
@@ -53,8 +57,21 @@ class MapRat:
         self.cache = ResultCache(
             capacity=self.config.server.cache_capacity,
             ttl_seconds=self.config.server.cache_ttl_seconds,
+            single_flight=self.config.server.single_flight,
+        )
+        self.pool = MiningWorkerPool(self.config.server.mining_workers)
+        # The warm-up shards across its own pool: warm anchors may block as
+        # single-flight waiters on a live request's in-flight mining, and if
+        # they occupied the request pool they could starve the very SM/DM
+        # tasks that the live leader needs to finish (deadlock).  Request
+        # tasks never wait on cache flights, so the split breaks the cycle.
+        self.warm_pool = MiningWorkerPool(
+            self.config.server.mining_workers, thread_name_prefix="maprat-warm"
         )
         self.precomputer = Precomputer(self.store, self.miner)
+        self.warmer: Optional[CacheWarmer] = None
+        self._warmer_lock = threading.Lock()
+        self._closed = False
         self._explanation_report = ExplanationReport(self.config.viz)
         self._exploration_report = ExplorationReport(self.config.viz)
 
@@ -82,71 +99,75 @@ class MapRat:
     ) -> MiningResult:
         """Search, mine SM + DM and return the full result (Figure 2).
 
-        Results are cached per (normalised query, time interval, mining
-        configuration); repeated queries answer from the cache.
+        Results are cached under the canonical (item ids, time interval,
+        mining configuration) key, so any query resolving to the same
+        selection — case variants of a title, an explicit item list, a
+        warm-up pre-computation — answers from one entry.  Concurrent misses
+        on the same key coalesce into one mining run (single flight).
         """
         mining_config = config or self.config.mining
         compiled = self.engine.compile(query, time_interval)
         item_ids = self.engine.matching_item_ids(compiled)
         if not item_ids:
             raise QueryError(f"query {compiled.describe()!r} matches no items")
-        key = self._cache_key(compiled, item_ids, mining_config)
-        if use_cache:
-            cached = self.cache.get(key)
-            if cached is not None:
-                return cached
-        result = self._explain_item_ids(item_ids, compiled, mining_config)
-        if use_cache:
-            self.cache.put(key, result)
-        return result
+        interval = (
+            compiled.time_interval.as_tuple() if compiled.time_interval else None
+        )
+        if not use_cache:
+            return self._explain_item_ids(item_ids, interval, compiled, mining_config)
+        key = canonical_explain_key(item_ids, interval, mining_config)
+        return self.cache.get_or_compute(
+            key,
+            lambda: self._explain_item_ids(item_ids, interval, compiled, mining_config),
+        )
 
     def explain_items(
         self,
         item_ids: Sequence[int],
         description: str = "",
+        time_interval: Optional[Tuple[int, int]] = None,
         config: Optional[MiningConfig] = None,
         use_cache: bool = True,
+        parallel: bool = True,
     ) -> MiningResult:
-        """Explain an explicit item-id selection (used by pre-computation)."""
+        """Explain an explicit item-id selection (used by pre-computation).
+
+        Shares the canonical cache key with :meth:`explain`, so pre-computed
+        selections serve equivalent query traffic.  Item ids are canonicalised
+        (sorted, de-duplicated) before mining as well as keying, so a request
+        with repeated ids cannot poison the entry of the clean selection.
+        ``parallel=False`` keeps the SM/DM tasks off the worker pool —
+        required when this call itself runs on a pool worker (e.g. the
+        sharded warm-up).
+        """
         mining_config = config or self.config.mining
-        key = ("items", tuple(sorted(item_ids)), mining_config.cache_key())
-        if use_cache:
-            cached = self.cache.get(key)
-            if cached is not None:
-                return cached
-        result = self.miner.explain_items(
-            list(item_ids), description=description, config=mining_config
+        canonical_ids = sorted({int(item_id) for item_id in item_ids})
+        compute = lambda: self.miner.explain_items(  # noqa: E731 - keyed thunk
+            canonical_ids,
+            description=description,
+            time_interval=time_interval,
+            config=mining_config,
+            pool=self.pool if parallel else None,
         )
-        if use_cache:
-            self.cache.put(key, result)
-        return result
+        if not use_cache:
+            return compute()
+        key = canonical_explain_key(canonical_ids, time_interval, mining_config)
+        return self.cache.get_or_compute(key, compute)
 
     def _explain_item_ids(
         self,
         item_ids: Sequence[int],
+        interval: Optional[Tuple[int, int]],
         compiled: ItemQuery,
         mining_config: MiningConfig,
     ) -> MiningResult:
-        interval = (
-            compiled.time_interval.as_tuple() if compiled.time_interval else None
-        )
         return self.miner.explain_items(
             list(item_ids),
             description=compiled.describe(),
             time_interval=interval,
             config=mining_config,
+            pool=self.pool,
         )
-
-    def _cache_key(
-        self,
-        compiled: ItemQuery,
-        item_ids: Sequence[int],
-        mining_config: MiningConfig,
-    ) -> Tuple:
-        interval = (
-            compiled.time_interval.as_tuple() if compiled.time_interval else None
-        )
-        return ("query", tuple(item_ids), interval, mining_config.cache_key())
 
     # -- exploration -------------------------------------------------------------------
 
@@ -251,13 +272,73 @@ class MapRat:
     # -- warm-up / service info -------------------------------------------------------------
 
     def warm_up(self, limit: Optional[int] = None) -> dict:
-        """Pre-compute explanations for the most popular items (§2.3)."""
+        """Pre-compute explanations for the most popular items (§2.3).
+
+        Anchors shard across the dedicated warm pool (one task per item,
+        never the request pool — see ``__init__``); the inner SM/DM tasks run
+        serially on each worker so a saturated pool can never deadlock on
+        nested submissions.
+        """
+        with self._warmer_lock:
+            if self._closed:
+                raise PoolError("cannot warm up a closed system")
         limit = limit if limit is not None else self.config.server.precompute_top_items
         report = self.precomputer.warm_popular_items(
-            lambda item_ids, description: self.explain_items(item_ids, description),
-            limit=limit,
+            self._warm_explain, limit=limit, pool=self.warm_pool
         )
         return report.to_dict()
+
+    def _warm_explain(self, item_ids: List[int], description: str) -> MiningResult:
+        return self.explain_items(item_ids, description, parallel=False)
+
+    def start_warmer(self, limit: Optional[int] = None) -> CacheWarmer:
+        """Start the background warm-up of the top-k popular items.
+
+        Returns the running :class:`~repro.server.precompute.CacheWarmer`;
+        the server keeps serving while it fills the cache, and the summary
+        endpoint reports its progress.  Idempotent while a warm-up is still
+        running — the live warmer is returned instead of racing a second one.
+        """
+        with self._warmer_lock:
+            if self._closed:
+                raise PoolError("cannot start a warmer on a closed system")
+            if self.warmer is not None and not self.warmer.done:
+                return self.warmer
+            limit = (
+                limit if limit is not None else self.config.server.precompute_top_items
+            )
+            self.warmer = CacheWarmer(
+                self.precomputer, self._warm_explain, limit=limit, pool=self.warm_pool
+            ).start()
+            return self.warmer
+
+    def close(self) -> None:
+        """Shut down the worker pools (idempotent).
+
+        Queued warm-up anchors are cancelled so shutdown is bounded by the
+        tasks already in flight, not by the full warm list.  Call when
+        discarding a system (the HTTP layer closes systems it owns on
+        ``stop()``); a shared, long-lived system can simply be dropped —
+        idle executor threads are reclaimed at interpreter exit.
+        """
+        with self._warmer_lock:
+            self._closed = True  # start_warmer refuses from here on
+            warmer = self.warmer
+        if warmer is not None:
+            warmer.cancel()  # stops the serial path of an inline pool
+        self.warm_pool.shutdown(cancel_pending=True)
+        if warmer is not None:
+            try:
+                warmer.wait(timeout=None)
+            except (Exception, CancelledError):
+                pass  # a cancelled/failed warm-up must not block shutdown
+        self.pool.shutdown(cancel_pending=True)
+
+    def __enter__(self) -> "MapRat":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def suggest_titles(self, prefix: str, limit: int = 10) -> List[str]:
         return self.engine.suggest_titles(prefix, limit=limit)
@@ -267,6 +348,12 @@ class MapRat:
         info = self.dataset.describe()
         info["cache"] = self.cache.stats.to_dict()
         info["cache_entries"] = len(self.cache)
+        info["serving"] = {
+            "single_flight": self.cache.single_flight,
+            "pool": self.pool.to_dict(),
+            "warm_pool": self.warm_pool.to_dict(),
+            "warmer": self.warmer.to_dict() if self.warmer is not None else None,
+        }
         return info
 
     # -- internals ----------------------------------------------------------------------

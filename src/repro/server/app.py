@@ -130,10 +130,12 @@ class MapRatHttpServer:
         system: MapRat,
         host: Optional[str] = None,
         port: Optional[int] = None,
+        owns_system: bool = False,
     ) -> None:
         self.system = system
         self.host = host if host is not None else system.config.server.host
         self.port = port if port is not None else system.config.server.port
+        self.owns_system = owns_system
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -153,7 +155,16 @@ class MapRatHttpServer:
         return (self.host, self.port)
 
     def stop(self) -> None:
-        """Shut the server down and join the serving thread."""
+        """Shut the server down and join the serving thread.
+
+        Also closes the MapRat system's worker pools when this server owns
+        the system (``run_server`` builds one per server); externally supplied
+        systems are left running for their owner.  Handler threads are daemon
+        (stock ``ThreadingHTTPServer``), so stop() stays bounded even while a
+        long request is in flight; such a request may then fail with a clean
+        ``PoolError`` from the closed pools, which the JSON layer reports as
+        an error payload.
+        """
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
@@ -161,6 +172,8 @@ class MapRatHttpServer:
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+        if self.owns_system:
+            self.system.close()
 
     def __enter__(self) -> "MapRatHttpServer":
         self.start()
@@ -199,11 +212,22 @@ def run_server(
         host: bind address.
         port: bind port; 0 picks a free ephemeral port.
         warm_up: when positive, pre-compute explanations for that many popular
-            items before returning.
+            items.  With ``server.warm_in_background`` (the default) the
+            warm-up runs on a background thread and the server starts serving
+            immediately — early requests for an item the warmer is currently
+            mining coalesce with it through the single-flight cache.  Set the
+            config flag to False to block until the cache is warm.
     """
     system = MapRat.for_dataset(dataset, config)
-    if warm_up:
-        system.warm_up(limit=warm_up)
-    server = MapRatHttpServer(system, host=host, port=port)
-    server.start()
+    server = MapRatHttpServer(system, host=host, port=port, owns_system=True)
+    try:
+        if warm_up:
+            if system.config.server.warm_in_background:
+                system.start_warmer(limit=warm_up)
+            else:
+                system.warm_up(limit=warm_up)
+        server.start()
+    except BaseException:
+        system.close()  # don't leak the pools when startup fails
+        raise
     return server

@@ -1,11 +1,29 @@
-"""Result cache: LRU with optional TTL, keyed by query + mining configuration.
+"""Result cache: single-flight LRU with optional TTL, keyed canonically.
 
 Mining a popular movie involves enumerating thousands of candidate groups and
 running two randomized searches; repeating that for every visitor would defeat
 the "interactive" promise of the demo.  The cache keeps the most recent
 results, evicts least-recently-used entries beyond the capacity, optionally
 expires entries after a TTL, and records hit/miss statistics that the latency
-benchmark (claim §2.3) reports.
+benchmarks (claim §2.3) report.
+
+Two serving-layer guarantees live here:
+
+* **Single-flight computation** — when several threads miss on the same key
+  at once (the classic cache stampede: concurrent visitors asking for the
+  same just-expired blockbuster), exactly one *leader* runs the computation
+  while the other *waiters* block on the in-flight entry and receive the
+  leader's value.  Every caller lands in exactly one of ``hits``/``misses``:
+  a coalesced waiter counts as a hit (plus the ``coalesced`` stampede
+  counter) when its leader succeeds, and as a miss when the leader fails.
+  While computations succeed, ``misses`` therefore equals the number of
+  computations performed; failed flights add their waiters on top.
+* **Canonical keys** — :func:`canonical_explain_key` normalises an item
+  selection, time interval and :class:`~repro.config.MiningConfig` into one
+  hashable tuple (sorted unique ids, ordered config fields), so equivalent
+  requests — a query string resolving to the same items, a warm-up
+  pre-computation, a direct ``explain_items`` call, case variants of a title
+  (item matching is case-insensitive) — all land on the same entry.
 """
 
 from __future__ import annotations
@@ -14,19 +32,52 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, Optional, Tuple
+from typing import Any, Callable, Hashable, Iterable, Optional, Tuple
 
 from ..errors import CacheError
 
 
+def canonical_explain_key(
+    item_ids: Iterable[int],
+    time_interval: Optional[Tuple[int, int]],
+    config,
+) -> tuple:
+    """Canonical cache key of one explain request.
+
+    Every path that produces a :class:`~repro.core.explanation.MiningResult`
+    (query strings, explicit item lists, warm-up pre-computation) must key its
+    cache entry through this function so equivalent requests hit each other's
+    results.  Item ids are de-duplicated and sorted, the interval collapses to
+    a plain ``(start, end)`` tuple or ``None``, and the mining configuration
+    contributes its ordered :meth:`~repro.config.MiningConfig.cache_key`
+    fields.
+    """
+    ids = tuple(sorted({int(item_id) for item_id in item_ids}))
+    interval = (
+        (int(time_interval[0]), int(time_interval[1]))
+        if time_interval is not None
+        else None
+    )
+    return ("explain", ids, interval, config.cache_key())
+
+
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one cache instance."""
+    """Hit/miss counters of one cache instance.
+
+    Every request increments exactly one of ``hits``/``misses``, even under
+    single-flight (``requests`` is the derived sum): coalesced waiters count
+    as hits plus the ``coalesced`` counter when their leader succeeds, and as
+    misses when it fails.  So while computations succeed, ``misses`` equals
+    the number of computations performed — the stress tests pin this down
+    against an independent computation counter.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     expirations: int = 0
+    coalesced: int = 0
 
     @property
     def requests(self) -> int:
@@ -42,27 +93,58 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "expirations": self.expirations,
+            "coalesced": self.coalesced,
             "hit_rate": round(self.hit_rate, 4),
         }
 
 
+#: Sentinel distinguishing "absent/expired" from a cached ``None``.
+_MISSING = object()
+
+
+class _InFlight:
+    """One in-progress computation that waiters block on."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+
+
 class ResultCache:
-    """Thread-safe LRU cache with optional time-to-live.
+    """Thread-safe LRU cache with optional TTL and single-flight computation.
 
     Values are opaque to the cache; the MapRat façade stores
     :class:`~repro.core.explanation.MiningResult` objects, the pre-computation
     layer stores aggregates.
+
+    Args:
+        capacity: maximum number of entries kept.
+        ttl_seconds: optional expiry age; ``None`` keeps entries forever.
+        single_flight: when True (the default), concurrent
+            :meth:`get_or_compute` misses on the same key run one computation;
+            when False every missing caller computes independently (the
+            pre-PR-2 behaviour, kept for the serving benchmark's baseline).
     """
 
-    def __init__(self, capacity: int = 256, ttl_seconds: Optional[float] = None) -> None:
+    def __init__(
+        self,
+        capacity: int = 256,
+        ttl_seconds: Optional[float] = None,
+        single_flight: bool = True,
+    ) -> None:
         if capacity < 1:
             raise CacheError("cache capacity must be at least 1")
         if ttl_seconds is not None and ttl_seconds <= 0:
             raise CacheError("ttl_seconds must be positive when given")
         self.capacity = capacity
         self.ttl_seconds = ttl_seconds
+        self.single_flight = single_flight
         self.stats = CacheStats()
         self._entries: "OrderedDict[Hashable, Tuple[float, Any]]" = OrderedDict()
+        self._inflight: dict = {}
         self._lock = threading.Lock()
 
     # -- core operations ----------------------------------------------------------
@@ -74,22 +156,32 @@ class ResultCache:
     def __contains__(self, key: Hashable) -> bool:
         return self.get(key, record_stats=False) is not None
 
+    def _lookup_locked(self, key: Hashable) -> Any:
+        """Fresh value of ``key`` or ``_MISSING``; caller holds the lock.
+
+        The one implementation of hit/expiry/LRU-refresh accounting: drops an
+        expired entry (counting the expiration) and refreshes LRU order on a
+        hit.  Hit/miss counters are the caller's responsibility.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return _MISSING
+        stored_at, value = entry
+        if self._expired(stored_at):
+            del self._entries[key]
+            self.stats.expirations += 1
+            return _MISSING
+        self._entries.move_to_end(key)
+        return value
+
     def get(self, key: Hashable, default: Any = None, record_stats: bool = True) -> Any:
         """Return the cached value or ``default``; refreshes LRU order on hit."""
         with self._lock:
-            entry = self._entries.get(key)
-            if entry is None:
+            value = self._lookup_locked(key)
+            if value is _MISSING:
                 if record_stats:
                     self.stats.misses += 1
                 return default
-            stored_at, value = entry
-            if self._expired(stored_at):
-                del self._entries[key]
-                self.stats.expirations += 1
-                if record_stats:
-                    self.stats.misses += 1
-                return default
-            self._entries.move_to_end(key)
             if record_stats:
                 self.stats.hits += 1
             return value
@@ -105,13 +197,65 @@ class ResultCache:
                 self.stats.evictions += 1
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
-        """Return the cached value, computing and storing it on a miss."""
-        sentinel = object()
-        value = self.get(key, default=sentinel)
-        if value is not sentinel:
-            return value
-        value = compute()
-        self.put(key, value)
+        """Return the cached value, computing and storing it on a miss.
+
+        Under single-flight, concurrent misses on the same key block on one
+        in-flight computation: the leader's value is stored once and handed
+        to every waiter; a leader's exception propagates to its waiters.
+        ``compute`` runs outside the cache lock, so computations for distinct
+        keys proceed concurrently.  ``compute`` must not re-enter
+        ``get_or_compute`` with the same key (it would wait on itself).
+        """
+        with self._lock:
+            value = self._lookup_locked(key)
+            if value is not _MISSING:
+                self.stats.hits += 1
+                return value
+            flight = self._inflight.get(key) if self.single_flight else None
+            if flight is None:
+                self.stats.misses += 1
+                if self.single_flight:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            flight.event.wait()
+            with self._lock:
+                if flight.error is None:
+                    # coalesced counts only duplicate computations actually
+                    # avoided; a failed flight served no value to its
+                    # waiters (they re-raise the leader's error below), so
+                    # they are plain misses.
+                    self.stats.coalesced += 1
+                    self.stats.hits += 1
+                else:
+                    self.stats.misses += 1
+            if flight.error is not None:
+                # The same exception instance is re-raised to every waiter —
+                # the semantics of concurrent.futures.Future.result().
+                raise flight.error
+            return flight.value
+        try:
+            value = compute()
+        except BaseException as exc:
+            if flight is not None:
+                with self._lock:
+                    flight.error = exc
+                    self._inflight.pop(key, None)
+                flight.event.set()
+            raise
+        try:
+            self.put(key, value)
+        finally:
+            # Resolve the flight even if storing raised (e.g. MemoryError):
+            # waiters get the computed value; nothing may strand them.
+            if flight is not None:
+                with self._lock:
+                    flight.value = value
+                    self._inflight.pop(key, None)
+                flight.event.set()
         return value
 
     def invalidate(self, key: Hashable) -> bool:
@@ -127,6 +271,11 @@ class ResultCache:
     def keys(self) -> list:
         with self._lock:
             return list(self._entries.keys())
+
+    def inflight_count(self) -> int:
+        """Number of computations currently in flight (diagnostics)."""
+        with self._lock:
+            return len(self._inflight)
 
     # -- internals ------------------------------------------------------------------
 

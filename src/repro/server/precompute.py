@@ -10,16 +10,28 @@ is :mod:`repro.server.cache`):
 * **result pre-computation** — the explanations of the most-rated items are
   mined ahead of time and pushed into the result cache, so the popular demo
   queries ("Toy Story", blockbusters) answer from memory.
+
+Both per-anchor loops (one task per item) shard across a
+:class:`~repro.server.pool.MiningWorkerPool` when one is supplied; results
+are gathered in submission order and every anchor mines with the fixed seed
+of its mining configuration, so sharded runs are bit-identical to serial
+ones.  :class:`CacheWarmer` runs the popular-item warm-up on a background
+thread so a freshly started server answers its first requests immediately —
+the single-flight cache coalesces any live request with the warm-up mining
+of the same item.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import CancelledError
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional
 
 from ..core.explanation import MiningResult
 from ..core.miner import RatingMiner
+from ..data.model import Item
 from ..data.storage import RatingStore
 from ..errors import MiningError
 
@@ -77,41 +89,68 @@ class Precomputer:
         self.store = store
         self.miner = miner
         self._aggregates: Dict[int, ItemAggregate] = {}
+        self._aggregates_built = False
+        self._aggregates_lock = threading.Lock()
+        self._build_lock = threading.Lock()
 
     # -- data pre-processing --------------------------------------------------------
 
-    def build_item_aggregates(self) -> Dict[int, ItemAggregate]:
-        """Materialise (count, average, histogram) for every item in the store."""
-        aggregates: Dict[int, ItemAggregate] = {}
-        for item in self.store.dataset.items():
-            rating_slice = self.store.slice_for_items([item.item_id], allow_empty=True)
-            if rating_slice.is_empty():
-                continue
-            histogram = {
-                int(score): count
-                for score, count in rating_slice.score_histogram().items()
-                if count
-            }
-            aggregates[item.item_id] = ItemAggregate(
-                item_id=item.item_id,
-                title=item.title,
-                count=len(rating_slice),
-                average=round(rating_slice.average(), 4),
-                histogram=histogram,
-            )
-        self._aggregates = aggregates
+    def build_item_aggregates(self, pool=None) -> Dict[int, ItemAggregate]:
+        """Materialise (count, average, histogram) for every item in the store.
+
+        The per-item loop shards across ``pool`` when given; the store is
+        read-only, each item is independent, and results are keyed by item id,
+        so the sharded dict equals the serial one.
+        """
+        items = list(self.store.dataset.items())
+        if pool is not None and getattr(pool, "parallel", False):
+            per_item = pool.map(self._aggregate_one, items)
+        else:
+            per_item = [self._aggregate_one(item) for item in items]
+        aggregates = {agg.item_id: agg for agg in per_item if agg is not None}
+        with self._aggregates_lock:
+            self._aggregates = aggregates
+            self._aggregates_built = True
         return aggregates
+
+    def _aggregate_one(self, item: Item) -> Optional[ItemAggregate]:
+        rating_slice = self.store.slice_for_items([item.item_id], allow_empty=True)
+        if rating_slice.is_empty():
+            return None
+        histogram = {
+            int(score): count
+            for score, count in rating_slice.score_histogram().items()
+            if count
+        }
+        return ItemAggregate(
+            item_id=item.item_id,
+            title=item.title,
+            count=len(rating_slice),
+            average=round(rating_slice.average(), 4),
+            histogram=histogram,
+        )
+
+    def _ensure_aggregates(self, pool=None) -> None:
+        """Build the aggregates once; concurrent cold callers share one build.
+
+        The dedicated built flag (not dict truthiness) keeps a legitimately
+        empty result — a store with no rated items — from re-scanning the
+        catalogue on every lookup.
+        """
+        if self._aggregates_built:
+            return
+        with self._build_lock:
+            if not self._aggregates_built:
+                self.build_item_aggregates(pool=pool)
 
     def aggregate_for(self, item_id: int) -> Optional[ItemAggregate]:
         """Return the pre-computed aggregate of one item (None when unrated)."""
-        if not self._aggregates:
-            self.build_item_aggregates()
+        self._ensure_aggregates()
         return self._aggregates.get(item_id)
 
     def top_items(self, limit: int = 10) -> List[ItemAggregate]:
         """The most-rated items, the natural warm-up set for the demo."""
-        if not self._aggregates:
-            self.build_item_aggregates()
+        self._ensure_aggregates()
         ordered = sorted(
             self._aggregates.values(), key=lambda agg: (-agg.count, agg.item_id)
         )
@@ -123,22 +162,141 @@ class Precomputer:
         self,
         explain: Callable[[List[int], str], MiningResult],
         limit: int = 20,
+        pool=None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> PrecomputeReport:
         """Mine the explanations of the ``limit`` most-rated items ahead of time.
 
         Args:
             explain: callback that mines and caches one item selection; the
                 MapRat façade passes its own cache-aware ``explain_items``.
+                When sharding across a pool, the callback must not submit
+                nested work to the same pool (it would deadlock a saturated
+                pool); the façade runs the inner SM/DM tasks serially.
             limit: how many popular items to pre-compute.
+            pool: optional worker pool; anchors shard across it, one task per
+                item.  ``MiningError`` counting and the report match the
+                serial loop; a *fatal* (non-mining) error still propagates,
+                but only after the whole sharded batch has been gathered —
+                the serial path fails fast at the offending anchor.
+            should_stop: optional cancellation probe checked at the start of
+                every anchor (serial and pooled alike); anchors that observe
+                it are skipped and counted in neither bucket of the report.
         """
         report = PrecomputeReport()
         started_at = time.perf_counter()
-        for aggregate in self.top_items(limit):
-            try:
-                explain([aggregate.item_id], f'title:"{aggregate.title}"')
-                report.results_precomputed += 1
-            except MiningError:
+        self._ensure_aggregates(pool=pool)  # the aggregate build shards too
+        anchors = self.top_items(limit)
+
+        def warm_one(aggregate: ItemAggregate) -> bool:
+            if should_stop is not None and should_stop():
+                return False
+            explain([aggregate.item_id], f'title:"{aggregate.title}"')
+            return True
+
+        if pool is not None and getattr(pool, "parallel", False):
+            outcomes = pool.map_outcomes(warm_one, anchors)
+        else:
+            outcomes = []
+            for aggregate in anchors:
+                if should_stop is not None and should_stop():
+                    break
+                try:
+                    outcomes.append((warm_one(aggregate), None))
+                except MiningError as exc:
+                    outcomes.append((None, exc))
+        for mined, error in outcomes:
+            if error is None:
+                if mined:
+                    report.results_precomputed += 1
+            elif isinstance(error, MiningError):
                 report.failures += 1
+            elif isinstance(error, CancelledError):
+                pass  # pool shut down mid-batch: a skip, not a failure
+            else:
+                raise error
         report.items_aggregated = len(self._aggregates)
         report.elapsed_seconds = time.perf_counter() - started_at
         return report
+
+
+class CacheWarmer:
+    """Background warm-up of the popular-item explanations at server startup.
+
+    Wraps one :meth:`Precomputer.warm_popular_items` run on a daemon thread:
+    the server starts serving immediately while the warmer fills the cache
+    behind it, and the single-flight cache coalesces any early request for an
+    item the warmer is currently mining.
+    """
+
+    def __init__(
+        self,
+        precomputer: Precomputer,
+        explain: Callable[[List[int], str], MiningResult],
+        limit: int = 20,
+        pool=None,
+    ) -> None:
+        self.precomputer = precomputer
+        self.explain = explain
+        self.limit = limit
+        self.pool = pool
+        self.report: Optional[PrecomputeReport] = None
+        self.error: Optional[BaseException] = None
+        self._done = threading.Event()
+        self._cancelled = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "CacheWarmer":
+        """Kick off the warm-up thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="maprat-warmer", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def cancel(self) -> None:
+        """Ask the warm-up to stop after the anchors currently mining.
+
+        Works on both the serial and the pooled path (each anchor probes the
+        flag before mining); ``MapRat.close`` additionally shuts the warm
+        pool down with ``cancel_pending=True``.
+        """
+        self._cancelled.set()
+
+    def _run(self) -> None:
+        try:
+            self.report = self.precomputer.warm_popular_items(
+                self.explain,
+                limit=self.limit,
+                pool=self.pool,
+                should_stop=self._cancelled.is_set,
+            )
+        except BaseException as exc:  # surfaced through .error / .wait()
+            self.error = exc
+        finally:
+            self._done.set()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[PrecomputeReport]:
+        """Block until the warm-up finishes; returns its report (or raises).
+
+        Returns ``None`` on timeout.  A warm-up that died with a non-mining
+        error re-raises it here, so callers that block on the warmer see the
+        failure instead of an empty cache.
+        """
+        if not self._done.wait(timeout):
+            return None
+        if self.error is not None:
+            raise self.error
+        return self.report
+
+    def to_dict(self) -> dict:
+        return {
+            "done": self.done,
+            "failed": self.error is not None,
+            "report": self.report.to_dict() if self.report is not None else None,
+        }

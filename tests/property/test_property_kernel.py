@@ -23,14 +23,16 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.config import MiningConfig
+from repro.config import MiningConfig, PipelineConfig, ServerConfig
 from repro.core.bitset import pack_positions, popcount, to_int_mask, union_rows
 from repro.core.cube import CandidateEnumerator
 from repro.core.measures import covered_positions
+from repro.core.miner import RatingMiner
 from repro.core.problems import DiversityProblem, SimilarityProblem
 from repro.core.rhe import RandomizedHillExploration, SelectionState
 from repro.data.model import Item, Rating, RatingDataset, Reviewer
 from repro.data.storage import RatingStore
+from repro.server.pool import MiningWorkerPool
 
 ATTRIBUTES = ("gender", "age_group", "state")
 VALUES: Dict[str, List[str]] = {
@@ -227,6 +229,94 @@ class TestSolverEquivalence:
             )
             result = solver.solve(problem)
             assert 0 < result.iterations <= solver.restarts * budget
+
+
+def _explanation_fingerprint(explanation):
+    """Every mined field that must survive parallelisation bit-for-bit."""
+    return (
+        tuple(
+            (g.label, tuple(sorted(g.pairs.items())), g.size, g.average_rating, g.coverage)
+            for g in explanation.groups
+        ),
+        explanation.objective,
+        explanation.coverage,
+        explanation.feasible,
+        explanation.solver_iterations,
+        explanation.within_error,
+        explanation.disagreement,
+    )
+
+
+class TestPoolParallelEquivalence:
+    """Pool-parallel mining (workers>1) must be bit-identical to serial.
+
+    Determinism under parallelism is a serving-layer invariant (ISSUE 2):
+    every task seeds its own generator from the fixed config seed and results
+    are gathered in submission order, so the thread schedule can never leak
+    into selections or objectives.
+    """
+
+    @pytest.mark.parametrize("seed", [0, 7, 2012])
+    def test_pool_parallel_explain_items_matches_serial(self, tiny_dataset, seed):
+        config = MiningConfig(
+            min_group_support=3, min_coverage=0.2, rhe_restarts=3, seed=seed
+        )
+        miner = RatingMiner.for_dataset(tiny_dataset, config)
+        item_ids = [
+            item.item_id for item in tiny_dataset.items_by_title("Toy Story")
+        ]
+        serial = miner.explain_items(item_ids)
+        with MiningWorkerPool(4) as pool:
+            parallel = miner.explain_items(item_ids, pool=pool)
+        assert _explanation_fingerprint(parallel.similarity) == _explanation_fingerprint(
+            serial.similarity
+        )
+        assert _explanation_fingerprint(parallel.diversity) == _explanation_fingerprint(
+            serial.diversity
+        )
+
+    def test_maprat_with_worker_pool_matches_inline_system(self, tiny_dataset, mining_config):
+        from repro.server.api import MapRat
+
+        def system_with(workers):
+            return MapRat.for_dataset(
+                tiny_dataset,
+                PipelineConfig(
+                    mining=mining_config, server=ServerConfig(mining_workers=workers)
+                ),
+            )
+
+        inline = system_with(0).explain('title:"Toy Story"').to_dict()
+        pooled = system_with(4).explain('title:"Toy Story"').to_dict()
+        for payload in (inline, pooled):  # wall-clock is the one legitimate delta
+            payload.pop("elapsed_seconds", None)
+            payload["similarity"].pop("elapsed_seconds", None)
+            payload["diversity"].pop("elapsed_seconds", None)
+        assert pooled == inline
+
+    @given(rating_slices(min_size=6), mining_configs(), st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_concurrent_sm_dm_solves_match_serial_on_random_slices(
+        self, rating_slice, config, seed
+    ):
+        _, candidates = _enumerate(rating_slice, config, True)
+        if not candidates:
+            return
+        similarity = SimilarityProblem(rating_slice, candidates, config)
+        diversity = DiversityProblem(rating_slice, candidates, config)
+        solver = RandomizedHillExploration(restarts=2, max_iterations=40, seed=seed)
+        serial = [solver.solve(similarity), solver.solve(diversity)]
+        with MiningWorkerPool(4) as pool:
+            futures = [pool.submit(solver.solve, p) for p in (similarity, diversity)]
+            parallel = [future.result() for future in futures]
+        for serial_result, parallel_result in zip(serial, parallel):
+            assert [g.descriptor for g in serial_result.groups] == [
+                g.descriptor for g in parallel_result.groups
+            ]
+            assert parallel_result.objective == serial_result.objective
+            assert parallel_result.trace == serial_result.trace
+            assert parallel_result.iterations == serial_result.iterations
+            assert parallel_result.feasible == serial_result.feasible
 
 
 class TestScoreHistogramParity:

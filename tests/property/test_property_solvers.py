@@ -91,13 +91,37 @@ class TestSolverInvariants:
 
     @given(rating_slices())
     @settings(max_examples=15, deadline=None)
-    def test_rhe_never_loses_to_its_own_random_start_population(self, rating_slice):
+    def test_rhe_never_loses_to_its_own_first_start(self, rating_slice):
+        """RHE's result is at least as good as its own first random start.
+
+        This holds by construction whenever the first start needs no coverage
+        repair: the hill climb is first-improvement (monotone in the
+        penalised objective) and the solver keeps the best restart.  The
+        start is reconstructed from the same seed — RHE's first ``rng.choice``
+        call precedes any other stream consumption.  (Comparing against
+        ``RandomSolver`` with the same seed, as an earlier version did, is
+        unsound: RHE consumes extra randomness for neighbourhood sampling, so
+        later draws diverge and the baseline sees selections RHE never saw.)
+        """
+        import numpy as np
+
+        from repro.core.measures import coverage
+
         candidates = enumerate_candidates(rating_slice, CONFIG)
         if not candidates:
             return
         problem = SimilarityProblem(rating_slice, candidates, CONFIG)
-        rhe = RandomizedHillExploration(restarts=2, max_iterations=60, seed=29).solve(problem)
-        random_draw = RandomSolver(seed=29, attempts=2).solve(problem)
+        rng = np.random.default_rng(29)
+        k = min(CONFIG.max_groups, len(candidates))
+        first_start = [
+            candidates[int(i)]
+            for i in rng.choice(len(candidates), size=k, replace=False)
+        ]
+        if coverage(first_start, problem.total_ratings) < CONFIG.min_coverage:
+            return  # repair may legitimately reshape (and worsen) the start
+        rhe = RandomizedHillExploration(restarts=2, max_iterations=60, seed=29).solve(
+            problem
+        )
         assert problem.penalized_objective(rhe.groups) >= (
-            problem.penalized_objective(random_draw.groups) - 1e-9
+            problem.penalized_objective(first_start) - 1e-9
         )

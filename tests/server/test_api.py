@@ -51,6 +51,41 @@ class TestExplain:
         )
         assert restricted.query.num_ratings < full.query.num_ratings
 
+    def test_query_case_variants_share_one_cache_entry(self, fresh_system):
+        upper = fresh_system.explain('title:"Toy Story"')
+        lower = fresh_system.explain('title:"toy story"')
+        assert lower is upper
+        assert len(fresh_system.cache) == 1
+        assert fresh_system.cache.stats.hits == 1
+
+    def test_explain_items_shares_the_cache_with_equivalent_queries(self, fresh_system):
+        items = fresh_system.dataset.items_by_title("Toy Story")
+        precomputed = fresh_system.explain_items(
+            [item.item_id for item in items], 'title:"Toy Story"'
+        )
+        queried = fresh_system.explain('title:"Toy Story"')
+        assert queried is precomputed
+        assert len(fresh_system.cache) == 1
+
+    def test_duplicate_item_ids_do_not_poison_the_cache(self, fresh_system):
+        items = fresh_system.dataset.items_by_title("Toy Story")
+        item_id = items[0].item_id
+        doubled = fresh_system.explain_items([item_id, item_id], 'title:"Toy Story"')
+        clean = fresh_system.explain_items([item_id], 'title:"Toy Story"')
+        assert clean is doubled  # one canonical entry ...
+        slice_size = len(fresh_system.miner.slice_for_items([item_id]))
+        assert doubled.query.num_ratings == slice_size  # ... mined on clean ids
+
+    def test_warmed_items_serve_query_traffic(self, fresh_system):
+        fresh_system.warm_up(limit=3)
+        top = fresh_system.precomputer.top_items(limit=1)[0]
+        items = fresh_system.dataset.items_by_title(top.title)
+        if len(items) != 1:  # pragma: no cover - synthetic titles are unique
+            pytest.skip("top title is ambiguous in this dataset")
+        hits_before = fresh_system.cache.stats.hits
+        fresh_system.explain(f'title:"{top.title}"')
+        assert fresh_system.cache.stats.hits == hits_before + 1
+
 
 class TestExploration:
     def test_search_returns_catalogue_items(self, tiny_system):
@@ -108,10 +143,63 @@ class TestRenderingAndWarmup:
         assert report["results_precomputed"] + report["failures"] == 3
         assert len(fresh_system.cache) >= report["results_precomputed"]
 
-    def test_summary_reports_dataset_and_cache(self, tiny_system):
+    def test_live_requests_during_background_warm_up_do_not_deadlock(
+        self, tiny_dataset, mining_config
+    ):
+        import threading
+
+        from repro.config import PipelineConfig, ServerConfig
+        from repro.server.api import MapRat
+
+        # A small pool makes worker starvation easy to hit: the warmer's
+        # anchors and the live explains overlap on the same popular items.
+        system = MapRat.for_dataset(
+            tiny_dataset,
+            PipelineConfig(mining=mining_config, server=ServerConfig(mining_workers=2)),
+        )
+        titles = [agg.title for agg in system.precomputer.top_items(limit=4)]
+        system.start_warmer(limit=4)
+        threads = [
+            threading.Thread(
+                target=lambda t=t: system.explain(f'title:"{t}"'), daemon=True
+            )
+            for t in titles * 2
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = 60.0
+        for thread in threads:
+            thread.join(deadline)
+        assert not any(thread.is_alive() for thread in threads), "serving deadlocked"
+        assert system.warmer.wait(timeout=60) is not None
+        system.close()
+
+    def test_close_shuts_down_the_pools_idempotently(self, tiny_dataset, mining_config):
+        from repro.config import PipelineConfig
+        from repro.server.api import MapRat
+
+        with MapRat.for_dataset(
+            tiny_dataset, PipelineConfig(mining=mining_config)
+        ) as system:
+            system.explain('title:"Toy Story"')
+        system.close()  # idempotent
+
+    def test_background_warmer_fills_the_cache_while_serving(self, fresh_system):
+        warmer = fresh_system.start_warmer(limit=3)
+        assert fresh_system.warmer is warmer
+        report = warmer.wait(timeout=60)
+        assert report is not None
+        assert report.results_precomputed + report.failures == 3
+        assert len(fresh_system.cache) >= report.results_precomputed
+        assert fresh_system.summary()["serving"]["warmer"]["done"] is True
+
+    def test_summary_reports_dataset_cache_and_serving(self, tiny_system):
         summary = tiny_system.summary()
         assert summary["ratings"] > 0
         assert "cache" in summary
+        serving = summary["serving"]
+        assert serving["single_flight"] is True
+        assert serving["pool"]["workers"] == tiny_system.config.server.mining_workers
 
 
 class TestJsonApi:

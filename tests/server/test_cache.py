@@ -1,12 +1,14 @@
-"""Tests for the LRU + TTL result cache."""
+"""Tests for the single-flight LRU + TTL result cache and its canonical keys."""
 
+import random
 import threading
 import time
 
 import pytest
 
+from repro.config import MiningConfig
 from repro.errors import CacheError
-from repro.server.cache import ResultCache
+from repro.server.cache import ResultCache, canonical_explain_key
 
 
 class TestBasicOperations:
@@ -133,3 +135,188 @@ class TestThreadSafety:
         for thread in threads:
             thread.join()
         assert len(cache) <= 64
+
+
+def _run_threads(workers, timeout=30.0):
+    """Start, then join with a bound; any thread still alive is a deadlock."""
+    threads = [threading.Thread(target=worker, daemon=True) for worker in workers]
+    for thread in threads:
+        thread.start()
+    deadline = time.monotonic() + timeout
+    for thread in threads:
+        thread.join(max(0.0, deadline - time.monotonic()))
+    assert not any(thread.is_alive() for thread in threads), "threads deadlocked"
+
+
+class TestSingleFlight:
+    def test_concurrent_misses_on_one_key_run_one_computation(self):
+        cache = ResultCache(capacity=8)
+        calls = []
+        results = []
+        results_lock = threading.Lock()
+        clients = 6
+        barrier = threading.Barrier(clients)
+
+        def compute():
+            calls.append(1)
+            time.sleep(0.05)
+            return "expensive"
+
+        def worker():
+            barrier.wait()
+            value = cache.get_or_compute("key", compute)
+            with results_lock:
+                results.append(value)
+
+        _run_threads([worker] * clients)
+        assert len(calls) == 1
+        assert results == ["expensive"] * clients
+        stats = cache.stats
+        assert stats.misses == 1
+        assert stats.hits == clients - 1
+        assert stats.coalesced == clients - 1
+        assert stats.requests == clients
+        assert cache.inflight_count() == 0
+
+    def test_disabling_single_flight_duplicates_the_computation(self):
+        cache = ResultCache(capacity=8, single_flight=False)
+        calls = []
+        clients = 6
+        barrier = threading.Barrier(clients)
+
+        def compute():
+            calls.append(1)
+            time.sleep(0.05)
+            return "expensive"
+
+        def worker():
+            barrier.wait()
+            cache.get_or_compute("key", compute)
+
+        _run_threads([worker] * clients)
+        assert len(calls) >= 2  # the stampede the single-flight mode prevents
+
+    def test_leader_error_propagates_to_coalesced_waiters(self):
+        cache = ResultCache(capacity=8)
+        clients = 4
+        barrier = threading.Barrier(clients)
+        errors = []
+        errors_lock = threading.Lock()
+
+        def compute():
+            time.sleep(0.05)
+            raise CacheError("boom")
+
+        def worker():
+            barrier.wait()
+            try:
+                cache.get_or_compute("key", compute)
+            except CacheError as exc:
+                with errors_lock:
+                    errors.append(exc)
+
+        _run_threads([worker] * clients)
+        assert len(errors) == clients
+        # One counter increment per caller: the leader's miss plus one miss
+        # per waiter whose flight failed (requests is the derived sum).
+        assert cache.stats.requests == clients
+        assert cache.stats.hits == 0
+        assert cache.inflight_count() == 0
+        # The failure left nothing cached; the next call recomputes cleanly.
+        assert cache.get_or_compute("key", lambda: "recovered") == "recovered"
+
+    def test_sequential_get_or_compute_still_counts_hits(self):
+        cache = ResultCache(capacity=8)
+        assert cache.get_or_compute("key", lambda: 41) == 41
+        assert cache.get_or_compute("key", lambda: 42) == 41
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.coalesced == 0
+
+
+class TestSingleFlightStress:
+    """N threads hammering overlapping keys, TTL expiry + eviction on.
+
+    Invariants under single-flight, whatever the interleaving:
+    * every computation corresponds to exactly one counted miss
+      (no duplicated work within one freshness window),
+    * every request increments exactly one of hits/misses — checked as
+      ``requests == clients × iterations`` since ``requests`` is the
+      derived sum of the two counters,
+    * every value returned belongs to the requested key,
+    * the run finishes within the join bound (no deadlocks).
+    """
+
+    @staticmethod
+    def _hammer(clients, iterations, keyspace, ttl):
+        cache = ResultCache(capacity=keyspace - 2, ttl_seconds=ttl)
+        compute_counts = {key: 0 for key in range(keyspace)}
+        counts_lock = threading.Lock()
+        mismatches = []
+
+        def compute_for(key):
+            with counts_lock:
+                compute_counts[key] += 1
+            time.sleep(0.001)
+            return ("value", key)
+
+        def worker(worker_id):
+            rng = random.Random(worker_id)
+            for _ in range(iterations):
+                key = rng.randrange(keyspace)
+                value = cache.get_or_compute(key, lambda k=key: compute_for(k))
+                if value != ("value", key):
+                    mismatches.append((key, value))
+
+        _run_threads([lambda i=i: worker(i) for i in range(clients)])
+        assert not mismatches
+        stats = cache.stats
+        # requests is derived (hits + misses), so this checks that every
+        # call incremented exactly one counter — no double/zero counting.
+        assert stats.requests == clients * iterations
+        total_computations = sum(compute_counts.values())
+        assert total_computations == stats.misses
+        assert stats.hits > 0  # the workload overlaps heavily
+        assert total_computations < stats.requests
+        assert cache.inflight_count() == 0
+        assert len(cache) <= cache.capacity
+
+    def test_hammering_overlapping_keys_with_ttl_and_eviction(self):
+        self._hammer(clients=8, iterations=120, keyspace=8, ttl=0.04)
+
+    @pytest.mark.slow
+    def test_sustained_high_contention_hammering(self):
+        """Longer, wider run of the same invariants (tier-2: ``-m slow``)."""
+        self._hammer(clients=16, iterations=500, keyspace=12, ttl=0.02)
+
+
+class TestCanonicalKeys:
+    def test_item_order_and_duplicates_do_not_change_the_key(self):
+        config = MiningConfig()
+        assert canonical_explain_key([3, 1, 2], None, config) == canonical_explain_key(
+            (2, 3, 1, 1), None, config
+        )
+
+    def test_interval_forms_normalise(self):
+        config = MiningConfig()
+        assert canonical_explain_key([1], (10, 20), config) == canonical_explain_key(
+            [1], [10, 20], config
+        )
+        assert canonical_explain_key([1], (10, 20), config) != canonical_explain_key(
+            [1], None, config
+        )
+
+    def test_equal_configs_share_a_key_and_different_configs_do_not(self):
+        base = MiningConfig()
+        twin = MiningConfig()  # distinct instance, identical fields
+        other = MiningConfig(max_groups=2)
+        assert canonical_explain_key([1], None, base) == canonical_explain_key(
+            [1], None, twin
+        )
+        assert canonical_explain_key([1], None, base) != canonical_explain_key(
+            [1], None, other
+        )
+
+    def test_key_is_hashable(self):
+        key = canonical_explain_key([5, 3], (0, 1), MiningConfig())
+        assert key in {key}

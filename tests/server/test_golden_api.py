@@ -1,0 +1,146 @@
+"""Golden-request regression suite for the JSON API.
+
+Replays a fixed-seed corpus of requests through :class:`~repro.server.api.JsonApi`
+and compares the **full response dicts** against checked-in golden files under
+``tests/server/golden/``.  Mining is deterministic for a fixed seed, so any
+drift in a response is a behaviour change that must be reviewed — rerun with
+
+    pytest tests/server/test_golden_api.py --update-golden
+
+to rewrite the golden files after an intentional change, and commit the diff.
+
+Volatile fields (wall-clock timings, cache/pool counters) are normalised
+before comparison so the suite is stable across machines and replay order;
+everything else — group selections, objectives, coverages, histograms, error
+payloads — is compared exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import PipelineConfig
+from repro.errors import ServerError
+from repro.server.api import JsonApi, MapRat
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: The replayed corpus: (name, endpoint, params).  Covers every public
+#: endpoint of ``JsonApi.routes()`` at least once, plus the error paths.
+CORPUS = [
+    ("summary", "summary", {}),
+    ("suggest_toy", "suggest", {"prefix": "Toy"}),
+    ("suggest_jur_limit_3", "suggest", {"prefix": "Jur", "limit": "3"}),
+    ("suggest_no_match", "suggest", {"prefix": "zzz-nothing"}),
+    ("explain_toy_story", "explain", {"q": 'title:"Toy Story"'}),
+    ("explain_toy_story_lowercase", "explain", {"q": 'title:"toy story"'}),
+    ("explain_forrest_gump", "explain", {"q": 'title:"Forrest Gump"'}),
+    (
+        "explain_year_2001",
+        "explain",
+        {"q": 'title:"Toy Story"', "start_year": "2001", "end_year": "2001"},
+    ),
+    (
+        "explain_genre_and_director",
+        "explain",
+        {"q": 'genre:Thriller AND director:"Steven Spielberg"'},
+    ),
+    (
+        "statistics_similarity_g0",
+        "statistics",
+        {"q": 'title:"Toy Story"', "task": "similarity", "group": "0"},
+    ),
+    (
+        "statistics_diversity_g0",
+        "statistics",
+        {"q": 'title:"Toy Story"', "task": "diversity", "group": "0"},
+    ),
+    (
+        "drilldown_similarity_g0",
+        "drilldown",
+        {"q": 'title:"Toy Story"', "task": "similarity", "group": "0"},
+    ),
+    (
+        "drilldown_diversity_g0",
+        "drilldown",
+        {"q": 'title:"Forrest Gump"', "task": "diversity", "group": "0"},
+    ),
+    ("timeline_toy_story", "timeline", {"q": 'title:"Toy Story"', "min_ratings": "10"}),
+    (
+        "timeline_forrest_gump",
+        "timeline",
+        {"q": 'title:"Forrest Gump"', "min_ratings": "10"},
+    ),
+    ("warmup_limit_2", "warmup", {"limit": "2"}),
+    ("error_missing_query", "explain", {}),
+    ("error_unmatched_query", "explain", {"q": 'title:"No Such Movie"'}),
+    ("error_bad_year", "explain", {"q": "Toy", "start_year": "not-a-year"}),
+    ("error_bad_group_index", "statistics", {"q": 'title:"Toy Story"', "group": "99"}),
+    ("error_unknown_endpoint", "nonsense", {}),
+]
+
+#: Keys whose values depend on wall-clock or replay order, never on behaviour.
+#: ``description`` is replay-order-dependent by design: equivalent requests
+#: share one canonical cache entry, which keeps the description of whichever
+#: request populated it (first-writer-wins), e.g. a title's case variants.
+VOLATILE_KEYS = {"elapsed_seconds", "cache", "cache_entries", "serving", "description"}
+
+
+def normalize(payload):
+    """Replace volatile values so responses compare stably across runs."""
+    if isinstance(payload, dict):
+        return {
+            key: ("<volatile>" if key in VOLATILE_KEYS else normalize(value))
+            for key, value in payload.items()
+        }
+    if isinstance(payload, list):
+        return [normalize(value) for value in payload]
+    return payload
+
+
+@pytest.fixture(scope="module")
+def api(tiny_dataset, mining_config):
+    """A fresh deterministic system; the corpus replays against one instance."""
+    return JsonApi(MapRat.for_dataset(tiny_dataset, PipelineConfig(mining=mining_config)))
+
+
+def replay(api, endpoint, params):
+    """One request through the dispatcher; error responses become payloads."""
+    try:
+        return api.dispatch(endpoint, params)
+    except ServerError as exc:
+        return {"error": str(exc), "status": exc.status}
+
+
+class TestGoldenRequests:
+    def test_corpus_covers_every_public_endpoint(self, api):
+        exercised = {endpoint for _, endpoint, _ in CORPUS}
+        assert exercised >= set(api.routes().keys())
+
+    def test_corpus_names_are_unique(self):
+        names = [name for name, _, _ in CORPUS]
+        assert len(names) == len(set(names))
+
+    @pytest.mark.parametrize(
+        "name,endpoint,params", CORPUS, ids=[name for name, _, _ in CORPUS]
+    )
+    def test_response_matches_golden(self, api, request, name, endpoint, params):
+        # json round-trip: tuples become lists, exactly as the HTTP layer
+        # would serialise them, so golden comparison matches the wire format.
+        payload = json.loads(json.dumps(normalize(replay(api, endpoint, params))))
+        golden_path = GOLDEN_DIR / f"{name}.json"
+        if request.config.getoption("--update-golden"):
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            golden_path.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
+            return
+        if not golden_path.exists():
+            pytest.fail(
+                f"golden file {golden_path} is missing; run "
+                "pytest tests/server/test_golden_api.py --update-golden and commit it"
+            )
+        assert payload == json.loads(golden_path.read_text())

@@ -72,3 +72,197 @@ class TestWarmUp:
         assert report.failures == 2
         assert report.results_precomputed == 0
         assert report.to_dict()["failures"] == 2
+
+
+class TestLazyBuildConcurrency:
+    def test_concurrent_cold_lookups_build_the_aggregates_once(
+        self, tiny_store, tiny_miner
+    ):
+        import threading
+        import time
+
+        precomputer = Precomputer(tiny_store, tiny_miner)
+        calls = []
+        original = precomputer.build_item_aggregates
+
+        def counting_build(pool=None):
+            calls.append(1)
+            time.sleep(0.02)  # widen the check-then-act window
+            return original(pool)
+
+        precomputer.build_item_aggregates = counting_build
+        barrier = threading.Barrier(6)
+
+        def cold_lookup():
+            barrier.wait()
+            assert precomputer.top_items(limit=1)
+
+        threads = [threading.Thread(target=cold_lookup, daemon=True) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert not any(thread.is_alive() for thread in threads)
+        assert len(calls) == 1
+
+
+class TestPoolSharding:
+    def test_sharded_aggregates_equal_serial_ones(self, tiny_store, tiny_miner):
+        from repro.server.pool import MiningWorkerPool
+
+        serial = Precomputer(tiny_store, tiny_miner).build_item_aggregates()
+        with MiningWorkerPool(4) as pool:
+            sharded = Precomputer(tiny_store, tiny_miner).build_item_aggregates(pool=pool)
+        assert sharded == serial
+
+    def test_sharded_warm_up_matches_the_serial_report(self, tiny_store, tiny_miner):
+        from repro.errors import MiningError
+        from repro.server.pool import MiningWorkerPool
+
+        def explain(item_ids, description):
+            if item_ids[0] % 2:
+                raise MiningError("odd items fail")
+            return "ok"
+
+        serial = Precomputer(tiny_store, tiny_miner).warm_popular_items(explain, limit=6)
+        with MiningWorkerPool(4) as pool:
+            sharded = Precomputer(tiny_store, tiny_miner).warm_popular_items(
+                explain, limit=6, pool=pool
+            )
+        assert (sharded.results_precomputed, sharded.failures) == (
+            serial.results_precomputed,
+            serial.failures,
+        )
+
+    def test_sharded_warm_up_reraises_non_mining_errors(self, tiny_store, tiny_miner):
+        from repro.server.pool import MiningWorkerPool
+
+        def explain(item_ids, description):
+            raise ValueError("not a mining failure")
+
+        with MiningWorkerPool(2) as pool:
+            with pytest.raises(ValueError):
+                Precomputer(tiny_store, tiny_miner).warm_popular_items(
+                    explain, limit=2, pool=pool
+                )
+
+
+class TestCacheWarmer:
+    def test_warmer_runs_in_the_background_and_reports(self, tiny_store, tiny_miner):
+        from repro.server.precompute import CacheWarmer
+
+        warmed = []
+
+        def explain(item_ids, description):
+            warmed.append(tuple(item_ids))
+            return "ok"
+
+        precomputer = Precomputer(tiny_store, tiny_miner)
+        warmer = CacheWarmer(precomputer, explain, limit=3).start()
+        report = warmer.wait(timeout=30)
+        assert report is not None and warmer.done
+        assert report.results_precomputed == 3
+        assert len(warmed) == 3
+        assert warmer.to_dict()["report"]["results_precomputed"] == 3
+
+    def test_warmer_start_is_idempotent(self, tiny_store, tiny_miner):
+        from repro.server.precompute import CacheWarmer
+
+        calls = []
+        precomputer = Precomputer(tiny_store, tiny_miner)
+        warmer = CacheWarmer(precomputer, lambda i, d: calls.append(1), limit=2)
+        assert warmer.start() is warmer.start()
+        warmer.wait(timeout=30)
+        assert len(calls) == 2
+
+    def test_cancel_stops_a_serial_warm_up_between_anchors(self, tiny_store, tiny_miner):
+        import threading
+        import time
+
+        from repro.server.precompute import CacheWarmer
+
+        started = threading.Event()
+        warmed = []
+
+        def slow_explain(item_ids, description):
+            started.set()
+            time.sleep(0.05)
+            warmed.append(tuple(item_ids))
+
+        # No pool: the serial path must honour cancel() between anchors.
+        warmer = CacheWarmer(
+            Precomputer(tiny_store, tiny_miner), slow_explain, limit=20
+        ).start()
+        assert started.wait(timeout=30)
+        warmer.cancel()
+        report = warmer.wait(timeout=30)
+        assert report is not None
+        assert report.results_precomputed < 20  # the tail was skipped
+        assert report.results_precomputed == len(warmed)
+
+    def test_cancel_also_stops_a_pool_sharded_warm_up(self, tiny_store, tiny_miner):
+        import threading
+        import time
+
+        from repro.server.pool import MiningWorkerPool
+        from repro.server.precompute import CacheWarmer
+
+        started = threading.Event()
+        warmed = []
+
+        def slow_explain(item_ids, description):
+            started.set()
+            time.sleep(0.1)
+            warmed.append(tuple(item_ids))
+
+        with MiningWorkerPool(2) as pool:
+            warmer = CacheWarmer(
+                Precomputer(tiny_store, tiny_miner), slow_explain, limit=12, pool=pool
+            ).start()
+            assert started.wait(timeout=30)
+            warmer.cancel()
+            report = warmer.wait(timeout=60)
+        assert report is not None
+        assert report.results_precomputed < 12  # queued anchors were skipped
+        assert report.results_precomputed == len(warmed)
+        assert report.failures == 0
+
+    def test_shutdown_cancellation_yields_a_partial_report_not_a_failure(
+        self, tiny_store, tiny_miner
+    ):
+        import threading
+        import time
+
+        from repro.server.pool import MiningWorkerPool
+        from repro.server.precompute import CacheWarmer
+
+        started = threading.Event()
+
+        def slow_explain(item_ids, description):
+            started.set()
+            time.sleep(0.1)
+
+        pool = MiningWorkerPool(2)
+        warmer = CacheWarmer(
+            Precomputer(tiny_store, tiny_miner), slow_explain, limit=12, pool=pool
+        ).start()
+        assert started.wait(timeout=30)
+        # The MapRat.close() sequence: cancel, then drain the pool.
+        warmer.cancel()
+        pool.shutdown(cancel_pending=True)
+        report = warmer.wait(timeout=60)
+        assert report is not None  # cancelled anchors are skips, not failures
+        assert warmer.error is None
+        assert report.failures == 0
+        assert report.results_precomputed < 12
+
+    def test_warmer_surfaces_fatal_errors_on_wait(self, tiny_store, tiny_miner):
+        from repro.server.precompute import CacheWarmer
+
+        def explain(item_ids, description):
+            raise RuntimeError("warmer died")
+
+        warmer = CacheWarmer(Precomputer(tiny_store, tiny_miner), explain, limit=1).start()
+        with pytest.raises(RuntimeError):
+            warmer.wait(timeout=30)
+        assert warmer.to_dict()["failed"] is True
