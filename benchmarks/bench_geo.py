@@ -1,0 +1,231 @@
+"""Geo serving benchmark: per-region mining fan-out and drill-down latency.
+
+Measures the geo-visualization serving pillar on the bench_serving "medium"
+dataset shape and records three scenarios into ``BENCH_geo.json``:
+
+* **fanout** — :meth:`~repro.geo.explorer.GeoExplorer.explain_top_regions`
+  mines the top-K regions of the whole store (the regional-dashboard
+  workload), serially and sharded across the mining worker pool (one task
+  per region, submission-ordered gathering).  Reported: wall seconds,
+  regions/second, speedup, and a bit-identity check between the serial and
+  sharded results — the determinism-under-parallelism invariant of the
+  serving layer.  Note the speedup is modest by design: the RHE inner loop
+  is pure-Python (GIL-bound), so the pool's value on this path is
+  determinism plus keeping region mining off the request path (the warm
+  pool), not CPU scaling.
+* **drilldown** — warm vs cold latency of the ``geo_drilldown`` aggregate
+  path (city and zipcode children of the largest state).  Cold bypasses the
+  result cache (every request recomputes the bincount aggregation), warm
+  answers from the canonical-key cache entry.
+* **geo_explain** — warm vs cold latency of within-region mining, the
+  expensive geo endpoint the top-region warm-up exists for.
+
+Run the writer (from the repository root)::
+
+    python benchmarks/bench_geo.py            # writes BENCH_geo.json
+    python benchmarks/bench_geo.py --quick    # fewer repetitions, same shape
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+# Make the src layout importable when the package is not installed.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.config import MiningConfig, PipelineConfig, ServerConfig
+from repro.core.explanation import stable_payload as stable
+from repro.data.synthetic import SyntheticConfig, SyntheticMovieLens
+from repro.server.api import MapRat
+
+MINING_CONFIG = MiningConfig(max_groups=3, min_coverage=0.25, rhe_restarts=6)
+DATASET_CONFIG = SyntheticConfig(
+    num_reviewers=2400, num_movies=300, ratings_per_reviewer=50, seed=5
+)
+FANOUT_REGIONS = 8
+
+
+def build_dataset():
+    return SyntheticMovieLens(DATASET_CONFIG).generate(name="bench-geo")
+
+
+def build_system(dataset, workers: int) -> MapRat:
+    config = PipelineConfig(
+        mining=MINING_CONFIG, server=ServerConfig(mining_workers=workers)
+    )
+    return MapRat.for_dataset(dataset, config)
+
+
+def percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def time_repeated(fn, repetitions):
+    """Latency distribution of ``fn`` over ``repetitions`` calls (ms)."""
+    latencies = []
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        fn()
+        latencies.append((time.perf_counter() - started) * 1000)
+    latencies.sort()
+    return {
+        "repetitions": repetitions,
+        "p50_ms": round(percentile(latencies, 0.50), 3),
+        "p95_ms": round(percentile(latencies, 0.95), 3),
+        "mean_ms": round(sum(latencies) / len(latencies), 3),
+    }
+
+
+def bench_fanout(dataset):
+    """Serial vs pool-sharded per-region mining over the top regions."""
+    record = {"regions": FANOUT_REGIONS, "selection": "whole store"}
+    results = {}
+    for label, workers in (("serial", 1), ("pool_4", 4)):
+        system = build_system(dataset, workers=workers)
+        started = time.perf_counter()
+        mined = system.geo.explain_top_regions(
+            None,
+            limit=FANOUT_REGIONS,
+            config=MINING_CONFIG,
+            pool=system.pool,
+        )
+        elapsed = time.perf_counter() - started
+        results[label] = [stable(result.to_dict()) for result in mined]
+        record[label] = {
+            "workers": workers,
+            "wall_seconds": round(elapsed, 4),
+            "regions_per_second": round(len(mined) / elapsed, 2),
+        }
+        system.close()
+    record["speedup"] = round(
+        record["serial"]["wall_seconds"] / record["pool_4"]["wall_seconds"], 2
+    )
+    record["bit_identical"] = results["serial"] == results["pool_4"]
+    if not record["bit_identical"]:
+        raise RuntimeError("sharded per-region mining diverged from the serial run")
+    return record
+
+
+def bench_drilldown(system, region, repetitions):
+    """Warm vs cold latency of the aggregate drill-down path."""
+    record = {"region": region}
+    for by in ("city", "zipcode"):
+        cold = time_repeated(
+            lambda: system.geo_drilldown(region=region, by=by, use_cache=False),
+            repetitions,
+        )
+        system.geo_drilldown(region=region, by=by)  # populate the cache
+        warm = time_repeated(
+            lambda: system.geo_drilldown(region=region, by=by), repetitions
+        )
+        record[by] = {
+            "cold": cold,
+            "warm": warm,
+            "speedup_p50": round(cold["p50_ms"] / max(warm["p50_ms"], 1e-6), 1),
+        }
+    return record
+
+
+def bench_geo_explain(system, top_item_ids, region, repetitions):
+    """Warm vs cold latency of within-region mining."""
+    query_ids = list(top_item_ids)
+    cold = time_repeated(
+        lambda: system.geo_explain_items(query_ids, region, use_cache=False),
+        max(3, repetitions // 10),
+    )
+    system.geo_explain_items(query_ids, region)  # populate the cache
+    warm = time_repeated(
+        lambda: system.geo_explain_items(query_ids, region), repetitions
+    )
+    return {
+        "region": region,
+        "cold": cold,
+        "warm": warm,
+        "speedup_p50": round(cold["p50_ms"] / max(warm["p50_ms"], 1e-6), 1),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_geo.json"),
+        help="where to write the JSON record (default: repo-root BENCH_geo.json)",
+    )
+    parser.add_argument("--repetitions", type=int, default=50)
+    parser.add_argument("--quick", action="store_true", help="fewer repetitions")
+    args = parser.parse_args(argv)
+    repetitions = 10 if args.quick else args.repetitions
+
+    print("[bench_geo] generating dataset ...", flush=True)
+    dataset = build_dataset()
+    system = build_system(dataset, workers=4)
+    top_item = system.precomputer.top_items(limit=1)[0]
+    top_item_ids = [top_item.item_id]
+    top_region = system.geo.top_regions(top_item_ids, limit=1)[0]
+    print(
+        f"[bench_geo] anchor: item {top_item.item_id} ({top_item.title!r}), "
+        f"top region {top_region}",
+        flush=True,
+    )
+
+    print(f"[bench_geo] fanout: {FANOUT_REGIONS} regions, serial vs pool ...", flush=True)
+    fanout = bench_fanout(dataset)
+    print(
+        f"[bench_geo]   serial {fanout['serial']['wall_seconds']}s -> "
+        f"pool {fanout['pool_4']['wall_seconds']}s "
+        f"({fanout['speedup']}x, bit_identical={fanout['bit_identical']})",
+        flush=True,
+    )
+
+    print(f"[bench_geo] drilldown: warm vs cold x{repetitions} ...", flush=True)
+    drilldown = bench_drilldown(system, top_region, repetitions)
+    print(
+        f"[bench_geo]   city p50 {drilldown['city']['cold']['p50_ms']}ms cold -> "
+        f"{drilldown['city']['warm']['p50_ms']}ms warm "
+        f"({drilldown['city']['speedup_p50']}x)",
+        flush=True,
+    )
+
+    print("[bench_geo] geo_explain: warm vs cold ...", flush=True)
+    explain = bench_geo_explain(system, top_item_ids, top_region, repetitions)
+    print(
+        f"[bench_geo]   p50 {explain['cold']['p50_ms']}ms cold -> "
+        f"{explain['warm']['p50_ms']}ms warm ({explain['speedup_p50']}x)",
+        flush=True,
+    )
+    system.close()
+
+    report = {
+        "benchmark": "geo",
+        "workload": (
+            "geo serving surface over the most popular item "
+            "(synthetic MovieLens, 2400 reviewers x 300 movies)"
+        ),
+        "mining_config": {
+            "max_groups": MINING_CONFIG.max_groups,
+            "min_coverage": MINING_CONFIG.min_coverage,
+            "rhe_restarts": MINING_CONFIG.rhe_restarts,
+            "seed": MINING_CONFIG.seed,
+        },
+        "fanout": fanout,
+        "drilldown": drilldown,
+        "geo_explain": explain,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_geo] wrote {output}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -13,13 +13,15 @@ synthetic dataset and prints the contrast between the single overall aggregate
     python examples/controversial_movie.py
 """
 
+import os
+
 from repro import MapRat, MiningConfig, PipelineConfig, generate_dataset
 from repro.explore.statistics import group_statistics
 from repro.viz.text import render_explanation_text
 
 
 def main() -> None:
-    dataset = generate_dataset("small")
+    dataset = generate_dataset(os.environ.get("MAPRAT_SCALE", "small"))
     maprat = MapRat.for_dataset(dataset, PipelineConfig())
     query = 'title:"The Twilight Saga: Eclipse"'
 

@@ -16,6 +16,7 @@ It writes ``toy_story_explanation.html`` (the full Figure-2 page) plus one SVG
 choropleth per mining task, and prints the selected groups.
 """
 
+import os
 import sys
 from pathlib import Path
 
@@ -29,7 +30,7 @@ def main() -> None:
     output_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("examples_output")
     output_dir.mkdir(parents=True, exist_ok=True)
 
-    dataset = generate_dataset("small")
+    dataset = generate_dataset(os.environ.get("MAPRAT_SCALE", "small"))
     # The search settings of Figure 1: at most three groups.  A 15% coverage
     # target matches the granularity of the paper's example groups (each of
     # the three Figure-2 segments covers roughly 5% of the ratings).

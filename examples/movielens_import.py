@@ -13,6 +13,7 @@ then loads it back through the same parser, proving the loader path works
 end-to-end offline.
 """
 
+import os
 import sys
 from pathlib import Path
 
@@ -30,7 +31,7 @@ def main() -> None:
         directory = Path("examples_output/ml-synthetic")
         print("No MovieLens directory given; exporting the synthetic dataset to "
               f"{directory} and loading it back ...")
-        source = generate_dataset("small")
+        source = generate_dataset(os.environ.get("MAPRAT_SCALE", "small"))
         write_movielens_directory(source, directory)
         dataset = load_movielens_directory(directory, name="synthetic-export")
 

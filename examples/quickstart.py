@@ -6,21 +6,31 @@ This is the smallest end-to-end use of the public API::
     python examples/quickstart.py
 
 It generates a MovieLens-shaped synthetic dataset, asks MapRat to explain the
-ratings of "Toy Story", and prints the Similarity Mining and Diversity Mining
-interpretations as text tables (the terminal equivalent of Figure 2).
+ratings of "Toy Story", prints the Similarity Mining and Diversity Mining
+interpretations as text tables (the terminal equivalent of Figure 2), and
+finishes with the geo serving surface: where the movie is rated, and why its
+top region rates it the way it does.
+
+Set ``MAPRAT_SCALE=tiny`` to run on the smallest preset (the test suite's
+examples smoke test does).
 """
+
+import os
 
 from repro import MapRat, MiningConfig, PipelineConfig, generate_dataset
 from repro.viz.text import render_result_text
 
 
 def main() -> None:
-    print("Generating the synthetic MovieLens-shaped dataset (small scale)...")
-    dataset = generate_dataset("small")
+    scale = os.environ.get("MAPRAT_SCALE", "small")
+    print(f"Generating the synthetic MovieLens-shaped dataset ({scale} scale)...")
+    dataset = generate_dataset(scale)
     print(f"  {dataset.num_ratings} ratings, {dataset.num_reviewers} reviewers, "
           f"{dataset.num_items} movies\n")
 
-    config = PipelineConfig(mining=MiningConfig(max_groups=3, min_coverage=0.25))
+    config = PipelineConfig(
+        mining=MiningConfig(max_groups=3, min_coverage=0.25, min_group_support=3)
+    )
     maprat = MapRat.for_dataset(dataset, config)
 
     query = 'title:"Toy Story"'
@@ -28,9 +38,21 @@ def main() -> None:
     result = maprat.explain(query)
     print(render_result_text(result))
 
-    print("\nThe same result is available as JSON through result.to_dict(), as a")
-    print("choropleth SVG through repro.viz.render_explanation_map(), and as a")
-    print("self-contained HTML report through MapRat.explanation_html().")
+    print("\nWhere is it rated? (geo_summary, top 5 states)")
+    summary = maprat.geo_summary(query)
+    for region in summary["regions"][:5]:
+        print(f"  {region['region']}: {region['size']} ratings, "
+              f"avg {region['average']:.2f} (lift {region['lift']:+.2f})")
+
+    top_region = summary["regions"][0]["region"]
+    print(f"\nWhy does {top_region} rate it this way? (geo_explain)")
+    geo = maprat.geo_explain(query, top_region)
+    for group in geo.similarity.groups:
+        print(f"  {group.label}: avg {group.average_rating:.2f}")
+
+    print("\nThe same results are available as JSON through result.to_dict(), as a")
+    print("choropleth SVG through MapRat.choropleth(), and as a self-contained")
+    print("HTML report through MapRat.explanation_html().")
 
 
 if __name__ == "__main__":

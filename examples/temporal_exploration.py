@@ -13,6 +13,7 @@ demographic) group.  It also writes the trend chart SVG::
     python examples/temporal_exploration.py [output_directory]
 """
 
+import os
 import sys
 from pathlib import Path
 
@@ -24,7 +25,7 @@ def main() -> None:
     output_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("examples_output")
     output_dir.mkdir(parents=True, exist_ok=True)
 
-    dataset = generate_dataset("small")
+    dataset = generate_dataset(os.environ.get("MAPRAT_SCALE", "small"))
     maprat = MapRat.for_dataset(
         dataset, PipelineConfig(mining=MiningConfig(max_groups=3, min_coverage=0.25))
     )

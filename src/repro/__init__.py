@@ -61,6 +61,7 @@ from .core import (
     RandomizedHillExploration,
     RatingMiner,
 )
+from .geo import GeoExplorer, GeoMiningResult, RegionAggregate
 
 __all__ = [
     "PAPER",
@@ -99,6 +100,9 @@ __all__ = [
     "MiningResult",
     "RandomizedHillExploration",
     "RatingMiner",
+    "GeoExplorer",
+    "GeoMiningResult",
+    "RegionAggregate",
     "MapRat",
 ]
 

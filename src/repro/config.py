@@ -45,6 +45,10 @@ class MiningConfig:
             must contain to be considered at all.
         require_geo_anchor: when True every returned group must include the
             geo attribute so it can be rendered on the map (§3.1).
+        geo_anchor_attribute: which attribute anchors groups geographically.
+            ``"state"`` (the default) renders on the US map; the geo explorer
+            overrides it with ``"city"`` for within-region mining, so groups
+            stay map-anchored one hierarchy level down.
         grouping_attributes: reviewer attributes over which the data cube of
             candidate groups is built.
         diversity_penalty: λ weight of the within-group error term subtracted
@@ -59,6 +63,7 @@ class MiningConfig:
     max_description_length: int = 3
     min_group_support: int = 5
     require_geo_anchor: bool = True
+    geo_anchor_attribute: str = GEO_ATTRIBUTE
     grouping_attributes: Sequence[str] = DEFAULT_GROUPING_ATTRIBUTES
     diversity_penalty: float = 0.25
     rhe_restarts: int = 8
@@ -84,9 +89,13 @@ class MiningConfig:
         object.__setattr__(
             self, "grouping_attributes", tuple(self.grouping_attributes)
         )
-        if self.require_geo_anchor and GEO_ATTRIBUTE not in self.grouping_attributes:
+        if (
+            self.require_geo_anchor
+            and self.geo_anchor_attribute not in self.grouping_attributes
+        ):
             raise ConstraintError(
-                "require_geo_anchor needs %r among grouping_attributes" % GEO_ATTRIBUTE
+                "require_geo_anchor needs %r among grouping_attributes"
+                % self.geo_anchor_attribute
             )
 
     def with_overrides(self, **changes: object) -> "MiningConfig":
@@ -101,6 +110,7 @@ class MiningConfig:
             self.max_description_length,
             self.min_group_support,
             self.require_geo_anchor,
+            self.geo_anchor_attribute,
             tuple(self.grouping_attributes),
             round(self.diversity_penalty, 6),
             self.rhe_restarts,
@@ -143,6 +153,9 @@ class ServerConfig:
             everything inline.  Parallel results are bit-identical to serial
             ones (fixed per-task seeds, submission-ordered gathering).
         precompute_top_items: how many popular items the warm-up mines.
+        precompute_top_regions: how many top regions (states by rating
+            volume) the warm-up anchors: for each, the geo explanation of the
+            most popular item within that region is pre-mined.
         warm_in_background: run the startup warm-up on a background thread so
             the server serves immediately while the cache fills.
         host: bind address of the HTTP front-end.
@@ -154,6 +167,7 @@ class ServerConfig:
     single_flight: bool = True
     mining_workers: int = 4
     precompute_top_items: int = 50
+    precompute_top_regions: int = 0
     warm_in_background: bool = True
     host: str = "127.0.0.1"
     port: int = 8912
@@ -165,6 +179,8 @@ class ServerConfig:
             raise ConstraintError("mining_workers must be non-negative")
         if self.precompute_top_items < 0:
             raise ConstraintError("precompute_top_items must be non-negative")
+        if self.precompute_top_regions < 0:
+            raise ConstraintError("precompute_top_regions must be non-negative")
 
 
 @dataclass(frozen=True)

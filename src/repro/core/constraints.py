@@ -280,7 +280,7 @@ class ConstraintSet:
             MinSupportConstraint(config.min_group_support),
         ]
         if config.require_geo_anchor:
-            constraints.append(GeoAnchorConstraint())
+            constraints.append(GeoAnchorConstraint(config.geo_anchor_attribute))
         return cls(constraints)
 
     def __iter__(self):

@@ -104,6 +104,7 @@ class CandidateEnumerator:
             max_description_length=config.max_description_length,
             min_support=config.min_group_support,
             require_geo_anchor=config.require_geo_anchor,
+            geo_attribute=config.geo_anchor_attribute,
         )
 
     # -- enumeration -------------------------------------------------------------

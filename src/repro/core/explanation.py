@@ -28,6 +28,25 @@ from .measures import coverage, pairwise_disagreement, within_group_error
 from .rhe import SolveResult
 
 
+def stable_payload(payload):
+    """Strip wall-clock fields from a serialised result, recursively.
+
+    Mining is deterministic for a fixed seed, but every result dict carries
+    ``elapsed_seconds`` timings.  The parallel-equivalence tests and the
+    benchmarks' bit-identity assertions compare payloads through this helper
+    so the contract "same seed ⇒ same result" stays checkable bit-for-bit.
+    """
+    if isinstance(payload, dict):
+        return {
+            key: stable_payload(value)
+            for key, value in payload.items()
+            if key != "elapsed_seconds"
+        }
+    if isinstance(payload, list):
+        return [stable_payload(value) for value in payload]
+    return payload
+
+
 @dataclass(frozen=True)
 class GroupExplanation:
     """One selected reviewer group, ready for display.

@@ -47,7 +47,9 @@ class RatingMiner:
         """Build a miner (and its indexed store) directly from a dataset."""
         config = config or MiningConfig()
         grouping = tuple(
-            dict.fromkeys(tuple(config.grouping_attributes) + ("state", "city"))
+            dict.fromkeys(
+                tuple(config.grouping_attributes) + ("state", "city", "zipcode")
+            )
         )
         store = RatingStore(dataset, grouping_attributes=grouping)
         return cls(store, config)

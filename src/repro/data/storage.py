@@ -243,7 +243,9 @@ class RatingStore:
     def __init__(
         self,
         dataset: RatingDataset,
-        grouping_attributes: Sequence[str] = ("gender", "age_group", "occupation", "state", "city"),
+        grouping_attributes: Sequence[str] = (
+            "gender", "age_group", "occupation", "state", "city", "zipcode"
+        ),
     ) -> None:
         self.dataset = dataset
         self.grouping_attributes = tuple(grouping_attributes)

@@ -1,16 +1,38 @@
-"""Geography substrate: states, zip-code resolution and the location hierarchy.
+"""Geography substrate and the geo-anchored exploration layer.
 
 MapRat anchors every explanation on a geographic condition so it can be drawn
 on a map (§2.3).  The demo derives the reviewer's state (and, for drill-down,
 city) from the MovieLens zip code.  This package provides that resolution
-offline: a USPS-style zip-range → state table, deterministic city synthesis
-within a state, the country ▸ state ▸ city hierarchy used by drill-down, and
-the tile-grid layout of the 50 states + DC used by the SVG choropleth.
+offline plus the serving-side geo surface:
+
+* :mod:`repro.geo.states` — a USPS-style zip-range → state table, per-state
+  city lists and the tile-grid layout of the 50 states + DC,
+* :mod:`repro.geo.zipcodes` — zip normalisation, deterministic (state, city)
+  resolution and synthetic zip generation,
+* :mod:`repro.geo.hierarchy` — the country ▸ state ▸ city containment
+  relation that drill-down navigates,
+* :mod:`repro.geo.explorer` — :class:`GeoExplorer`, the geo-anchored
+  aggregation / drill-down / mining engine behind the ``geo_*`` endpoints
+  (see ``docs/API.md``).
 """
 
 from .states import ALL_STATE_CODES, State, state_by_code, state_by_name, states
-from .zipcodes import ZipResolver, city_for_zipcode, state_for_zipcode
-from .hierarchy import LocationHierarchy, LocationLevel
+from .zipcodes import (
+    ZipResolver,
+    city_for_zipcode,
+    normalize_zipcode,
+    state_for_zipcode,
+    zipcode_for,
+)
+from .hierarchy import LEVEL_ATTRIBUTE, LocationHierarchy, LocationLevel
+from .explorer import (
+    GeoExplorer,
+    GeoMiningResult,
+    RegionAggregate,
+    canonical_region,
+    is_country,
+    region_mining_config,
+)
 
 __all__ = [
     "ALL_STATE_CODES",
@@ -20,7 +42,16 @@ __all__ = [
     "states",
     "ZipResolver",
     "city_for_zipcode",
+    "normalize_zipcode",
     "state_for_zipcode",
+    "zipcode_for",
+    "LEVEL_ATTRIBUTE",
     "LocationHierarchy",
     "LocationLevel",
+    "GeoExplorer",
+    "GeoMiningResult",
+    "RegionAggregate",
+    "canonical_region",
+    "is_country",
+    "region_mining_config",
 ]

@@ -22,20 +22,24 @@ from ..data.storage import RatingStore
 from ..errors import (
     EmptyRatingSetError,
     ExplorationError,
+    GeoError,
     MapRatError,
     MiningError,
     PoolError,
     QueryError,
     ServerError,
+    VisualizationError,
 )
 from ..explore.drilldown import CityAggregate, DrillDown
+from ..geo.explorer import DRILL_ATTRIBUTES, GeoExplorer, GeoMiningResult, is_country
 from ..explore.session import ExplorationSession
 from ..explore.statistics import GroupStatistics, compare_groups, group_statistics
 from ..explore.timeline import GroupTrendPoint, TimelineExplorer, TimelineSlice
 from ..query.engine import ItemQuery, QueryEngine, TimeInterval
+from ..viz.choropleth import render_explanation_map
 from ..viz.report import ExplanationReport, ExplorationReport
 from ..viz.text import render_result_text
-from .cache import ResultCache, canonical_explain_key
+from .cache import ResultCache, canonical_explain_key, canonical_geo_key
 from .pool import MiningWorkerPool
 from .precompute import CacheWarmer, ItemAggregate, Precomputer
 
@@ -68,7 +72,8 @@ class MapRat:
         self.warm_pool = MiningWorkerPool(
             self.config.server.mining_workers, thread_name_prefix="maprat-warm"
         )
-        self.precomputer = Precomputer(self.store, self.miner)
+        self.geo = GeoExplorer(self.miner)
+        self.precomputer = Precomputer(self.store, self.miner, explorer=self.geo)
         self.warmer: Optional[CacheWarmer] = None
         self._warmer_lock = threading.Lock()
         self._closed = False
@@ -228,6 +233,203 @@ class MapRat:
             raise QueryError(f"query {query!r} matches no items")
         return self.timeline_explorer.group_trend(item_ids, pairs, years=years)
 
+    # -- geo serving (the geo-visualization pillar, §2.3/§3.1) ---------------------------
+
+    def _resolve_selection(
+        self, query: Optional[str], time_interval: Optional[TimeInterval]
+    ) -> Tuple[Optional[List[int]], Optional[Tuple[int, int]], str]:
+        """Resolve an optional query string into (item ids, interval, label).
+
+        ``query=None`` means the whole store — the country-level landing view
+        of the geo surface; it resolves to ``item_ids=None`` which the geo
+        explorer treats as "every rating tuple".
+        """
+        interval = time_interval.as_tuple() if time_interval else None
+        if query is None or not query.strip():
+            return None, interval, "all items"
+        compiled = self.engine.compile(query, time_interval)
+        item_ids = self.engine.matching_item_ids(compiled)
+        if not item_ids:
+            raise QueryError(f"query {compiled.describe()!r} matches no items")
+        item_ids = sorted({int(item_id) for item_id in item_ids})
+        interval = (
+            compiled.time_interval.as_tuple() if compiled.time_interval else None
+        )
+        return item_ids, interval, compiled.describe()
+
+    def geo_summary(
+        self,
+        query: Optional[str] = None,
+        time_interval: Optional[TimeInterval] = None,
+        min_size: int = 1,
+        use_cache: bool = True,
+    ) -> dict:
+        """State-level rating aggregates of a selection (the country map view)."""
+        item_ids, interval, description = self._resolve_selection(query, time_interval)
+
+        def compute() -> dict:
+            rating_slice = self.geo.slice_for(item_ids, interval)
+            regions = self.geo.aggregate_by(rating_slice, "state", "state", min_size)
+            return {
+                "level": "state",
+                "description": description,
+                "num_ratings": len(rating_slice),
+                "average": round(rating_slice.average(), 4),
+                "regions": [agg.to_dict() for agg in regions],
+            }
+
+        if not use_cache:
+            return compute()
+        key = canonical_geo_key("summary", item_ids, interval, min_size=min_size)
+        return self.cache.get_or_compute(key, compute)
+
+    def geo_drilldown(
+        self,
+        region: Optional[str] = None,
+        by: str = "city",
+        query: Optional[str] = None,
+        time_interval: Optional[TimeInterval] = None,
+        min_size: int = 1,
+        use_cache: bool = True,
+    ) -> dict:
+        """Child-region aggregates one level below ``region`` (§2.3 drill-down)."""
+        if by not in DRILL_ATTRIBUTES:
+            # Validate before the cache is consulted: a populated country
+            # entry must not turn an invalid ``by`` into a 200.
+            raise GeoError(
+                f"unsupported drill attribute {by!r}; expected one of {DRILL_ATTRIBUTES}"
+            )
+        item_ids, interval, description = self._resolve_selection(query, time_interval)
+        # The explorer's own country predicate, so the payload's region/by
+        # labels (and the cache key) always agree with the aggregates
+        # actually returned for region="USA".
+        drilling_country = is_country(region)
+
+        def compute() -> dict:
+            aggregates = self.geo.drilldown(
+                region=region,
+                by=by,
+                item_ids=item_ids,
+                time_interval=interval,
+                min_size=min_size,
+            )
+            return {
+                "region": "USA" if drilling_country else str(region).strip().upper(),
+                "by": "state" if drilling_country else by,
+                "description": description,
+                "regions": [agg.to_dict() for agg in aggregates],
+            }
+
+        if not use_cache:
+            return compute()
+        key = canonical_geo_key(
+            "drilldown",
+            item_ids,
+            interval,
+            region="" if drilling_country else region,
+            by="state" if drilling_country else by,
+            min_size=min_size,
+        )
+        return self.cache.get_or_compute(key, compute)
+
+    def geo_explain(
+        self,
+        query: str,
+        region: str,
+        time_interval: Optional[TimeInterval] = None,
+        config: Optional[MiningConfig] = None,
+        use_cache: bool = True,
+    ) -> GeoMiningResult:
+        """Mine why ``region`` rates the queried items the way it does.
+
+        The within-region SM/DM runs through the worker pool and the result
+        is cached under the canonical geo key (single flight), so concurrent
+        requests for the same (selection, region) coalesce into one mining.
+        """
+        item_ids, interval, description = self._resolve_selection(query, time_interval)
+        return self.geo_explain_items(
+            item_ids, region, description, interval, config, use_cache=use_cache
+        )
+
+    def geo_explain_items(
+        self,
+        item_ids: Optional[Sequence[int]],
+        region: str,
+        description: str = "",
+        time_interval: Optional[Tuple[int, int]] = None,
+        config: Optional[MiningConfig] = None,
+        use_cache: bool = True,
+        parallel: bool = True,
+    ) -> GeoMiningResult:
+        """Geo-anchored mining of an explicit item selection (warm-up path).
+
+        Shares the canonical geo cache key with :meth:`geo_explain`, so the
+        top-region warm-up serves live geo traffic.  ``parallel=False`` keeps
+        the inner SM/DM off the request pool — required when this call itself
+        runs on a pool worker.
+        """
+        mining_config = config or self.config.mining
+        canonical_ids = (
+            None
+            if item_ids is None
+            else sorted({int(item_id) for item_id in item_ids})
+        )
+        compute = lambda: self.geo.explain_region(  # noqa: E731 - keyed thunk
+            canonical_ids,
+            region,
+            description=description,
+            time_interval=time_interval,
+            config=mining_config,
+            pool=self.pool if parallel else None,
+        )
+        if not use_cache:
+            return compute()
+        key = canonical_geo_key(
+            "geo_explain", canonical_ids, time_interval, region=region, config=mining_config
+        )
+        return self.cache.get_or_compute(key, compute)
+
+    def choropleth(
+        self,
+        query: str,
+        task: str = "similarity",
+        time_interval: Optional[TimeInterval] = None,
+        use_cache: bool = True,
+    ) -> dict:
+        """The Figure-2 choropleth of one mining task as a JSON payload.
+
+        The underlying explanation comes from the shared explain cache (so a
+        choropleth request after an explain request mines nothing); the
+        rendered SVG is itself cached under a canonical geo key.
+        """
+        if task not in ("similarity", "diversity"):
+            raise ServerError(f"unknown mining task {task!r}", status=400)
+        item_ids, interval, description = self._resolve_selection(query, time_interval)
+        if item_ids is None:
+            raise QueryError("choropleth requires a query selecting items")
+
+        def compute() -> dict:
+            result = self.explain(query, time_interval=time_interval)
+            explanation = result.explanation_for(task)
+            svg = render_explanation_map(
+                explanation,
+                self.config.viz,
+                title=f"{task.title()} Mining — {description}",
+            )
+            return {
+                "description": description,
+                "task": task,
+                "groups": len(explanation.groups),
+                "svg": svg,
+            }
+
+        if not use_cache:
+            return compute()
+        key = canonical_geo_key(
+            "choropleth", item_ids, interval, task=task, config=self.config.mining
+        )
+        return self.cache.get_or_compute(key, compute)
+
     # -- rendering ----------------------------------------------------------------------
 
     def explanation_html(self, query: str, time_interval: Optional[TimeInterval] = None) -> str:
@@ -271,25 +473,43 @@ class MapRat:
 
     # -- warm-up / service info -------------------------------------------------------------
 
-    def warm_up(self, limit: Optional[int] = None) -> dict:
-        """Pre-compute explanations for the most popular items (§2.3).
+    def warm_up(self, limit: Optional[int] = None, regions: Optional[int] = None) -> dict:
+        """Pre-compute explanations for the most popular items and regions (§2.3).
 
-        Anchors shard across the dedicated warm pool (one task per item,
-        never the request pool — see ``__init__``); the inner SM/DM tasks run
-        serially on each worker so a saturated pool can never deadlock on
-        nested submissions.
+        Anchors shard across the dedicated warm pool (one task per item or
+        region, never the request pool — see ``__init__``); the inner SM/DM
+        tasks run serially on each worker so a saturated pool can never
+        deadlock on nested submissions.  ``regions`` additionally pre-mines
+        the geo explanation of the most-rated item of each of the top-N
+        states, pre-filling the ``geo_explain`` surface.
         """
         with self._warmer_lock:
             if self._closed:
                 raise PoolError("cannot warm up a closed system")
         limit = limit if limit is not None else self.config.server.precompute_top_items
+        regions = (
+            regions
+            if regions is not None
+            else self.config.server.precompute_top_regions
+        )
         report = self.precomputer.warm_popular_items(
             self._warm_explain, limit=limit, pool=self.warm_pool
         )
+        if regions:
+            report = report.merged(
+                self.precomputer.warm_top_regions(
+                    self._warm_geo_explain, limit=regions, pool=self.warm_pool
+                )
+            )
         return report.to_dict()
 
     def _warm_explain(self, item_ids: List[int], description: str) -> MiningResult:
         return self.explain_items(item_ids, description, parallel=False)
+
+    def _warm_geo_explain(
+        self, item_ids: List[int], region: str, description: str
+    ) -> GeoMiningResult:
+        return self.geo_explain_items(item_ids, region, description, parallel=False)
 
     def start_warmer(self, limit: Optional[int] = None) -> CacheWarmer:
         """Start the background warm-up of the top-k popular items.
@@ -308,7 +528,12 @@ class MapRat:
                 limit if limit is not None else self.config.server.precompute_top_items
             )
             self.warmer = CacheWarmer(
-                self.precomputer, self._warm_explain, limit=limit, pool=self.warm_pool
+                self.precomputer,
+                self._warm_explain,
+                limit=limit,
+                pool=self.warm_pool,
+                explain_region=self._warm_geo_explain,
+                region_limit=self.config.server.precompute_top_regions,
             ).start()
             return self.warmer
 
@@ -389,7 +614,7 @@ class JsonApi:
 
     def handle_suggest(self, params: Mapping[str, str]) -> dict:
         prefix = params.get("prefix", "")
-        limit = int(params.get("limit", "10"))
+        limit = self._int_param(params, "limit", 10)
         return {"titles": self.system.suggest_titles(prefix, limit=limit)}
 
     def handle_explain(self, params: Mapping[str, str]) -> dict:
@@ -401,26 +626,64 @@ class JsonApi:
     def handle_statistics(self, params: Mapping[str, str]) -> dict:
         query = self._require(params, "q")
         task = params.get("task", "similarity")
-        index = int(params.get("group", "0"))
+        index = self._int_param(params, "group", 0)
         stats = self.system.group_statistics(query, task, index)
         return stats.to_dict()
 
     def handle_drilldown(self, params: Mapping[str, str]) -> dict:
         query = self._require(params, "q")
         task = params.get("task", "similarity")
-        index = int(params.get("group", "0"))
+        index = self._int_param(params, "group", 0)
         aggregates = self.system.drill_down(query, task, index)
         return {"aggregates": [agg.to_dict() for agg in aggregates]}
 
     def handle_timeline(self, params: Mapping[str, str]) -> dict:
         query = self._require(params, "q")
-        min_ratings = int(params.get("min_ratings", "20"))
+        min_ratings = self._int_param(params, "min_ratings", 20)
         slices = self.system.timeline(query, min_ratings=min_ratings)
         return {"slices": [s.to_dict() for s in slices]}
 
     def handle_warmup(self, params: Mapping[str, str]) -> dict:
-        limit = int(params.get("limit", "10"))
-        return self.system.warm_up(limit=limit)
+        limit = self._int_param(params, "limit", 10)
+        regions = self._int_param(params, "regions", 0)
+        return self.system.warm_up(limit=limit, regions=regions)
+
+    # -- geo endpoint handlers ----------------------------------------------------------
+
+    def handle_geo_summary(self, params: Mapping[str, str]) -> dict:
+        query = params.get("q") or None
+        interval = self._interval_from(params)
+        min_size = self._int_param(params, "min_size", 1)
+        return self.system.geo_summary(
+            query, time_interval=interval, min_size=min_size
+        )
+
+    def handle_geo_drilldown(self, params: Mapping[str, str]) -> dict:
+        query = params.get("q") or None
+        region = params.get("region") or None
+        by = params.get("by", "city")
+        interval = self._interval_from(params)
+        min_size = self._int_param(params, "min_size", 1)
+        return self.system.geo_drilldown(
+            region=region,
+            by=by,
+            query=query,
+            time_interval=interval,
+            min_size=min_size,
+        )
+
+    def handle_geo_explain(self, params: Mapping[str, str]) -> dict:
+        query = self._require(params, "q")
+        region = self._require(params, "region")
+        interval = self._interval_from(params)
+        result = self.system.geo_explain(query, region, time_interval=interval)
+        return result.to_dict()
+
+    def handle_choropleth(self, params: Mapping[str, str]) -> dict:
+        query = self._require(params, "q")
+        task = params.get("task", "similarity")
+        interval = self._interval_from(params)
+        return self.system.choropleth(query, task=task, time_interval=interval)
 
     #: Route table used by the HTTP layer.
     def routes(self) -> Dict[str, callable]:
@@ -432,6 +695,10 @@ class JsonApi:
             "drilldown": self.handle_drilldown,
             "timeline": self.handle_timeline,
             "warmup": self.handle_warmup,
+            "geo_summary": self.handle_geo_summary,
+            "geo_drilldown": self.handle_geo_drilldown,
+            "geo_explain": self.handle_geo_explain,
+            "choropleth": self.handle_choropleth,
         }
 
     def dispatch(self, endpoint: str, params: Mapping[str, str]) -> dict:
@@ -443,7 +710,14 @@ class JsonApi:
             return handler(params)
         except ServerError:
             raise
-        except (QueryError, ExplorationError, EmptyRatingSetError, MiningError) as exc:
+        except (
+            QueryError,
+            ExplorationError,
+            EmptyRatingSetError,
+            MiningError,
+            GeoError,
+            VisualizationError,
+        ) as exc:
             raise ServerError(str(exc), status=400) from exc
         except MapRatError as exc:  # pragma: no cover - defensive catch-all
             raise ServerError(str(exc), status=500) from exc
@@ -456,6 +730,19 @@ class JsonApi:
         if not value:
             raise ServerError(f"missing required parameter {name!r}", status=400)
         return value
+
+    @staticmethod
+    def _int_param(params: Mapping[str, str], name: str, default: int) -> int:
+        """Integer query parameter with a clean 400 on malformed input."""
+        raw = params.get(name)
+        if raw is None or not str(raw).strip():
+            return default
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise ServerError(
+                f"parameter {name!r} must be an integer", status=400
+            ) from exc
 
     @staticmethod
     def _interval_from(params: Mapping[str, str]) -> Optional[TimeInterval]:

@@ -8,8 +8,10 @@ more items" (§3.1).  This module serves the same interactions over plain
   a form that links to the HTML explanation report,
 * ``GET /explain?q=...``          — the Figure-2 HTML report,
 * ``GET /explore?q=...&task=...&group=N`` — the Figure-3 HTML report,
+* ``GET /choropleth?q=...&task=...`` — the Figure-2 map as a raw SVG image,
 * ``GET /api/<endpoint>?...``     — the JSON API (summary, suggest, explain,
-  statistics, drilldown, timeline, warmup).
+  statistics, drilldown, timeline, warmup, geo_summary, geo_drilldown,
+  geo_explain, choropleth).
 
 The server runs on a background thread (:meth:`MapRatHttpServer.start`) so the
 integration tests and the web example can drive it with ``urllib`` without
@@ -48,7 +50,10 @@ collaborative ratings.</p>
 <ul>
 <li><code>/explain?q=…</code> — explanation report (Figure 2)</li>
 <li><code>/explore?q=…&amp;task=similarity&amp;group=0</code> — exploration report (Figure 3)</li>
+<li><code>/choropleth?q=…&amp;task=similarity</code> — the Figure-2 map as SVG</li>
 <li><code>/api/explain?q=…</code>, <code>/api/drilldown?…</code>, <code>/api/timeline?…</code> — JSON API</li>
+<li><code>/api/geo_summary</code>, <code>/api/geo_drilldown?region=CA</code>,
+    <code>/api/geo_explain?q=…&amp;region=CA</code> — geo-visualization API</li>
 </ul>
 </body></html>
 """
@@ -84,10 +89,19 @@ class _Handler(BaseHTTPRequestHandler):
                 if not query:
                     raise ServerError("missing required parameter 'q'", status=400)
                 task = params.get("task", "similarity")
-                group = int(params.get("group", "0"))
+                try:
+                    group = int(params.get("group", "0"))
+                except ValueError:
+                    raise ServerError("parameter 'group' must be an integer", status=400)
                 self._send_html(
                     self.system.exploration_html(query, task=task, group_index=group)
                 )
+            elif parsed.path == "/choropleth":
+                query = params.get("q", "")
+                if not query:
+                    raise ServerError("missing required parameter 'q'", status=400)
+                payload = self.api.dispatch("choropleth", params)
+                self._send_svg(payload["svg"])
             elif parsed.path.startswith("/api/"):
                 endpoint = parsed.path[len("/api/"):]
                 payload = self.api.dispatch(endpoint, params)
@@ -105,21 +119,22 @@ class _Handler(BaseHTTPRequestHandler):
         summary = json.dumps(self.system.summary(), indent=2)
         return _LANDING_TEMPLATE.format(summary=escape(summary))
 
-    def _send_html(self, body: str, status: int = 200) -> None:
+    def _send(self, body: str, content_type: str, status: int = 200) -> None:
         encoded = body.encode("utf-8")
         self.send_response(status)
-        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Type", f"{content_type}; charset=utf-8")
         self.send_header("Content-Length", str(len(encoded)))
         self.end_headers()
         self.wfile.write(encoded)
 
+    def _send_html(self, body: str, status: int = 200) -> None:
+        self._send(body, "text/html", status)
+
+    def _send_svg(self, body: str, status: int = 200) -> None:
+        self._send(body, "image/svg+xml", status)
+
     def _send_json(self, status: int, payload: dict) -> None:
-        encoded = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
-        self.send_header("Content-Length", str(len(encoded)))
-        self.end_headers()
-        self.wfile.write(encoded)
+        self._send(json.dumps(payload), "application/json", status)
 
 
 class MapRatHttpServer:

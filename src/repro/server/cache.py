@@ -61,6 +61,49 @@ def canonical_explain_key(
     return ("explain", ids, interval, config.cache_key())
 
 
+def canonical_geo_key(
+    kind: str,
+    item_ids: Optional[Iterable[int]],
+    time_interval: Optional[Tuple[int, int]],
+    region: str = "",
+    by: str = "",
+    task: str = "",
+    min_size: int = 0,
+    config=None,
+) -> tuple:
+    """Canonical cache key of one geo endpoint request.
+
+    Mirrors :func:`canonical_explain_key` for the geo serving surface:
+    ``item_ids=None`` (the whole-store view) is distinct from any explicit
+    selection, region codes are upper-cased so ``ca`` and ``CA`` share an
+    entry, and the mining configuration contributes its ordered fields only
+    for the kinds that actually mine (``geo_explain``/``choropleth``) —
+    aggregate-only kinds pass ``config=None`` so a config change never
+    invalidates cheap summaries.
+    """
+    ids = (
+        None
+        if item_ids is None
+        else tuple(sorted({int(item_id) for item_id in item_ids}))
+    )
+    interval = (
+        (int(time_interval[0]), int(time_interval[1]))
+        if time_interval is not None
+        else None
+    )
+    return (
+        "geo",
+        kind,
+        ids,
+        interval,
+        str(region).strip().upper(),
+        by,
+        task,
+        int(min_size),
+        config.cache_key() if config is not None else None,
+    )
+
+
 @dataclass
 class CacheStats:
     """Hit/miss counters of one cache instance.

@@ -27,13 +27,16 @@ import threading
 import time
 from concurrent.futures import CancelledError
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..core.explanation import MiningResult
 from ..core.miner import RatingMiner
 from ..data.model import Item
 from ..data.storage import RatingStore
 from ..errors import MiningError
+from ..geo.explorer import GeoExplorer
 
 
 @dataclass(frozen=True)
@@ -70,6 +73,7 @@ class PrecomputeReport:
 
     items_aggregated: int = 0
     results_precomputed: int = 0
+    regions_precomputed: int = 0
     failures: int = 0
     elapsed_seconds: float = 0.0
 
@@ -77,17 +81,36 @@ class PrecomputeReport:
         return {
             "items_aggregated": self.items_aggregated,
             "results_precomputed": self.results_precomputed,
+            "regions_precomputed": self.regions_precomputed,
             "failures": self.failures,
             "elapsed_seconds": round(self.elapsed_seconds, 4),
         }
+
+    def merged(self, other: "PrecomputeReport") -> "PrecomputeReport":
+        """Combine two warm-up phases into one report (items + regions)."""
+        return PrecomputeReport(
+            items_aggregated=max(self.items_aggregated, other.items_aggregated),
+            results_precomputed=self.results_precomputed + other.results_precomputed,
+            regions_precomputed=self.regions_precomputed + other.regions_precomputed,
+            failures=self.failures + other.failures,
+            elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
+        )
 
 
 class Precomputer:
     """Builds per-item aggregates and warms the result cache for popular items."""
 
-    def __init__(self, store: RatingStore, miner: RatingMiner) -> None:
+    def __init__(
+        self,
+        store: RatingStore,
+        miner: RatingMiner,
+        explorer: Optional[GeoExplorer] = None,
+    ) -> None:
         self.store = store
         self.miner = miner
+        # Reuse the owning façade's explorer when given (one hierarchy, one
+        # explorer per store); build lazily otherwise.
+        self._explorer = explorer
         self._aggregates: Dict[int, ItemAggregate] = {}
         self._aggregates_built = False
         self._aggregates_lock = threading.Lock()
@@ -219,6 +242,99 @@ class Precomputer:
         report.elapsed_seconds = time.perf_counter() - started_at
         return report
 
+    # -- geo pre-computation ----------------------------------------------------------
+
+    def top_region_anchors(self, limit: int = 5) -> List[Tuple[str, int, str]]:
+        """The warm-up anchors of the geo serving surface.
+
+        For each of the ``limit`` most-rated states, the most-rated item
+        *within* that state: ``(state_code, item_id, title)`` triples.  These
+        are the (region, item) pairs the geo endpoints are most likely to be
+        asked about, exactly as :meth:`top_items` anchors the explain surface.
+        """
+        if limit <= 0:
+            return []
+        slice_all = self.store.slice_all()
+        if slice_all.is_empty():
+            return []
+        if self._explorer is None:
+            self._explorer = GeoExplorer(self.miner)
+        explorer = self._explorer
+        regions = [
+            agg.region
+            for agg in explorer.aggregate_by(slice_all, "state", "state")[:limit]
+        ]
+        anchors: List[Tuple[str, int, str]] = []
+        for region in regions:
+            mask = slice_all.mask_for("state", region)
+            item_ids = slice_all.item_ids[mask]
+            if item_ids.shape[0] == 0:
+                continue
+            values, counts = np.unique(item_ids, return_counts=True)
+            order = np.lexsort((values, -counts))
+            top_item = int(values[order[0]])
+            title = (
+                self.store.dataset.item(top_item).title
+                if self.store.dataset.has_item(top_item)
+                else str(top_item)
+            )
+            anchors.append((region, top_item, title))
+        return anchors
+
+    def warm_top_regions(
+        self,
+        explain_region: Callable[[List[int], str, str], object],
+        limit: int = 5,
+        pool=None,
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> PrecomputeReport:
+        """Pre-mine the geo explanations of the top-region anchors.
+
+        Args:
+            explain_region: callback mining and caching one (item selection,
+                region) pair — the MapRat façade passes its cache-aware
+                ``geo_explain`` path.  When sharding across a pool the
+                callback must not submit nested work to the same pool.
+            limit: how many top regions to anchor.
+            pool: optional worker pool; one task per region, gathered in
+                submission order.
+            should_stop: optional cancellation probe checked per anchor.
+        """
+        report = PrecomputeReport()
+        started_at = time.perf_counter()
+        anchors = self.top_region_anchors(limit)
+
+        def warm_one(anchor: Tuple[str, int, str]) -> bool:
+            region, item_id, title = anchor
+            if should_stop is not None and should_stop():
+                return False
+            explain_region([item_id], region, f'title:"{title}"')
+            return True
+
+        if pool is not None and getattr(pool, "parallel", False):
+            outcomes = pool.map_outcomes(warm_one, anchors)
+        else:
+            outcomes = []
+            for anchor in anchors:
+                if should_stop is not None and should_stop():
+                    break
+                try:
+                    outcomes.append((warm_one(anchor), None))
+                except MiningError as exc:
+                    outcomes.append((None, exc))
+        for mined, error in outcomes:
+            if error is None:
+                if mined:
+                    report.regions_precomputed += 1
+            elif isinstance(error, MiningError):
+                report.failures += 1
+            elif isinstance(error, CancelledError):
+                pass  # pool shut down mid-batch: a skip, not a failure
+            else:
+                raise error
+        report.elapsed_seconds = time.perf_counter() - started_at
+        return report
+
 
 class CacheWarmer:
     """Background warm-up of the popular-item explanations at server startup.
@@ -235,11 +351,15 @@ class CacheWarmer:
         explain: Callable[[List[int], str], MiningResult],
         limit: int = 20,
         pool=None,
+        explain_region: Optional[Callable[[List[int], str, str], object]] = None,
+        region_limit: int = 0,
     ) -> None:
         self.precomputer = precomputer
         self.explain = explain
         self.limit = limit
         self.pool = pool
+        self.explain_region = explain_region
+        self.region_limit = region_limit
         self.report: Optional[PrecomputeReport] = None
         self.error: Optional[BaseException] = None
         self._done = threading.Event()
@@ -266,12 +386,26 @@ class CacheWarmer:
 
     def _run(self) -> None:
         try:
-            self.report = self.precomputer.warm_popular_items(
+            report = self.precomputer.warm_popular_items(
                 self.explain,
                 limit=self.limit,
                 pool=self.pool,
                 should_stop=self._cancelled.is_set,
             )
+            if (
+                self.explain_region is not None
+                and self.region_limit > 0
+                and not self._cancelled.is_set()
+            ):
+                report = report.merged(
+                    self.precomputer.warm_top_regions(
+                        self.explain_region,
+                        limit=self.region_limit,
+                        pool=self.pool,
+                        should_stop=self._cancelled.is_set,
+                    )
+                )
+            self.report = report
         except BaseException as exc:  # surfaced through .error / .wait()
             self.error = exc
         finally:

@@ -10,10 +10,14 @@ define it."
 Offline we render self-contained SVG (a tile-grid map of the US states) and
 HTML reports that mirror Figures 2 and 3, plus plain-text renderings for
 terminals and tests.  No third-party plotting or mapping dependency is used.
+
+The serving layer exposes this package through the ``choropleth`` endpoint
+(JSON payload with the SVG string) and the ``/choropleth`` HTML route (raw
+``image/svg+xml``) — see ``docs/API.md``.
 """
 
 from .color import LikertScale, hex_to_rgb, rgb_to_hex
-from .icons import icon_for_pair, icons_for_descriptor
+from .icons import icon_for_pair, icons_for_descriptor, pin_color_for_age
 from .usmap import TileGridLayout
 from .choropleth import ChoroplethMap, render_explanation_map
 from .charts import render_bar_chart, render_histogram, render_trend_chart
@@ -26,6 +30,7 @@ __all__ = [
     "rgb_to_hex",
     "icon_for_pair",
     "icons_for_descriptor",
+    "pin_color_for_age",
     "TileGridLayout",
     "ChoroplethMap",
     "render_explanation_map",

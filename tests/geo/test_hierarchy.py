@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import GeoError
-from repro.geo.hierarchy import LocationHierarchy, LocationLevel
+from repro.geo.hierarchy import LEVEL_ATTRIBUTE, LocationHierarchy, LocationLevel
 from repro.geo.states import ALL_STATE_CODES, state_by_code
 
 
@@ -57,7 +57,53 @@ class TestNavigation:
         assert not hierarchy.contains("MA", "Chicago")
 
 
+class TestEdgeCases:
+    def test_unknown_state_drill_raises(self, hierarchy):
+        with pytest.raises(GeoError):
+            hierarchy.children(LocationLevel.STATE, "ZZ")
+
+    def test_empty_state_drill_raises(self, hierarchy):
+        with pytest.raises(GeoError):
+            hierarchy.children(LocationLevel.STATE, "")
+
+    def test_unknown_city_has_no_owning_states(self, hierarchy):
+        assert hierarchy.states_of_city("Gotham") == ()
+        assert not hierarchy.contains("NY", "Gotham")
+
+    def test_contains_handles_unknown_state_gracefully(self, hierarchy):
+        assert not hierarchy.contains("ZZ", "Boston")
+
+
+class TestRollUpConsistency:
+    def test_every_state_has_cities_and_rolls_up_to_the_country(self, hierarchy):
+        for code in ALL_STATE_CODES:
+            cities = hierarchy.cities_of(code)
+            assert cities, f"state {code} has no drill-down targets"
+            assert hierarchy.parent(LocationLevel.STATE, code) == "USA"
+
+    def test_every_city_rolls_up_to_a_state_that_contains_it(self, hierarchy):
+        for code in ALL_STATE_CODES:
+            for city in hierarchy.cities_of(code):
+                owners = hierarchy.states_of_city(city)
+                assert code in owners
+                # The canonical parent is one of the owners and contains it.
+                parent = hierarchy.parent(LocationLevel.CITY, city)
+                assert parent in owners
+                assert hierarchy.contains(parent, city)
+
+    def test_drilling_down_then_up_is_the_identity_on_states(self, hierarchy):
+        for code in hierarchy.children(LocationLevel.COUNTRY):
+            level = hierarchy.level_of_attribute("state")
+            assert level is LocationLevel.STATE
+            assert hierarchy.parent(level, code) == "USA"
+
+
 class TestAttributeMapping:
+    def test_level_attribute_table_is_consistent(self, hierarchy):
+        for level, attribute in LEVEL_ATTRIBUTE.items():
+            assert hierarchy.level_of_attribute(attribute) is level
+            assert hierarchy.is_location_attribute(attribute)
+
     def test_location_attributes_map_to_levels(self, hierarchy):
         assert hierarchy.level_of_attribute("state") is LocationLevel.STATE
         assert hierarchy.level_of_attribute("city") is LocationLevel.CITY

@@ -51,6 +51,44 @@ class TestResolution:
         assert city_for_zipcode("ABCDE") is None
 
 
+class TestEdgeCases:
+    def test_empty_and_whitespace_zips_raise(self):
+        with pytest.raises(GeoError):
+            normalize_zipcode("")
+        with pytest.raises(GeoError):
+            normalize_zipcode("   ")
+
+    def test_empty_zip_resolves_to_none(self):
+        assert state_for_zipcode("") is None
+        assert city_for_zipcode("") is None
+
+    def test_zip_plus_four_with_garbage_suffix_still_resolves(self):
+        # Only the prefix before the dash matters.
+        assert normalize_zipcode("90210-abcd") == 90210
+        assert state_for_zipcode("90210-abcd") == "CA"
+
+    def test_negative_looking_zip_raises(self):
+        with pytest.raises(GeoError):
+            normalize_zipcode("-1234")
+
+    def test_range_boundaries_resolve_to_the_owning_state(self):
+        low, high = state_by_code("CA").zip_ranges[0]
+        assert state_for_zipcode(f"{low:05d}") == "CA"
+        assert state_for_zipcode(f"{high:05d}") == "CA"
+        # One past the top of the range must not leak into the state.
+        assert state_for_zipcode(f"{high + 1:05d}") != "CA"
+
+    def test_single_city_state_synthesis(self):
+        # DC has exactly one registered city; every index collapses onto it.
+        zipcode = zipcode_for("DC", city_index=3, offset=7)
+        assert state_for_zipcode(zipcode) == "DC"
+        assert city_for_zipcode(zipcode) == "Washington"
+
+    def test_unknown_state_synthesis_raises(self):
+        with pytest.raises(GeoError):
+            zipcode_for("ZZ")
+
+
 class TestResolver:
     def test_resolver_caches_results(self):
         resolver = ZipResolver()

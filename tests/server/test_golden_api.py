@@ -75,6 +75,51 @@ CORPUS = [
         {"q": 'title:"Forrest Gump"', "min_ratings": "10"},
     ),
     ("warmup_limit_2", "warmup", {"limit": "2"}),
+    ("warmup_with_regions", "warmup", {"limit": "1", "regions": "2"}),
+    ("geo_summary_country", "geo_summary", {}),
+    ("geo_summary_toy_story", "geo_summary", {"q": 'title:"Toy Story"'}),
+    (
+        "geo_summary_min_size_20",
+        "geo_summary",
+        {"q": 'title:"Toy Story"', "min_size": "20"},
+    ),
+    ("geo_drilldown_states", "geo_drilldown", {"q": 'title:"Toy Story"'}),
+    ("geo_drilldown_ca_cities", "geo_drilldown", {"region": "CA"}),
+    (
+        "geo_drilldown_ca_zipcodes",
+        "geo_drilldown",
+        {"region": "CA", "by": "zipcode"},
+    ),
+    (
+        "geo_drilldown_lowercase_region",
+        "geo_drilldown",
+        {"region": "ca", "q": 'title:"Toy Story"'},
+    ),
+    (
+        "geo_explain_toy_story_ca",
+        "geo_explain",
+        {"q": 'title:"Toy Story"', "region": "CA"},
+    ),
+    ("choropleth_toy_story", "choropleth", {"q": 'title:"Toy Story"'}),
+    (
+        "choropleth_toy_story_diversity",
+        "choropleth",
+        {"q": 'title:"Toy Story"', "task": "diversity"},
+    ),
+    ("error_geo_unknown_region", "geo_drilldown", {"region": "ZZ"}),
+    ("error_geo_bad_min_size", "geo_summary", {"min_size": "abc"}),
+    ("error_geo_bad_by", "geo_drilldown", {"region": "CA", "by": "county"}),
+    ("error_geo_explain_missing_region", "geo_explain", {"q": 'title:"Toy Story"'}),
+    (
+        "error_geo_explain_empty_region",
+        "geo_explain",
+        {"q": 'title:"Toy Story"', "region": "WY"},
+    ),
+    (
+        "error_choropleth_bad_task",
+        "choropleth",
+        {"q": 'title:"Toy Story"', "task": "nonsense"},
+    ),
     ("error_missing_query", "explain", {}),
     ("error_unmatched_query", "explain", {"q": 'title:"No Such Movie"'}),
     ("error_bad_year", "explain", {"q": "Toy", "start_year": "not-a-year"}),

@@ -1,0 +1,65 @@
+"""Smoke test: every example script runs end-to-end at the tiny scale.
+
+The examples are the project's executable documentation (the README's
+quickstart points at them), so each must keep working as the library evolves.
+Every script honours ``MAPRAT_SCALE`` (dataset preset override) and
+``web_demo.py`` additionally honours ``MAPRAT_SMOKE`` (serve on an ephemeral
+port, answer one request per surface, stop), which keeps the whole sweep
+inside the tier-1 budget.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+#: Every example script with the arguments its smoke run needs.  Scripts that
+#: write artefacts receive a tmp output directory as their one argument.
+EXAMPLES = [
+    ("quickstart.py", False),
+    ("explain_movie.py", True),
+    ("controversial_movie.py", False),
+    ("drilldown_exploration.py", True),
+    ("temporal_exploration.py", True),
+    ("movielens_import.py", False),
+    ("web_demo.py", False),
+]
+
+
+def test_every_example_is_covered():
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert {name for name, _ in EXAMPLES} == on_disk
+
+
+@pytest.mark.parametrize(
+    "script,takes_output_dir", EXAMPLES, ids=[name for name, _ in EXAMPLES]
+)
+def test_example_runs_at_tiny_scale(script, takes_output_dir, tmp_path):
+    env = dict(os.environ)
+    env["MAPRAT_SCALE"] = "tiny"
+    env["MAPRAT_SMOKE"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [sys.executable, str(EXAMPLES_DIR / script)]
+    if takes_output_dir:
+        command.append(str(tmp_path / "out"))
+    completed = subprocess.run(
+        command,
+        cwd=tmp_path,  # artefact defaults (examples_output/) land in tmp
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed\nstdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{script} produced no output"
