@@ -1,0 +1,205 @@
+"""Ingestion benchmark: write-path throughput and epoch-turnover latency.
+
+Measures the live-ingestion subsystem on the bench_serving "medium" dataset
+shape and records three scenarios into ``BENCH_ingest.json``:
+
+* **throughput** — single-rating ``LiveStore.ingest`` calls per second and
+  batched ``ingest_batch`` rows per second (validation + dedup included).
+* **compaction** — wall seconds to fold deltas of increasing size into the
+  next epoch, incrementally (vocabulary remap + index delta updates) vs the
+  from-scratch rebuild reference (``use_incremental=False``), with the
+  per-state attribute index pre-built so the incremental path must maintain
+  it.  The speedup column is the headline: compaction cost must scale with
+  the *delta*, not the store.
+* **post_ingest_explain** — serving latency right after an epoch turnover:
+  a carried-forward cache entry (untouched item), a re-warmed anchor
+  (touched item, ``rewarm=True``), and the cold recompute a touched item
+  pays when re-warming is disabled.
+
+Run the writer (from the repository root)::
+
+    python benchmarks/bench_ingest.py            # writes BENCH_ingest.json
+    python benchmarks/bench_ingest.py --quick    # fewer rows, same shape
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+# Make the src layout importable when the package is not installed.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+from repro.config import MiningConfig, PipelineConfig, ServerConfig
+from repro.data.ingest import LiveStore
+from repro.data.model import Rating
+from repro.data.storage import RatingStore
+from repro.data.synthetic import SyntheticConfig, SyntheticMovieLens
+from repro.server.api import MapRat
+
+MINING_CONFIG = MiningConfig(max_groups=3, min_coverage=0.25, rhe_restarts=6)
+DATASET_CONFIG = SyntheticConfig(
+    num_reviewers=2400, num_movies=300, ratings_per_reviewer=50, seed=5
+)
+
+
+def build_dataset():
+    return SyntheticMovieLens(DATASET_CONFIG).generate(name="bench-ingest")
+
+
+def make_ratings(dataset, count: int, seed: int = 11):
+    rng = np.random.default_rng(seed)
+    item_ids = np.array([item.item_id for item in dataset.items()])
+    reviewer_ids = np.array([r.reviewer_id for r in dataset.reviewers()])
+    return [
+        Rating(
+            item_id=int(rng.choice(item_ids)),
+            reviewer_id=int(rng.choice(reviewer_ids)),
+            score=float(rng.integers(1, 6)),
+            timestamp=int(4_000_000_000 + index),  # distinct: no dedup skew
+        )
+        for index in range(count)
+    ]
+
+
+def bench_throughput(dataset, store, rows: int) -> dict:
+    live = LiveStore(store)
+    singles = make_ratings(dataset, rows, seed=11)
+    started = time.perf_counter()
+    for rating in singles:
+        live.ingest(rating)
+    single_seconds = time.perf_counter() - started
+
+    live_batch = LiveStore(store)
+    batch = [(rating, None) for rating in make_ratings(dataset, rows, seed=13)]
+    started = time.perf_counter()
+    live_batch.ingest_batch(batch)
+    batch_seconds = time.perf_counter() - started
+    return {
+        "rows": rows,
+        "single_seconds": round(single_seconds, 4),
+        "single_rows_per_second": round(rows / single_seconds, 1),
+        "batch_seconds": round(batch_seconds, 4),
+        "batch_rows_per_second": round(rows / batch_seconds, 1),
+    }
+
+
+def bench_compaction(dataset, store, delta_sizes) -> list:
+    results = []
+    for size in delta_sizes:
+        ratings = make_ratings(dataset, size, seed=17)
+        timings = {}
+        for mode, use_incremental in (("incremental", True), ("rebuild", False)):
+            live = LiveStore(store, use_incremental=use_incremental)
+            live.snapshot.attribute_index("state")  # force index maintenance
+            live.ingest_batch([(rating, None) for rating in ratings])
+            started = time.perf_counter()
+            result = live.compact()
+            timings[mode] = time.perf_counter() - started
+            assert result.epoch == store.epoch + 1
+        results.append(
+            {
+                "delta_rows": size,
+                "store_rows": len(store),
+                "incremental_seconds": round(timings["incremental"], 4),
+                "rebuild_seconds": round(timings["rebuild"], 4),
+                "speedup": round(timings["rebuild"] / timings["incremental"], 2),
+            }
+        )
+    return results
+
+
+def bench_post_ingest_explain(dataset) -> dict:
+    def timed(callable_):
+        started = time.perf_counter()
+        callable_()
+        return time.perf_counter() - started
+
+    config = PipelineConfig(
+        mining=MINING_CONFIG, server=ServerConfig(mining_workers=0)
+    )
+    system = MapRat.for_dataset(dataset, config)
+    top, second = [agg.item_id for agg in system.precomputer.top_items(limit=2)]
+    reviewer = next(system.dataset.reviewers())
+    system.explain_items([top])
+    system.explain_items([second])
+
+    # Touch `top`, leave `second` untouched; rewarm the invalidated anchor.
+    system.ingest(top, reviewer.reviewer_id, 5.0, timestamp=4_100_000_000)
+    compaction = system.compact(rewarm=True)
+    carried_seconds = timed(lambda: system.explain_items([second]))
+    rewarmed_seconds = timed(lambda: system.explain_items([top]))
+
+    # The same turnover without re-warming: the touched anchor pays the
+    # cold mining cost on its first post-ingest read.
+    system.ingest(top, reviewer.reviewer_id, 5.0, timestamp=4_100_000_001)
+    system.compact(rewarm=False)
+    cold_seconds = timed(lambda: system.explain_items([top]))
+    system.close()
+    return {
+        "carried_entries": compaction["carried_entries"],
+        "rewarmed_anchors": compaction["rewarmed"],
+        "carried_read_seconds": round(carried_seconds, 6),
+        "rewarmed_read_seconds": round(rewarmed_seconds, 6),
+        "cold_read_seconds": round(cold_seconds, 6),
+        "cold_over_warm": round(cold_seconds / max(rewarmed_seconds, 1e-9), 1),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_ingest.json"),
+        help="where to write the JSON record (default: repo-root BENCH_ingest.json)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer rows, same report shape"
+    )
+    args = parser.parse_args(argv)
+
+    dataset = build_dataset()
+    store = RatingStore(dataset)
+    throughput_rows = 2000 if args.quick else 10000
+    delta_sizes = [100, 1000] if args.quick else [100, 1000, 5000]
+
+    print(f"dataset: {dataset.num_ratings} ratings, store epoch {store.epoch}")
+    throughput = bench_throughput(dataset, store, throughput_rows)
+    print(f"throughput: {throughput['single_rows_per_second']}/s single, "
+          f"{throughput['batch_rows_per_second']}/s batched")
+    compaction = bench_compaction(dataset, store, delta_sizes)
+    for row in compaction:
+        print(f"compaction delta={row['delta_rows']}: "
+              f"incremental {row['incremental_seconds']}s vs "
+              f"rebuild {row['rebuild_seconds']}s ({row['speedup']}x)")
+    post_ingest = bench_post_ingest_explain(dataset)
+    print(f"post-ingest explain: carried {post_ingest['carried_read_seconds']}s, "
+          f"rewarmed {post_ingest['rewarmed_read_seconds']}s, "
+          f"cold {post_ingest['cold_read_seconds']}s")
+
+    report = {
+        "benchmark": "ingest",
+        "dataset": {
+            "reviewers": DATASET_CONFIG.num_reviewers,
+            "movies": DATASET_CONFIG.num_movies,
+            "ratings": dataset.num_ratings,
+        },
+        "quick": args.quick,
+        "throughput": throughput,
+        "compaction": compaction,
+        "post_ingest_explain": post_ingest,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+
+
+if __name__ == "__main__":
+    main()

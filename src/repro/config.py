@@ -158,6 +158,17 @@ class ServerConfig:
             most popular item within that region is pre-mined.
         warm_in_background: run the startup warm-up on a background thread so
             the server serves immediately while the cache fills.
+        ingest_batch_size: maximum entries accepted by one ``ingest_batch``
+            request (oversized batches are rejected with a 400, keeping one
+            request from stalling the write path).
+        auto_compact_threshold: when positive, an ingest that brings the
+            append buffer to this many pending ratings triggers a compaction
+            into the next epoch automatically; 0 leaves compaction to
+            explicit ``compact`` calls.
+        use_incremental_compaction: maintain snapshots via delta updates
+            (code-column remap, index appends, delta bincounts); False
+            rebuilds each snapshot from scratch — the reference path the
+            differential test battery compares against.
         host: bind address of the HTTP front-end.
         port: bind port of the HTTP front-end.
     """
@@ -169,6 +180,9 @@ class ServerConfig:
     precompute_top_items: int = 50
     precompute_top_regions: int = 0
     warm_in_background: bool = True
+    ingest_batch_size: int = 1000
+    auto_compact_threshold: int = 0
+    use_incremental_compaction: bool = True
     host: str = "127.0.0.1"
     port: int = 8912
 
@@ -181,6 +195,10 @@ class ServerConfig:
             raise ConstraintError("precompute_top_items must be non-negative")
         if self.precompute_top_regions < 0:
             raise ConstraintError("precompute_top_regions must be non-negative")
+        if self.ingest_batch_size < 1:
+            raise ConstraintError("ingest_batch_size must be at least 1")
+        if self.auto_compact_threshold < 0:
+            raise ConstraintError("auto_compact_threshold must be non-negative")
 
 
 @dataclass(frozen=True)

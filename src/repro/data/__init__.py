@@ -19,7 +19,16 @@ from .schema import (
     age_group_for,
     default_schema,
 )
-from .storage import RatingStore
+from .storage import AttributeIndex, RatingStore
+from .ingest import (
+    AppendBuffer,
+    CompactionDelta,
+    CompactionResult,
+    LiveStore,
+    compact_snapshot,
+    rating_from_dict,
+    reviewer_from_dict,
+)
 from .synthetic import SyntheticConfig, SyntheticMovieLens, generate_dataset
 from .movielens import load_movielens_directory, write_movielens_directory
 from .imdb import SyntheticImdbCatalog, enrich_with_imdb
@@ -38,6 +47,14 @@ __all__ = [
     "age_group_for",
     "default_schema",
     "RatingStore",
+    "AttributeIndex",
+    "AppendBuffer",
+    "CompactionDelta",
+    "CompactionResult",
+    "LiveStore",
+    "compact_snapshot",
+    "rating_from_dict",
+    "reviewer_from_dict",
     "SyntheticConfig",
     "SyntheticMovieLens",
     "generate_dataset",

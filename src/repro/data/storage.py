@@ -20,6 +20,7 @@ paths (masking, distinct values, cube enumeration) run on the integer codes.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -35,6 +36,166 @@ def _factorize(column: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         return np.array([], dtype=object), np.array([], dtype=np.int32)
     vocabulary, codes = np.unique(column, return_inverse=True)
     return vocabulary, codes.astype(np.int32, copy=False)
+
+
+def _pack_positions(positions: np.ndarray, total: int) -> np.ndarray:
+    """Pack sorted row positions into a uint8 bitset of ``total`` bits."""
+    member = np.zeros(int(total), dtype=bool)
+    if positions.shape[0]:
+        member[positions] = True
+    return np.packbits(member)
+
+
+class AttributeIndex:
+    """Per-value aggregates + packed membership bitsets of one code column.
+
+    For every value of a factorized attribute (e.g. every state), the index
+    holds the statistics the geo surface serves — count, score sum,
+    positive/negative shares, the joint (value × score) histogram — and a
+    packed bitset of the value's row positions.  All of it falls out of a
+    handful of ``np.bincount`` passes at build time, and — the point of this
+    class — it is **maintained incrementally across compactions**: appended
+    rows contribute *delta bincounts* that are added onto the existing
+    arrays, and vocabulary growth scatters the old rows onto their remapped
+    code positions.  No full-store rescan happens on ingest.
+
+    Exactness note: counts, histograms and bitsets are integers, so the
+    delta-updated index is always bit-identical to one rebuilt from scratch.
+    The float ``sums``/``positives``/``negatives`` accumulators are exact as
+    long as scores are exactly representable in binary (integers or halves —
+    every real rating-site scale), which the differential test battery pins.
+    """
+
+    __slots__ = (
+        "attribute", "num_rows", "counts", "sums",
+        "positives", "negatives", "joint", "bits",
+    )
+
+    def __init__(
+        self,
+        attribute: str,
+        num_rows: int,
+        counts: np.ndarray,
+        sums: np.ndarray,
+        positives: np.ndarray,
+        negatives: np.ndarray,
+        joint: np.ndarray,
+        bits: np.ndarray,
+    ) -> None:
+        self.attribute = attribute
+        self.num_rows = int(num_rows)
+        self.counts = counts
+        self.sums = sums
+        self.positives = positives
+        self.negatives = negatives
+        self.joint = joint
+        self.bits = bits
+
+    @classmethod
+    def build(
+        cls, attribute: str, codes: np.ndarray, scores: np.ndarray, num_values: int
+    ) -> "AttributeIndex":
+        """Build the index from scratch over one code column."""
+        num_rows = int(codes.shape[0])
+        counts = np.bincount(codes, minlength=num_values)
+        sums = np.bincount(codes, weights=scores, minlength=num_values)
+        positives = np.bincount(codes, weights=(scores >= 4), minlength=num_values)
+        negatives = np.bincount(codes, weights=(scores <= 2), minlength=num_values)
+        if num_rows:
+            bins = np.clip(np.rint(scores).astype(np.int64), 1, 5) - 1
+            joint = np.bincount(
+                codes.astype(np.int64) * 5 + bins, minlength=num_values * 5
+            )
+        else:
+            joint = np.zeros(num_values * 5, dtype=np.int64)
+        words = (num_rows + 7) // 8
+        bits = np.zeros((num_values, words), dtype=np.uint8)
+        if num_rows:
+            order = np.argsort(codes, kind="stable")
+            boundaries = np.flatnonzero(np.diff(codes[order])) + 1
+            for segment in np.split(order, boundaries):
+                bits[int(codes[segment[0]])] = _pack_positions(segment, num_rows)
+        return cls(attribute, num_rows, counts, sums, positives, negatives, joint, bits)
+
+    @property
+    def num_values(self) -> int:
+        return int(self.counts.shape[0])
+
+    def positions_for(self, code: int) -> np.ndarray:
+        """Ascending row positions of one value, unpacked from its bitset."""
+        if not 0 <= code < self.num_values:
+            return np.array([], dtype=np.int64)
+        member = np.unpackbits(self.bits[code], count=self.num_rows).astype(bool)
+        return np.flatnonzero(member).astype(np.int64)
+
+    def updated(
+        self,
+        remap: np.ndarray,
+        num_values: int,
+        delta_codes: np.ndarray,
+        delta_scores: np.ndarray,
+    ) -> "AttributeIndex":
+        """A new index for the compacted store: scatter + delta bincounts.
+
+        ``remap[old_code] -> new_code`` re-homes the existing per-value rows
+        after vocabulary growth; the appended rows (``delta_codes`` already in
+        the new code space) contribute plain delta bincounts on top.  The
+        bitsets are extended in place of the appended rows only — existing
+        bytes are copied, never recomputed.
+        """
+        new_rows = self.num_rows + int(delta_codes.shape[0])
+
+        def scatter(old: np.ndarray) -> np.ndarray:
+            fresh = np.zeros(num_values, dtype=old.dtype)
+            if old.shape[0]:
+                fresh[remap] = old
+            return fresh
+
+        counts = scatter(self.counts)
+        counts += np.bincount(delta_codes, minlength=num_values)
+        sums = scatter(self.sums)
+        sums += np.bincount(delta_codes, weights=delta_scores, minlength=num_values)
+        positives = scatter(self.positives)
+        positives += np.bincount(
+            delta_codes, weights=(delta_scores >= 4), minlength=num_values
+        )
+        negatives = scatter(self.negatives)
+        negatives += np.bincount(
+            delta_codes, weights=(delta_scores <= 2), minlength=num_values
+        )
+        joint = np.zeros(num_values * 5, dtype=self.joint.dtype)
+        if self.joint.shape[0]:
+            joint.reshape(num_values, 5)[remap] = self.joint.reshape(-1, 5)
+        if delta_codes.shape[0]:
+            bins = np.clip(np.rint(delta_scores).astype(np.int64), 1, 5) - 1
+            joint += np.bincount(
+                delta_codes.astype(np.int64) * 5 + bins, minlength=num_values * 5
+            )
+        words = (new_rows + 7) // 8
+        bits = np.zeros((num_values, words), dtype=np.uint8)
+        if self.bits.shape[1]:
+            bits[remap, : self.bits.shape[1]] = self.bits
+        if delta_codes.shape[0]:
+            # Appended rows start at self.num_rows; pack them from the last
+            # byte boundary so the straddling byte is OR-merged, not rebuilt.
+            base_byte = self.num_rows // 8
+            base_bit = base_byte * 8
+            tail_bits = new_rows - base_bit
+            for code in np.unique(delta_codes).tolist():
+                member = np.zeros(tail_bits, dtype=bool)
+                member[
+                    (self.num_rows - base_bit)
+                    + np.flatnonzero(delta_codes == code)
+                ] = True
+                packed = np.packbits(member)
+                np.bitwise_or(
+                    bits[code, base_byte : base_byte + packed.shape[0]],
+                    packed,
+                    out=bits[code, base_byte : base_byte + packed.shape[0]],
+                )
+        return AttributeIndex(
+            self.attribute, new_rows, counts, sums, positives, negatives, joint, bits
+        )
 
 
 class _LazyColumns(Mapping):
@@ -246,9 +407,11 @@ class RatingStore:
         grouping_attributes: Sequence[str] = (
             "gender", "age_group", "occupation", "state", "city", "zipcode"
         ),
+        epoch: int = 0,
     ) -> None:
         self.dataset = dataset
         self.grouping_attributes = tuple(grouping_attributes)
+        self.epoch = int(epoch)
         ratings = list(dataset.ratings())
         self._item_ids = np.array([r.item_id for r in ratings], dtype=np.int64)
         self._reviewer_ids = np.array([r.reviewer_id for r in ratings], dtype=np.int64)
@@ -257,7 +420,45 @@ class RatingStore:
         self._positions_by_item: Dict[int, np.ndarray] = self._build_item_index()
         self._attribute_codes: Dict[str, np.ndarray] = {}
         self._vocabularies: Dict[str, np.ndarray] = {}
+        self._indexes: Dict[str, AttributeIndex] = {}
+        self._index_lock = threading.Lock()
         self._build_attribute_columns()
+
+    @classmethod
+    def _from_parts(
+        cls,
+        dataset: RatingDataset,
+        grouping_attributes: Tuple[str, ...],
+        item_ids: np.ndarray,
+        reviewer_ids: np.ndarray,
+        scores: np.ndarray,
+        timestamps: np.ndarray,
+        positions_by_item: Dict[int, np.ndarray],
+        attribute_codes: Dict[str, np.ndarray],
+        vocabularies: Dict[str, np.ndarray],
+        epoch: int,
+        indexes: Optional[Dict[str, "AttributeIndex"]] = None,
+    ) -> "RatingStore":
+        """Assemble a snapshot from pre-built columns (the compaction path).
+
+        Bypasses ``__init__``'s full pre-processing: the incremental
+        compactor already produced every column, the item index and any
+        delta-updated attribute indexes, so nothing is recomputed here.
+        """
+        store = object.__new__(cls)
+        store.dataset = dataset
+        store.grouping_attributes = tuple(grouping_attributes)
+        store.epoch = int(epoch)
+        store._item_ids = item_ids
+        store._reviewer_ids = reviewer_ids
+        store._scores = scores
+        store._timestamps = timestamps
+        store._positions_by_item = positions_by_item
+        store._attribute_codes = attribute_codes
+        store._vocabularies = vocabularies
+        store._indexes = dict(indexes or {})
+        store._index_lock = threading.Lock()
+        return store
 
     # -- construction ------------------------------------------------------------
 
@@ -377,6 +578,55 @@ class RatingStore:
     def slice_all(self) -> RatingSlice:
         """Slice over every rating of the dataset."""
         return self._slice_at(np.arange(len(self), dtype=np.int64))
+
+    def slice_rows(self, positions: np.ndarray) -> RatingSlice:
+        """Slice over an explicit array of row positions (ascending)."""
+        return self._slice_at(np.asarray(positions, dtype=np.int64))
+
+    # -- maintained attribute indexes ---------------------------------------------
+
+    def attribute_index(self, attribute: str) -> AttributeIndex:
+        """The per-value aggregate/bitset index of one attribute (lazy, cached).
+
+        Built once per snapshot on first use; compaction carries built
+        indexes forward with delta updates instead of rebuilding them (see
+        :mod:`repro.data.ingest`).  Concurrent cold callers share one build.
+        """
+        if attribute not in self._attribute_codes:
+            raise DataError(f"store has no attribute column {attribute!r}")
+        index = self._indexes.get(attribute)
+        if index is not None:
+            return index
+        with self._index_lock:
+            index = self._indexes.get(attribute)
+            if index is None:
+                index = AttributeIndex.build(
+                    attribute,
+                    self._attribute_codes[attribute],
+                    self._scores,
+                    int(self._vocabularies[attribute].shape[0]),
+                )
+                self._indexes[attribute] = index
+        return index
+
+    def built_indexes(self) -> Dict[str, AttributeIndex]:
+        """Snapshot of the attribute indexes built so far (for compaction)."""
+        with self._index_lock:
+            return dict(self._indexes)
+
+    def vocabulary_for(self, attribute: str) -> np.ndarray:
+        """Sorted vocabulary of one grouping attribute."""
+        try:
+            return self._vocabularies[attribute]
+        except KeyError as exc:
+            raise DataError(f"store has no attribute column {attribute!r}") from exc
+
+    def codes_for(self, attribute: str) -> np.ndarray:
+        """Full-store ``int32`` code column of one grouping attribute."""
+        try:
+            return self._attribute_codes[attribute]
+        except KeyError as exc:
+            raise DataError(f"store has no attribute column {attribute!r}") from exc
 
     # -- aggregate helpers ----------------------------------------------------------
 

@@ -24,6 +24,15 @@ class DatasetFormatError(DataError):
     """Raised when an on-disk dataset file cannot be parsed."""
 
 
+class IngestError(DataError):
+    """Raised when an ingested rating or reviewer fails validation.
+
+    Covers referential failures (unknown item, unknown reviewer without an
+    accompanying reviewer record), scale violations and malformed ingest
+    payloads.  The JSON layer maps it to a 400 response.
+    """
+
+
 class GeoError(MapRatError):
     """Raised when a location (zip code, state, city) cannot be resolved."""
 

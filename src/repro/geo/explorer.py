@@ -156,6 +156,52 @@ def region_mining_config(config: MiningConfig) -> MiningConfig:
     )
 
 
+def _aggregates_from_arrays(
+    vocabulary: np.ndarray,
+    counts: np.ndarray,
+    sums: np.ndarray,
+    positives: np.ndarray,
+    negatives: np.ndarray,
+    joint: np.ndarray,
+    overall: float,
+    level: str,
+    min_size: int,
+) -> List[RegionAggregate]:
+    """Materialise :class:`RegionAggregate` rows from per-value bincount arrays.
+
+    The one implementation shared by the per-request slice path and the
+    maintained :class:`~repro.data.storage.AttributeIndex` fast path, so the
+    two can never drift: regions ordered by size (largest first, ties
+    alphabetical), empty-string regions (unresolvable locations) skipped.
+    """
+    aggregates: List[RegionAggregate] = []
+    for code in np.flatnonzero(counts >= max(min_size, 1)).tolist():
+        region = str(vocabulary[code])
+        if not region:
+            continue  # unresolvable location
+        size = int(counts[code])
+        mean = float(sums[code]) / size
+        histogram = {
+            score + 1: int(joint[code * 5 + score])
+            for score in range(5)
+            if joint[code * 5 + score]
+        }
+        aggregates.append(
+            RegionAggregate(
+                region=region,
+                level=level,
+                size=size,
+                average=round(mean, 4),
+                share_positive=round(float(positives[code]) / size, 4),
+                share_negative=round(float(negatives[code]) / size, 4),
+                lift=round(mean - overall, 4),
+                histogram=histogram,
+            )
+        )
+    aggregates.sort(key=lambda agg: (-agg.size, agg.region))
+    return aggregates
+
+
 def is_country(region: Optional[str]) -> bool:
     """True when ``region`` names the whole country (``None``/empty/``USA``).
 
@@ -239,32 +285,10 @@ class GeoExplorer:
         bins = np.clip(np.rint(scores).astype(np.int64), 1, 5) - 1
         joint = np.bincount(codes * 5 + bins, minlength=n_values * 5)
         overall = float(scores.mean())
-        aggregates: List[RegionAggregate] = []
-        for code in np.flatnonzero(counts >= max(min_size, 1)).tolist():
-            region = str(vocabulary[code])
-            if not region:
-                continue  # unresolvable location
-            size = int(counts[code])
-            mean = float(sums[code]) / size
-            histogram = {
-                score + 1: int(joint[code * 5 + score])
-                for score in range(5)
-                if joint[code * 5 + score]
-            }
-            aggregates.append(
-                RegionAggregate(
-                    region=region,
-                    level=level,
-                    size=size,
-                    average=round(mean, 4),
-                    share_positive=round(float(positives[code]) / size, 4),
-                    share_negative=round(float(negatives[code]) / size, 4),
-                    lift=round(mean - overall, 4),
-                    histogram=histogram,
-                )
-            )
-        aggregates.sort(key=lambda agg: (-agg.size, agg.region))
-        return aggregates
+        return _aggregates_from_arrays(
+            vocabulary, counts, sums, positives, negatives, joint,
+            overall, level, min_size,
+        )
 
     def summary(
         self,
@@ -272,7 +296,27 @@ class GeoExplorer:
         time_interval: Optional[Tuple[int, int]] = None,
         min_size: int = 1,
     ) -> List[RegionAggregate]:
-        """State-level aggregates of an item selection (the country view)."""
+        """State-level aggregates of an item selection (the country view).
+
+        The whole-store view (``item_ids=None``, no interval) answers from
+        the store's maintained :class:`~repro.data.storage.AttributeIndex` —
+        no row is gathered or rescanned, and compactions keep the index
+        current via delta bincounts.  Both paths build rows through
+        :func:`_aggregates_from_arrays`, so their outputs are identical.
+        """
+        if item_ids is None and time_interval is None and len(self.store):
+            index = self.store.attribute_index(GEO_ATTRIBUTE)
+            return _aggregates_from_arrays(
+                self.store.vocabulary_for(GEO_ATTRIBUTE),
+                index.counts,
+                index.sums,
+                index.positives,
+                index.negatives,
+                index.joint,
+                self.store.global_average(),
+                "state",
+                min_size,
+            )
         rating_slice = self.slice_for(item_ids, time_interval)
         return self.aggregate_by(rating_slice, GEO_ATTRIBUTE, "state", min_size)
 
@@ -299,12 +343,40 @@ class GeoExplorer:
         if is_country(region):
             return self.summary(item_ids, time_interval, min_size)
         code = canonical_region(region)
+        region_slice = self._region_slice(code, item_ids, time_interval)
+        if region_slice is None:
+            return []
+        return self.aggregate_by(region_slice, by, by, min_size)
+
+    def _region_slice(
+        self,
+        code: str,
+        item_ids: Optional[Sequence[int]],
+        time_interval: Optional[Tuple[int, int]],
+    ) -> Optional[RatingSlice]:
+        """The slice of one state's tuples within a selection (None: no rows).
+
+        For the whole-store view the region's row positions come straight
+        from the maintained attribute index's packed bitset — only the
+        region's rows are ever gathered.  Explicit selections restrict their
+        slice by the state mask, exactly as before; both produce the same
+        rows in the same (ascending-position) order.
+        """
+        if item_ids is None and time_interval is None and len(self.store):
+            index = self.store.attribute_index(GEO_ATTRIBUTE)
+            vocabulary = self.store.vocabulary_for(GEO_ATTRIBUTE)
+            slot = int(np.searchsorted(vocabulary, code))
+            if slot >= vocabulary.shape[0] or vocabulary[slot] != code:
+                return None
+            positions = index.positions_for(slot)
+            if positions.shape[0] == 0:
+                return None
+            return self.store.slice_rows(positions)
         rating_slice = self.slice_for(item_ids, time_interval)
         mask = rating_slice.mask_for(GEO_ATTRIBUTE, code)
         if not mask.any():
-            return []
-        region_slice = rating_slice.restrict(mask)
-        return self.aggregate_by(region_slice, by, by, min_size)
+            return None
+        return rating_slice.restrict(mask)
 
     def top_regions(
         self,
@@ -339,13 +411,21 @@ class GeoExplorer:
         started_at = time.perf_counter()
         code = canonical_region(region)
         base_config = config or self.miner.config
-        rating_slice = self.slice_for(item_ids, time_interval)
-        mask = rating_slice.mask_for(GEO_ATTRIBUTE, code)
-        if not mask.any():
+        if item_ids is None and time_interval is None and len(self.store):
+            # Whole-store view: region rows come from the maintained bitset
+            # index and the baseline from the store's running average — no
+            # full-store gather on this path.
+            region_slice = self._region_slice(code, None, None)
+            baseline = self.store.global_average()
+        else:
+            rating_slice = self.slice_for(item_ids, time_interval)
+            mask = rating_slice.mask_for(GEO_ATTRIBUTE, code)
+            region_slice = rating_slice.restrict(mask) if mask.any() else None
+            baseline = float(rating_slice.scores.mean())
+        if region_slice is None:
             raise EmptyRatingSetError(
                 f"region {code!r} has no ratings for this selection"
             )
-        region_slice = rating_slice.restrict(mask)
         region_config = region_mining_config(base_config)
         if pool is not None and getattr(pool, "parallel", False):
             similarity_future = pool.submit(
@@ -359,13 +439,13 @@ class GeoExplorer:
         else:
             similarity = self.miner.mine_similarity(region_slice, region_config)
             diversity = self.miner.mine_diversity(region_slice, region_config)
-        stats = self._region_stats(code, region_slice, float(rating_slice.scores.mean()))
+        stats = self._region_stats(code, region_slice, baseline)
         return GeoMiningResult(
             region=code,
             level="state",
             description=description or f"{code} view",
             region_stats=stats,
-            baseline_average=round(float(rating_slice.scores.mean()), 4),
+            baseline_average=round(baseline, 4),
             similarity=similarity,
             diversity=diversity,
             config=region_config,

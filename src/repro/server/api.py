@@ -9,20 +9,24 @@ demo's interactions as methods.  :class:`JsonApi` adapts the façade to plain
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from concurrent.futures import CancelledError
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..config import MiningConfig, PipelineConfig, VizConfig
 from ..core.explanation import Explanation, GroupExplanation, MiningResult
 from ..core.miner import RatingMiner
-from ..data.model import Item, RatingDataset
+from ..data.ingest import LiveStore, rating_from_dict, reviewer_from_dict
+from ..data.model import Item, Rating, RatingDataset, Reviewer
 from ..data.storage import RatingStore
 from ..errors import (
     EmptyRatingSetError,
     ExplorationError,
     GeoError,
+    IngestError,
     MapRatError,
     MiningError,
     PoolError,
@@ -44,6 +48,25 @@ from .pool import MiningWorkerPool
 from .precompute import CacheWarmer, ItemAggregate, Precomputer
 
 
+@dataclass(frozen=True)
+class ServingState:
+    """Immutable bundle of everything a request reads from one store epoch.
+
+    A request grabs the bundle **once** and uses it throughout, so a
+    compaction swapping ``MapRat._serving`` mid-request can never hand the
+    request a store from one epoch and a miner from another (no torn
+    snapshots).  The bundle is cheap: the store is shared, the wrappers
+    around it are thin.
+    """
+
+    epoch: int
+    store: RatingStore
+    miner: RatingMiner
+    geo: GeoExplorer
+    timeline_explorer: TimelineExplorer
+    precomputer: Precomputer
+
+
 class MapRat:
     """End-to-end MapRat system over one collaborative rating dataset."""
 
@@ -52,12 +75,14 @@ class MapRat:
         dataset: RatingDataset,
         config: Optional[PipelineConfig] = None,
     ) -> None:
-        self.dataset = dataset
         self.config = config or PipelineConfig()
-        self.miner = RatingMiner.for_dataset(dataset, self.config.mining)
-        self.store: RatingStore = self.miner.store
+        miner = RatingMiner.for_dataset(dataset, self.config.mining)
+        self.live = LiveStore(
+            miner.store,
+            auto_compact_threshold=self.config.server.auto_compact_threshold,
+            use_incremental=self.config.server.use_incremental_compaction,
+        )
         self.engine = QueryEngine(dataset)
-        self.timeline_explorer = TimelineExplorer(self.miner, self.config.mining)
         self.cache = ResultCache(
             capacity=self.config.server.cache_capacity,
             ttl_seconds=self.config.server.cache_ttl_seconds,
@@ -72,13 +97,56 @@ class MapRat:
         self.warm_pool = MiningWorkerPool(
             self.config.server.mining_workers, thread_name_prefix="maprat-warm"
         )
-        self.geo = GeoExplorer(self.miner)
-        self.precomputer = Precomputer(self.store, self.miner, explorer=self.geo)
+        geo = GeoExplorer(miner)
+        self._serving = ServingState(
+            epoch=miner.store.epoch,
+            store=miner.store,
+            miner=miner,
+            geo=geo,
+            timeline_explorer=TimelineExplorer(miner, self.config.mining),
+            precomputer=Precomputer(miner.store, miner, explorer=geo),
+        )
+        self._ingest_lock = threading.Lock()
         self.warmer: Optional[CacheWarmer] = None
         self._warmer_lock = threading.Lock()
         self._closed = False
         self._explanation_report = ExplanationReport(self.config.viz)
         self._exploration_report = ExplorationReport(self.config.viz)
+
+    # -- epoch-consistent views -------------------------------------------------------
+
+    @property
+    def serving(self) -> ServingState:
+        """The current epoch's serving bundle (grab once per request)."""
+        return self._serving
+
+    @property
+    def epoch(self) -> int:
+        return self._serving.epoch
+
+    @property
+    def dataset(self) -> RatingDataset:
+        return self._serving.store.dataset
+
+    @property
+    def store(self) -> RatingStore:
+        return self._serving.store
+
+    @property
+    def miner(self) -> RatingMiner:
+        return self._serving.miner
+
+    @property
+    def geo(self) -> GeoExplorer:
+        return self._serving.geo
+
+    @property
+    def timeline_explorer(self) -> TimelineExplorer:
+        return self._serving.timeline_explorer
+
+    @property
+    def precomputer(self) -> Precomputer:
+        return self._serving.precomputer
 
     # -- constructors ---------------------------------------------------------------
 
@@ -110,6 +178,7 @@ class MapRat:
         warm-up pre-computation — answers from one entry.  Concurrent misses
         on the same key coalesce into one mining run (single flight).
         """
+        serving = self._serving
         mining_config = config or self.config.mining
         compiled = self.engine.compile(query, time_interval)
         item_ids = self.engine.matching_item_ids(compiled)
@@ -119,11 +188,17 @@ class MapRat:
             compiled.time_interval.as_tuple() if compiled.time_interval else None
         )
         if not use_cache:
-            return self._explain_item_ids(item_ids, interval, compiled, mining_config)
-        key = canonical_explain_key(item_ids, interval, mining_config)
+            return self._explain_item_ids(
+                serving, item_ids, interval, compiled, mining_config
+            )
+        key = canonical_explain_key(
+            item_ids, interval, mining_config, epoch=serving.epoch
+        )
         return self.cache.get_or_compute(
             key,
-            lambda: self._explain_item_ids(item_ids, interval, compiled, mining_config),
+            lambda: self._explain_item_ids(
+                serving, item_ids, interval, compiled, mining_config
+            ),
         )
 
     def explain_items(
@@ -145,9 +220,10 @@ class MapRat:
         required when this call itself runs on a pool worker (e.g. the
         sharded warm-up).
         """
+        serving = self._serving
         mining_config = config or self.config.mining
         canonical_ids = sorted({int(item_id) for item_id in item_ids})
-        compute = lambda: self.miner.explain_items(  # noqa: E731 - keyed thunk
+        compute = lambda: serving.miner.explain_items(  # noqa: E731 - keyed thunk
             canonical_ids,
             description=description,
             time_interval=time_interval,
@@ -156,17 +232,20 @@ class MapRat:
         )
         if not use_cache:
             return compute()
-        key = canonical_explain_key(canonical_ids, time_interval, mining_config)
+        key = canonical_explain_key(
+            canonical_ids, time_interval, mining_config, epoch=serving.epoch
+        )
         return self.cache.get_or_compute(key, compute)
 
     def _explain_item_ids(
         self,
+        serving: ServingState,
         item_ids: Sequence[int],
         interval: Optional[Tuple[int, int]],
         compiled: ItemQuery,
         mining_config: MiningConfig,
     ) -> MiningResult:
-        return self.miner.explain_items(
+        return serving.miner.explain_items(
             list(item_ids),
             description=compiled.describe(),
             time_interval=interval,
@@ -178,7 +257,10 @@ class MapRat:
 
     def session(self) -> ExplorationSession:
         """A fresh interactive exploration session sharing this system's miner."""
-        return ExplorationSession(self.dataset, self.config.mining, miner=self.miner)
+        serving = self._serving
+        return ExplorationSession(
+            serving.store.dataset, self.config.mining, miner=serving.miner
+        )
 
     def group_statistics(
         self,
@@ -188,9 +270,10 @@ class MapRat:
         time_interval: Optional[TimeInterval] = None,
     ) -> GroupStatistics:
         """Figure-3 statistics of one group of a query's interpretation."""
+        serving = self._serving
         result = self.explain(query, time_interval)
         group = self._group_at(result, task, group_index)
-        rating_slice = self._slice_for_result(result, time_interval)
+        rating_slice = self._slice_for_result(serving, result, time_interval)
         return group_statistics(rating_slice, group.pairs, label=group.label)
 
     def drill_down(
@@ -202,9 +285,10 @@ class MapRat:
         min_size: int = 1,
     ) -> List[CityAggregate]:
         """City-level drill-down of one group of a query's interpretation."""
+        serving = self._serving
         result = self.explain(query, time_interval)
         group = self._group_at(result, task, group_index)
-        rating_slice = self._slice_for_result(result, time_interval)
+        rating_slice = self._slice_for_result(serving, result, time_interval)
         return DrillDown(rating_slice, min_size=min_size).drill(group.pairs)
 
     def timeline(
@@ -217,7 +301,7 @@ class MapRat:
         item_ids = self.engine.matching_item_ids(query)
         if not item_ids:
             raise QueryError(f"query {query!r} matches no items")
-        return self.timeline_explorer.interpretations_by_year(
+        return self._serving.timeline_explorer.interpretations_by_year(
             item_ids, years=years, min_ratings=min_ratings
         )
 
@@ -231,7 +315,7 @@ class MapRat:
         item_ids = self.engine.matching_item_ids(query)
         if not item_ids:
             raise QueryError(f"query {query!r} matches no items")
-        return self.timeline_explorer.group_trend(item_ids, pairs, years=years)
+        return self._serving.timeline_explorer.group_trend(item_ids, pairs, years=years)
 
     # -- geo serving (the geo-visualization pillar, §2.3/§3.1) ---------------------------
 
@@ -265,11 +349,24 @@ class MapRat:
         use_cache: bool = True,
     ) -> dict:
         """State-level rating aggregates of a selection (the country map view)."""
+        serving = self._serving
         item_ids, interval, description = self._resolve_selection(query, time_interval)
 
         def compute() -> dict:
-            rating_slice = self.geo.slice_for(item_ids, interval)
-            regions = self.geo.aggregate_by(rating_slice, "state", "state", min_size)
+            if item_ids is None and interval is None and len(serving.store):
+                # Whole-store landing view: served from the maintained
+                # per-state index — no full-store gather, and compactions
+                # keep it current via delta bincounts.
+                regions = serving.geo.summary(None, None, min_size)
+                return {
+                    "level": "state",
+                    "description": description,
+                    "num_ratings": len(serving.store),
+                    "average": round(serving.store.global_average(), 4),
+                    "regions": [agg.to_dict() for agg in regions],
+                }
+            rating_slice = serving.geo.slice_for(item_ids, interval)
+            regions = serving.geo.aggregate_by(rating_slice, "state", "state", min_size)
             return {
                 "level": "state",
                 "description": description,
@@ -280,7 +377,9 @@ class MapRat:
 
         if not use_cache:
             return compute()
-        key = canonical_geo_key("summary", item_ids, interval, min_size=min_size)
+        key = canonical_geo_key(
+            "summary", item_ids, interval, min_size=min_size, epoch=serving.epoch
+        )
         return self.cache.get_or_compute(key, compute)
 
     def geo_drilldown(
@@ -299,6 +398,7 @@ class MapRat:
             raise GeoError(
                 f"unsupported drill attribute {by!r}; expected one of {DRILL_ATTRIBUTES}"
             )
+        serving = self._serving
         item_ids, interval, description = self._resolve_selection(query, time_interval)
         # The explorer's own country predicate, so the payload's region/by
         # labels (and the cache key) always agree with the aggregates
@@ -306,7 +406,7 @@ class MapRat:
         drilling_country = is_country(region)
 
         def compute() -> dict:
-            aggregates = self.geo.drilldown(
+            aggregates = serving.geo.drilldown(
                 region=region,
                 by=by,
                 item_ids=item_ids,
@@ -329,6 +429,7 @@ class MapRat:
             region="" if drilling_country else region,
             by="state" if drilling_country else by,
             min_size=min_size,
+            epoch=serving.epoch,
         )
         return self.cache.get_or_compute(key, compute)
 
@@ -368,13 +469,14 @@ class MapRat:
         the inner SM/DM off the request pool — required when this call itself
         runs on a pool worker.
         """
+        serving = self._serving
         mining_config = config or self.config.mining
         canonical_ids = (
             None
             if item_ids is None
             else sorted({int(item_id) for item_id in item_ids})
         )
-        compute = lambda: self.geo.explain_region(  # noqa: E731 - keyed thunk
+        compute = lambda: serving.geo.explain_region(  # noqa: E731 - keyed thunk
             canonical_ids,
             region,
             description=description,
@@ -385,7 +487,12 @@ class MapRat:
         if not use_cache:
             return compute()
         key = canonical_geo_key(
-            "geo_explain", canonical_ids, time_interval, region=region, config=mining_config
+            "geo_explain",
+            canonical_ids,
+            time_interval,
+            region=region,
+            config=mining_config,
+            epoch=serving.epoch,
         )
         return self.cache.get_or_compute(key, compute)
 
@@ -404,6 +511,7 @@ class MapRat:
         """
         if task not in ("similarity", "diversity"):
             raise ServerError(f"unknown mining task {task!r}", status=400)
+        serving = self._serving
         item_ids, interval, description = self._resolve_selection(query, time_interval)
         if item_ids is None:
             raise QueryError("choropleth requires a query selecting items")
@@ -426,7 +534,12 @@ class MapRat:
         if not use_cache:
             return compute()
         key = canonical_geo_key(
-            "choropleth", item_ids, interval, task=task, config=self.config.mining
+            "choropleth",
+            item_ids,
+            interval,
+            task=task,
+            config=self.config.mining,
+            epoch=serving.epoch,
         )
         return self.cache.get_or_compute(key, compute)
 
@@ -449,9 +562,10 @@ class MapRat:
         time_interval: Optional[TimeInterval] = None,
     ) -> str:
         """The Figure-3 HTML page for one group of a query's interpretation."""
+        serving = self._serving
         result = self.explain(query, time_interval)
         group = self._group_at(result, task, group_index)
-        rating_slice = self._slice_for_result(result, time_interval)
+        rating_slice = self._slice_for_result(serving, result, time_interval)
         statistics = group_statistics(rating_slice, group.pairs, label=group.label)
         explanation = result.explanation_for(task)
         comparisons = compare_groups(
@@ -460,7 +574,7 @@ class MapRat:
             labels=[g.label for g in explanation.groups],
         )
         drilldown = DrillDown(rating_slice, min_size=1).drill(group.pairs)
-        trend = self.timeline_explorer.group_trend(
+        trend = serving.timeline_explorer.group_trend(
             list(result.query.item_ids), group.pairs
         )
         return self._exploration_report.render(
@@ -570,7 +684,8 @@ class MapRat:
 
     def summary(self) -> dict:
         """Dataset and cache summary for the landing page / status endpoint."""
-        info = self.dataset.describe()
+        serving = self._serving
+        info = serving.store.dataset.describe()
         info["cache"] = self.cache.stats.to_dict()
         info["cache_entries"] = len(self.cache)
         info["serving"] = {
@@ -578,8 +693,224 @@ class MapRat:
             "pool": self.pool.to_dict(),
             "warm_pool": self.warm_pool.to_dict(),
             "warmer": self.warmer.to_dict() if self.warmer is not None else None,
+            "epoch": serving.epoch,
+            "ingest": self.live.stats(),
         }
         return info
+
+    # -- live ingestion (epoch-versioned write path) --------------------------------------
+
+    def ingest(
+        self,
+        item_id: int,
+        reviewer_id: int,
+        score: float,
+        timestamp: int = 0,
+        reviewer: Optional[Union[Reviewer, Mapping]] = None,
+    ) -> dict:
+        """Accept one new rating into the append buffer (non-blocking for readers).
+
+        ``reviewer`` registers a new community member (a :class:`Reviewer`
+        or its dict form) and is required exactly when ``reviewer_id`` is
+        unknown.  When the buffer reaches
+        ``ServerConfig.auto_compact_threshold`` the ingest triggers a
+        compaction into the next epoch; readers keep serving the previous
+        snapshot throughout.
+        """
+        rating = Rating(
+            item_id=int(item_id),
+            reviewer_id=int(reviewer_id),
+            score=float(score),
+            timestamp=int(timestamp),
+        )
+        record = (
+            reviewer_from_dict(reviewer, rating.reviewer_id)
+            if isinstance(reviewer, Mapping)
+            else reviewer
+        )
+        status = self.live.ingest(rating, record)
+        payload = {
+            "status": status,
+            "epoch": self.live.epoch,
+            "buffered": self.live.pending,
+            "auto_compacted": False,
+        }
+        return self._maybe_auto_compact(payload)
+
+    def ingest_batch(self, entries: Sequence[Mapping]) -> dict:
+        """Accept a batch of rating entries (each optionally embedding a reviewer).
+
+        Every entry is a dict with ``item_id``/``reviewer_id``/``score``
+        (+ optional ``timestamp`` and ``reviewer``).  Batches above
+        ``ServerConfig.ingest_batch_size`` are rejected outright.
+        """
+        if not isinstance(entries, Sequence) or isinstance(entries, (str, bytes)):
+            raise IngestError("ingest batch must be a list of rating entries")
+        limit = self.config.server.ingest_batch_size
+        if len(entries) > limit:
+            raise IngestError(
+                f"batch of {len(entries)} entries exceeds ingest_batch_size={limit}"
+            )
+        pairs = []
+        for index, entry in enumerate(entries):
+            try:
+                rating = rating_from_dict(entry)
+                record = (
+                    reviewer_from_dict(entry["reviewer"], rating.reviewer_id)
+                    if isinstance(entry, Mapping) and "reviewer" in entry
+                    else None
+                )
+            except IngestError as exc:
+                raise IngestError(f"batch entry {index}: {exc}") from exc
+            pairs.append((rating, record))
+        counts = self.live.ingest_batch(pairs)
+        payload = {
+            "accepted": counts["accepted"],
+            "duplicates": counts["duplicate"],
+            "epoch": self.live.epoch,
+            "buffered": self.live.pending,
+            "auto_compacted": False,
+        }
+        return self._maybe_auto_compact(payload)
+
+    def _maybe_auto_compact(self, payload: dict) -> dict:
+        if self.live.should_auto_compact():
+            compaction = self.compact()
+            payload["auto_compacted"] = compaction["compacted"]
+            payload["compaction"] = compaction
+            payload["epoch"] = compaction["epoch"]
+            payload["buffered"] = self.live.pending
+        return payload
+
+    def store_stats(self) -> dict:
+        """Deterministic counters of the live store (the ``store_stats`` endpoint)."""
+        stats = self.live.stats()
+        stats["cache_entries"] = len(self.cache)
+        return stats
+
+    def compact(self, rewarm: bool = True) -> dict:
+        """Merge the append buffer into a new snapshot epoch and swap serving.
+
+        Readers never block: they keep using the previous
+        :class:`ServingState` until the single atomic reference swap, and
+        every cache key carries the epoch, so entries of the superseded
+        snapshot become unreachable instantly.  Afterwards the cache is
+        migrated: entries whose item selections the delta did not touch are
+        **carried forward** to the new epoch (their slices — hence results —
+        are unchanged by construction), touched entries are dropped, and the
+        dropped mining anchors (default-config explains and geo explains)
+        are re-warmed against the new snapshot.
+        """
+        with self._ingest_lock:
+            previous = self._serving
+            result = self.live.compact()
+            if not result.compacted:
+                return {
+                    "compacted": False,
+                    "epoch": result.epoch,
+                    "mode": result.mode,
+                    "rows": len(result.store),
+                    "carried_entries": 0,
+                    "invalidated_entries": 0,
+                    "rewarmed": 0,
+                }
+            serving = self._build_serving(result.store, previous, result.delta)
+            self._serving = serving  # atomic swap: requests see old xor new
+            migration, rewarm_plan = self._migrate_cache(
+                previous.epoch, serving.epoch, result.delta, rewarm
+            )
+        # Re-mining the invalidated anchors happens *outside* the ingest
+        # lock: it is by far the slowest part of an epoch turnover and must
+        # not stall other writers (readers were never blocked to begin
+        # with).  The anchors mine against the already-swapped serving state.
+        migration["rewarmed"] = self._rewarm_anchors(rewarm_plan)
+        payload = result.to_dict()
+        payload["compacted"] = True
+        payload.update(migration)
+        return payload
+
+    def _build_serving(
+        self, store: RatingStore, previous: ServingState, delta
+    ) -> ServingState:
+        miner = RatingMiner(store, self.config.mining)
+        geo = GeoExplorer(miner, hierarchy=previous.geo.hierarchy)
+        return ServingState(
+            epoch=store.epoch,
+            store=store,
+            miner=miner,
+            geo=geo,
+            timeline_explorer=TimelineExplorer(miner, self.config.mining),
+            precomputer=Precomputer.rebased(
+                previous.precomputer, store, miner, geo, delta.touched_items
+            ),
+        )
+
+    def _migrate_cache(
+        self, old_epoch: int, new_epoch: int, delta, rewarm: bool
+    ) -> dict:
+        """Carry forward untouched entries; drop + re-warm invalidated anchors.
+
+        An entry whose item selection shares no item with the compaction
+        delta saw its rating slice unchanged, so its value is re-keyed under
+        the new epoch without recomputation.  Whole-store entries
+        (``item_ids=None``) and touched selections are dropped; among those,
+        default-config mining anchors (``explain``/``geo_explain``) are
+        re-mined against the new snapshot so the hot set stays warm — the
+        "re-warm only invalidated anchors" contract.
+        """
+        touched = delta.touched_items
+        default_config = self.config.mining.cache_key()
+        carried = invalidated = 0
+        rewarm_explains: List[Tuple[tuple, Optional[Tuple[int, int]]]] = []
+        rewarm_regions: List[Tuple[Optional[tuple], str, Optional[Tuple[int, int]]]] = []
+        for key in self.cache.keys():
+            if not (isinstance(key, tuple) and key and key[-1] == old_epoch):
+                continue
+            if key[0] == "explain":
+                ids, interval, config_key = key[1], key[2], key[3]
+                untouched = bool(ids) and not touched.intersection(ids)
+            elif key[0] == "geo":
+                ids, interval, config_key = key[2], key[3], key[8]
+                untouched = ids is not None and not touched.intersection(ids)
+            else:
+                continue
+            if untouched:
+                value = self.cache.get(key, record_stats=False)
+                if value is not None:
+                    self.cache.put(key[:-1] + (new_epoch,), value)
+                    carried += 1
+                self.cache.invalidate(key)
+                continue
+            self.cache.invalidate(key)
+            invalidated += 1
+            if not rewarm or config_key != default_config:
+                continue
+            if key[0] == "explain" and ids:
+                rewarm_explains.append((ids, interval))
+            elif key[0] == "geo" and key[1] == "geo_explain":
+                rewarm_regions.append((ids, key[4], interval))
+        counts = {"carried_entries": carried, "invalidated_entries": invalidated}
+        return counts, (rewarm_explains, rewarm_regions)
+
+    def _rewarm_anchors(self, plan) -> int:
+        """Re-mine the invalidated anchors against the current serving state."""
+        rewarm_explains, rewarm_regions = plan
+        rewarmed = 0
+        for ids, interval in rewarm_explains:
+            try:
+                self.explain_items(list(ids), time_interval=interval)
+                rewarmed += 1
+            except MapRatError:
+                pass  # a shrunken selection may no longer mine; drop it
+        for ids, region, interval in rewarm_regions:
+            try:
+                self.geo_explain_items(
+                    None if ids is None else list(ids), region, time_interval=interval
+                )
+                rewarmed += 1
+            except MapRatError:
+                pass
+        return rewarmed
 
     # -- internals ----------------------------------------------------------------------
 
@@ -595,10 +926,15 @@ class MapRat:
         return explanation.groups[index]
 
     def _slice_for_result(
-        self, result: MiningResult, time_interval: Optional[TimeInterval]
+        self,
+        serving: ServingState,
+        result: MiningResult,
+        time_interval: Optional[TimeInterval],
     ):
         interval = time_interval.as_tuple() if time_interval else None
-        return self.miner.slice_for_items(result.query.item_ids, time_interval=interval)
+        return serving.miner.slice_for_items(
+            result.query.item_ids, time_interval=interval
+        )
 
 
 class JsonApi:
@@ -685,6 +1021,77 @@ class JsonApi:
         interval = self._interval_from(params)
         return self.system.choropleth(query, task=task, time_interval=interval)
 
+    # -- ingestion endpoint handlers -----------------------------------------------------
+
+    #: Reviewer-registration parameters of the ``ingest`` endpoint.
+    _REVIEWER_PARAMS = ("gender", "age", "occupation", "zipcode", "state", "city")
+
+    def handle_ingest(self, params: Mapping[str, str]) -> dict:
+        """Accept one rating; reviewer params register a new reviewer inline."""
+        item_id = self._int_param(params, "item_id", None)
+        reviewer_id = self._int_param(params, "reviewer_id", None)
+        if item_id is None or reviewer_id is None:
+            raise ServerError(
+                "ingest requires integer parameters 'item_id' and 'reviewer_id'",
+                status=400,
+            )
+        score = self._float_param(params, "score", None)
+        if score is None:
+            raise ServerError(
+                "ingest requires a numeric parameter 'score'", status=400
+            )
+        timestamp = self._int_param(params, "timestamp", 0)
+        # A reviewer record may arrive nested (the POST-body / batch shape)
+        # or as flat query parameters; nested wins when both are present.
+        reviewer = params.get("reviewer")
+        if isinstance(reviewer, str) and reviewer.strip():
+            try:
+                reviewer = json.loads(reviewer)
+            except json.JSONDecodeError as exc:
+                raise ServerError(
+                    f"parameter 'reviewer' must be a JSON object: {exc.msg}",
+                    status=400,
+                ) from exc
+        if not reviewer:
+            provided = {
+                name: params[name]
+                for name in self._REVIEWER_PARAMS
+                if str(params.get(name, "")).strip()
+            }
+            reviewer = provided or None
+        if isinstance(reviewer, dict):
+            reviewer.setdefault("reviewer_id", reviewer_id)
+        return self.system.ingest(
+            item_id, reviewer_id, score, timestamp=timestamp, reviewer=reviewer
+        )
+
+    def handle_ingest_batch(self, params: Mapping[str, str]) -> dict:
+        """Accept a JSON array of rating entries (query param or POST body)."""
+        raw = params.get("ratings")
+        if raw is None or (isinstance(raw, str) and not raw.strip()):
+            raise ServerError("missing required parameter 'ratings'", status=400)
+        if isinstance(raw, str):
+            try:
+                entries = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ServerError(
+                    f"parameter 'ratings' must be a JSON array: {exc.msg}", status=400
+                ) from exc
+        else:
+            entries = raw
+        if not isinstance(entries, list):
+            raise ServerError(
+                "parameter 'ratings' must be a JSON array of rating entries",
+                status=400,
+            )
+        return self.system.ingest_batch(entries)
+
+    def handle_store_stats(self, params: Mapping[str, str]) -> dict:
+        return self.system.store_stats()
+
+    def handle_compact(self, params: Mapping[str, str]) -> dict:
+        return self.system.compact()
+
     #: Route table used by the HTTP layer.
     def routes(self) -> Dict[str, callable]:
         return {
@@ -699,6 +1106,10 @@ class JsonApi:
             "geo_drilldown": self.handle_geo_drilldown,
             "geo_explain": self.handle_geo_explain,
             "choropleth": self.handle_choropleth,
+            "ingest": self.handle_ingest,
+            "ingest_batch": self.handle_ingest_batch,
+            "store_stats": self.handle_store_stats,
+            "compact": self.handle_compact,
         }
 
     def dispatch(self, endpoint: str, params: Mapping[str, str]) -> dict:
@@ -716,6 +1127,7 @@ class JsonApi:
             EmptyRatingSetError,
             MiningError,
             GeoError,
+            IngestError,
             VisualizationError,
         ) as exc:
             raise ServerError(str(exc), status=400) from exc
@@ -732,16 +1144,33 @@ class JsonApi:
         return value
 
     @staticmethod
-    def _int_param(params: Mapping[str, str], name: str, default: int) -> int:
+    def _int_param(
+        params: Mapping[str, str], name: str, default: Optional[int]
+    ) -> Optional[int]:
         """Integer query parameter with a clean 400 on malformed input."""
         raw = params.get(name)
         if raw is None or not str(raw).strip():
             return default
         try:
             return int(raw)
-        except ValueError as exc:
+        except (TypeError, ValueError) as exc:
             raise ServerError(
                 f"parameter {name!r} must be an integer", status=400
+            ) from exc
+
+    @staticmethod
+    def _float_param(
+        params: Mapping[str, str], name: str, default: Optional[float]
+    ) -> Optional[float]:
+        """Float query parameter with a clean 400 on malformed input."""
+        raw = params.get(name)
+        if raw is None or not str(raw).strip():
+            return default
+        try:
+            return float(raw)
+        except (TypeError, ValueError) as exc:
+            raise ServerError(
+                f"parameter {name!r} must be a number", status=400
             ) from exc
 
     @staticmethod

@@ -54,6 +54,8 @@ collaborative ratings.</p>
 <li><code>/api/explain?q=…</code>, <code>/api/drilldown?…</code>, <code>/api/timeline?…</code> — JSON API</li>
 <li><code>/api/geo_summary</code>, <code>/api/geo_drilldown?region=CA</code>,
     <code>/api/geo_explain?q=…&amp;region=CA</code> — geo-visualization API</li>
+<li><code>POST /api/ingest</code>, <code>POST /api/ingest_batch</code>,
+    <code>/api/store_stats</code>, <code>/api/compact</code> — live ingestion API</li>
 </ul>
 </body></html>
 """
@@ -73,45 +75,86 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routing -----------------------------------------------------------------
 
-    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        parsed = urlparse(self.path)
-        params = {key: values[0] for key, values in parse_qs(parsed.query).items()}
+    def _query_params(self, parsed) -> dict:
+        return {key: values[0] for key, values in parse_qs(parsed.query).items()}
+
+    def _dispatch_api(self, parsed, params: dict) -> None:
+        """Route one ``/api/<endpoint>`` request and send the JSON payload."""
+        endpoint = parsed.path[len("/api/"):]
+        self._send_json(200, self.api.dispatch(endpoint, params))
+
+    def _guarded(self, handle) -> None:
+        """Run one request handler with the shared error-to-JSON mapping."""
         try:
-            if parsed.path == "/" or parsed.path == "/index.html":
-                self._send_html(self._landing_page())
-            elif parsed.path == "/explain":
-                query = params.get("q", "")
-                if not query:
-                    raise ServerError("missing required parameter 'q'", status=400)
-                self._send_html(self.system.explanation_html(query))
-            elif parsed.path == "/explore":
-                query = params.get("q", "")
-                if not query:
-                    raise ServerError("missing required parameter 'q'", status=400)
-                task = params.get("task", "similarity")
-                try:
-                    group = int(params.get("group", "0"))
-                except ValueError:
-                    raise ServerError("parameter 'group' must be an integer", status=400)
-                self._send_html(
-                    self.system.exploration_html(query, task=task, group_index=group)
-                )
-            elif parsed.path == "/choropleth":
-                query = params.get("q", "")
-                if not query:
-                    raise ServerError("missing required parameter 'q'", status=400)
-                payload = self.api.dispatch("choropleth", params)
-                self._send_svg(payload["svg"])
-            elif parsed.path.startswith("/api/"):
-                endpoint = parsed.path[len("/api/"):]
-                payload = self.api.dispatch(endpoint, params)
-                self._send_json(200, payload)
-            else:
-                raise ServerError(f"unknown path {parsed.path!r}", status=404)
+            handle()
         except ServerError as exc:
             self._send_json(exc.status, {"error": str(exc)})
         except MapRatError as exc:
             self._send_json(400, {"error": str(exc)})
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        parsed = urlparse(self.path)
+        params = self._query_params(parsed)
+        self._guarded(lambda: self._route_get(parsed, params))
+
+    def _route_get(self, parsed, params: dict) -> None:
+        if parsed.path == "/" or parsed.path == "/index.html":
+            self._send_html(self._landing_page())
+        elif parsed.path == "/explain":
+            query = params.get("q", "")
+            if not query:
+                raise ServerError("missing required parameter 'q'", status=400)
+            self._send_html(self.system.explanation_html(query))
+        elif parsed.path == "/explore":
+            query = params.get("q", "")
+            if not query:
+                raise ServerError("missing required parameter 'q'", status=400)
+            task = params.get("task", "similarity")
+            try:
+                group = int(params.get("group", "0"))
+            except ValueError:
+                raise ServerError("parameter 'group' must be an integer", status=400)
+            self._send_html(
+                self.system.exploration_html(query, task=task, group_index=group)
+            )
+        elif parsed.path == "/choropleth":
+            query = params.get("q", "")
+            if not query:
+                raise ServerError("missing required parameter 'q'", status=400)
+            payload = self.api.dispatch("choropleth", params)
+            self._send_svg(payload["svg"])
+        elif parsed.path.startswith("/api/"):
+            self._dispatch_api(parsed, params)
+        else:
+            raise ServerError(f"unknown path {parsed.path!r}", status=404)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        """JSON-body POST to any ``/api/<endpoint>`` (the write-path verbs).
+
+        Body keys merge over query parameters; non-string values (e.g. the
+        ``ratings`` array of ``ingest_batch`` or a nested ``reviewer``
+        record) pass through to the handler as-is, so clients post
+        structured JSON instead of URL-encoding it.
+        """
+        parsed = urlparse(self.path)
+        params = self._query_params(parsed)
+        self._guarded(lambda: self._route_post(parsed, params))
+
+    def _route_post(self, parsed, params: dict) -> None:
+        if not parsed.path.startswith("/api/"):
+            raise ServerError(f"unknown path {parsed.path!r}", status=404)
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            try:
+                body = json.loads(self.rfile.read(length).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ServerError(
+                    f"request body must be a JSON object: {exc}", status=400
+                ) from exc
+            if not isinstance(body, dict):
+                raise ServerError("request body must be a JSON object", status=400)
+            params.update(body)
+        self._dispatch_api(parsed, params)
 
     # -- responses ----------------------------------------------------------------
 

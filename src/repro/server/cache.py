@@ -41,6 +41,7 @@ def canonical_explain_key(
     item_ids: Iterable[int],
     time_interval: Optional[Tuple[int, int]],
     config,
+    epoch: int = 0,
 ) -> tuple:
     """Canonical cache key of one explain request.
 
@@ -51,6 +52,12 @@ def canonical_explain_key(
     a plain ``(start, end)`` tuple or ``None``, and the mining configuration
     contributes its ordered :meth:`~repro.config.MiningConfig.cache_key`
     fields.
+
+    ``epoch`` is the store snapshot the result was computed on: a compaction
+    bumps it, so every entry of a superseded snapshot becomes unreachable the
+    instant new ratings land — a stale result can never serve a post-ingest
+    read.  The epoch is always the **last** component, which the serving
+    layer's cache-migration scan relies on.
     """
     ids = tuple(sorted({int(item_id) for item_id in item_ids}))
     interval = (
@@ -58,7 +65,7 @@ def canonical_explain_key(
         if time_interval is not None
         else None
     )
-    return ("explain", ids, interval, config.cache_key())
+    return ("explain", ids, interval, config.cache_key(), int(epoch))
 
 
 def canonical_geo_key(
@@ -70,6 +77,7 @@ def canonical_geo_key(
     task: str = "",
     min_size: int = 0,
     config=None,
+    epoch: int = 0,
 ) -> tuple:
     """Canonical cache key of one geo endpoint request.
 
@@ -79,7 +87,8 @@ def canonical_geo_key(
     entry, and the mining configuration contributes its ordered fields only
     for the kinds that actually mine (``geo_explain``/``choropleth``) —
     aggregate-only kinds pass ``config=None`` so a config change never
-    invalidates cheap summaries.
+    invalidates cheap summaries.  ``epoch`` (always last, see
+    :func:`canonical_explain_key`) ties the entry to one store snapshot.
     """
     ids = (
         None
@@ -101,6 +110,7 @@ def canonical_geo_key(
         task,
         int(min_size),
         config.cache_key() if config is not None else None,
+        int(epoch),
     )
 
 

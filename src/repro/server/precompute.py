@@ -153,6 +153,41 @@ class Precomputer:
             histogram=histogram,
         )
 
+    @classmethod
+    def rebased(
+        cls,
+        previous: "Precomputer",
+        store: RatingStore,
+        miner: RatingMiner,
+        explorer: Optional[GeoExplorer],
+        touched_items,
+    ) -> "Precomputer":
+        """A precomputer for the next epoch, maintained incrementally.
+
+        Carries the previous epoch's per-item aggregates forward and
+        recomputes **only the items touched by the compaction delta** (each a
+        single inverted-index lookup on the new store) — untouched items'
+        slices are unchanged by construction, so their aggregates are reused
+        as-is.  A previous instance that never built its aggregates stays
+        lazy: nothing is built just to be rebased.
+        """
+        fresh = cls(store, miner, explorer=explorer)
+        with previous._aggregates_lock:
+            built = previous._aggregates_built
+            aggregates = dict(previous._aggregates)
+        if not built:
+            return fresh
+        for item_id in sorted(touched_items):
+            if not store.dataset.has_item(item_id):
+                continue
+            aggregate = fresh._aggregate_one(store.dataset.item(item_id))
+            if aggregate is not None:
+                aggregates[item_id] = aggregate
+        with fresh._aggregates_lock:
+            fresh._aggregates = aggregates
+            fresh._aggregates_built = True
+        return fresh
+
     def _ensure_aggregates(self, pool=None) -> None:
         """Build the aggregates once; concurrent cold callers share one build.
 

@@ -1,0 +1,235 @@
+"""Differential battery: incremental compaction ≡ from-scratch rebuild.
+
+For randomized append/compact schedules, two :class:`~repro.data.ingest.LiveStore`
+instances consume the **identical** stream of appends — one compacting
+incrementally (vocabulary remap, index appends, delta bincounts), one
+rebuilding every snapshot from scratch (``use_incremental=False``, the
+reference path).  After the final compaction the two stores must be
+bit-identical at every level the serving stack reads:
+
+* raw columns, vocabularies, code columns, the per-item inverted index,
+* the maintained per-state :class:`~repro.data.storage.AttributeIndex`,
+* whole-store geo aggregates and state drill-downs (payload equality),
+* SM + DM mining results of a touched item (payload equality).
+
+Schedules include vocabulary growth (new reviewers with unseen zip codes),
+duplicate ingests (absorbed, never stored), empty-buffer compactions
+(no-ops that must not bump the epoch), and index builds at random points so
+delta updates of already-built indexes are exercised against lazy rebuilds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import MiningConfig
+from repro.core.miner import RatingMiner
+from repro.data.ingest import LiveStore
+from repro.data.model import Rating, Reviewer
+from repro.data.storage import RatingStore
+from repro.geo.explorer import GeoExplorer
+
+#: Randomized schedules the battery replays (acceptance: at least 50).
+NUM_SCHEDULES = 50
+
+#: Zip codes spread over several states, all resolvable, none in the tiny
+#: dataset — ingesting reviewers with them grows the zipcode (and sometimes
+#: city) vocabularies.
+FRESH_ZIPCODES = [
+    "99501", "96801", "82001", "59001", "03031", "05001", "58001", "57001",
+    "83201", "97035", "33101", "60601", "75201", "10118", "02108", "94105",
+]
+
+MINING = MiningConfig(
+    min_group_support=3,
+    min_coverage=0.2,
+    rhe_restarts=2,
+    rhe_max_iterations=60,
+)
+
+
+@pytest.fixture(scope="module")
+def base_store(tiny_dataset):
+    """One frozen epoch-0 store shared (read-only) by every schedule."""
+    return RatingStore(tiny_dataset)
+
+
+def random_rating(rng, item_ids, reviewer_ids) -> Rating:
+    return Rating(
+        item_id=int(rng.choice(item_ids)),
+        reviewer_id=int(rng.choice(reviewer_ids)),
+        score=float(rng.integers(1, 6)),
+        timestamp=int(rng.integers(0, 2_000_000_000)),
+    )
+
+
+def build_schedule(rng, dataset):
+    """One randomized append/compact schedule as a list of operations.
+
+    Operations: ``("append", rating, reviewer_or_None)``, ``("compact",)``,
+    ``("build_index",)`` (forces the per-state index so the incremental side
+    must delta-update it), ``("noop_compact",)`` (compact with an empty
+    buffer).  Both stores replay the identical list.
+    """
+    item_ids = [item.item_id for item in dataset.items()]
+    reviewer_ids = [reviewer.reviewer_id for reviewer in dataset.reviewers()]
+    known_new = []
+    operations = []
+    next_reviewer_id = 900_000
+    for round_index in range(int(rng.integers(1, 4))):
+        if rng.random() < 0.3:
+            operations.append(("build_index",))
+        if rng.random() < 0.15:
+            operations.append(("noop_compact",))
+        appended = []
+        for _ in range(int(rng.integers(5, 25))):
+            roll = rng.random()
+            if roll < 0.15:
+                # A brand-new reviewer with an unseen zip code.
+                zipcode = FRESH_ZIPCODES[int(rng.integers(0, len(FRESH_ZIPCODES)))]
+                reviewer = Reviewer(
+                    reviewer_id=next_reviewer_id,
+                    gender="F" if rng.random() < 0.5 else "M",
+                    age=int(rng.choice([1, 18, 25, 35, 45, 50, 56])),
+                    occupation="programmer",
+                    zipcode=zipcode,
+                )
+                next_reviewer_id += 1
+                known_new.append(reviewer.reviewer_id)
+                rating = Rating(
+                    item_id=int(rng.choice(item_ids)),
+                    reviewer_id=reviewer.reviewer_id,
+                    score=float(rng.integers(1, 6)),
+                    timestamp=int(rng.integers(0, 2_000_000_000)),
+                )
+                operations.append(("append", rating, reviewer))
+                appended.append(rating)
+            elif roll < 0.3 and appended:
+                # Exact duplicate of an earlier append: absorbed, not stored.
+                operations.append(("append", appended[int(rng.integers(0, len(appended)))], None))
+            else:
+                pool = reviewer_ids + known_new
+                rating = random_rating(rng, item_ids, pool)
+                operations.append(("append", rating, None))
+                appended.append(rating)
+        operations.append(("compact",))
+    return operations
+
+
+def replay(live: LiveStore, operations) -> None:
+    for operation in operations:
+        if operation[0] == "append":
+            live.ingest(operation[1], operation[2])
+        elif operation[0] == "build_index":
+            live.snapshot.attribute_index("state")
+        else:  # compact / noop_compact
+            live.compact()
+
+
+def assert_stores_identical(incremental: RatingStore, reference: RatingStore):
+    assert incremental.epoch == reference.epoch
+    assert len(incremental) == len(reference)
+    assert np.array_equal(incremental._item_ids, reference._item_ids)
+    assert np.array_equal(incremental._reviewer_ids, reference._reviewer_ids)
+    assert np.array_equal(incremental._scores, reference._scores)
+    assert np.array_equal(incremental._timestamps, reference._timestamps)
+    for name in incremental.grouping_attributes:
+        assert np.array_equal(
+            incremental.vocabulary_for(name), reference.vocabulary_for(name)
+        ), f"vocabulary drift for {name!r}"
+        assert np.array_equal(
+            incremental.codes_for(name), reference.codes_for(name)
+        ), f"code-column drift for {name!r}"
+    assert set(incremental._positions_by_item) == set(reference._positions_by_item)
+    for item_id, positions in incremental._positions_by_item.items():
+        assert np.array_equal(positions, reference._positions_by_item[item_id]), item_id
+
+
+def assert_state_indexes_identical(incremental: RatingStore, reference: RatingStore):
+    """Delta-updated index == freshly built index, field by field."""
+    left = incremental.attribute_index("state")
+    right = reference.attribute_index("state")
+    for field in ("counts", "sums", "positives", "negatives", "joint", "bits"):
+        assert np.array_equal(getattr(left, field), getattr(right, field)), field
+    assert left.num_rows == right.num_rows
+
+
+def strip_volatile(payload):
+    """Drop wall-clock fields recursively; everything else compares exactly."""
+    if isinstance(payload, dict):
+        return {
+            key: strip_volatile(value)
+            for key, value in payload.items()
+            if key != "elapsed_seconds"
+        }
+    if isinstance(payload, list):
+        return [strip_volatile(value) for value in payload]
+    return payload
+
+
+def mining_payload(store: RatingStore, item_id: int) -> dict:
+    result = RatingMiner(store, MINING).explain_items([item_id])
+    return strip_volatile(result.to_dict())
+
+
+def geo_payloads(store: RatingStore) -> tuple:
+    explorer = GeoExplorer(RatingMiner(store, MINING))
+    summary = [aggregate.to_dict() for aggregate in explorer.summary()]
+    top_state = summary[0]["region"]
+    drill = [
+        aggregate.to_dict()
+        for aggregate in explorer.drilldown(region=top_state, by="city")
+    ]
+    return summary, drill
+
+
+class TestDifferentialCompaction:
+    @pytest.mark.parametrize("seed", range(NUM_SCHEDULES))
+    def test_incremental_equals_rebuild(self, base_store, tiny_dataset, seed):
+        rng = np.random.default_rng(seed)
+        operations = build_schedule(rng, tiny_dataset)
+        incremental = LiveStore(base_store, use_incremental=True)
+        reference = LiveStore(base_store, use_incremental=False)
+        replay(incremental, operations)
+        replay(reference, operations)
+
+        left, right = incremental.snapshot, reference.snapshot
+        assert left.epoch > 0, "every schedule must compact at least once"
+        assert_stores_identical(left, right)
+        assert_state_indexes_identical(left, right)
+
+        # Geo results: whole-store summary (index fast path on both sides)
+        # and a city drill-down of the most-rated state.
+        assert geo_payloads(left) == geo_payloads(right)
+
+        # Mining results: SM + DM of an item touched by the schedule.
+        touched = sorted(
+            {
+                operation[1].item_id
+                for operation in operations
+                if operation[0] == "append"
+            }
+        )
+        probe = touched[int(rng.integers(0, len(touched)))]
+        assert mining_payload(left, probe) == mining_payload(right, probe)
+
+    def test_duplicates_never_reach_the_store(self, base_store, tiny_dataset):
+        """Ingesting the same rating twice stores it once — in both modes."""
+        reviewer = next(tiny_dataset.reviewers())
+        item = next(tiny_dataset.items())
+        rating = Rating(item.item_id, reviewer.reviewer_id, 5.0, 42)
+        for use_incremental in (True, False):
+            live = LiveStore(base_store, use_incremental=use_incremental)
+            assert live.ingest(rating) == "accepted"
+            assert live.ingest(rating) == "duplicate"
+            live.compact()
+            assert live.ingest(rating) == "duplicate"  # still seen post-compact
+            assert len(live.snapshot) == len(base_store) + 1
+
+    def test_empty_buffer_compaction_is_a_noop(self, base_store):
+        live = LiveStore(base_store)
+        result = live.compact()
+        assert result.mode == "noop"
+        assert result.epoch == base_store.epoch
+        assert result.store is base_store

@@ -22,7 +22,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.config import PipelineConfig
+from repro.config import PipelineConfig, ServerConfig
 from repro.errors import ServerError
 from repro.server.api import JsonApi, MapRat
 
@@ -127,6 +127,100 @@ CORPUS = [
     ("error_unknown_endpoint", "nonsense", {}),
 ]
 
+#: The live-ingestion corpus replays against its **own** system (ingest
+#: mutates the store, and the frozen-store corpus above must stay
+#: byte-identical).  Order matters and is part of the contract: each entry
+#: documents the epoch/buffer state the previous entries left behind.
+INGEST_CORPUS = [
+    ("ingest_store_stats_initial", "store_stats", {}),
+    (
+        "ingest_accept",
+        "ingest",
+        {"item_id": "1", "reviewer_id": "1", "score": "5", "timestamp": "123"},
+    ),
+    (
+        "ingest_duplicate",
+        "ingest",
+        {"item_id": "1", "reviewer_id": "1", "score": "5", "timestamp": "123"},
+    ),
+    (
+        "ingest_new_reviewer",
+        "ingest",
+        {
+            "item_id": "2",
+            "reviewer_id": "9001",
+            "score": "4",
+            "timestamp": "456",
+            "gender": "F",
+            "age": "25",
+            "occupation": "artist",
+            "zipcode": "90210",
+        },
+    ),
+    (
+        # Brings the buffer to the auto_compact_threshold of the fixture:
+        # the response embeds the compaction summary for epoch 1.
+        "ingest_batch_compacts",
+        "ingest_batch",
+        {
+            "ratings": json.dumps(
+                [
+                    {"item_id": 3, "reviewer_id": 2, "score": 2, "timestamp": 789},
+                    {"item_id": 3, "reviewer_id": 9001, "score": 1, "timestamp": 790},
+                ]
+            )
+        },
+    ),
+    ("ingest_store_stats_after_compaction", "store_stats", {}),
+    ("ingest_compact_noop", "compact", {}),
+    ("error_ingest_unknown_item", "ingest", {"item_id": "999999", "reviewer_id": "1", "score": "3"}),
+    (
+        "error_ingest_unknown_reviewer",
+        "ingest",
+        {"item_id": "1", "reviewer_id": "424242", "score": "3"},
+    ),
+    ("error_ingest_bad_score", "ingest", {"item_id": "1", "reviewer_id": "1", "score": "9"}),
+    (
+        "error_ingest_score_not_number",
+        "ingest",
+        {"item_id": "1", "reviewer_id": "1", "score": "five"},
+    ),
+    ("error_ingest_missing_fields", "ingest", {"reviewer_id": "1", "score": "3"}),
+    (
+        "error_ingest_existing_reviewer_record",
+        "ingest",
+        {
+            "item_id": "1",
+            "reviewer_id": "1",
+            "score": "3",
+            "gender": "M",
+            "age": "35",
+            "occupation": "lawyer",
+            "zipcode": "10001",
+        },
+    ),
+    ("error_ingest_batch_missing", "ingest_batch", {}),
+    ("error_ingest_batch_malformed_json", "ingest_batch", {"ratings": "not-json"}),
+    ("error_ingest_batch_not_array", "ingest_batch", {"ratings": '{"item_id": 1}'}),
+    (
+        "error_ingest_batch_bad_entry",
+        "ingest_batch",
+        {"ratings": '[{"item_id": 1, "score": 3}]'},
+    ),
+    (
+        "error_ingest_batch_too_large",
+        "ingest_batch",
+        {
+            "ratings": json.dumps(
+                [
+                    {"item_id": 1, "reviewer_id": 1, "score": 3, "timestamp": t}
+                    for t in range(9)
+                ]
+            )
+        },
+    ),
+]
+
 #: Keys whose values depend on wall-clock or replay order, never on behaviour.
 #: ``description`` is replay-order-dependent by design: equivalent requests
 #: share one canonical cache entry, which keeps the description of whichever
@@ -152,6 +246,21 @@ def api(tiny_dataset, mining_config):
     return JsonApi(MapRat.for_dataset(tiny_dataset, PipelineConfig(mining=mining_config)))
 
 
+@pytest.fixture(scope="module")
+def ingest_api(tiny_dataset, mining_config):
+    """A dedicated mutable system for the ingestion corpus.
+
+    ``auto_compact_threshold=4`` makes the batch entry of the corpus trigger
+    the epoch-1 compaction deterministically; the tiny ``ingest_batch_size``
+    keeps the oversized-batch error shape small.
+    """
+    config = PipelineConfig(
+        mining=mining_config,
+        server=ServerConfig(auto_compact_threshold=4, ingest_batch_size=8),
+    )
+    return JsonApi(MapRat.for_dataset(tiny_dataset, config))
+
+
 def replay(api, endpoint, params):
     """One request through the dispatcher; error responses become payloads."""
     try:
@@ -160,13 +269,30 @@ def replay(api, endpoint, params):
         return {"error": str(exc), "status": exc.status}
 
 
+def assert_matches_golden(request, name, payload):
+    """Compare one normalised payload against its checked-in golden file."""
+    payload = json.loads(json.dumps(payload))
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return
+    if not golden_path.exists():
+        pytest.fail(
+            f"golden file {golden_path} is missing; run "
+            "pytest tests/server/test_golden_api.py --update-golden and commit it"
+        )
+    assert payload == json.loads(golden_path.read_text())
+
+
 class TestGoldenRequests:
     def test_corpus_covers_every_public_endpoint(self, api):
         exercised = {endpoint for _, endpoint, _ in CORPUS}
+        exercised |= {endpoint for _, endpoint, _ in INGEST_CORPUS}
         assert exercised >= set(api.routes().keys())
 
     def test_corpus_names_are_unique(self):
-        names = [name for name, _, _ in CORPUS]
+        names = [name for name, _, _ in CORPUS + INGEST_CORPUS]
         assert len(names) == len(set(names))
 
     @pytest.mark.parametrize(
@@ -175,17 +301,24 @@ class TestGoldenRequests:
     def test_response_matches_golden(self, api, request, name, endpoint, params):
         # json round-trip: tuples become lists, exactly as the HTTP layer
         # would serialise them, so golden comparison matches the wire format.
-        payload = json.loads(json.dumps(normalize(replay(api, endpoint, params))))
-        golden_path = GOLDEN_DIR / f"{name}.json"
-        if request.config.getoption("--update-golden"):
-            GOLDEN_DIR.mkdir(exist_ok=True)
-            golden_path.write_text(
-                json.dumps(payload, indent=2, sort_keys=True) + "\n"
-            )
-            return
-        if not golden_path.exists():
-            pytest.fail(
-                f"golden file {golden_path} is missing; run "
-                "pytest tests/server/test_golden_api.py --update-golden and commit it"
-            )
-        assert payload == json.loads(golden_path.read_text())
+        assert_matches_golden(request, name, normalize(replay(api, endpoint, params)))
+
+
+class TestGoldenIngestRequests:
+    """The ingestion corpus: success and validation-error shapes.
+
+    Runs against its own system (see :func:`ingest_api`) in corpus order —
+    the frozen-store corpus above must never observe ingest mutations, and
+    ``git diff`` over ``tests/server/golden/`` after a regeneration proves
+    the pre-existing mining/geo goldens stayed byte-identical.
+    """
+
+    @pytest.mark.parametrize(
+        "name,endpoint,params",
+        INGEST_CORPUS,
+        ids=[name for name, _, _ in INGEST_CORPUS],
+    )
+    def test_response_matches_golden(self, ingest_api, request, name, endpoint, params):
+        assert_matches_golden(
+            request, name, normalize(replay(ingest_api, endpoint, params))
+        )

@@ -29,6 +29,7 @@ EXAMPLES = [
     ("drilldown_exploration.py", True),
     ("temporal_exploration.py", True),
     ("movielens_import.py", False),
+    ("live_ingest.py", False),
     ("web_demo.py", False),
 ]
 
