@@ -23,7 +23,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from .config import MiningConfig, PipelineConfig
+from .config import MiningConfig, PipelineConfig, ServerConfig
 from .data.movielens import load_movielens_directory, write_movielens_directory
 from .data.synthetic import SCALE_PRESETS, generate_dataset
 from .errors import MapRatError
@@ -107,6 +107,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8912)
     serve.add_argument("--warm-up", type=int, default=0, help="pre-compute this many popular items")
+    serve.add_argument(
+        "--mining-backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="shard mining across threads (default; GIL-bound) or across "
+        "worker processes attached to shared-memory store snapshots "
+        "(multi-core; bit-identical results)",
+    )
+    serve.add_argument(
+        "--mining-workers",
+        type=int,
+        default=4,
+        help="worker count of the mining pool (threads or processes, "
+        "per --mining-backend); 0 or 1 runs mining inline",
+    )
 
     return parser
 
@@ -220,7 +235,15 @@ def _cmd_timeline(args: argparse.Namespace, out) -> int:
 
 def _cmd_serve(args: argparse.Namespace, out) -> int:
     dataset = _load_dataset(args)
-    config = PipelineConfig(mining=_mining_config(args))
+    config = PipelineConfig(
+        mining=_mining_config(args),
+        server=ServerConfig(
+            mining_backend=args.mining_backend,
+            mining_workers=args.mining_workers,
+            host=args.host,
+            port=args.port,
+        ),
+    )
     server = run_server(dataset, config, host=args.host, port=args.port, warm_up=args.warm_up)
     print(f"MapRat serving at {server.url} (Ctrl-C to stop)", file=out)
     try:

@@ -149,9 +149,16 @@ class ServerConfig:
         cache_ttl_seconds: optional result expiry age (None: keep forever).
         single_flight: coalesce concurrent cache misses on one key into one
             computation (the anti-stampede guarantee of the serving layer).
-        mining_workers: thread count of the mining worker pool; 0 or 1 runs
-            everything inline.  Parallel results are bit-identical to serial
-            ones (fixed per-task seeds, submission-ordered gathering).
+        mining_backend: ``"thread"`` (default) shards mining tasks across a
+            ``ThreadPoolExecutor``; ``"process"`` shards them across
+            persistent worker **processes** that attach the store's shared
+            memory export zero-copy (true multi-core parallelism — threads
+            are GIL-bound on this workload).  All three execution shapes
+            (serial, thread, process) are bit-identical for a fixed seed.
+        mining_workers: worker count of the mining pool (threads or
+            processes, per ``mining_backend``); 0 or 1 runs everything
+            inline.  Parallel results are bit-identical to serial ones
+            (fixed per-task seeds, submission-ordered gathering).
         precompute_top_items: how many popular items the warm-up mines.
         precompute_top_regions: how many top regions (states by rating
             volume) the warm-up anchors: for each, the geo explanation of the
@@ -176,6 +183,7 @@ class ServerConfig:
     cache_capacity: int = 256
     cache_ttl_seconds: float | None = None
     single_flight: bool = True
+    mining_backend: str = "thread"
     mining_workers: int = 4
     precompute_top_items: int = 50
     precompute_top_regions: int = 0
@@ -189,6 +197,11 @@ class ServerConfig:
     def __post_init__(self) -> None:
         if self.cache_capacity < 1:
             raise ConstraintError("cache_capacity must be at least 1")
+        if self.mining_backend not in ("thread", "process"):
+            raise ConstraintError(
+                "mining_backend must be 'thread' or 'process', "
+                f"got {self.mining_backend!r}"
+            )
         if self.mining_workers < 0:
             raise ConstraintError("mining_workers must be non-negative")
         if self.precompute_top_items < 0:

@@ -124,14 +124,19 @@ class RatingMiner:
             description: human-readable query description for reports.
             time_interval: optional ``(start, end)`` timestamp restriction.
             config: per-call override of the mining configuration.
-            pool: optional :class:`~repro.server.pool.MiningWorkerPool`; when
-                it is parallel, the two mining tasks run concurrently.  Each
-                task seeds its own generator from ``config.seed``, so the
-                result is bit-identical to the serial path for a fixed seed.
-                Never pass a pool whose workers may already be executing this
-                call (nested submission can exhaust the pool and deadlock);
-                batch drivers such as the warm-up run their inner explains
-                serially for this reason.
+            pool: optional :class:`~repro.server.pool.MiningWorkerPool` or
+                :class:`~repro.server.procpool.ProcessMiningPool`; when it is
+                parallel, the two mining tasks run concurrently.  A process
+                pool receives the two tasks as spec tuples — its workers
+                re-slice the selection from the shared-memory snapshot of
+                this store's epoch and mine there; the query summary is still
+                assembled here, where the item catalogue lives.  Each task
+                seeds its own generator from ``config.seed``, so the result
+                is bit-identical to the serial path for a fixed seed.  Never
+                pass a thread pool whose workers may already be executing
+                this call (nested submission can exhaust the pool and
+                deadlock); process-pool nesting is safe — worker processes
+                never submit.
         """
         config = config or self.config
         started_at = time.perf_counter()
@@ -141,7 +146,11 @@ class RatingMiner:
             for item_id in item_ids
             if self.store.dataset.has_item(item_id)
         ]
-        if pool is not None and getattr(pool, "parallel", False):
+        if pool is not None and getattr(pool, "kind", "thread") == "process":
+            similarity, diversity = pool.mine_pair(
+                self.store.epoch, list(item_ids), time_interval, config
+            )
+        elif pool is not None and getattr(pool, "parallel", False):
             similarity_future = pool.submit(self.mine_similarity, rating_slice, config)
             diversity_future = pool.submit(self.mine_diversity, rating_slice, config)
             similarity = similarity_future.result()

@@ -20,6 +20,7 @@ from .schema import (
     default_schema,
 )
 from .storage import AttributeIndex, RatingStore
+from .shm import SharedStoreExport, StoreManifest, attach_store, detach_store
 from .ingest import (
     AppendBuffer,
     CompactionDelta,
@@ -48,6 +49,10 @@ __all__ = [
     "default_schema",
     "RatingStore",
     "AttributeIndex",
+    "SharedStoreExport",
+    "StoreManifest",
+    "attach_store",
+    "detach_store",
     "AppendBuffer",
     "CompactionDelta",
     "CompactionResult",

@@ -271,6 +271,7 @@ class AppendBuffer:
 
     @property
     def pending_reviewers(self) -> int:
+        """Number of buffered new-reviewer registrations."""
         with self._lock:
             return len(self._pending_reviewers)
 
@@ -325,6 +326,7 @@ class CompactionDelta:
     vocabulary_growth: Mapping[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
+        """The delta as a JSON-ready dict (sorted ids, non-zero growth only)."""
         return {
             "num_rows": self.num_rows,
             "num_reviewers": self.num_reviewers,
@@ -349,9 +351,11 @@ class CompactionResult:
 
     @property
     def compacted(self) -> bool:
+        """True when a new snapshot was produced (the buffer was non-empty)."""
         return self.delta is not None
 
     def to_dict(self) -> dict:
+        """The outcome as a JSON-ready dict (the ``compact`` endpoint payload)."""
         return {
             "previous_epoch": self.previous_epoch,
             "epoch": self.epoch,
@@ -601,14 +605,17 @@ class LiveStore:
 
     @property
     def snapshot(self) -> RatingStore:
+        """The current immutable snapshot (grab once per request)."""
         return self._snapshot
 
     @property
     def epoch(self) -> int:
+        """Epoch of the current snapshot."""
         return self._snapshot.epoch
 
     @property
     def pending(self) -> int:
+        """Buffered rows plus reviewer registrations awaiting compaction."""
         return len(self.buffer) + self.buffer.pending_reviewers
 
     # -- write side ----------------------------------------------------------------
@@ -647,6 +654,7 @@ class LiveStore:
         return counts
 
     def should_auto_compact(self) -> bool:
+        """True when the buffer has reached the auto-compaction threshold."""
         return 0 < self.auto_compact_threshold <= len(self.buffer)
 
     # -- compaction ----------------------------------------------------------------

@@ -177,43 +177,53 @@ class RatingDataset:
 
     @property
     def num_reviewers(self) -> int:
+        """Number of reviewers ``|U|``."""
         return len(self._reviewers)
 
     @property
     def num_items(self) -> int:
+        """Number of items ``|I|``."""
         return len(self._items)
 
     @property
     def num_ratings(self) -> int:
+        """Number of rating tuples ``|R|``."""
         return len(self._ratings)
 
     # -- access ----------------------------------------------------------------
 
     def reviewers(self) -> Iterator[Reviewer]:
+        """Iterate over the reviewers."""
         return iter(self._reviewers.values())
 
     def items(self) -> Iterator[Item]:
+        """Iterate over the items."""
         return iter(self._items.values())
 
     def ratings(self) -> Iterator[Rating]:
+        """Iterate over the rating tuples."""
         return iter(self._ratings)
 
     def reviewer(self, reviewer_id: int) -> Reviewer:
+        """Look up one reviewer by id (raises :class:`DataError` when unknown)."""
         try:
             return self._reviewers[reviewer_id]
         except KeyError as exc:
             raise DataError(f"unknown reviewer {reviewer_id}") from exc
 
     def item(self, item_id: int) -> Item:
+        """Look up one item by id (raises :class:`DataError` when unknown)."""
         try:
             return self._items[item_id]
         except KeyError as exc:
             raise DataError(f"unknown item {item_id}") from exc
 
     def has_item(self, item_id: int) -> bool:
+        """True when the catalogue contains ``item_id``."""
         return item_id in self._items
 
     def has_reviewer(self, reviewer_id: int) -> bool:
+        """True when the community contains ``reviewer_id``."""
         return reviewer_id in self._reviewers
 
     def items_by_title(self, title: str) -> List[Item]:
@@ -227,6 +237,7 @@ class RatingDataset:
         return [r for r in self._ratings if r.item_id in wanted]
 
     def ratings_for_reviewer(self, reviewer_id: int) -> List[Rating]:
+        """All rating tuples authored by one reviewer."""
         return [r for r in self._ratings if r.reviewer_id == reviewer_id]
 
     # -- statistics --------------------------------------------------------------
@@ -238,12 +249,14 @@ class RatingDataset:
         return sum(r.score for r in self._ratings) / len(self._ratings)
 
     def item_average(self, item_id: int) -> float:
+        """Average score of one item (0.0 when unrated)."""
         scores = [r.score for r in self._ratings if r.item_id == item_id]
         if not scores:
             return 0.0
         return sum(scores) / len(scores)
 
     def rating_counts_by_item(self) -> Dict[int, int]:
+        """Number of ratings per item id."""
         counts: Dict[int, int] = {}
         for rating in self._ratings:
             counts[rating.item_id] = counts.get(rating.item_id, 0) + 1

@@ -167,12 +167,15 @@ class DatasetSchema:
             raise SchemaError(f"unknown attribute {name!r}") from exc
 
     def has_attribute(self, name: str) -> bool:
+        """True when the schema defines attribute ``name``."""
         return name in self._by_name
 
     def reviewer_attribute_names(self) -> tuple[str, ...]:
+        """Names of the reviewer attributes, in schema order."""
         return tuple(a.name for a in self.reviewer_attributes)
 
     def item_attribute_names(self) -> tuple[str, ...]:
+        """Names of the item attributes, in schema order."""
         return tuple(a.name for a in self.item_attributes)
 
     def validate_rating(self, score: float) -> float:

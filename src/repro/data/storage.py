@@ -119,6 +119,7 @@ class AttributeIndex:
 
     @property
     def num_values(self) -> int:
+        """Number of vocabulary values the index covers."""
         return int(self.counts.shape[0])
 
     def positions_for(self, code: int) -> np.ndarray:
@@ -266,9 +267,11 @@ class RatingSlice:
 
     @property
     def size(self) -> int:
+        """Number of rating tuples in the slice."""
         return len(self)
 
     def is_empty(self) -> bool:
+        """True when the slice holds no rating tuples."""
         return len(self) == 0
 
     def average(self) -> float:
@@ -515,9 +518,11 @@ class RatingStore:
 
     @property
     def num_ratings(self) -> int:
+        """Number of rating tuples in the store."""
         return len(self)
 
     def item_rating_count(self, item_id: int) -> int:
+        """Number of ratings of one item (0 when unrated)."""
         positions = self._positions_by_item.get(item_id)
         return 0 if positions is None else int(positions.shape[0])
 
@@ -631,12 +636,14 @@ class RatingStore:
     # -- aggregate helpers ----------------------------------------------------------
 
     def item_average(self, item_id: int) -> float:
+        """Average score of one item (0.0 when unrated)."""
         positions = self._positions_by_item.get(item_id)
         if positions is None or positions.shape[0] == 0:
             return 0.0
         return float(self._scores[positions].mean())
 
     def global_average(self) -> float:
+        """Average of every rating in the store (0.0 when empty)."""
         if len(self) == 0:
             return 0.0
         return float(self._scores.mean())

@@ -114,6 +114,7 @@ class PlantedRule:
     delta: float
 
     def matches(self, reviewer: Reviewer) -> bool:
+        """True when the reviewer satisfies every condition of the rule."""
         return all(
             reviewer.attribute(name) == value for name, value in self.conditions.items()
         )

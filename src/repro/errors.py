@@ -85,6 +85,16 @@ class PoolError(MapRatError):
     """Raised by the mining worker pool for invalid configuration or use."""
 
 
+class StaleEpochError(PoolError):
+    """Raised when a task targets a store epoch the process pool has retired.
+
+    A request that grabbed its :class:`~repro.server.api.ServingState` just
+    before a compaction may submit mining work for the superseded epoch after
+    its shared-memory segments have drained and been unlinked.  The façade
+    retries such a request once against the current serving state.
+    """
+
+
 class ServerError(MapRatError):
     """Raised by the JSON API layer for invalid requests."""
 

@@ -67,6 +67,7 @@ class RegionAggregate:
     histogram: Mapping[int, int] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
+        """The aggregate as a JSON-ready dict."""
         return {
             "region": self.region,
             "level": self.level,
@@ -110,6 +111,7 @@ class GeoMiningResult:
     elapsed_seconds: float = 0.0
 
     def explanation_for(self, task: str) -> Explanation:
+        """The ``similarity`` or ``diversity`` explanation by task name."""
         if task == "similarity":
             return self.similarity
         if task == "diversity":
@@ -117,6 +119,7 @@ class GeoMiningResult:
         raise KeyError(f"unknown mining task {task!r}")
 
     def to_dict(self) -> Dict[str, object]:
+        """The result as a JSON-ready dict (the ``geo_explain`` payload)."""
         return {
             "region": self.region,
             "level": self.level,
@@ -427,7 +430,20 @@ class GeoExplorer:
                 f"region {code!r} has no ratings for this selection"
             )
         region_config = region_mining_config(base_config)
-        if pool is not None and getattr(pool, "parallel", False):
+        if pool is not None and getattr(pool, "kind", "thread") == "process":
+            # Process backend: the two region minings are shipped as spec
+            # tuples; each worker rebuilds the identical region slice from
+            # the epoch's shared-memory snapshot (same whole-store bitset
+            # fast path, same mask path) and mines with the already-adapted
+            # region configuration.
+            similarity, diversity = pool.mine_pair(
+                self.store.epoch,
+                item_ids,
+                time_interval,
+                region_config,
+                region=code,
+            )
+        elif pool is not None and getattr(pool, "parallel", False):
             similarity_future = pool.submit(
                 self.miner.mine_similarity, region_slice, region_config
             )
@@ -466,10 +482,23 @@ class GeoExplorer:
         One task per region shards across ``pool`` (submission-ordered
         gathering, fixed per-config seeds), so ``workers=1`` and
         ``workers=N`` produce bit-identical result lists.  Each region task
-        runs its inner SM/DM serially — nested submission to the same pool
-        could exhaust it and deadlock.
+        runs its inner SM/DM serially — nested submission to the same thread
+        pool could exhaust it and deadlock.  A process pool receives one
+        full ``explain_region`` spec per region; its workers compute the
+        whole :class:`GeoMiningResult` (stats, baseline, SM + DM) from the
+        epoch's shared snapshot, so the fan-out runs on every core.
         """
         regions = self.top_regions(item_ids, limit=limit, time_interval=time_interval)
+        base_config = config or self.miner.config
+        if pool is not None and getattr(pool, "kind", "thread") == "process":
+            return pool.explain_regions(
+                self.store.epoch,
+                item_ids,
+                [canonical_region(region) for region in regions],
+                description,
+                time_interval,
+                base_config,
+            )
 
         def explain_one(region: str) -> GeoMiningResult:
             return self.explain_region(

@@ -105,6 +105,7 @@ class LocationHierarchy:
         raise GeoError(f"attribute {attribute!r} is not a location attribute")
 
     def is_location_attribute(self, attribute: str) -> bool:
+        """True when ``attribute`` names a hierarchy level."""
         return attribute in LEVEL_ATTRIBUTE.values()
 
     def contains(self, state_code: str, city: str) -> bool:

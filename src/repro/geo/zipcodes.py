@@ -96,12 +96,15 @@ class ZipResolver:
         return result
 
     def resolve_state(self, zipcode: str) -> str:
+        """The USPS state code of a zip code ('' when unresolvable)."""
         return self.resolve(zipcode)[0]
 
     def resolve_city(self, zipcode: str) -> str:
+        """The city of a zip code ('' when unresolvable)."""
         return self.resolve(zipcode)[1]
 
     def cache_size(self) -> int:
+        """Number of memoised zip resolutions (diagnostics)."""
         return len(self._cache)
 
 

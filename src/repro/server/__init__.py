@@ -7,6 +7,9 @@ pre-computation and caching techniques, the latency of MapRat is minimized."
   mining results under canonical (item ids, interval, config) keys,
 * :mod:`repro.server.pool` — the mining worker pool sharding independent
   mining tasks across threads with deterministic, submission-ordered results,
+* :mod:`repro.server.procpool` — the process-parallel backend: persistent
+  worker processes mining over shared-memory store snapshots (multi-core,
+  epoch-aware, bit-identical to the thread and serial paths),
 * :mod:`repro.server.precompute` — warm-up of the cache for the most popular
   items (optionally on a background thread) and cheap per-item aggregates,
 * :mod:`repro.server.api` — the :class:`MapRat` façade (query → mining →
@@ -17,6 +20,7 @@ pre-computation and caching techniques, the latency of MapRat is minimized."
 
 from .cache import CacheStats, ResultCache, canonical_explain_key
 from .pool import MiningWorkerPool, split_seed, split_seeds
+from .procpool import ProcessMiningPool
 from .precompute import CacheWarmer, ItemAggregate, Precomputer
 from .api import JsonApi, MapRat
 from .app import MapRatHttpServer, run_server
@@ -26,6 +30,7 @@ __all__ = [
     "ResultCache",
     "canonical_explain_key",
     "MiningWorkerPool",
+    "ProcessMiningPool",
     "split_seed",
     "split_seeds",
     "CacheWarmer",

@@ -32,6 +32,7 @@ from ..errors import (
     PoolError,
     QueryError,
     ServerError,
+    StaleEpochError,
     VisualizationError,
 )
 from ..explore.drilldown import CityAggregate, DrillDown
@@ -46,6 +47,7 @@ from ..viz.text import render_result_text
 from .cache import ResultCache, canonical_explain_key, canonical_geo_key
 from .pool import MiningWorkerPool
 from .precompute import CacheWarmer, ItemAggregate, Precomputer
+from .procpool import ProcessMiningPool
 
 
 @dataclass(frozen=True)
@@ -88,7 +90,14 @@ class MapRat:
             ttl_seconds=self.config.server.cache_ttl_seconds,
             single_flight=self.config.server.single_flight,
         )
-        self.pool = MiningWorkerPool(self.config.server.mining_workers)
+        # Mining backend: the thread pool shares the store in-process (cheap,
+        # GIL-bound); the process pool exports each epoch's numpy parts into
+        # shared memory once and mines on worker processes (multi-core).
+        if self.config.server.mining_backend == "process":
+            self.pool = ProcessMiningPool(self.config.server.mining_workers)
+            self.pool.publish(miner.store)
+        else:
+            self.pool = MiningWorkerPool(self.config.server.mining_workers)
         # The warm-up shards across its own pool: warm anchors may block as
         # single-flight waiters on a live request's in-flight mining, and if
         # they occupied the request pool they could starve the very SM/DM
@@ -122,30 +131,37 @@ class MapRat:
 
     @property
     def epoch(self) -> int:
+        """The current serving epoch (monotone, bumped by compactions)."""
         return self._serving.epoch
 
     @property
     def dataset(self) -> RatingDataset:
+        """The current epoch's dataset."""
         return self._serving.store.dataset
 
     @property
     def store(self) -> RatingStore:
+        """The current epoch's indexed rating store."""
         return self._serving.store
 
     @property
     def miner(self) -> RatingMiner:
+        """The current epoch's rating miner."""
         return self._serving.miner
 
     @property
     def geo(self) -> GeoExplorer:
+        """The current epoch's geo explorer."""
         return self._serving.geo
 
     @property
     def timeline_explorer(self) -> TimelineExplorer:
+        """The current epoch's timeline explorer."""
         return self._serving.timeline_explorer
 
     @property
     def precomputer(self) -> Precomputer:
+        """The current epoch's precomputer (aggregates + warm anchors)."""
         return self._serving.precomputer
 
     # -- constructors ---------------------------------------------------------------
@@ -156,6 +172,70 @@ class MapRat:
     ) -> "MapRat":
         """Build a MapRat system over an in-memory dataset."""
         return cls(dataset, config)
+
+    # -- mining dispatch (backend-aware, stale-epoch safe) ----------------------------
+
+    @property
+    def _process_backend(self) -> bool:
+        return self.config.server.mining_backend == "process"
+
+    @staticmethod
+    def _retry_stale_epoch(attempt):
+        """Run one mining attempt, retrying once on a retired epoch.
+
+        A request holding a pre-compaction :class:`ServingState` can race the
+        retirement of its epoch's shared-memory export; the process pool then
+        raises :class:`~repro.errors.StaleEpochError`.  ``attempt`` re-reads
+        ``self._serving`` on every call, so the retry both mines on the
+        current snapshot **and** keys the cache under the current epoch — a
+        result is never stored under a key whose epoch it was not computed
+        on.  The compaction protocol (publish → swap → retire) guarantees
+        the retired epoch's successor is already serving, so one retry
+        suffices; a second failure (another compaction landed mid-retry)
+        propagates.
+        """
+        try:
+            return attempt()
+        except StaleEpochError:
+            return attempt()
+
+    def _mine_items(
+        self,
+        serving: ServingState,
+        item_ids: Sequence[int],
+        description: str,
+        time_interval: Optional[Tuple[int, int]],
+        config: MiningConfig,
+        parallel: bool,
+    ) -> MiningResult:
+        """Mine one item selection through the configured backend."""
+        return serving.miner.explain_items(
+            list(item_ids),
+            description=description,
+            time_interval=time_interval,
+            config=config,
+            pool=self.pool if parallel else None,
+        )
+
+    def _mine_region(
+        self,
+        serving: ServingState,
+        item_ids: Optional[Sequence[int]],
+        region: str,
+        description: str,
+        time_interval: Optional[Tuple[int, int]],
+        config: MiningConfig,
+        parallel: bool,
+    ) -> GeoMiningResult:
+        """Region-anchored mining through the configured backend."""
+        return serving.geo.explain_region(
+            item_ids,
+            region,
+            description=description,
+            time_interval=time_interval,
+            config=config,
+            pool=self.pool if parallel else None,
+        )
 
     # -- query + mining ---------------------------------------------------------------
 
@@ -178,7 +258,6 @@ class MapRat:
         warm-up pre-computation — answers from one entry.  Concurrent misses
         on the same key coalesce into one mining run (single flight).
         """
-        serving = self._serving
         mining_config = config or self.config.mining
         compiled = self.engine.compile(query, time_interval)
         item_ids = self.engine.matching_item_ids(compiled)
@@ -187,19 +266,24 @@ class MapRat:
         interval = (
             compiled.time_interval.as_tuple() if compiled.time_interval else None
         )
-        if not use_cache:
-            return self._explain_item_ids(
-                serving, item_ids, interval, compiled, mining_config
+
+        def attempt() -> MiningResult:
+            serving = self._serving
+            if not use_cache:
+                return self._explain_item_ids(
+                    serving, item_ids, interval, compiled, mining_config
+                )
+            key = canonical_explain_key(
+                item_ids, interval, mining_config, epoch=serving.epoch
             )
-        key = canonical_explain_key(
-            item_ids, interval, mining_config, epoch=serving.epoch
-        )
-        return self.cache.get_or_compute(
-            key,
-            lambda: self._explain_item_ids(
-                serving, item_ids, interval, compiled, mining_config
-            ),
-        )
+            return self.cache.get_or_compute(
+                key,
+                lambda: self._explain_item_ids(
+                    serving, item_ids, interval, compiled, mining_config
+                ),
+            )
+
+        return self._retry_stale_epoch(attempt)
 
     def explain_items(
         self,
@@ -220,22 +304,23 @@ class MapRat:
         required when this call itself runs on a pool worker (e.g. the
         sharded warm-up).
         """
-        serving = self._serving
         mining_config = config or self.config.mining
         canonical_ids = sorted({int(item_id) for item_id in item_ids})
-        compute = lambda: serving.miner.explain_items(  # noqa: E731 - keyed thunk
-            canonical_ids,
-            description=description,
-            time_interval=time_interval,
-            config=mining_config,
-            pool=self.pool if parallel else None,
-        )
-        if not use_cache:
-            return compute()
-        key = canonical_explain_key(
-            canonical_ids, time_interval, mining_config, epoch=serving.epoch
-        )
-        return self.cache.get_or_compute(key, compute)
+
+        def attempt() -> MiningResult:
+            serving = self._serving
+            compute = lambda: self._mine_items(  # noqa: E731 - keyed thunk
+                serving, canonical_ids, description, time_interval,
+                mining_config, parallel,
+            )
+            if not use_cache:
+                return compute()
+            key = canonical_explain_key(
+                canonical_ids, time_interval, mining_config, epoch=serving.epoch
+            )
+            return self.cache.get_or_compute(key, compute)
+
+        return self._retry_stale_epoch(attempt)
 
     def _explain_item_ids(
         self,
@@ -245,12 +330,8 @@ class MapRat:
         compiled: ItemQuery,
         mining_config: MiningConfig,
     ) -> MiningResult:
-        return serving.miner.explain_items(
-            list(item_ids),
-            description=compiled.describe(),
-            time_interval=interval,
-            config=mining_config,
-            pool=self.pool,
+        return self._mine_items(
+            serving, list(item_ids), compiled.describe(), interval, mining_config, True
         )
 
     # -- exploration -------------------------------------------------------------------
@@ -469,32 +550,32 @@ class MapRat:
         the inner SM/DM off the request pool — required when this call itself
         runs on a pool worker.
         """
-        serving = self._serving
         mining_config = config or self.config.mining
         canonical_ids = (
             None
             if item_ids is None
             else sorted({int(item_id) for item_id in item_ids})
         )
-        compute = lambda: serving.geo.explain_region(  # noqa: E731 - keyed thunk
-            canonical_ids,
-            region,
-            description=description,
-            time_interval=time_interval,
-            config=mining_config,
-            pool=self.pool if parallel else None,
-        )
-        if not use_cache:
-            return compute()
-        key = canonical_geo_key(
-            "geo_explain",
-            canonical_ids,
-            time_interval,
-            region=region,
-            config=mining_config,
-            epoch=serving.epoch,
-        )
-        return self.cache.get_or_compute(key, compute)
+
+        def attempt() -> GeoMiningResult:
+            serving = self._serving
+            compute = lambda: self._mine_region(  # noqa: E731 - keyed thunk
+                serving, canonical_ids, region, description, time_interval,
+                mining_config, parallel,
+            )
+            if not use_cache:
+                return compute()
+            key = canonical_geo_key(
+                "geo_explain",
+                canonical_ids,
+                time_interval,
+                region=region,
+                config=mining_config,
+                epoch=serving.epoch,
+            )
+            return self.cache.get_or_compute(key, compute)
+
+        return self._retry_stale_epoch(attempt)
 
     def choropleth(
         self,
@@ -618,12 +699,22 @@ class MapRat:
         return report.to_dict()
 
     def _warm_explain(self, item_ids: List[int], description: str) -> MiningResult:
-        return self.explain_items(item_ids, description, parallel=False)
+        """One warm-up anchor: cache-aware explain, inner SM/DM off the warm pool.
+
+        With the thread backend the inner tasks run serially on the warm
+        worker (submitting them back to a pool the anchor already occupies
+        could deadlock); with the process backend they scatter to the worker
+        *processes* — a different pool — so warm anchors mine on every core.
+        """
+        return self.explain_items(item_ids, description, parallel=self._process_backend)
 
     def _warm_geo_explain(
         self, item_ids: List[int], region: str, description: str
     ) -> GeoMiningResult:
-        return self.geo_explain_items(item_ids, region, description, parallel=False)
+        """One geo warm-up anchor (same nesting rule as :meth:`_warm_explain`)."""
+        return self.geo_explain_items(
+            item_ids, region, description, parallel=self._process_backend
+        )
 
     def start_warmer(self, limit: Optional[int] = None) -> CacheWarmer:
         """Start the background warm-up of the top-k popular items.
@@ -680,6 +771,7 @@ class MapRat:
         self.close()
 
     def suggest_titles(self, prefix: str, limit: int = 10) -> List[str]:
+        """Title autocompletion for the search box (case-insensitive prefix)."""
         return self.engine.suggest_titles(prefix, limit=limit)
 
     def summary(self) -> dict:
@@ -815,10 +907,36 @@ class MapRat:
                     "rewarmed": 0,
                 }
             serving = self._build_serving(result.store, previous, result.delta)
+            publish_error: Optional[BaseException] = None
+            if self._process_backend:
+                # Publish the new epoch's shared-memory export *before* the
+                # swap: a request grabbing the new serving state right after
+                # must be able to submit immediately.  The old epoch is NOT
+                # retired yet — until the swap below, ``self._serving`` still
+                # points at it, and a stale-epoch rejection now would make
+                # the retry (which re-reads ``self._serving``) spin on the
+                # same retired epoch.  A failed export (e.g. /dev/shm full)
+                # must NOT abort the turnover — the LiveStore already
+                # advanced, so the swap below still happens to keep every
+                # surface on one epoch; mining degrades to StaleEpochError
+                # until a later publish succeeds, and the original error is
+                # re-raised to the compact caller.
+                try:
+                    self.pool.publish(serving.store, retire_previous=False)
+                except Exception as exc:
+                    publish_error = exc
             self._serving = serving  # atomic swap: requests see old xor new
+            if self._process_backend and publish_error is None:
+                # Only now can "epoch < current" be refused: any retry
+                # observes the new serving state.  Segments stay linked
+                # until their in-flight tasks drain (per-epoch refcounts),
+                # so readers holding the old state never see a torn store.
+                self.pool.retire_older(serving.epoch)
             migration, rewarm_plan = self._migrate_cache(
                 previous.epoch, serving.epoch, result.delta, rewarm
             )
+        if publish_error is not None:
+            raise publish_error
         # Re-mining the invalidated anchors happens *outside* the ingest
         # lock: it is by far the slowest part of an epoch turnover and must
         # not stall other writers (readers were never blocked to begin
@@ -946,20 +1064,24 @@ class JsonApi:
     # -- endpoint handlers -----------------------------------------------------------
 
     def handle_summary(self, params: Mapping[str, str]) -> dict:
+        """``summary``: dataset, cache and serving status."""
         return self.system.summary()
 
     def handle_suggest(self, params: Mapping[str, str]) -> dict:
+        """``suggest``: title autocomplete (``prefix``, ``limit``)."""
         prefix = params.get("prefix", "")
         limit = self._int_param(params, "limit", 10)
         return {"titles": self.system.suggest_titles(prefix, limit=limit)}
 
     def handle_explain(self, params: Mapping[str, str]) -> dict:
+        """``explain``: SM + DM interpretations of a query (``q``)."""
         query = self._require(params, "q")
         interval = self._interval_from(params)
         result = self.system.explain(query, time_interval=interval)
         return result.to_dict()
 
     def handle_statistics(self, params: Mapping[str, str]) -> dict:
+        """``statistics``: Figure-3 statistics of one mined group."""
         query = self._require(params, "q")
         task = params.get("task", "similarity")
         index = self._int_param(params, "group", 0)
@@ -967,6 +1089,7 @@ class JsonApi:
         return stats.to_dict()
 
     def handle_drilldown(self, params: Mapping[str, str]) -> dict:
+        """``drilldown``: city-level statistics of one mined group."""
         query = self._require(params, "q")
         task = params.get("task", "similarity")
         index = self._int_param(params, "group", 0)
@@ -974,12 +1097,14 @@ class JsonApi:
         return {"aggregates": [agg.to_dict() for agg in aggregates]}
 
     def handle_timeline(self, params: Mapping[str, str]) -> dict:
+        """``timeline``: per-year interpretations of a query."""
         query = self._require(params, "q")
         min_ratings = self._int_param(params, "min_ratings", 20)
         slices = self.system.timeline(query, min_ratings=min_ratings)
         return {"slices": [s.to_dict() for s in slices]}
 
     def handle_warmup(self, params: Mapping[str, str]) -> dict:
+        """``warmup``: pre-mine popular items (``limit``) and top regions (``regions``)."""
         limit = self._int_param(params, "limit", 10)
         regions = self._int_param(params, "regions", 0)
         return self.system.warm_up(limit=limit, regions=regions)
@@ -987,6 +1112,7 @@ class JsonApi:
     # -- geo endpoint handlers ----------------------------------------------------------
 
     def handle_geo_summary(self, params: Mapping[str, str]) -> dict:
+        """``geo_summary``: per-state rating aggregates of a selection."""
         query = params.get("q") or None
         interval = self._interval_from(params)
         min_size = self._int_param(params, "min_size", 1)
@@ -995,6 +1121,7 @@ class JsonApi:
         )
 
     def handle_geo_drilldown(self, params: Mapping[str, str]) -> dict:
+        """``geo_drilldown``: children of ``region`` — states, cities or zip codes."""
         query = params.get("q") or None
         region = params.get("region") or None
         by = params.get("by", "city")
@@ -1009,6 +1136,7 @@ class JsonApi:
         )
 
     def handle_geo_explain(self, params: Mapping[str, str]) -> dict:
+        """``geo_explain``: within-region SM + DM of a query (``q``, ``region``)."""
         query = self._require(params, "q")
         region = self._require(params, "region")
         interval = self._interval_from(params)
@@ -1016,6 +1144,7 @@ class JsonApi:
         return result.to_dict()
 
     def handle_choropleth(self, params: Mapping[str, str]) -> dict:
+        """``choropleth``: the Figure-2 map of one mining task as an SVG payload."""
         query = self._require(params, "q")
         task = params.get("task", "similarity")
         interval = self._interval_from(params)
@@ -1087,13 +1216,16 @@ class JsonApi:
         return self.system.ingest_batch(entries)
 
     def handle_store_stats(self, params: Mapping[str, str]) -> dict:
+        """``store_stats``: live-store counters (epoch, rows, buffer, compactions)."""
         return self.system.store_stats()
 
     def handle_compact(self, params: Mapping[str, str]) -> dict:
+        """``compact``: fold the append buffer into the next epoch."""
         return self.system.compact()
 
     #: Route table used by the HTTP layer.
     def routes(self) -> Dict[str, callable]:
+        """The endpoint → handler table used by the HTTP layer."""
         return {
             "summary": self.handle_summary,
             "suggest": self.handle_suggest,

@@ -242,6 +242,7 @@ class MapRatHttpServer:
 
     @property
     def url(self) -> str:
+        """Base URL of the bound server (``http://host:port``)."""
         return f"http://{self.host}:{self.port}"
 
     def serve_forever(self) -> None:

@@ -134,13 +134,16 @@ class CacheStats:
 
     @property
     def requests(self) -> int:
+        """Total lookups (the derived sum ``hits + misses``)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 before any request)."""
         return self.hits / self.requests if self.requests else 0.0
 
     def to_dict(self) -> dict:
+        """The counters as a JSON-ready dict."""
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -322,6 +325,7 @@ class ResultCache:
             self._entries.clear()
 
     def keys(self) -> list:
+        """Snapshot of the live keys (drives the epoch migration pass)."""
         with self._lock:
             return list(self._entries.keys())
 

@@ -65,6 +65,10 @@ class MiningWorkerPool:
         thread_name_prefix: prefix of worker thread names (diagnostics).
     """
 
+    #: Backend discriminator checked by the mining call sites (the process
+    #: pool's is "process"; its tasks are spec tuples, not closures).
+    kind = "thread"
+
     def __init__(self, workers: int = 0, thread_name_prefix: str = "maprat-miner") -> None:
         workers = int(workers)
         if workers < 0:
@@ -152,6 +156,7 @@ class MiningWorkerPool:
 
     @property
     def tasks_submitted(self) -> int:
+        """Number of tasks accepted over the pool's lifetime."""
         with self._lock:
             return self._submitted
 
@@ -175,7 +180,9 @@ class MiningWorkerPool:
         self.shutdown()
 
     def to_dict(self) -> dict:
+        """Status payload for the ``summary`` endpoint and diagnostics."""
         return {
+            "backend": "thread",
             "workers": self.workers,
             "parallel": self.parallel,
             "tasks_submitted": self.tasks_submitted,

@@ -39,6 +39,21 @@ from ..errors import MiningError
 from ..geo.explorer import GeoExplorer
 
 
+def _shards_closures(pool) -> bool:
+    """True when ``pool`` can shard the per-anchor closures of this module.
+
+    Only the thread pool can — closures cannot cross a process boundary, so a
+    :class:`~repro.server.procpool.ProcessMiningPool` handed in here falls
+    back to the serial anchor loop (its multi-core parallelism then comes
+    from the *inner* SM/DM specs the anchors submit).
+    """
+    return (
+        pool is not None
+        and getattr(pool, "parallel", False)
+        and getattr(pool, "kind", "thread") == "thread"
+    )
+
+
 @dataclass(frozen=True)
 class ItemAggregate:
     """Cheap per-item statistics materialised ahead of queries.
@@ -58,6 +73,7 @@ class ItemAggregate:
     histogram: Dict[int, int]
 
     def to_dict(self) -> dict:
+        """The aggregate as a JSON-ready dict."""
         return {
             "item_id": self.item_id,
             "title": self.title,
@@ -78,6 +94,7 @@ class PrecomputeReport:
     elapsed_seconds: float = 0.0
 
     def to_dict(self) -> dict:
+        """The report as a JSON-ready dict."""
         return {
             "items_aggregated": self.items_aggregated,
             "results_precomputed": self.results_precomputed,
@@ -126,7 +143,7 @@ class Precomputer:
         so the sharded dict equals the serial one.
         """
         items = list(self.store.dataset.items())
-        if pool is not None and getattr(pool, "parallel", False):
+        if _shards_closures(pool):
             per_item = pool.map(self._aggregate_one, items)
         else:
             per_item = [self._aggregate_one(item) for item in items]
@@ -252,7 +269,7 @@ class Precomputer:
             explain([aggregate.item_id], f'title:"{aggregate.title}"')
             return True
 
-        if pool is not None and getattr(pool, "parallel", False):
+        if _shards_closures(pool):
             outcomes = pool.map_outcomes(warm_one, anchors)
         else:
             outcomes = []
@@ -346,7 +363,7 @@ class Precomputer:
             explain_region([item_id], region, f'title:"{title}"')
             return True
 
-        if pool is not None and getattr(pool, "parallel", False):
+        if _shards_closures(pool):
             outcomes = pool.map_outcomes(warm_one, anchors)
         else:
             outcomes = []
@@ -448,6 +465,7 @@ class CacheWarmer:
 
     @property
     def done(self) -> bool:
+        """True once the warm-up thread has finished (or failed)."""
         return self._done.is_set()
 
     def wait(self, timeout: Optional[float] = None) -> Optional[PrecomputeReport]:
@@ -464,6 +482,7 @@ class CacheWarmer:
         return self.report
 
     def to_dict(self) -> dict:
+        """Warmer status for the ``summary`` endpoint."""
         return {
             "done": self.done,
             "failed": self.error is not None,

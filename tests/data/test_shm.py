@@ -1,0 +1,154 @@
+"""Shared-memory store export/attach: zero-copy fidelity and lifecycle."""
+
+from __future__ import annotations
+
+import pickle
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.config import MiningConfig
+from repro.core.miner import RatingMiner
+from repro.data.shm import SharedStoreExport, attach_store, detach_store
+from repro.data.storage import RatingStore
+from repro.errors import DataError
+
+
+@pytest.fixture()
+def exported(tiny_dataset):
+    """A store with one built index, exported; released after the test."""
+    store = RatingStore(tiny_dataset)
+    store.attribute_index("state")  # built indexes must travel too
+    export = SharedStoreExport(store)
+    yield store, export
+    export.release()
+
+
+class TestExportAttachRoundTrip:
+    def test_base_columns_and_codes_are_byte_identical(self, exported):
+        store, export = exported
+        attached = attach_store(export.manifest)
+        try:
+            assert np.array_equal(attached._item_ids, store._item_ids)
+            assert np.array_equal(attached._reviewer_ids, store._reviewer_ids)
+            assert np.array_equal(attached._scores, store._scores)
+            assert np.array_equal(attached._timestamps, store._timestamps)
+            for name in store.grouping_attributes:
+                assert np.array_equal(attached.codes_for(name), store.codes_for(name))
+                assert attached.codes_for(name).dtype == store.codes_for(name).dtype
+                assert list(attached.vocabulary_for(name)) == list(
+                    store.vocabulary_for(name)
+                )
+        finally:
+            detach_store(attached)
+
+    def test_item_index_round_trips_per_item(self, exported):
+        store, export = exported
+        attached = attach_store(export.manifest)
+        try:
+            assert set(attached._positions_by_item) == set(store._positions_by_item)
+            for item_id, positions in store._positions_by_item.items():
+                assert np.array_equal(attached._positions_by_item[item_id], positions)
+        finally:
+            detach_store(attached)
+
+    def test_built_attribute_index_round_trips(self, exported):
+        store, export = exported
+        attached = attach_store(export.manifest)
+        try:
+            ours, theirs = attached.attribute_index("state"), store.attribute_index("state")
+            assert ours.num_rows == theirs.num_rows
+            for name in ("counts", "sums", "positives", "negatives", "joint", "bits"):
+                assert np.array_equal(getattr(ours, name), getattr(theirs, name)), name
+        finally:
+            detach_store(attached)
+
+    def test_unbuilt_index_is_rebuilt_identically_on_the_attached_store(self, exported):
+        store, export = exported
+        attached = attach_store(export.manifest)
+        try:
+            assert "city" not in export.manifest.indexes  # never built pre-export
+            ours, theirs = attached.attribute_index("city"), store.attribute_index("city")
+            assert np.array_equal(ours.counts, theirs.counts)
+            assert np.array_equal(ours.bits, theirs.bits)
+        finally:
+            detach_store(attached)
+
+    def test_attached_arrays_are_read_only_views(self, exported):
+        _, export = exported
+        attached = attach_store(export.manifest)
+        try:
+            assert not attached._scores.flags.writeable
+            assert not attached.codes_for("state").flags.writeable
+            with pytest.raises(ValueError):
+                attached._scores[0] = 99.0
+        finally:
+            detach_store(attached)
+
+    def test_mining_on_the_attached_store_matches_the_source(
+        self, exported, tiny_dataset
+    ):
+        store, export = exported
+        config = MiningConfig(min_group_support=3, min_coverage=0.2, rhe_restarts=3)
+        item_ids = [item.item_id for item in tiny_dataset.items_by_title("Toy Story")]
+        attached = attach_store(export.manifest)
+        try:
+            reference = RatingMiner(store, config)
+            shadow = RatingMiner(attached, config)
+            for mine in ("mine_similarity", "mine_diversity"):
+                ours = getattr(shadow, mine)(attached.slice_for_items(item_ids), config)
+                theirs = getattr(reference, mine)(store.slice_for_items(item_ids), config)
+                ours_d, theirs_d = ours.to_dict(), theirs.to_dict()
+                ours_d.pop("elapsed_seconds", None)
+                theirs_d.pop("elapsed_seconds", None)
+                assert ours_d == theirs_d
+        finally:
+            detach_store(attached)
+
+
+class TestLifecycle:
+    def test_manifest_is_small_and_picklable(self, exported):
+        store, export = exported
+        payload = pickle.dumps(export.manifest)
+        # Row data must not travel with the manifest: its pickle stays tiny
+        # next to the exported segment (vocabularies are the largest part).
+        assert len(payload) < max(4096, export.nbytes // 4)
+        assert pickle.loads(payload).epoch == store.epoch
+
+    def test_release_unlinks_the_segment(self, tiny_store):
+        export = SharedStoreExport(tiny_store)
+        name = export.segment_name
+        export.release()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        export.release()  # idempotent
+
+    def test_attach_after_release_raises_data_error(self, tiny_store):
+        export = SharedStoreExport(tiny_store)
+        manifest = export.manifest
+        export.release()
+        with pytest.raises(DataError, match="retired"):
+            attach_store(manifest)
+
+    def test_attached_views_survive_unlink_until_detach(self, tiny_store):
+        export = SharedStoreExport(tiny_store)
+        attached = attach_store(export.manifest)
+        export.release()  # POSIX: the mapping outlives the name
+        try:
+            assert float(attached._scores.sum()) == float(tiny_store._scores.sum())
+        finally:
+            detach_store(attached)
+
+    def test_two_exports_of_one_store_are_byte_identical(self, tiny_store):
+        first, second = SharedStoreExport(tiny_store), SharedStoreExport(tiny_store)
+        try:
+            assert bytes(first._shm.buf) == bytes(second._shm.buf)
+            refs = lambda m: {  # noqa: E731 - local shorthand
+                "base": m.base, "codes": m.codes,
+                "table": m.item_table, "positions": m.item_positions,
+            }
+            assert refs(first.manifest) == refs(second.manifest)
+        finally:
+            first.release()
+            second.release()

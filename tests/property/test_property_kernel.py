@@ -319,6 +319,69 @@ class TestPoolParallelEquivalence:
             assert parallel_result.feasible == serial_result.feasible
 
 
+class TestProcessBackendEquivalence:
+    """The process-backend spec path must match serial mining bit-for-bit.
+
+    Mirrors :class:`TestPoolParallelEquivalence` for ISSUE 5's backend: the
+    same selections mined through :class:`ProcessMiningPool` spec tuples
+    (inline mode — the identical executor the spawned workers run, without
+    per-example process startup) must reproduce the serial explanations
+    exactly.  The spawned-worker path is covered by
+    ``tests/server/test_procpool.py`` and the golden process CI lane.
+    """
+
+    @pytest.mark.parametrize("seed", [0, 7, 2012])
+    def test_process_spec_path_matches_serial_explain_items(self, tiny_dataset, seed):
+        from repro.server.procpool import ProcessMiningPool
+
+        config = MiningConfig(
+            min_group_support=3, min_coverage=0.2, rhe_restarts=3, seed=seed
+        )
+        miner = RatingMiner.for_dataset(tiny_dataset, config)
+        item_ids = [
+            item.item_id for item in tiny_dataset.items_by_title("Toy Story")
+        ]
+        serial = miner.explain_items(item_ids)
+        with ProcessMiningPool(workers=1) as pool:
+            pool.publish(miner.store)
+            processed = miner.explain_items(item_ids, pool=pool)
+        assert _explanation_fingerprint(processed.similarity) == _explanation_fingerprint(
+            serial.similarity
+        )
+        assert _explanation_fingerprint(processed.diversity) == _explanation_fingerprint(
+            serial.diversity
+        )
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=8, deadline=None)
+    def test_process_spec_path_matches_serial_on_shm_attached_stores(
+        self, tiny_dataset, seed
+    ):
+        from repro.data.shm import SharedStoreExport, attach_store, detach_store
+
+        config = MiningConfig(
+            min_group_support=3, min_coverage=0.2, rhe_restarts=2, seed=seed
+        )
+        miner = RatingMiner.for_dataset(tiny_dataset, config)
+        item_ids = [
+            item.item_id for item in tiny_dataset.items_by_title("Toy Story")
+        ]
+        serial = miner.explain_items(item_ids)
+        export = SharedStoreExport(miner.store)
+        attached = attach_store(export.manifest)
+        try:
+            shadow = RatingMiner(attached, config).explain_items(item_ids)
+        finally:
+            detach_store(attached)
+            export.release()
+        assert _explanation_fingerprint(shadow.similarity) == _explanation_fingerprint(
+            serial.similarity
+        )
+        assert _explanation_fingerprint(shadow.diversity) == _explanation_fingerprint(
+            serial.diversity
+        )
+
+
 class TestScoreHistogramParity:
     @given(rating_slices())
     @settings(max_examples=25, deadline=None)

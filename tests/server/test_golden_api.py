@@ -13,11 +13,18 @@ Volatile fields (wall-clock timings, cache/pool counters) are normalised
 before comparison so the suite is stable across machines and replay order;
 everything else — group selections, objectives, coverages, histograms, error
 payloads — is compared exactly.
+
+The suite is also the **backend differential**: setting
+``MAPRAT_MINING_BACKEND=process`` (the dedicated CI lane does) replays the
+same corpus through the process-parallel mining backend against the *same*
+golden files, proving the shared-memory worker path byte-identical to the
+thread path.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -25,6 +32,10 @@ import pytest
 from repro.config import PipelineConfig, ServerConfig
 from repro.errors import ServerError
 from repro.server.api import JsonApi, MapRat
+
+#: Mining backend the corpus replays under ("thread" unless the CI lane
+#: overrides it); golden files are backend-independent by construction.
+BACKEND = os.environ.get("MAPRAT_MINING_BACKEND", "thread")
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
@@ -243,7 +254,12 @@ def normalize(payload):
 @pytest.fixture(scope="module")
 def api(tiny_dataset, mining_config):
     """A fresh deterministic system; the corpus replays against one instance."""
-    return JsonApi(MapRat.for_dataset(tiny_dataset, PipelineConfig(mining=mining_config)))
+    config = PipelineConfig(
+        mining=mining_config, server=ServerConfig(mining_backend=BACKEND)
+    )
+    system = MapRat.for_dataset(tiny_dataset, config)
+    yield JsonApi(system)
+    system.close()  # the process backend owns worker procs + shm segments
 
 
 @pytest.fixture(scope="module")
@@ -256,9 +272,13 @@ def ingest_api(tiny_dataset, mining_config):
     """
     config = PipelineConfig(
         mining=mining_config,
-        server=ServerConfig(auto_compact_threshold=4, ingest_batch_size=8),
+        server=ServerConfig(
+            auto_compact_threshold=4, ingest_batch_size=8, mining_backend=BACKEND
+        ),
     )
-    return JsonApi(MapRat.for_dataset(tiny_dataset, config))
+    system = MapRat.for_dataset(tiny_dataset, config)
+    yield JsonApi(system)
+    system.close()
 
 
 def replay(api, endpoint, params):

@@ -1,0 +1,101 @@
+"""Documentation health: markdown links resolve, public API is docstringed.
+
+Two cheap guards that keep the operator/developer docs from rotting:
+
+* every relative link in the markdown guides points at a file (or directory)
+  that exists in the repository — renames and deletions fail here instead of
+  producing a dead link;
+* every public module, class, function and method in the documented
+  packages (``repro.server``, ``repro.data``, ``repro.geo``) carries a
+  docstring — the same surface CI lints with ruff's pydocstyle ``D1`` rules,
+  enforced here so the failure reproduces locally without ruff installed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The markdown files whose links must stay alive.
+DOCUMENTS = sorted(
+    [
+        *REPO_ROOT.glob("*.md"),
+        *(REPO_ROOT / "docs").glob("*.md"),
+    ]
+)
+
+#: Packages whose public surface the docstring rule covers (the ruff ``D``
+#: lane in CI lints the same directories).
+DOCSTRINGED_PACKAGES = ("server", "data", "geo")
+
+_LINK_PATTERN = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _relative_links(text: str):
+    for match in _LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+def test_document_list_is_nonempty():
+    names = {path.name for path in DOCUMENTS}
+    assert {"README.md", "OPERATIONS.md", "BENCHMARKS.md", "ARCHITECTURE.md"} <= names
+
+
+@pytest.mark.parametrize("document", DOCUMENTS, ids=[d.name for d in DOCUMENTS])
+def test_relative_links_resolve(document):
+    broken = [
+        target
+        for target in _relative_links(document.read_text(encoding="utf-8"))
+        if target and not (document.parent / target).exists()
+    ]
+    assert not broken, f"{document.name} has dead link(s): {broken}"
+
+
+def _public_defs_missing_docstrings(tree: ast.Module, module_name: str):
+    """Yield ``module:line name`` for every undocumented public definition.
+
+    Mirrors ruff's D100–D103 presence rules: modules, public classes, public
+    functions and public methods need docstrings; names with a leading
+    underscore (including dunders) and nested function bodies are exempt.
+    """
+    if ast.get_docstring(tree) is None:
+        yield f"{module_name}:1 <module>"
+
+    def walk(nodes, prefix: str, top_level: bool):
+        for node in nodes:
+            if isinstance(node, ast.ClassDef):
+                if not node.name.startswith("_"):
+                    if ast.get_docstring(node) is None:
+                        yield f"{module_name}:{node.lineno} class {prefix}{node.name}"
+                    yield from walk(
+                        node.body, f"{prefix}{node.name}.", top_level=False
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("_"):
+                    continue
+                if ast.get_docstring(node) is None:
+                    yield f"{module_name}:{node.lineno} def {prefix}{node.name}"
+                # nested defs are exempt, matching pydocstyle
+
+    yield from walk(tree.body, "", top_level=True)
+
+
+@pytest.mark.parametrize("package", DOCSTRINGED_PACKAGES)
+def test_public_surface_is_docstringed(package):
+    missing = []
+    for path in sorted((REPO_ROOT / "src" / "repro" / package).rglob("*.py")):
+        module_name = str(path.relative_to(REPO_ROOT))
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        missing.extend(_public_defs_missing_docstrings(tree, module_name))
+    assert not missing, (
+        "public definitions without docstrings (CI enforces the same via "
+        "ruff --select D1):\n  " + "\n  ".join(missing)
+    )

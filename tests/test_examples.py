@@ -30,6 +30,7 @@ EXAMPLES = [
     ("temporal_exploration.py", True),
     ("movielens_import.py", False),
     ("live_ingest.py", False),
+    ("process_serving.py", False),
     ("web_demo.py", False),
 ]
 
