@@ -122,6 +122,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker count of the mining pool (threads or processes, "
         "per --mining-backend); 0 or 1 runs mining inline",
     )
+    serve.add_argument(
+        "--data-dir",
+        type=Path,
+        default=None,
+        help="enable the durability subsystem in this directory: every "
+        "ingest is write-ahead logged, each compaction writes an mmap-able "
+        "snapshot, and startup crash-recovers to the exact pre-crash state",
+    )
+    serve.add_argument(
+        "--wal-fsync",
+        choices=("always", "batch", "never"),
+        default="batch",
+        help="write-ahead-log fsync policy: 'always' per record, 'batch' "
+        "per ingest call (default), 'never' leaves flushing to the OS",
+    )
+    serve.add_argument(
+        "--mining-timeout",
+        type=float,
+        default=None,
+        help="per-request mining deadline in seconds (requests over it get "
+        "a 503; requires --mining-workers > 1); default: no deadline",
+    )
 
     return parser
 
@@ -240,6 +262,9 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         server=ServerConfig(
             mining_backend=args.mining_backend,
             mining_workers=args.mining_workers,
+            data_dir=None if args.data_dir is None else str(args.data_dir),
+            wal_fsync=args.wal_fsync,
+            mining_timeout_s=args.mining_timeout,
             host=args.host,
             port=args.port,
         ),

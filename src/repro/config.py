@@ -176,6 +176,24 @@ class ServerConfig:
             (code-column remap, index appends, delta bincounts); False
             rebuilds each snapshot from scratch — the reference path the
             differential test battery compares against.
+        data_dir: directory for the durability subsystem (write-ahead log,
+            snapshots, warm-restart anchors).  ``None`` (default) keeps the
+            system purely in-memory; a path enables WAL-backed ingest, crash
+            recovery at startup and the ``snapshot``/``recovery_info``
+            endpoints.
+        wal_fsync: write-ahead-log fsync policy — ``"always"`` (fsync per
+            record, strongest), ``"batch"`` (fsync once per ingest call, the
+            default) or ``"never"`` (leave flushing to the OS; survives
+            process crashes but not power loss).
+        snapshot_on_compact: write an mmap-able snapshot file (and prune
+            older logs/snapshots) at every compaction; ``False`` keeps the
+            full log chain and replays it on restart.
+        mining_timeout_s: per-request deadline in seconds for gathering one
+            mining task from the worker pool; ``None`` (default) waits
+            forever.  Timed-out requests surface as 503s; the underlying
+            task is not cancelled.  Only pools with ``mining_workers > 1``
+            can time out — inline pools execute the task on the calling
+            thread before the deadline is ever consulted.
         host: bind address of the HTTP front-end.
         port: bind port of the HTTP front-end.
     """
@@ -191,6 +209,10 @@ class ServerConfig:
     ingest_batch_size: int = 1000
     auto_compact_threshold: int = 0
     use_incremental_compaction: bool = True
+    data_dir: str | None = None
+    wal_fsync: str = "batch"
+    snapshot_on_compact: bool = True
+    mining_timeout_s: float | None = None
     host: str = "127.0.0.1"
     port: int = 8912
 
@@ -212,6 +234,13 @@ class ServerConfig:
             raise ConstraintError("ingest_batch_size must be at least 1")
         if self.auto_compact_threshold < 0:
             raise ConstraintError("auto_compact_threshold must be non-negative")
+        if self.wal_fsync not in ("always", "batch", "never"):
+            raise ConstraintError(
+                "wal_fsync must be 'always', 'batch' or 'never', "
+                f"got {self.wal_fsync!r}"
+            )
+        if self.mining_timeout_s is not None and self.mining_timeout_s <= 0:
+            raise ConstraintError("mining_timeout_s must be positive (or None)")
 
 
 @dataclass(frozen=True)

@@ -41,18 +41,30 @@ class RatingMiner:
         self.solver = solver or RandomizedHillExploration.from_config(self.config)
 
     @classmethod
-    def for_dataset(
+    def build_store(
         cls, dataset: RatingDataset, config: Optional[MiningConfig] = None
-    ) -> "RatingMiner":
-        """Build a miner (and its indexed store) directly from a dataset."""
+    ) -> RatingStore:
+        """Build the indexed store :meth:`for_dataset` would mine over.
+
+        Exposed separately so the recovery layer can rebuild a base store
+        (when no snapshot exists yet) with the exact same grouping attributes
+        a normal startup would use.
+        """
         config = config or MiningConfig()
         grouping = tuple(
             dict.fromkeys(
                 tuple(config.grouping_attributes) + ("state", "city", "zipcode")
             )
         )
-        store = RatingStore(dataset, grouping_attributes=grouping)
-        return cls(store, config)
+        return RatingStore(dataset, grouping_attributes=grouping)
+
+    @classmethod
+    def for_dataset(
+        cls, dataset: RatingDataset, config: Optional[MiningConfig] = None
+    ) -> "RatingMiner":
+        """Build a miner (and its indexed store) directly from a dataset."""
+        config = config or MiningConfig()
+        return cls(cls.build_store(dataset, config), config)
 
     # -- slicing ------------------------------------------------------------------
 
@@ -153,8 +165,8 @@ class RatingMiner:
         elif pool is not None and getattr(pool, "parallel", False):
             similarity_future = pool.submit(self.mine_similarity, rating_slice, config)
             diversity_future = pool.submit(self.mine_diversity, rating_slice, config)
-            similarity = similarity_future.result()
-            diversity = diversity_future.result()
+            similarity = pool.gather(similarity_future)
+            diversity = pool.gather(diversity_future)
         else:
             similarity = self.mine_similarity(rating_slice, config)
             diversity = self.mine_diversity(rating_slice, config)

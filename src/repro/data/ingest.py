@@ -138,10 +138,11 @@ class AppendBuffer:
     the attribute vocabularies grow at compaction time.
     """
 
-    def __init__(self, snapshot: RatingStore) -> None:
+    def __init__(self, snapshot: RatingStore, journal=None) -> None:
         self._dataset = snapshot.dataset
         self._schema = snapshot.dataset.schema
         self._resolver = ZipResolver()
+        self._journal = journal
         self._lock = threading.RLock()
         self._pending: List[Rating] = []
         self._pending_reviewers: Dict[int, Reviewer] = {}
@@ -179,7 +180,8 @@ class AppendBuffer:
             ).any()
         )
 
-    def _register_reviewer(self, reviewer: Reviewer) -> Reviewer:
+    def _resolve_reviewer(self, reviewer: Reviewer) -> Reviewer:
+        """Validate a new-reviewer record and fill its location (no mutation)."""
         if reviewer.reviewer_id in self._known_reviewer_ids:
             raise IngestError(
                 f"reviewer {reviewer.reviewer_id} already exists; "
@@ -196,9 +198,24 @@ class AppendBuffer:
                 state=reviewer.state or state,
                 city=reviewer.city or city,
             )
+        return reviewer
+
+    def _admit_reviewer(self, reviewer: Reviewer) -> None:
+        """Register an already-resolved new reviewer (mutation half)."""
         self._pending_reviewers[reviewer.reviewer_id] = reviewer
         self._known_reviewer_ids.add(reviewer.reviewer_id)
-        return reviewer
+
+    def set_journal(self, journal) -> None:
+        """Attach the write-ahead journal callback after construction.
+
+        The recovery path builds the buffer first (replaying logged ops must
+        not re-log them) and attaches the journal once the on-disk state is
+        reconciled.  ``journal`` is called as ``journal(rating, reviewer)``
+        under the buffer lock, after validation and before any state mutates,
+        for every accepted append.
+        """
+        with self._lock:
+            self._journal = journal
 
     # -- writes --------------------------------------------------------------------
 
@@ -210,6 +227,11 @@ class AppendBuffer:
             reviewer: a reviewer record for a rater the snapshot does not
                 know yet.  Required exactly when ``rating.reviewer_id`` is
                 unknown; supplying a record for an existing id is an error.
+
+        Appends are atomic: every validation (and the journal write, when a
+        journal is attached) happens before any buffer state mutates, so a
+        rejected append leaves no trace — no half-registered reviewer, no
+        logged-but-unbuffered row.
         """
         with self._lock:
             if not self._dataset.has_item(rating.item_id):
@@ -223,7 +245,7 @@ class AppendBuffer:
                         f"reviewer record id {reviewer.reviewer_id} does not match "
                         f"rating reviewer {rating.reviewer_id}"
                     )
-                self._register_reviewer(reviewer)
+                reviewer = self._resolve_reviewer(reviewer)
             elif rating.reviewer_id not in self._known_reviewer_ids:
                 raise IngestError(
                     f"rating references unknown reviewer {rating.reviewer_id}; "
@@ -236,6 +258,12 @@ class AppendBuffer:
             key = _rating_key(rating)
             if self._is_duplicate(key):
                 return DUPLICATE
+            if self._journal is not None:
+                # Write-ahead: the op reaches the log before the buffer; a
+                # failed log write rejects the append with no state change.
+                self._journal(rating, reviewer)
+            if reviewer is not None:
+                self._admit_reviewer(reviewer)
             self._pending_keys.add(key)
             self._pending.append(rating)
             return ACCEPTED
@@ -275,13 +303,19 @@ class AppendBuffer:
         with self._lock:
             return len(self._pending_reviewers)
 
-    def drain(self) -> Tuple[List[Rating], List[Reviewer]]:
+    def drain(self, on_drain=None) -> Tuple[List[Rating], List[Reviewer]]:
         """Take the pending rows for compaction; the buffer keeps accepting.
 
         The drained rows' keys move to the draining set (they are about to
         become snapshot rows but are not probeable through the snapshot yet)
         and their reviewers remain known, so duplicates of in-flight rows
         are still absorbed.
+
+        ``on_drain`` (when given) runs under the buffer lock, only when the
+        drain took something.  The durability layer rotates the write-ahead
+        log there: rotation must be atomic with the drain so an append racing
+        the compaction lands in the *new* log — its row belongs to the next
+        epoch's delta, never to the one being sealed.
         """
         with self._lock:
             ratings, self._pending = self._pending, []
@@ -289,6 +323,8 @@ class AppendBuffer:
             self._pending_reviewers = {}
             self._draining_keys |= self._pending_keys
             self._pending_keys = set()
+            if on_drain is not None and (ratings or reviewers):
+                on_drain()
             return ratings, reviewers
 
     def rebase(self, snapshot: RatingStore) -> None:
@@ -587,11 +623,15 @@ class LiveStore:
         snapshot: RatingStore,
         auto_compact_threshold: int = 0,
         use_incremental: bool = True,
+        journal=None,
     ) -> None:
         if auto_compact_threshold < 0:
             raise IngestError("auto_compact_threshold must be non-negative")
         self._snapshot = snapshot
-        self.buffer = AppendBuffer(snapshot)
+        self.journal = journal
+        self.buffer = AppendBuffer(
+            snapshot, journal=journal.log_append if journal is not None else None
+        )
         self.auto_compact_threshold = int(auto_compact_threshold)
         self.use_incremental = use_incremental
         self._compact_lock = threading.Lock()
@@ -620,9 +660,22 @@ class LiveStore:
 
     # -- write side ----------------------------------------------------------------
 
+    def attach_journal(self, journal) -> None:
+        """Wire a durability journal into the store and its buffer.
+
+        Used by recovery, which replays logged ops through a journal-less
+        store (replay must not re-log) and attaches the journal afterwards.
+        """
+        self.journal = journal
+        self.buffer.set_journal(journal.log_append if journal is not None else None)
+
     def ingest(self, rating: Rating, reviewer: Optional[Reviewer] = None) -> str:
         """Buffer one rating; returns ``"accepted"`` or ``"duplicate"``."""
-        outcome = self.buffer.append(rating, reviewer)
+        try:
+            outcome = self.buffer.append(rating, reviewer)
+        finally:
+            if self.journal is not None:
+                self.journal.commit()
         with self._stats_lock:
             if outcome == ACCEPTED:
                 self.accepted_total += 1
@@ -638,6 +691,9 @@ class LiveStore:
         A failing entry aborts the batch (the error names its index) but the
         entries buffered before it are still counted — the ``store_stats``
         totals must never drift from the rows that actually reach snapshots.
+        With a journal attached the batch is committed (one fsync under the
+        ``"batch"`` policy) in every outcome, including the partial-failure
+        path — the buffered prefix must be as durable as a full batch.
         """
         try:
             counts = self.buffer.extend(pairs)
@@ -648,6 +704,9 @@ class LiveStore:
                     self.accepted_total += partial.get(ACCEPTED, 0)
                     self.duplicates_total += partial.get(DUPLICATE, 0)
             raise
+        finally:
+            if self.journal is not None:
+                self.journal.commit()
         with self._stats_lock:
             self.accepted_total += counts[ACCEPTED]
             self.duplicates_total += counts[DUPLICATE]
@@ -669,7 +728,12 @@ class LiveStore:
         """
         with self._compact_lock:
             previous = self._snapshot
-            ratings, reviewers = self.buffer.drain()
+            on_drain = (
+                (lambda: self.journal.rotate(previous.epoch + 1))
+                if self.journal is not None
+                else None
+            )
+            ratings, reviewers = self.buffer.drain(on_drain)
             if not ratings and not reviewers:
                 return CompactionResult(
                     store=previous,
@@ -685,6 +749,11 @@ class LiveStore:
             elapsed = time.perf_counter() - started_at
             self._snapshot = store  # atomic swap: readers see old xor new
             self.buffer.rebase(store)
+            if self.journal is not None:
+                # Snapshot-on-compact.  A failure here propagates (the caller
+                # sees the compaction fail) but recovery stays correct: the
+                # sealed log already covers every row of the new epoch.
+                self.journal.on_compacted(store)
             result = CompactionResult(
                 store=store,
                 delta=delta,

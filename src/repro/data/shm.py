@@ -173,6 +173,96 @@ def _pack_item_index(
     return table, positions
 
 
+def _pack_store(store: RatingStore, layout: _Layout) -> Dict[str, object]:
+    """Reserve every numpy part of ``store`` in ``layout``.
+
+    Returns the :class:`StoreManifest` field values that describe the packed
+    arrays (everything except ``segment`` and ``epoch``, which depend on where
+    the bytes land).  Shared by the shm export and the on-disk snapshot writer
+    (:mod:`repro.data.durability`) so both serialize the exact same layout.
+    """
+    base = {
+        "item_ids": layout.reserve(store._item_ids),
+        "reviewer_ids": layout.reserve(store._reviewer_ids),
+        "scores": layout.reserve(store._scores),
+        "timestamps": layout.reserve(store._timestamps),
+    }
+    codes = {
+        name: layout.reserve(column)
+        for name, column in store._attribute_codes.items()
+    }
+    vocabularies = {
+        name: tuple(str(value) for value in vocabulary.tolist())
+        for name, vocabulary in store._vocabularies.items()
+    }
+    table, positions = _pack_item_index(store._positions_by_item)
+    item_table = layout.reserve(table)
+    item_positions = layout.reserve(positions)
+    indexes: Dict[str, Dict[str, ArrayRef]] = {}
+    index_rows: Dict[str, int] = {}
+    for name, index in store.built_indexes().items():
+        indexes[name] = {
+            array_name: layout.reserve(getattr(index, array_name))
+            for array_name in _INDEX_ARRAYS
+        }
+        index_rows[name] = index.num_rows
+    return {
+        "num_rows": len(store),
+        "grouping_attributes": tuple(store.grouping_attributes),
+        "base": base,
+        "codes": codes,
+        "vocabularies": vocabularies,
+        "item_table": item_table,
+        "item_positions": item_positions,
+        "indexes": indexes,
+        "index_rows": index_rows,
+    }
+
+
+def _store_from_buffer(
+    manifest: StoreManifest, buffer: memoryview, dataset: RatingDataset
+) -> RatingStore:
+    """Re-assemble a store from a packed buffer described by ``manifest``.
+
+    Every column of the returned store is a read-only zero-copy view into
+    ``buffer`` — the caller is responsible for keeping the backing mapping
+    (shm segment or mmap'd snapshot file) alive for the store's lifetime.
+    """
+    table = _view(buffer, manifest.item_table)
+    positions = _view(buffer, manifest.item_positions)
+    positions_by_item = {
+        int(item_id): positions[start : start + length]
+        for item_id, start, length in table.tolist()
+    }
+    vocabularies = {
+        name: np.array(values, dtype=object)
+        for name, values in manifest.vocabularies.items()
+    }
+    indexes = {
+        name: AttributeIndex(
+            name,
+            manifest.index_rows[name],
+            *(_view(buffer, refs[array_name]) for array_name in _INDEX_ARRAYS),
+        )
+        for name, refs in manifest.indexes.items()
+    }
+    return RatingStore._from_parts(
+        dataset=dataset,
+        grouping_attributes=manifest.grouping_attributes,
+        item_ids=_view(buffer, manifest.base["item_ids"]),
+        reviewer_ids=_view(buffer, manifest.base["reviewer_ids"]),
+        scores=_view(buffer, manifest.base["scores"]),
+        timestamps=_view(buffer, manifest.base["timestamps"]),
+        positions_by_item=positions_by_item,
+        attribute_codes={
+            name: _view(buffer, ref) for name, ref in manifest.codes.items()
+        },
+        vocabularies=vocabularies,
+        epoch=manifest.epoch,
+        indexes=indexes,
+    )
+
+
 class SharedStoreExport:
     """One store snapshot exported into one shared-memory segment.
 
@@ -184,48 +274,20 @@ class SharedStoreExport:
     """
 
     def __init__(self, store: RatingStore) -> None:
+        # Set before the segment exists so a mid-init failure (allocation or
+        # copy error) leaves __del__ → release() a safe no-op instead of an
+        # AttributeError that would leak the segment.
+        self._released = True
         layout = _Layout()
-        base = {
-            "item_ids": layout.reserve(store._item_ids),
-            "reviewer_ids": layout.reserve(store._reviewer_ids),
-            "scores": layout.reserve(store._scores),
-            "timestamps": layout.reserve(store._timestamps),
-        }
-        codes = {
-            name: layout.reserve(column)
-            for name, column in store._attribute_codes.items()
-        }
-        vocabularies = {
-            name: tuple(str(value) for value in vocabulary.tolist())
-            for name, vocabulary in store._vocabularies.items()
-        }
-        table, positions = _pack_item_index(store._positions_by_item)
-        item_table = layout.reserve(table)
-        item_positions = layout.reserve(positions)
-        indexes: Dict[str, Dict[str, ArrayRef]] = {}
-        index_rows: Dict[str, int] = {}
-        for name, index in store.built_indexes().items():
-            indexes[name] = {
-                array_name: layout.reserve(getattr(index, array_name))
-                for array_name in _INDEX_ARRAYS
-            }
-            index_rows[name] = index.num_rows
+        fields = _pack_store(store, layout)
         self._shm = shared_memory.SharedMemory(create=True, size=max(layout.total, 1))
+        self._released = False
         layout.copy_into(self._shm.buf)
         self.manifest = StoreManifest(
             segment=self._shm.name,
             epoch=store.epoch,
-            num_rows=len(store),
-            grouping_attributes=tuple(store.grouping_attributes),
-            base=base,
-            codes=codes,
-            vocabularies=vocabularies,
-            item_table=item_table,
-            item_positions=item_positions,
-            indexes=indexes,
-            index_rows=index_rows,
+            **fields,
         )
-        self._released = False
 
     @property
     def epoch(self) -> int:
@@ -309,25 +371,6 @@ def attach_store(manifest: StoreManifest) -> RatingStore:
             f"shared store segment {manifest.segment!r} (epoch {manifest.epoch}) "
             "is gone — the epoch was retired"
         ) from exc
-    buffer = shm.buf
-    table = _view(buffer, manifest.item_table)
-    positions = _view(buffer, manifest.item_positions)
-    positions_by_item = {
-        int(item_id): positions[start : start + length]
-        for item_id, start, length in table.tolist()
-    }
-    vocabularies = {
-        name: np.array(values, dtype=object)
-        for name, values in manifest.vocabularies.items()
-    }
-    indexes = {
-        name: AttributeIndex(
-            name,
-            manifest.index_rows[name],
-            *(_view(buffer, refs[array_name]) for array_name in _INDEX_ARRAYS),
-        )
-        for name, refs in manifest.indexes.items()
-    }
     dataset = RatingDataset(
         reviewers=(),
         items=(),
@@ -335,21 +378,7 @@ def attach_store(manifest: StoreManifest) -> RatingStore:
         name=f"shm-epoch-{manifest.epoch}",
         validate=False,
     )
-    store = RatingStore._from_parts(
-        dataset=dataset,
-        grouping_attributes=manifest.grouping_attributes,
-        item_ids=_view(buffer, manifest.base["item_ids"]),
-        reviewer_ids=_view(buffer, manifest.base["reviewer_ids"]),
-        scores=_view(buffer, manifest.base["scores"]),
-        timestamps=_view(buffer, manifest.base["timestamps"]),
-        positions_by_item=positions_by_item,
-        attribute_codes={
-            name: _view(buffer, ref) for name, ref in manifest.codes.items()
-        },
-        vocabularies=vocabularies,
-        epoch=manifest.epoch,
-        indexes=indexes,
-    )
+    store = _store_from_buffer(manifest, shm.buf, dataset)
     store._shm_handle = shm  # keeps the mapping alive with the store
     return store
 

@@ -33,6 +33,31 @@ class IngestError(DataError):
     """
 
 
+class DurabilityError(DataError):
+    """Base class of the durability subsystem (WAL, snapshots, recovery)."""
+
+
+class WalCorruptionError(DurabilityError):
+    """Raised when a write-ahead log holds a corrupt *non-final* record.
+
+    A torn final record is the expected signature of a crash mid-append and
+    is tolerated (the tail is dropped on recovery); a CRC or framing failure
+    anywhere before the tail means the log was damaged after it was written
+    and recovery refuses to silently truncate committed history.
+    """
+
+
+class SnapshotFormatError(DurabilityError):
+    """Raised when a snapshot file cannot be read (bad magic, CRC mismatch,
+    truncation, or a format version newer than this build understands)."""
+
+
+class RecoveryError(DurabilityError):
+    """Raised when the on-disk state cannot be reconciled with the base
+    dataset (fingerprint mismatch, a gap in the WAL chain, an unreplayable
+    record)."""
+
+
 class GeoError(MapRatError):
     """Raised when a location (zip code, state, city) cannot be resolved."""
 
@@ -92,6 +117,16 @@ class StaleEpochError(PoolError):
     before a compaction may submit mining work for the superseded epoch after
     its shared-memory segments have drained and been unlinked.  The façade
     retries such a request once against the current serving state.
+    """
+
+
+class MiningTimeoutError(PoolError):
+    """Raised when a mining task exceeds the configured per-request deadline.
+
+    The deadline (``ServerConfig.mining_timeout_s``) bounds how long a
+    request blocks on its pool futures; the underlying task is **not**
+    cancelled (threads and worker processes run it to completion), the
+    gatherer just stops waiting.  The JSON layer maps it to a 503.
     """
 
 

@@ -450,8 +450,8 @@ class GeoExplorer:
             diversity_future = pool.submit(
                 self.miner.mine_diversity, region_slice, region_config
             )
-            similarity = similarity_future.result()
-            diversity = diversity_future.result()
+            similarity = pool.gather(similarity_future)
+            diversity = pool.gather(diversity_future)
         else:
             similarity = self.miner.mine_similarity(region_slice, region_config)
             diversity = self.miner.mine_diversity(region_slice, region_config)

@@ -29,6 +29,7 @@ from ..errors import (
     IngestError,
     MapRatError,
     MiningError,
+    MiningTimeoutError,
     PoolError,
     QueryError,
     ServerError,
@@ -48,6 +49,7 @@ from .cache import ResultCache, canonical_explain_key, canonical_geo_key
 from .pool import MiningWorkerPool
 from .precompute import CacheWarmer, ItemAggregate, Precomputer
 from .procpool import ProcessMiningPool
+from .recovery import DurabilityController, RecoveryReport
 
 
 @dataclass(frozen=True)
@@ -78,26 +80,53 @@ class MapRat:
         config: Optional[PipelineConfig] = None,
     ) -> None:
         self.config = config or PipelineConfig()
-        miner = RatingMiner.for_dataset(dataset, self.config.mining)
-        self.live = LiveStore(
-            miner.store,
-            auto_compact_threshold=self.config.server.auto_compact_threshold,
-            use_incremental=self.config.server.use_incremental_compaction,
-        )
+        server = self.config.server
+        # Durability: with a data_dir the live store is reconciled from the
+        # newest snapshot + write-ahead-log replay (crash recovery) and every
+        # accepted ingest is journaled before it mutates the buffer.  Without
+        # one the system is purely in-memory, exactly as before.
+        self.durability: Optional[DurabilityController] = None
+        self._recovery_report: Optional[RecoveryReport] = None
+        if server.data_dir is not None:
+            self.durability = DurabilityController(
+                server.data_dir,
+                fsync=server.wal_fsync,
+                snapshot_on_compact=server.snapshot_on_compact,
+            )
+            self.live, self._recovery_report = self.durability.recover(
+                dataset,
+                lambda ds: RatingMiner.build_store(ds, self.config.mining),
+                auto_compact_threshold=server.auto_compact_threshold,
+                use_incremental=server.use_incremental_compaction,
+            )
+            miner = RatingMiner(self.live.snapshot, self.config.mining)
+        else:
+            miner = RatingMiner.for_dataset(dataset, self.config.mining)
+            self.live = LiveStore(
+                miner.store,
+                auto_compact_threshold=server.auto_compact_threshold,
+                use_incremental=server.use_incremental_compaction,
+            )
         self.engine = QueryEngine(dataset)
         self.cache = ResultCache(
-            capacity=self.config.server.cache_capacity,
-            ttl_seconds=self.config.server.cache_ttl_seconds,
-            single_flight=self.config.server.single_flight,
+            capacity=server.cache_capacity,
+            ttl_seconds=server.cache_ttl_seconds,
+            single_flight=server.single_flight,
         )
         # Mining backend: the thread pool shares the store in-process (cheap,
         # GIL-bound); the process pool exports each epoch's numpy parts into
         # shared memory once and mines on worker processes (multi-core).
-        if self.config.server.mining_backend == "process":
-            self.pool = ProcessMiningPool(self.config.server.mining_workers)
+        # Only the request pool gets the per-request deadline — timing out
+        # warm-up anchors would just leave the cache cold for no latency win.
+        if server.mining_backend == "process":
+            self.pool = ProcessMiningPool(
+                server.mining_workers, timeout_s=server.mining_timeout_s
+            )
             self.pool.publish(miner.store)
         else:
-            self.pool = MiningWorkerPool(self.config.server.mining_workers)
+            self.pool = MiningWorkerPool(
+                server.mining_workers, timeout_s=server.mining_timeout_s
+            )
         # The warm-up shards across its own pool: warm anchors may block as
         # single-flight waiters on a live request's in-flight mining, and if
         # they occupied the request pool they could starve the very SM/DM
@@ -121,6 +150,8 @@ class MapRat:
         self._closed = False
         self._explanation_report = ExplanationReport(self.config.viz)
         self._exploration_report = ExplorationReport(self.config.viz)
+        if self.durability is not None:
+            self._replay_warm_anchors()
 
     # -- epoch-consistent views -------------------------------------------------------
 
@@ -743,15 +774,19 @@ class MapRat:
             return self.warmer
 
     def close(self) -> None:
-        """Shut down the worker pools (idempotent).
+        """Shut down the worker pools and the durability layer (idempotent).
 
         Queued warm-up anchors are cancelled so shutdown is bounded by the
-        tasks already in flight, not by the full warm list.  Call when
+        tasks already in flight, not by the full warm list.  With durability
+        configured, the first close also persists the hot anchor set (for the
+        next start's warm restart) and seals the write-ahead log.  Call when
         discarding a system (the HTTP layer closes systems it owns on
         ``stop()``); a shared, long-lived system can simply be dropped —
-        idle executor threads are reclaimed at interpreter exit.
+        idle executor threads are reclaimed at interpreter exit, and the WAL
+        is crash-safe by construction.
         """
         with self._warmer_lock:
+            already = self._closed
             self._closed = True  # start_warmer refuses from here on
             warmer = self.warmer
         if warmer is not None:
@@ -763,6 +798,108 @@ class MapRat:
             except (Exception, CancelledError):
                 pass  # a cancelled/failed warm-up must not block shutdown
         self.pool.shutdown(cancel_pending=True)
+        if not already:
+            self._save_warm_anchors()
+        if self.durability is not None:
+            self.durability.close()
+
+    # -- warm restart (durable hot-anchor set) ------------------------------------------
+
+    def _save_warm_anchors(self) -> None:
+        """Persist the default-config mining anchors of the current epoch.
+
+        Best-effort (an unwritable data directory must never fail shutdown):
+        the anchor set is only a latency optimisation — losing it costs a
+        cold cache on the next start, never correctness.  Written atomically
+        (tmp + rename) so a crash mid-save leaves the previous set intact.
+        """
+        if self.durability is None:
+            return
+        epoch = self._serving.epoch
+        default_config = self.config.mining.cache_key()
+        anchors: List[dict] = []
+        for key in self.cache.keys():
+            if not (isinstance(key, tuple) and key and key[-1] == epoch):
+                continue
+            if key[0] == "explain":
+                ids, interval, config_key = key[1], key[2], key[3]
+                if not ids or config_key != default_config:
+                    continue
+                anchors.append(
+                    {
+                        "kind": "explain",
+                        "item_ids": list(ids),
+                        "interval": None if interval is None else list(interval),
+                    }
+                )
+            elif key[0] == "geo" and key[1] == "geo_explain":
+                ids, interval, config_key = key[2], key[3], key[8]
+                if config_key != default_config:
+                    continue
+                anchors.append(
+                    {
+                        "kind": "geo_explain",
+                        "item_ids": None if ids is None else list(ids),
+                        "region": key[4],
+                        "interval": None if interval is None else list(interval),
+                    }
+                )
+        path = self.durability.layout.warm_anchor_path
+        try:
+            tmp = path.with_name(path.name + ".tmp")
+            tmp.write_text(json.dumps(anchors, sort_keys=True))
+            tmp.replace(path)
+        except OSError:
+            pass
+
+    def _replay_warm_anchors(self) -> None:
+        """Re-mine the anchor set saved by the previous run's shutdown.
+
+        The warm-restart half of the durability contract: after recovery the
+        store is byte-identical to the pre-crash run, so replaying the saved
+        default-config anchors refills exactly the entries the hot set had.
+        Runs on a background thread under ``warm_in_background`` (the server
+        serves immediately while the cache fills), inline otherwise.
+        Anchors that no longer mine (e.g. a selection emptied by re-ingested
+        data) are skipped — the set is advisory, never load-bearing.
+        """
+        path = self.durability.layout.warm_anchor_path
+        try:
+            anchors = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return
+        if not isinstance(anchors, list) or not anchors:
+            return
+
+        def replay() -> None:
+            replayed = 0
+            for anchor in anchors:
+                try:
+                    kind = anchor.get("kind")
+                    ids = [int(i) for i in anchor.get("item_ids") or []]
+                    interval = anchor.get("interval")
+                    if interval is not None:
+                        interval = (int(interval[0]), int(interval[1]))
+                    if kind == "explain" and ids:
+                        self.explain_items(ids, time_interval=interval)
+                    elif kind == "geo_explain" and anchor.get("region"):
+                        self.geo_explain_items(
+                            ids or None, anchor["region"], time_interval=interval
+                        )
+                    else:
+                        continue
+                    replayed += 1
+                except (MapRatError, TypeError, ValueError):
+                    continue
+            if self._recovery_report is not None:
+                self._recovery_report.warm_anchors_replayed = replayed
+
+        if self.config.server.warm_in_background:
+            threading.Thread(
+                target=replay, name="maprat-warm-restart", daemon=True
+            ).start()
+        else:
+            replay()
 
     def __enter__(self) -> "MapRat":
         return self
@@ -879,6 +1016,40 @@ class MapRat:
         stats = self.live.stats()
         stats["cache_entries"] = len(self.cache)
         return stats
+
+    # -- durability -----------------------------------------------------------------------
+
+    def snapshot_now(self) -> dict:
+        """Write an on-demand durability snapshot of the current compacted state.
+
+        Only the compacted snapshot is captured — buffered rows stay covered
+        by the active write-ahead log, which is exactly what recovery
+        replays.  Raises a 400 :class:`~repro.errors.ServerError` when the
+        system runs without a data directory.
+        """
+        if self.durability is None:
+            raise ServerError(
+                "durability is not configured (start with ServerConfig.data_dir)",
+                status=400,
+            )
+        with self._ingest_lock:
+            return self.durability.write_snapshot(self.live.snapshot)
+
+    def recovery_info(self) -> dict:
+        """Durability-layer status plus the startup recovery report.
+
+        ``{"configured": False}`` when the system runs purely in-memory;
+        otherwise the controller's :meth:`~repro.server.recovery.
+        DurabilityController.info` payload with the recovery report merged
+        in (the ``recovery_info`` endpoint).
+        """
+        if self.durability is None:
+            return {"configured": False}
+        info = self.durability.info()
+        info["configured"] = True
+        report = self._recovery_report
+        info["recovery"] = report.to_dict() if report is not None else None
+        return info
 
     def compact(self, rewarm: bool = True) -> dict:
         """Merge the append buffer into a new snapshot epoch and swap serving.
@@ -1223,6 +1394,14 @@ class JsonApi:
         """``compact``: fold the append buffer into the next epoch."""
         return self.system.compact()
 
+    def handle_snapshot(self, params: Mapping[str, str]) -> dict:
+        """``snapshot``: write an on-demand durability snapshot."""
+        return self.system.snapshot_now()
+
+    def handle_recovery_info(self, params: Mapping[str, str]) -> dict:
+        """``recovery_info``: durability status and the startup recovery report."""
+        return self.system.recovery_info()
+
     #: Route table used by the HTTP layer.
     def routes(self) -> Dict[str, callable]:
         """The endpoint → handler table used by the HTTP layer."""
@@ -1242,6 +1421,8 @@ class JsonApi:
             "ingest_batch": self.handle_ingest_batch,
             "store_stats": self.handle_store_stats,
             "compact": self.handle_compact,
+            "snapshot": self.handle_snapshot,
+            "recovery_info": self.handle_recovery_info,
         }
 
     def dispatch(self, endpoint: str, params: Mapping[str, str]) -> dict:
@@ -1253,6 +1434,11 @@ class JsonApi:
             return handler(params)
         except ServerError:
             raise
+        except MiningTimeoutError as exc:
+            # Deadline overruns are a service condition, not a client error:
+            # 503 tells the caller to retry (the result may even be cached by
+            # the still-running task by then).
+            raise ServerError(str(exc), status=503) from exc
         except (
             QueryError,
             ExplorationError,

@@ -29,11 +29,12 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import PoolError
+from ..errors import MiningTimeoutError, PoolError
 
 
 def split_seed(base_seed: int, index: int) -> int:
@@ -63,17 +64,28 @@ class MiningWorkerPool:
         workers: number of worker threads; ``0`` or ``1`` disables the
             executor and runs every task inline on the calling thread.
         thread_name_prefix: prefix of worker thread names (diagnostics).
+        timeout_s: per-task gather deadline in seconds (``None``: wait
+            forever).  Only meaningful when ``workers > 1`` — inline pools
+            finish the task inside :meth:`submit`, before any gather.
     """
 
     #: Backend discriminator checked by the mining call sites (the process
     #: pool's is "process"; its tasks are spec tuples, not closures).
     kind = "thread"
 
-    def __init__(self, workers: int = 0, thread_name_prefix: str = "maprat-miner") -> None:
+    def __init__(
+        self,
+        workers: int = 0,
+        thread_name_prefix: str = "maprat-miner",
+        timeout_s: Optional[float] = None,
+    ) -> None:
         workers = int(workers)
         if workers < 0:
             raise PoolError("workers must be non-negative")
+        if timeout_s is not None and timeout_s <= 0:
+            raise PoolError("timeout_s must be positive (or None)")
         self.workers = workers
+        self.timeout_s = timeout_s
         self._executor: Optional[ThreadPoolExecutor] = (
             ThreadPoolExecutor(max_workers=workers, thread_name_prefix=thread_name_prefix)
             if workers > 1
@@ -114,6 +126,21 @@ class MiningWorkerPool:
         except RuntimeError as exc:
             raise PoolError("worker pool is shut down") from exc
 
+    def gather(self, future: Future) -> Any:
+        """Resolve one future under the pool's deadline.
+
+        Raises :class:`~repro.errors.MiningTimeoutError` when the task has
+        not finished within ``timeout_s``.  The task itself keeps running on
+        its worker thread (Python offers no safe preemption) — the gatherer
+        just stops waiting, which is what bounds the *request's* latency.
+        """
+        try:
+            return future.result(timeout=self.timeout_s)
+        except FutureTimeoutError as exc:
+            raise MiningTimeoutError(
+                f"mining task exceeded the {self.timeout_s:g}s deadline"
+            ) from exc
+
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
         """Apply ``fn`` to every item; results come back in submission order.
 
@@ -121,7 +148,7 @@ class MiningWorkerPool:
         completion — the executor is not cancelled mid-batch).
         """
         futures = [self.submit(fn, item) for item in items]
-        return [future.result() for future in futures]
+        return [self.gather(future) for future in futures]
 
     def map_outcomes(
         self, fn: Callable[[Any], Any], items: Iterable[Any]

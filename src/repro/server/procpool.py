@@ -41,9 +41,10 @@ import multiprocessing
 import pickle
 import threading
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import EmptyRatingSetError, PoolError, StaleEpochError
+from ..errors import EmptyRatingSetError, MiningTimeoutError, PoolError, StaleEpochError
 from .pool import split_seed, split_seeds  # re-exported: one seed-splitting scheme
 
 __all__ = ["ProcessMiningPool", "split_seed", "split_seeds"]
@@ -202,15 +203,26 @@ class ProcessMiningPool:
         start_method: multiprocessing start method; the default ``"spawn"``
             is safe under the serving layer's threads (``fork`` would clone
             lock state into children).
+        timeout_s: per-task gather deadline in seconds (``None``: wait
+            forever).  Only meaningful when ``workers > 1`` — inline pools
+            resolve the future inside :meth:`submit`, before any gather.
     """
 
     kind = "process"
 
-    def __init__(self, workers: int = 0, start_method: str = "spawn") -> None:
+    def __init__(
+        self,
+        workers: int = 0,
+        start_method: str = "spawn",
+        timeout_s: Optional[float] = None,
+    ) -> None:
         workers = int(workers)
         if workers < 0:
             raise PoolError("workers must be non-negative")
+        if timeout_s is not None and timeout_s <= 0:
+            raise PoolError("timeout_s must be positive (or None)")
         self.workers = workers
+        self.timeout_s = timeout_s
         self._ctx = multiprocessing.get_context(start_method)
         self._lock = threading.Lock()
         self._shutdown = False
@@ -399,6 +411,21 @@ class ProcessMiningPool:
             future.set_exception(exc)
         return future
 
+    def gather(self, future: Future) -> Any:
+        """Resolve one future under the pool's deadline.
+
+        Raises :class:`~repro.errors.MiningTimeoutError` when the task has
+        not finished within ``timeout_s``.  The worker keeps executing the
+        task (its result is dropped by the abandoned future) — the gatherer
+        just stops waiting, which is what bounds the *request's* latency.
+        """
+        try:
+            return future.result(timeout=self.timeout_s)
+        except FutureTimeoutError as exc:
+            raise MiningTimeoutError(
+                f"mining task exceeded the {self.timeout_s:g}s deadline"
+            ) from exc
+
     def map(self, specs: Sequence[tuple]) -> List[Any]:
         """Run many specs; results come back in submission order.
 
@@ -406,7 +433,7 @@ class ProcessMiningPool:
         still run to completion), matching the thread pool's ``map``.
         """
         futures = [self.submit(spec) for spec in specs]
-        return [future.result() for future in futures]
+        return [self.gather(future) for future in futures]
 
     def mine_pair(
         self,
@@ -437,7 +464,7 @@ class ProcessMiningPool:
         diversity_future = self.submit(
             ("diversity", int(epoch), ids, interval, region, config)
         )
-        return similarity_future.result(), diversity_future.result()
+        return self.gather(similarity_future), self.gather(diversity_future)
 
     def explain_regions(
         self,

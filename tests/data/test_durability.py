@@ -1,0 +1,227 @@
+"""Unit tests of the durability primitives: WAL framing and snapshot files."""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.data.durability import (
+    SNAPSHOT_MAGIC,
+    WalScan,
+    WriteAheadLog,
+    decode_ingest_op,
+    encode_ingest_op,
+    frame_record,
+    load_snapshot,
+    read_wal,
+    truncate_wal,
+    write_snapshot,
+)
+from repro.data.model import Rating, Reviewer
+from repro.errors import SnapshotFormatError, WalCorruptionError
+
+
+def _rating(n=0):
+    return Rating(item_id=1 + n, reviewer_id=2, score=4.0, timestamp=100 + n)
+
+
+def _reviewer():
+    return Reviewer(
+        reviewer_id=2, gender="F", age=30, occupation="artist", zipcode="94110"
+    )
+
+
+class TestRecordCodec:
+    def test_roundtrip_without_reviewer(self):
+        rating, reviewer = decode_ingest_op(encode_ingest_op(_rating()))
+        assert rating == _rating()
+        assert reviewer is None
+
+    def test_roundtrip_with_reviewer(self):
+        payload = encode_ingest_op(_rating(), _reviewer())
+        rating, reviewer = decode_ingest_op(payload)
+        assert rating == _rating()
+        assert reviewer == _reviewer()
+
+    def test_encoding_is_canonical(self):
+        # Same op -> same bytes, so WALs of identical runs are bit-identical.
+        assert encode_ingest_op(_rating(), _reviewer()) == encode_ingest_op(
+            _rating(), _reviewer()
+        )
+
+
+class TestWalScan:
+    def test_empty_log(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"")
+        scan = read_wal(path)
+        assert scan.ops == [] and scan.valid_bytes == 0 and not scan.torn
+
+    def test_missing_log_reads_empty(self, tmp_path):
+        scan = read_wal(tmp_path / "nope.log")
+        assert scan == WalScan(ops=[], valid_bytes=0, torn_bytes=0)
+
+    def test_roundtrip_many_records(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path, fsync="never")
+        for n in range(5):
+            wal.append(_rating(n), _reviewer() if n == 0 else None)
+        wal.close()
+        scan = read_wal(path)
+        assert [r.item_id for r, _ in scan.ops] == [1, 2, 3, 4, 5]
+        assert scan.ops[0][1] == _reviewer()
+        assert not scan.torn
+
+    @pytest.mark.parametrize("cut", [1, 4, 7, 8, 12])
+    def test_torn_final_record_is_tolerated(self, tmp_path, cut):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path, fsync="never")
+        wal.append(_rating(0))
+        wal.append(_rating(1))
+        wal.close()
+        whole = path.read_bytes()
+        keep = len(frame_record(encode_ingest_op(_rating(0))))
+        path.write_bytes(whole[: keep + cut])  # tear the second record
+        scan = read_wal(path)
+        assert [r.item_id for r, _ in scan.ops] == [1]
+        assert scan.torn and scan.valid_bytes == keep
+        truncate_wal(path, scan.valid_bytes)
+        rescan = read_wal(path)
+        assert not rescan.torn and len(rescan.ops) == 1
+
+    def test_corrupt_final_crc_is_treated_as_torn(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path, fsync="never")
+        wal.append(_rating(0))
+        wal.close()
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        scan = read_wal(path)
+        assert scan.ops == [] and scan.torn
+
+    def test_corrupt_middle_record_fails_loudly(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path, fsync="never")
+        wal.append(_rating(0))
+        wal.append(_rating(1))
+        wal.close()
+        data = bytearray(path.read_bytes())
+        data[10] ^= 0xFF  # inside the first record's payload
+        path.write_bytes(bytes(data))
+        with pytest.raises(WalCorruptionError):
+            read_wal(path)
+
+    def test_undecodable_middle_payload_fails_loudly(self, tmp_path):
+        path = tmp_path / "wal.log"
+        bad = b"not json at all"
+        framed = struct.pack("<II", len(bad), zlib.crc32(bad)) + bad
+        path.write_bytes(framed + frame_record(encode_ingest_op(_rating())))
+        with pytest.raises(WalCorruptionError):
+            read_wal(path)
+
+
+class TestWalFsyncPolicies:
+    @pytest.mark.parametrize("policy", ["always", "batch", "never"])
+    def test_policies_produce_identical_bytes(self, tmp_path, policy):
+        path = tmp_path / f"wal-{policy}.log"
+        wal = WriteAheadLog(path, fsync=policy)
+        wal.append(_rating(0), _reviewer())
+        wal.commit()
+        wal.append(_rating(1))
+        wal.close()
+        reference = frame_record(encode_ingest_op(_rating(0), _reviewer()))
+        reference += frame_record(encode_ingest_op(_rating(1)))
+        assert path.read_bytes() == reference
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(Exception):
+            WriteAheadLog(tmp_path / "wal.log", fsync="sometimes")
+
+    def test_close_is_idempotent(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log", fsync="batch")
+        wal.append(_rating())
+        wal.close()
+        wal.close()
+
+
+class TestSnapshotFile:
+    @pytest.fixture()
+    def store(self, tiny_store):
+        return tiny_store
+
+    def test_roundtrip_is_byte_identical(self, tmp_path, tiny_dataset, store):
+        path = tmp_path / "snap.snap"
+        meta = write_snapshot(
+            store, path, tiny_dataset.num_ratings, tiny_dataset.num_reviewers
+        )
+        assert meta["epoch"] == store.epoch and meta["bytes"] == path.stat().st_size
+        loaded = load_snapshot(path, tiny_dataset)
+        assert loaded.epoch == store.epoch
+        for name in ("_item_ids", "_reviewer_ids", "_scores", "_timestamps"):
+            np.testing.assert_array_equal(
+                getattr(loaded, name), getattr(store, name)
+            )
+        for attribute in store.grouping_attributes:
+            np.testing.assert_array_equal(
+                loaded.codes_for(attribute), store.codes_for(attribute)
+            )
+            np.testing.assert_array_equal(
+                loaded.vocabulary_for(attribute), store.vocabulary_for(attribute)
+            )
+        assert loaded.dataset.num_ratings == tiny_dataset.num_ratings
+        assert loaded.dataset.num_reviewers == tiny_dataset.num_reviewers
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path, tiny_dataset, store):
+        path = tmp_path / "snap.snap"
+        write_snapshot(store, path, tiny_dataset.num_ratings, tiny_dataset.num_reviewers)
+        assert [p.name for p in tmp_path.iterdir()] == ["snap.snap"]
+
+    def test_bad_magic_rejected(self, tmp_path, tiny_dataset, store):
+        path = tmp_path / "snap.snap"
+        write_snapshot(store, path, tiny_dataset.num_ratings, tiny_dataset.num_reviewers)
+        data = bytearray(path.read_bytes())
+        data[:4] = b"NOPE"
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotFormatError):
+            load_snapshot(path, tiny_dataset)
+
+    def test_newer_format_version_gives_clear_error(
+        self, tmp_path, tiny_dataset, store
+    ):
+        path = tmp_path / "snap.snap"
+        write_snapshot(store, path, tiny_dataset.num_ratings, tiny_dataset.num_reviewers)
+        data = bytearray(path.read_bytes())
+        # The version field sits right after the 8-byte magic.
+        assert data[:8] == SNAPSHOT_MAGIC
+        struct.pack_into("<I", data, 8, 999)
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotFormatError, match="upgrade"):
+            load_snapshot(path, tiny_dataset)
+
+    def test_truncated_file_rejected(self, tmp_path, tiny_dataset, store):
+        path = tmp_path / "snap.snap"
+        write_snapshot(store, path, tiny_dataset.num_ratings, tiny_dataset.num_reviewers)
+        path.write_bytes(path.read_bytes()[:-64])
+        with pytest.raises(SnapshotFormatError):
+            load_snapshot(path, tiny_dataset)
+
+    def test_corrupt_data_region_rejected(self, tmp_path, tiny_dataset, store):
+        path = tmp_path / "snap.snap"
+        write_snapshot(store, path, tiny_dataset.num_ratings, tiny_dataset.num_reviewers)
+        data = bytearray(path.read_bytes())
+        data[-8] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotFormatError):
+            load_snapshot(path, tiny_dataset)
+
+    def test_wrong_base_dataset_rejected(self, tmp_path, tiny_dataset, small_dataset, store):
+        path = tmp_path / "snap.snap"
+        write_snapshot(store, path, tiny_dataset.num_ratings, tiny_dataset.num_reviewers)
+        from repro.errors import RecoveryError
+
+        with pytest.raises(RecoveryError):
+            load_snapshot(path, small_dataset)

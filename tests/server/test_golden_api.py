@@ -18,7 +18,12 @@ The suite is also the **backend differential**: setting
 ``MAPRAT_MINING_BACKEND=process`` (the dedicated CI lane does) replays the
 same corpus through the process-parallel mining backend against the *same*
 golden files, proving the shared-memory worker path byte-identical to the
-thread path.
+thread path.  Likewise, setting ``MAPRAT_GOLDEN_DATA_DIR=1`` (the durability
+CI lane) gives every replayed system a temporary data directory, proving
+that WAL-backed ingest and recovery-enabled startup leave every public
+response byte-identical to the in-memory path.  The durability endpoints
+themselves (``snapshot``/``recovery_info``) replay against a dedicated
+durable system through :data:`DURABLE_CORPUS`.
 """
 
 from __future__ import annotations
@@ -36,6 +41,11 @@ from repro.server.api import JsonApi, MapRat
 #: Mining backend the corpus replays under ("thread" unless the CI lane
 #: overrides it); golden files are backend-independent by construction.
 BACKEND = os.environ.get("MAPRAT_MINING_BACKEND", "thread")
+
+#: When truthy, the ``api``/``ingest_api`` systems get a temporary data
+#: directory — the durability differential lane.  Golden files must not
+#: change: durability is a recovery guarantee, never a response change.
+GOLDEN_DATA_DIR = os.environ.get("MAPRAT_GOLDEN_DATA_DIR", "") not in ("", "0")
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
@@ -232,11 +242,53 @@ INGEST_CORPUS = [
     ),
 ]
 
+#: The durability corpus replays against its own WAL-backed system (the
+#: endpoints only exist with a data directory, and ingest mutates state).
+#: Order matters: each entry documents the WAL/snapshot state the previous
+#: entries left behind.
+DURABLE_CORPUS = [
+    ("durable_recovery_info_fresh", "recovery_info", {}),
+    (
+        "durable_ingest_new_reviewer",
+        "ingest",
+        {
+            "item_id": "2",
+            "reviewer_id": "9001",
+            "score": "4",
+            "timestamp": "456",
+            "gender": "F",
+            "age": "25",
+            "occupation": "artist",
+            "zipcode": "90210",
+        },
+    ),
+    ("durable_compact_epoch_1", "compact", {}),
+    ("durable_snapshot_on_demand", "snapshot", {}),
+    (
+        "durable_ingest_buffered",
+        "ingest",
+        {"item_id": "1", "reviewer_id": "9001", "score": "3", "timestamp": "500"},
+    ),
+    ("durable_recovery_info_active", "recovery_info", {}),
+    ("durable_store_stats", "store_stats", {}),
+]
+
 #: Keys whose values depend on wall-clock or replay order, never on behaviour.
 #: ``description`` is replay-order-dependent by design: equivalent requests
 #: share one canonical cache entry, which keeps the description of whichever
 #: request populated it (first-writer-wins), e.g. a title's case variants.
-VOLATILE_KEYS = {"elapsed_seconds", "cache", "cache_entries", "serving", "description"}
+#: ``path``/``data_dir``/``bytes`` are durability-payload fields tied to the
+#: temporary directory (and to pickle/platform details) of one run.
+VOLATILE_KEYS = {
+    "elapsed_seconds",
+    "cache",
+    "cache_entries",
+    "serving",
+    "description",
+    "path",
+    "data_dir",
+    "bytes",
+}
 
 
 def normalize(payload):
@@ -251,11 +303,22 @@ def normalize(payload):
     return payload
 
 
+def _maybe_data_dir(tmp_path_factory, label):
+    """A temporary data_dir under the durability lane, None otherwise."""
+    if not GOLDEN_DATA_DIR:
+        return None
+    return str(tmp_path_factory.mktemp(label))
+
+
 @pytest.fixture(scope="module")
-def api(tiny_dataset, mining_config):
+def api(tiny_dataset, mining_config, tmp_path_factory):
     """A fresh deterministic system; the corpus replays against one instance."""
     config = PipelineConfig(
-        mining=mining_config, server=ServerConfig(mining_backend=BACKEND)
+        mining=mining_config,
+        server=ServerConfig(
+            mining_backend=BACKEND,
+            data_dir=_maybe_data_dir(tmp_path_factory, "golden-frozen"),
+        ),
     )
     system = MapRat.for_dataset(tiny_dataset, config)
     yield JsonApi(system)
@@ -263,7 +326,7 @@ def api(tiny_dataset, mining_config):
 
 
 @pytest.fixture(scope="module")
-def ingest_api(tiny_dataset, mining_config):
+def ingest_api(tiny_dataset, mining_config, tmp_path_factory):
     """A dedicated mutable system for the ingestion corpus.
 
     ``auto_compact_threshold=4`` makes the batch entry of the corpus trigger
@@ -273,7 +336,25 @@ def ingest_api(tiny_dataset, mining_config):
     config = PipelineConfig(
         mining=mining_config,
         server=ServerConfig(
-            auto_compact_threshold=4, ingest_batch_size=8, mining_backend=BACKEND
+            auto_compact_threshold=4,
+            ingest_batch_size=8,
+            mining_backend=BACKEND,
+            data_dir=_maybe_data_dir(tmp_path_factory, "golden-ingest"),
+        ),
+    )
+    system = MapRat.for_dataset(tiny_dataset, config)
+    yield JsonApi(system)
+    system.close()
+
+
+@pytest.fixture(scope="module")
+def durable_api(tiny_dataset, mining_config, tmp_path_factory):
+    """A WAL-backed system for the durability corpus (always has a data_dir)."""
+    config = PipelineConfig(
+        mining=mining_config,
+        server=ServerConfig(
+            mining_backend=BACKEND,
+            data_dir=str(tmp_path_factory.mktemp("golden-durable")),
         ),
     )
     system = MapRat.for_dataset(tiny_dataset, config)
@@ -309,10 +390,11 @@ class TestGoldenRequests:
     def test_corpus_covers_every_public_endpoint(self, api):
         exercised = {endpoint for _, endpoint, _ in CORPUS}
         exercised |= {endpoint for _, endpoint, _ in INGEST_CORPUS}
+        exercised |= {endpoint for _, endpoint, _ in DURABLE_CORPUS}
         assert exercised >= set(api.routes().keys())
 
     def test_corpus_names_are_unique(self):
-        names = [name for name, _, _ in CORPUS + INGEST_CORPUS]
+        names = [name for name, _, _ in CORPUS + INGEST_CORPUS + DURABLE_CORPUS]
         assert len(names) == len(set(names))
 
     @pytest.mark.parametrize(
@@ -341,4 +423,23 @@ class TestGoldenIngestRequests:
     def test_response_matches_golden(self, ingest_api, request, name, endpoint, params):
         assert_matches_golden(
             request, name, normalize(replay(ingest_api, endpoint, params))
+        )
+
+
+class TestGoldenDurableRequests:
+    """The durability corpus: snapshot / recovery_info response shapes.
+
+    Runs against its own WAL-backed system in corpus order — every entry's
+    golden file documents the exact durability state (active WAL epoch,
+    snapshot chain, buffered rows) the preceding entries established.
+    """
+
+    @pytest.mark.parametrize(
+        "name,endpoint,params",
+        DURABLE_CORPUS,
+        ids=[name for name, _, _ in DURABLE_CORPUS],
+    )
+    def test_response_matches_golden(self, durable_api, request, name, endpoint, params):
+        assert_matches_golden(
+            request, name, normalize(replay(durable_api, endpoint, params))
         )
