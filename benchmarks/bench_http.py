@@ -1,0 +1,252 @@
+"""HTTP-edge benchmark: keep-alive socket QPS and latency, sync vs async.
+
+The serving benchmark (``bench_serving.py``) measures the in-process closed
+loop — no sockets, no HTTP framing.  This one measures the **front door**:
+persistent keep-alive clients driving real TCP connections against both HTTP
+backends, which is what the paper's "interactive web front-end for many
+users" claim actually stresses.  Two scenarios per backend, recorded into
+``BENCH_http.json``:
+
+* **ops** — ``GET /health`` in a closed loop: pure edge overhead (framing,
+  routing, serialisation), no mining and no cache involved.  This is the
+  ceiling of the edge itself.
+* **cached_explain** — repeated popular-item ``GET /api/explain`` after a
+  completed warm-up, Zipf-weighted: the steady-state interactive workload
+  where every response is a cache hit and the edge dominates end-to-end
+  latency.
+
+Each client keeps ONE connection for its whole request stream; the report
+includes ``requests_per_connection`` — before the HTTP/1.1 fix the sync edge
+silently closed after every response, so this ratio is also the regression
+guard for keep-alive.  Client request streams are deterministic
+(``split_seed``), identical across backends.
+
+Run the writer (from the repository root)::
+
+    python benchmarks/bench_http.py            # writes BENCH_http.json
+    python benchmarks/bench_http.py --quick    # smaller load, same shape
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import random
+import sys
+import threading
+import time
+from pathlib import Path
+from urllib.parse import quote
+
+# Make the src layout importable when the package is not installed.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.config import MiningConfig, PipelineConfig, ServerConfig
+from repro.data.synthetic import SyntheticConfig, SyntheticMovieLens
+from repro.server.api import MapRat
+from repro.server.app import MapRatHttpServer
+from repro.server.asyncapi import AsyncMapRatHttpServer
+from repro.server.pool import split_seed
+
+MINING_CONFIG = MiningConfig(max_groups=3, min_coverage=0.25, rhe_restarts=6)
+BASE_SEED = 2012
+POPULAR_ITEMS = 12
+WEIGHTS = [8, 6, 4, 3, 2, 2, 1, 1, 1, 1, 1, 1]
+#: Modest dataset: mining cost only matters during the excluded warm-up; the
+#: measured windows are cache-hit/ops traffic where the edge dominates.
+DATASET_CONFIG = SyntheticConfig(
+    num_reviewers=1200, num_movies=150, ratings_per_reviewer=40, seed=5
+)
+
+BACKENDS = {"sync": MapRatHttpServer, "async": AsyncMapRatHttpServer}
+
+
+def build_dataset():
+    return SyntheticMovieLens(DATASET_CONFIG).generate(name="bench-http")
+
+
+def build_server(backend, dataset):
+    config = PipelineConfig(
+        mining=MINING_CONFIG,
+        server=ServerConfig(mining_workers=4, max_inflight=0),
+    )
+    system = MapRat.for_dataset(dataset, config)
+    server = BACKENDS[backend](system, host="127.0.0.1", port=0, owns_system=True)
+    server.start()
+    return server
+
+
+def percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def run_http_closed_loop(server, targets, clients, requests_per_client):
+    """Keep-alive closed loop: every client owns ONE persistent connection.
+
+    Returns ``(elapsed_seconds, sorted_latencies)``; any non-200 response or
+    dropped connection raises (the historic bugs would fail the benchmark
+    loudly instead of skewing it).
+    """
+    all_latencies = [[] for _ in range(clients)]
+    errors = []
+    barrier = threading.Barrier(clients + 1)
+
+    def client(client_id):
+        rng = random.Random(split_seed(BASE_SEED, client_id))
+        latencies = all_latencies[client_id]
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=120)
+        try:
+            barrier.wait()
+            for _ in range(requests_per_client):
+                target = rng.choices(targets, weights=WEIGHTS[: len(targets)])[0]
+                started = time.perf_counter()
+                conn.request("GET", target)
+                response = conn.getresponse()
+                body = response.read()
+                latencies.append(time.perf_counter() - started)
+                if response.status != 200:
+                    raise RuntimeError(
+                        f"{target} -> {response.status}: {body[:200]!r}"
+                    )
+        except BaseException as exc:  # noqa: BLE001 - reported by the driver
+            errors.append(exc)
+        finally:
+            conn.close()
+
+    threads = [
+        threading.Thread(target=client, args=(i,), daemon=True) for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise RuntimeError(f"{len(errors)} client(s) failed: {errors[0]}") from errors[0]
+    merged = sorted(lat for per_client in all_latencies for lat in per_client)
+    return elapsed, merged
+
+
+def summarize(elapsed, latencies, connections):
+    requests = len(latencies)
+    return {
+        "requests": requests,
+        "connections": connections,
+        "requests_per_connection": round(requests / connections, 1)
+        if connections
+        else None,
+        "elapsed_seconds": round(elapsed, 4),
+        "qps": round(requests / elapsed, 1) if elapsed else None,
+        "p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
+        "p95_ms": round(percentile(latencies, 0.95) * 1000, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
+    }
+
+
+def bench_backend(backend, dataset, clients, requests_per_client):
+    """Both scenarios against one freshly served system."""
+    server = build_server(backend, dataset)
+    system = server.system
+    try:
+        record = {}
+
+        # Scenario 1: pure edge overhead over /health.
+        elapsed, latencies = run_http_closed_loop(
+            server, ["/health"], clients, requests_per_client
+        )
+        connections = server.router.metrics.snapshot()["connections_total"]
+        record["ops"] = summarize(elapsed, latencies, connections)
+
+        # Scenario 2: cache-hit explain traffic after a completed warm-up.
+        warm_report = system.start_warmer(limit=POPULAR_ITEMS).wait(timeout=600)
+        if warm_report is None:
+            raise RuntimeError("warm-up did not finish within 600s")
+        titles = [agg.title for agg in system.precomputer.top_items(limit=POPULAR_ITEMS)]
+        targets = [
+            "/api/explain?q=" + quote(f'title:"{title}"')
+            for title in titles
+        ]
+        before_connections = server.router.metrics.snapshot()["connections_total"]
+        elapsed, latencies = run_http_closed_loop(
+            server, targets, clients, requests_per_client
+        )
+        connections = (
+            server.router.metrics.snapshot()["connections_total"] - before_connections
+        )
+        record["cached_explain"] = summarize(elapsed, latencies, connections)
+        record["cached_explain"]["warmup_seconds"] = round(
+            warm_report.elapsed_seconds, 4
+        )
+        return record
+    finally:
+        server.stop()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_http.json"),
+        help="where to write the JSON record (default: repo-root BENCH_http.json)",
+    )
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=400, help="requests per client")
+    parser.add_argument("--quick", action="store_true", help="smaller load")
+    args = parser.parse_args(argv)
+
+    clients = 4 if args.quick else args.clients
+    requests_per_client = 80 if args.quick else args.requests
+
+    print("[bench_http] generating dataset ...", flush=True)
+    dataset = build_dataset()
+
+    results = {}
+    for backend in ("sync", "async"):
+        print(
+            f"[bench_http] {backend}: {clients} keep-alive clients x "
+            f"{requests_per_client} requests per scenario ...",
+            flush=True,
+        )
+        results[backend] = bench_backend(backend, dataset, clients, requests_per_client)
+        for scenario in ("ops", "cached_explain"):
+            row = results[backend][scenario]
+            print(
+                f"[bench_http]   {backend}/{scenario}: {row['qps']} qps, "
+                f"p95 {row['p95_ms']}ms, "
+                f"{row['requests_per_connection']} requests/connection",
+                flush=True,
+            )
+
+    report = {
+        "benchmark": "http",
+        "workload": (
+            "persistent keep-alive socket closed loop against both HTTP "
+            "backends (synthetic MovieLens, 1200 reviewers x 150 movies)"
+        ),
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "backends": results,
+        "async_vs_sync": {
+            scenario: round(
+                results["async"][scenario]["qps"] / results["sync"][scenario]["qps"],
+                2,
+            )
+            for scenario in ("ops", "cached_explain")
+        },
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_http] wrote {output}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

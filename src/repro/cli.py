@@ -144,6 +144,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request mining deadline in seconds (requests over it get "
         "a 503; requires --mining-workers > 1); default: no deadline",
     )
+    serve.add_argument(
+        "--http-backend",
+        choices=("sync", "async"),
+        default="async",
+        help="serving edge: 'async' (default; asyncio keep-alive tier, "
+        "mining offloaded to the pools) or 'sync' (threaded stdlib "
+        "http.server fallback); routes and JSON are identical",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="bound on concurrently admitted requests; excess load is shed "
+        "with 503 + Retry-After (0 disables the gate; ops endpoints "
+        "always bypass it)",
+    )
+    serve.add_argument(
+        "--api-key",
+        action="append",
+        default=None,
+        metavar="KEY",
+        help="require this API key (X-API-Key or Authorization: Bearer) on "
+        "the write endpoints ingest/ingest_batch/compact/snapshot; "
+        "repeatable to accept several keys; omitted = open write path",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        action="append",
+        default=None,
+        metavar="ENDPOINT=RPS",
+        help="token-bucket rate limit in requests/second for one API "
+        "endpoint (breaches get 429 + Retry-After); use '*=RPS' as the "
+        "default for all endpoints; repeatable",
+    )
 
     return parser
 
@@ -255,6 +289,26 @@ def _cmd_timeline(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _parse_rate_limits(entries: Optional[Sequence[str]]) -> tuple:
+    """Parse repeated ``--rate-limit endpoint=rps`` flags into config pairs."""
+    if not entries:
+        return ()
+    limits = []
+    for entry in entries:
+        endpoint, separator, rate = entry.partition("=")
+        if not separator or not endpoint:
+            raise MapRatError(
+                f"--rate-limit expects ENDPOINT=RPS, got {entry!r}"
+            )
+        try:
+            limits.append((endpoint, float(rate)))
+        except ValueError:
+            raise MapRatError(
+                f"--rate-limit rate must be a number, got {rate!r}"
+            ) from None
+    return tuple(limits)
+
+
 def _cmd_serve(args: argparse.Namespace, out) -> int:
     dataset = _load_dataset(args)
     config = PipelineConfig(
@@ -267,6 +321,10 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
             mining_timeout_s=args.mining_timeout,
             host=args.host,
             port=args.port,
+            http_backend=args.http_backend,
+            max_inflight=args.max_inflight,
+            rate_limits=_parse_rate_limits(args.rate_limit),
+            api_keys=tuple(args.api_key or ()),
         ),
     )
     server = run_server(dataset, config, host=args.host, port=args.port, warm_up=args.warm_up)

@@ -196,6 +196,30 @@ class ServerConfig:
             thread before the deadline is ever consulted.
         host: bind address of the HTTP front-end.
         port: bind port of the HTTP front-end.
+        http_backend: serving edge used by ``run_server``/the CLI —
+            ``"sync"`` (threaded stdlib ``http.server``, one OS thread per
+            connection) or ``"async"`` (the asyncio production tier with
+            keep-alive and pipelining, mining offloaded to the pools via
+            ``run_in_executor``).  Both serve identical routes and
+            byte-identical JSON.
+        max_inflight: bound on concurrently admitted requests per edge; the
+            admission gate sheds excess load with 503 + ``Retry-After``
+            instead of queueing without limit.  0 disables the gate.  The
+            ops endpoints (``/health``/``/version``/``/metrics``) bypass it.
+        rate_limits: per-endpoint token-bucket rates in requests/second,
+            as a mapping or ``(endpoint, rps)`` pairs; the pseudo-endpoint
+            ``"*"`` sets a default for every API endpoint not named
+            explicitly.  Breached limits answer 429 + ``Retry-After``.
+            Empty (default) disables rate limiting.
+        api_keys: accepted API keys for the write path (``ingest``,
+            ``ingest_batch``, ``compact``, ``snapshot``).  Empty (default)
+            leaves the write path open; non-empty demands a matching
+            ``X-API-Key`` (or ``Authorization: Bearer``) header → 401
+            otherwise.  Read endpoints are never gated.
+        max_body_bytes: largest accepted request body; bigger declared
+            bodies are rejected with 413 before a byte is read, so a
+            hostile Content-Length cannot buffer unbounded data.  0
+            disables the cap.
     """
 
     cache_capacity: int = 256
@@ -215,6 +239,11 @@ class ServerConfig:
     mining_timeout_s: float | None = None
     host: str = "127.0.0.1"
     port: int = 8912
+    http_backend: str = "sync"
+    max_inflight: int = 64
+    rate_limits: Sequence[tuple] = ()
+    api_keys: Sequence[str] = ()
+    max_body_bytes: int = 1 << 20
 
     def __post_init__(self) -> None:
         if self.cache_capacity < 1:
@@ -241,6 +270,37 @@ class ServerConfig:
             )
         if self.mining_timeout_s is not None and self.mining_timeout_s <= 0:
             raise ConstraintError("mining_timeout_s must be positive (or None)")
+        if self.http_backend not in ("sync", "async"):
+            raise ConstraintError(
+                "http_backend must be 'sync' or 'async', "
+                f"got {self.http_backend!r}"
+            )
+        if self.max_inflight < 0:
+            raise ConstraintError("max_inflight must be non-negative")
+        if self.max_body_bytes < 0:
+            raise ConstraintError("max_body_bytes must be non-negative")
+        # Normalise rate_limits (mapping or pair iterable) into a sorted,
+        # hashable tuple of (endpoint, rps) pairs so the config stays frozen
+        # and usable as part of cache keys.
+        raw = self.rate_limits
+        pairs = raw.items() if hasattr(raw, "items") else raw
+        limits = []
+        for pair in pairs:
+            try:
+                endpoint, rate = pair
+            except (TypeError, ValueError):
+                raise ConstraintError(
+                    "rate_limits entries must be (endpoint, rps) pairs, "
+                    f"got {pair!r}"
+                ) from None
+            rate = float(rate)
+            if rate <= 0:
+                raise ConstraintError(
+                    f"rate limit for {endpoint!r} must be positive, got {rate}"
+                )
+            limits.append((str(endpoint), rate))
+        object.__setattr__(self, "rate_limits", tuple(sorted(limits)))
+        object.__setattr__(self, "api_keys", tuple(self.api_keys))
 
 
 @dataclass(frozen=True)

@@ -14,8 +14,14 @@ pre-computation and caching techniques, the latency of MapRat is minimized."
   items (optionally on a background thread) and cheap per-item aggregates,
 * :mod:`repro.server.api` — the :class:`MapRat` façade (query → mining →
   exploration → visualization, cache-aware) and the JSON endpoint handlers,
-* :mod:`repro.server.app` — a dependency-free HTTP server exposing the JSON
-  API and the HTML reports, standing in for the demo's web front-end.
+* :mod:`repro.server.http_common` — the transport-agnostic request router
+  shared by both HTTP edges: routing, error mapping (catch-all JSON 500),
+  the numpy-aware encoder, body limits, API-key auth and rate limiting,
+* :mod:`repro.server.metrics` — edge instrumentation (token buckets, the
+  admission gate, per-route counters) and the Prometheus ``/metrics`` page,
+* :mod:`repro.server.app` — the threaded stdlib HTTP edge (sync fallback),
+* :mod:`repro.server.asyncapi` — the asyncio production HTTP tier
+  (keep-alive, pipelined clients, mining offloaded via ``run_in_executor``).
 """
 
 from .cache import CacheStats, ResultCache, canonical_explain_key
@@ -23,7 +29,17 @@ from .pool import MiningWorkerPool, split_seed, split_seeds
 from .procpool import ProcessMiningPool
 from .precompute import CacheWarmer, ItemAggregate, Precomputer
 from .api import JsonApi, MapRat
+from .http_common import (
+    HttpRequest,
+    HttpResponse,
+    MapRatJsonEncoder,
+    RequestRouter,
+    json_dumps,
+    parse_content_length,
+)
+from .metrics import AdmissionGate, HttpMetrics, TokenBucket, render_metrics
 from .app import MapRatHttpServer, run_server
+from .asyncapi import AsyncMapRatHttpServer, run_async_server
 
 __all__ = [
     "CacheStats",
@@ -38,6 +54,18 @@ __all__ = [
     "Precomputer",
     "JsonApi",
     "MapRat",
+    "HttpRequest",
+    "HttpResponse",
+    "MapRatJsonEncoder",
+    "RequestRouter",
+    "json_dumps",
+    "parse_content_length",
+    "AdmissionGate",
+    "HttpMetrics",
+    "TokenBucket",
+    "render_metrics",
     "MapRatHttpServer",
     "run_server",
+    "AsyncMapRatHttpServer",
+    "run_async_server",
 ]

@@ -1,183 +1,115 @@
-"""Dependency-free HTTP front-end standing in for the demo's web UI.
+"""Threaded stdlib HTTP front-end (the sync fallback edge).
 
 The demo exposes "a web based front-end that allows a user to enter one or
-more items" (§3.1).  This module serves the same interactions over plain
-``http.server``:
+more items" (§3.1).  This module serves those interactions over plain
+``http.server`` with one OS thread per connection — the simple, debuggable
+edge.  The production tier is the asyncio server in
+:mod:`repro.server.asyncapi`; both edges are thin transports over the same
+:class:`~repro.server.http_common.RequestRouter`, so routing, error mapping
+(catch-all JSON 500 — a request can never end without a response), the
+numpy-aware encoder, body-size limits, API-key auth, rate limiting and the
+ops endpoints (``/health``/``/version``/``/metrics``) behave identically and
+are fixed in one place.
 
-* ``GET /``                       — landing page with the dataset summary and
-  a form that links to the HTML explanation report,
+Routes:
+
+* ``GET /``                       — landing page with the dataset summary,
 * ``GET /explain?q=...``          — the Figure-2 HTML report,
 * ``GET /explore?q=...&task=...&group=N`` — the Figure-3 HTML report,
 * ``GET /choropleth?q=...&task=...`` — the Figure-2 map as a raw SVG image,
-* ``GET /api/<endpoint>?...``     — the JSON API (summary, suggest, explain,
-  statistics, drilldown, timeline, warmup, geo_summary, geo_drilldown,
-  geo_explain, choropleth).
+* ``GET /api/<endpoint>?...`` (+ ``POST`` with a JSON body) — the JSON API,
+* ``GET /health`` / ``/version`` / ``/metrics`` — ops endpoints.
 
-The server runs on a background thread (:meth:`MapRatHttpServer.start`) so the
-integration tests and the web example can drive it with ``urllib`` without
-blocking.
+The handler speaks **HTTP/1.1 with keep-alive** (``protocol_version``): the
+stdlib default of HTTP/1.0 silently forced a fresh TCP connection per
+request, which wrecked every socket-level benchmark.  ``Content-Length`` is
+sent on every response, which HTTP/1.1 persistence requires.
+
+The server runs on a background thread (:meth:`MapRatHttpServer.start`) so
+integration tests and the web example can drive it without blocking.
 """
 
 from __future__ import annotations
 
-import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
-from urllib.parse import parse_qs, urlparse
-from xml.sax.saxutils import escape
 
 from ..config import PipelineConfig
 from ..data.model import RatingDataset
-from ..errors import MapRatError, ServerError
+from ..errors import ServerError
 from .api import JsonApi, MapRat
-
-_LANDING_TEMPLATE = """<!DOCTYPE html>
-<html><head><meta charset="utf-8"/><title>MapRat</title>
-<style>body{{font-family:Helvetica,Arial,sans-serif;margin:32px;max-width:720px}}
-input,select{{font-size:14px;padding:4px}}</style></head>
-<body>
-<h1>MapRat</h1>
-<p>Meaningful explanation, interactive exploration and geo-visualization of
-collaborative ratings.</p>
-<form action="/explain" method="get">
-  <input name="q" size="48" placeholder='title:&quot;Toy Story&quot; or genre:Thriller AND director:&quot;Steven Spielberg&quot;"/>
-  <button type="submit">Explain Ratings</button>
-</form>
-<h2>Dataset</h2>
-<pre>{summary}</pre>
-<h2>Endpoints</h2>
-<ul>
-<li><code>/explain?q=…</code> — explanation report (Figure 2)</li>
-<li><code>/explore?q=…&amp;task=similarity&amp;group=0</code> — exploration report (Figure 3)</li>
-<li><code>/choropleth?q=…&amp;task=similarity</code> — the Figure-2 map as SVG</li>
-<li><code>/api/explain?q=…</code>, <code>/api/drilldown?…</code>, <code>/api/timeline?…</code> — JSON API</li>
-<li><code>/api/geo_summary</code>, <code>/api/geo_drilldown?region=CA</code>,
-    <code>/api/geo_explain?q=…&amp;region=CA</code> — geo-visualization API</li>
-<li><code>POST /api/ingest</code>, <code>POST /api/ingest_batch</code>,
-    <code>/api/store_stats</code>, <code>/api/compact</code> — live ingestion API</li>
-</ul>
-</body></html>
-"""
+from .http_common import HttpRequest, HttpResponse, RequestRouter, parse_content_length
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Request handler bound to one MapRat system via the server instance."""
+    """Thin socket adapter binding one connection to the shared router."""
 
     server_version = "MapRat/1.0"
+    #: HTTP/1.1 enables keep-alive: without it every request paid TCP (and
+    #: thread) setup, invisibly serialising socket-level benchmarks.
+    protocol_version = "HTTP/1.1"
+    #: TCP_NODELAY: headers and body go out as two writes; with Nagle on,
+    #: the second segment waits for the client's delayed ACK (~40ms per
+    #: keep-alive response).  The asyncio transport disables Nagle too.
+    disable_nagle_algorithm = True
 
     # Provided by MapRatHttpServer via the class attribute trick below.
-    system: MapRat
-    api: JsonApi
+    router: RequestRouter
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
         """Silence per-request logging (tests and demos stay clean)."""
 
-    # -- routing -----------------------------------------------------------------
-
-    def _query_params(self, parsed) -> dict:
-        return {key: values[0] for key, values in parse_qs(parsed.query).items()}
-
-    def _dispatch_api(self, parsed, params: dict) -> None:
-        """Route one ``/api/<endpoint>`` request and send the JSON payload."""
-        endpoint = parsed.path[len("/api/"):]
-        self._send_json(200, self.api.dispatch(endpoint, params))
-
-    def _guarded(self, handle) -> None:
-        """Run one request handler with the shared error-to-JSON mapping."""
-        try:
-            handle()
-        except ServerError as exc:
-            self._send_json(exc.status, {"error": str(exc)})
-        except MapRatError as exc:
-            self._send_json(400, {"error": str(exc)})
+    def setup(self) -> None:
+        """Count the accepted connection (keep-alive amortisation metric)."""
+        super().setup()
+        self.router.metrics.record_connection()
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        parsed = urlparse(self.path)
-        params = self._query_params(parsed)
-        self._guarded(lambda: self._route_get(parsed, params))
-
-    def _route_get(self, parsed, params: dict) -> None:
-        if parsed.path == "/" or parsed.path == "/index.html":
-            self._send_html(self._landing_page())
-        elif parsed.path == "/explain":
-            query = params.get("q", "")
-            if not query:
-                raise ServerError("missing required parameter 'q'", status=400)
-            self._send_html(self.system.explanation_html(query))
-        elif parsed.path == "/explore":
-            query = params.get("q", "")
-            if not query:
-                raise ServerError("missing required parameter 'q'", status=400)
-            task = params.get("task", "similarity")
-            try:
-                group = int(params.get("group", "0"))
-            except ValueError:
-                raise ServerError("parameter 'group' must be an integer", status=400)
-            self._send_html(
-                self.system.exploration_html(query, task=task, group_index=group)
-            )
-        elif parsed.path == "/choropleth":
-            query = params.get("q", "")
-            if not query:
-                raise ServerError("missing required parameter 'q'", status=400)
-            payload = self.api.dispatch("choropleth", params)
-            self._send_svg(payload["svg"])
-        elif parsed.path.startswith("/api/"):
-            self._dispatch_api(parsed, params)
-        else:
-            raise ServerError(f"unknown path {parsed.path!r}", status=404)
+        """One GET request through the shared pipeline."""
+        self._respond("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        """JSON-body POST to any ``/api/<endpoint>`` (the write-path verbs).
+        """One JSON-body POST through the shared pipeline.
 
         Body keys merge over query parameters; non-string values (e.g. the
         ``ratings`` array of ``ingest_batch`` or a nested ``reviewer``
         record) pass through to the handler as-is, so clients post
         structured JSON instead of URL-encoding it.
         """
-        parsed = urlparse(self.path)
-        params = self._query_params(parsed)
-        self._guarded(lambda: self._route_post(parsed, params))
+        self._respond("POST")
 
-    def _route_post(self, parsed, params: dict) -> None:
-        if not parsed.path.startswith("/api/"):
-            raise ServerError(f"unknown path {parsed.path!r}", status=404)
-        length = int(self.headers.get("Content-Length") or 0)
-        if length:
-            try:
-                body = json.loads(self.rfile.read(length).decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                raise ServerError(
-                    f"request body must be a JSON object: {exc}", status=400
-                ) from exc
-            if not isinstance(body, dict):
-                raise ServerError("request body must be a JSON object", status=400)
-            params.update(body)
-        self._dispatch_api(parsed, params)
+    def _respond(self, method: str) -> None:
+        """Read the (validated) body, run the router, write the response."""
+        router = self.router
+        try:
+            length = parse_content_length(
+                self.headers.get("Content-Length"), router.max_body_bytes
+            )
+        except ServerError as exc:
+            # The body was never read, so the connection cannot be reused —
+            # but the client still gets its 400/413 instead of a dead socket.
+            self._write(router.reject(self.path, exc, close=True))
+            return
+        body = self.rfile.read(length) if length else b""
+        request = HttpRequest(
+            method=method,
+            target=self.path,
+            headers={name.lower(): value for name, value in self.headers.items()},
+            body=body,
+        )
+        self._write(router.respond(request))
 
-    # -- responses ----------------------------------------------------------------
-
-    def _landing_page(self) -> str:
-        summary = json.dumps(self.system.summary(), indent=2)
-        return _LANDING_TEMPLATE.format(summary=escape(summary))
-
-    def _send(self, body: str, content_type: str, status: int = 200) -> None:
-        encoded = body.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", f"{content_type}; charset=utf-8")
-        self.send_header("Content-Length", str(len(encoded)))
+    def _write(self, response: HttpResponse) -> None:
+        if response.close:
+            self.close_connection = True
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers:
+            self.send_header(name, value)
         self.end_headers()
-        self.wfile.write(encoded)
-
-    def _send_html(self, body: str, status: int = 200) -> None:
-        self._send(body, "text/html", status)
-
-    def _send_svg(self, body: str, status: int = 200) -> None:
-        self._send(body, "image/svg+xml", status)
-
-    def _send_json(self, status: int, payload: dict) -> None:
-        self._send(json.dumps(payload), "application/json", status)
+        self.wfile.write(response.body)
 
 
 class MapRatHttpServer:
@@ -194,6 +126,9 @@ class MapRatHttpServer:
         self.host = host if host is not None else system.config.server.host
         self.port = port if port is not None else system.config.server.port
         self.owns_system = owns_system
+        self.router = RequestRouter(
+            system, JsonApi(system), system.config.server, edge="sync"
+        )
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -201,11 +136,7 @@ class MapRatHttpServer:
 
     def start(self) -> Tuple[str, int]:
         """Start serving on a daemon thread; returns the bound (host, port)."""
-        handler = type(
-            "BoundHandler",
-            (_Handler,),
-            {"system": self.system, "api": JsonApi(self.system)},
-        )
+        handler = type("BoundHandler", (_Handler,), {"router": self.router})
         self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
         self.host, self.port = self._httpd.server_address[0], self._httpd.server_address[1]
         self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
@@ -262,7 +193,8 @@ def run_server(
     host: str = "127.0.0.1",
     port: int = 0,
     warm_up: int = 0,
-) -> MapRatHttpServer:
+    http_backend: Optional[str] = None,
+):
     """Build a MapRat system over ``dataset`` and start serving it.
 
     Args:
@@ -276,9 +208,23 @@ def run_server(
             immediately — early requests for an item the warmer is currently
             mining coalesce with it through the single-flight cache.  Set the
             config flag to False to block until the cache is warm.
+        http_backend: ``"sync"`` (threaded stdlib edge) or ``"async"`` (the
+            asyncio production tier, :class:`~repro.server.asyncapi.
+            AsyncMapRatHttpServer`); ``None`` follows
+            ``ServerConfig.http_backend``.  Both serve identical routes and
+            byte-identical JSON.
     """
+    from .asyncapi import AsyncMapRatHttpServer  # local: avoid a cycle at import
+
     system = MapRat.for_dataset(dataset, config)
-    server = MapRatHttpServer(system, host=host, port=port, owns_system=True)
+    backend = http_backend or system.config.server.http_backend
+    if backend not in ("sync", "async"):
+        system.close()
+        raise ServerError(
+            f"unknown http_backend {backend!r}; expected 'sync' or 'async'"
+        )
+    server_cls = AsyncMapRatHttpServer if backend == "async" else MapRatHttpServer
+    server = server_cls(system, host=host, port=port, owns_system=True)
     try:
         if warm_up:
             if system.config.server.warm_in_background:
