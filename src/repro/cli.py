@@ -109,11 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--warm-up", type=int, default=0, help="pre-compute this many popular items")
     serve.add_argument(
         "--mining-backend",
-        choices=("thread", "process"),
+        choices=("thread", "process", "sharded"),
         default="thread",
-        help="shard mining across threads (default; GIL-bound) or across "
+        help="shard mining across threads (default; GIL-bound), across "
         "worker processes attached to shared-memory store snapshots "
-        "(multi-core; bit-identical results)",
+        "(multi-core), or across data shards with a lossless "
+        "scatter-gather merge ('sharded'; per-shard segments, the path "
+        "to data one box cannot hold); all backends are bit-identical",
     )
     serve.add_argument(
         "--mining-workers",
@@ -121,6 +123,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="worker count of the mining pool (threads or processes, "
         "per --mining-backend); 0 or 1 runs mining inline",
+    )
+    serve.add_argument(
+        "--mining-shards",
+        type=int,
+        default=2,
+        help="shard count K of the sharded backend: each epoch is "
+        "partitioned into K per-shard store segments (ignored by the "
+        "other backends)",
+    )
+    serve.add_argument(
+        "--mining-shard-scheme",
+        choices=("reviewer", "region"),
+        default="reviewer",
+        help="row partitioning of the sharded backend: 'reviewer' (stable "
+        "reviewer-id hash, even spread) or 'region' (state hash; each "
+        "state's rows live wholly on one shard)",
     )
     serve.add_argument(
         "--data-dir",
@@ -316,6 +334,8 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         server=ServerConfig(
             mining_backend=args.mining_backend,
             mining_workers=args.mining_workers,
+            mining_shards=args.mining_shards,
+            mining_shard_scheme=args.mining_shard_scheme,
             data_dir=None if args.data_dir is None else str(args.data_dir),
             wal_fsync=args.wal_fsync,
             mining_timeout_s=args.mining_timeout,

@@ -153,12 +153,25 @@ class ServerConfig:
             ``ThreadPoolExecutor``; ``"process"`` shards them across
             persistent worker **processes** that attach the store's shared
             memory export zero-copy (true multi-core parallelism — threads
-            are GIL-bound on this workload).  All three execution shapes
-            (serial, thread, process) are bit-identical for a fixed seed.
+            are GIL-bound on this workload); ``"sharded"`` partitions the
+            *data* into ``mining_shards`` per-shard segments and mines each
+            selection by scatter-gather with a lossless coordinator merge
+            (the path to datasets one box cannot hold).  All execution
+            shapes (serial, thread, process, sharded) are bit-identical for
+            a fixed seed.
         mining_workers: worker count of the mining pool (threads or
             processes, per ``mining_backend``); 0 or 1 runs everything
             inline.  Parallel results are bit-identical to serial ones
             (fixed per-task seeds, submission-ordered gathering).
+        mining_shards: shard count K of the ``"sharded"`` backend — how many
+            per-shard store segments an epoch is partitioned into (ignored
+            by the other backends).  1 is the degenerate single-shard mode,
+            which still routes through the scatter-gather merge.
+        mining_shard_scheme: row-partitioning scheme of the ``"sharded"``
+            backend: ``"reviewer"`` (stable hash of the reviewer id — even
+            spread) or ``"region"`` (hash of the reviewer's state — each
+            state's rows live on one shard, so within-region mining touches
+            a single shard).
         precompute_top_items: how many popular items the warm-up mines.
         precompute_top_regions: how many top regions (states by rating
             volume) the warm-up anchors: for each, the geo explanation of the
@@ -227,6 +240,8 @@ class ServerConfig:
     single_flight: bool = True
     mining_backend: str = "thread"
     mining_workers: int = 4
+    mining_shards: int = 2
+    mining_shard_scheme: str = "reviewer"
     precompute_top_items: int = 50
     precompute_top_regions: int = 0
     warm_in_background: bool = True
@@ -248,13 +263,20 @@ class ServerConfig:
     def __post_init__(self) -> None:
         if self.cache_capacity < 1:
             raise ConstraintError("cache_capacity must be at least 1")
-        if self.mining_backend not in ("thread", "process"):
+        if self.mining_backend not in ("thread", "process", "sharded"):
             raise ConstraintError(
-                "mining_backend must be 'thread' or 'process', "
+                "mining_backend must be 'thread', 'process' or 'sharded', "
                 f"got {self.mining_backend!r}"
             )
         if self.mining_workers < 0:
             raise ConstraintError("mining_workers must be non-negative")
+        if self.mining_shards < 1:
+            raise ConstraintError("mining_shards must be at least 1")
+        if self.mining_shard_scheme not in ("reviewer", "region"):
+            raise ConstraintError(
+                "mining_shard_scheme must be 'reviewer' or 'region', "
+                f"got {self.mining_shard_scheme!r}"
+            )
         if self.precompute_top_items < 0:
             raise ConstraintError("precompute_top_items must be non-negative")
         if self.precompute_top_regions < 0:

@@ -79,16 +79,35 @@ class RatingMiner:
     # -- mining -------------------------------------------------------------------
 
     def mine_similarity(
-        self, rating_slice: RatingSlice, config: Optional[MiningConfig] = None
+        self,
+        rating_slice: RatingSlice,
+        config: Optional[MiningConfig] = None,
+        candidates: Optional[List] = None,
     ) -> Explanation:
-        """Run Similarity Mining on a prepared slice."""
-        return self._mine(SimilarityProblem, "similarity", rating_slice, config)
+        """Run Similarity Mining on a prepared slice.
+
+        ``candidates`` optionally injects a pre-enumerated candidate list
+        (the sharded backend merges one from per-shard partial cubes);
+        ``None`` enumerates from the slice as always.
+        """
+        return self._mine(
+            SimilarityProblem, "similarity", rating_slice, config, candidates
+        )
 
     def mine_diversity(
-        self, rating_slice: RatingSlice, config: Optional[MiningConfig] = None
+        self,
+        rating_slice: RatingSlice,
+        config: Optional[MiningConfig] = None,
+        candidates: Optional[List] = None,
     ) -> Explanation:
-        """Run Diversity Mining on a prepared slice."""
-        return self._mine(DiversityProblem, "diversity", rating_slice, config)
+        """Run Diversity Mining on a prepared slice.
+
+        ``candidates`` optionally injects a pre-enumerated candidate list,
+        exactly as in :meth:`mine_similarity`.
+        """
+        return self._mine(
+            DiversityProblem, "diversity", rating_slice, config, candidates
+        )
 
     def _mine(
         self,
@@ -96,11 +115,13 @@ class RatingMiner:
         task: str,
         rating_slice: RatingSlice,
         config: Optional[MiningConfig],
+        candidates: Optional[List] = None,
     ) -> Explanation:
         config = config or self.config
         if rating_slice.is_empty():
             raise EmptyRatingSetError("the item selection matches no rating tuples")
-        candidates = enumerate_candidates(rating_slice, config)
+        if candidates is None:
+            candidates = enumerate_candidates(rating_slice, config)
         if not candidates:
             raise MiningError(
                 "no candidate group meets the support/description constraints; "
@@ -136,9 +157,12 @@ class RatingMiner:
             description: human-readable query description for reports.
             time_interval: optional ``(start, end)`` timestamp restriction.
             config: per-call override of the mining configuration.
-            pool: optional :class:`~repro.server.pool.MiningWorkerPool` or
-                :class:`~repro.server.procpool.ProcessMiningPool`; when it is
-                parallel, the two mining tasks run concurrently.  A process
+            pool: optional :class:`~repro.server.pool.MiningWorkerPool`,
+                :class:`~repro.server.procpool.ProcessMiningPool` or
+                :class:`~repro.server.shardpool.ShardedMiningPool`; when it
+                is parallel, the two mining tasks run concurrently.  A
+                sharded pool mines the selection by scatter-gather over its
+                data shards and merges losslessly.  A process
                 pool receives the two tasks as spec tuples — its workers
                 re-slice the selection from the shared-memory snapshot of
                 this store's epoch and mine there; the query summary is still
@@ -158,7 +182,10 @@ class RatingMiner:
             for item_id in item_ids
             if self.store.dataset.has_item(item_id)
         ]
-        if pool is not None and getattr(pool, "kind", "thread") == "process":
+        if pool is not None and getattr(pool, "kind", "thread") in (
+            "process",
+            "sharded",
+        ):
             similarity, diversity = pool.mine_pair(
                 self.store.epoch, list(item_ids), time_interval, config
             )

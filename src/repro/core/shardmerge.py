@@ -1,0 +1,347 @@
+"""Shard-local cube enumeration and the coordinator's lossless merge.
+
+The sharded mining backend splits one candidate enumeration over K disjoint
+row partitions of the same rating slice.  The protocol is one round of
+stateless scatter-gather:
+
+1. The **coordinator** builds the global slice exactly as the serial path
+   does and computes the per-attribute *admissible value codes* on it (the
+   global support filter of
+   :meth:`~repro.core.cube.CandidateEnumerator._attribute_tables` — support
+   is a global property, so shards cannot decide it alone).  It ships the
+   attribute order, the admissible codes and the description-length limit to
+   every shard that holds at least one row of the slice.
+2. Each **shard worker** (:func:`enumerate_shard_cells`) walks the same cube
+   lattice over its local sub-slice and returns every locally non-empty cell
+   of depth ``<= max_length`` whose values are all admissible, as
+   ``(pairs, count, rating_sum, packed_bits)`` — a partial bincount cube:
+   per-cell local support, local score sum and the packed bitset of local
+   member rows.
+3. The coordinator **merges** cells by summing counts and sums per cell key
+   (:class:`MergedCells`) and **replays** the serial kernel's DFS arithmetic
+   over the merged counts (:func:`replay_candidates`): identical admissible
+   order, identical viability/support pruning, identical emission order and
+   geo-anchor filter.  Each emitted cell's member positions are recovered by
+   mapping every shard's bitset through that shard's localmap (shard-local
+   row ``i`` is global slice row ``localmap[i]``) and sorting — the exact
+   position array the serial kernel would have produced, so
+   :meth:`Group.from_positions` computes bit-identical means and errors.
+
+The merge is *lossless by construction*: the partition preserves relative
+row order, counts are integers (summation is exact), and floats are only
+ever reduced over the identical global arrays.  The property battery
+(``tests/property/test_property_sharding.py``) enforces the invariant
+"sharded == unsharded" over randomized schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import GEO_ATTRIBUTE, MiningConfig
+from ..data.storage import RatingSlice, RatingStore
+from ..errors import PoolError
+from .cube import CandidateEnumerator
+from .groups import Group, GroupDescriptor
+
+__all__ = [
+    "MergedCells",
+    "admissible_codes",
+    "enumerate_shard_cells",
+    "replay_candidates",
+    "shard_slice",
+]
+
+#: A cell key: ((attribute_index, value_code), ...) in DFS attribute order.
+CellKey = Tuple[Tuple[int, int], ...]
+
+
+def shard_slice(
+    store: RatingStore,
+    item_ids: Optional[Sequence[int]],
+    time_interval: Optional[Tuple[int, int]],
+    region: Optional[str],
+) -> RatingSlice:
+    """Build one store's sub-slice of a mining selection, allowing empty.
+
+    Mirrors the slice semantics of the serial paths —
+    ``RatingStore.slice_for_items`` for item selections and
+    ``GeoExplorer._region_slice`` for within-region mining — but never
+    raises on an empty result: a shard legitimately holds no rows of a
+    selection.  Called with the *full* store it reproduces the global slice;
+    called with a shard store it produces the shard-local sub-slice, in the
+    same ascending store-row order (the alignment the merge relies on).
+    """
+    if region is None:
+        if item_ids is None:
+            rating_slice = store.slice_all()
+            if time_interval is not None:
+                rating_slice = rating_slice.restrict_to_interval(*time_interval)
+            return rating_slice
+        return store.slice_for_items(
+            item_ids, time_interval=time_interval, allow_empty=True
+        )
+    if item_ids is None and time_interval is None:
+        if len(store) == 0:
+            return store.slice_rows(np.array([], dtype=np.int64))
+        index = store.attribute_index(GEO_ATTRIBUTE)
+        vocabulary = store.vocabulary_for(GEO_ATTRIBUTE)
+        slot = int(np.searchsorted(vocabulary, region))
+        if slot >= vocabulary.shape[0] or vocabulary[slot] != region:
+            return store.slice_rows(np.array([], dtype=np.int64))
+        return store.slice_rows(index.positions_for(slot))
+    rating_slice = store.slice_for_items(
+        item_ids, time_interval=time_interval, allow_empty=True
+    )
+    if rating_slice.is_empty():
+        return rating_slice
+    return rating_slice.restrict(rating_slice.mask_for(GEO_ATTRIBUTE, region))
+
+
+def admissible_codes(
+    enumerator: CandidateEnumerator,
+) -> Tuple[Tuple[int, ...], ...]:
+    """Per-attribute admissible value codes of the global slice, picklable.
+
+    The exact arrays of ``CandidateEnumerator._attribute_tables`` — computed
+    once on the coordinator's global slice and shipped inside every shard
+    task, so all shards prune against the same global support filter.
+    """
+    return tuple(
+        tuple(int(code) for code in admissible.tolist())
+        for _, _, _, admissible in enumerator._attribute_tables()
+    )
+
+
+def enumerate_shard_cells(
+    rating_slice: RatingSlice,
+    attributes: Sequence[str],
+    admissible: Sequence[Sequence[int]],
+    max_length: int,
+) -> List[Tuple[CellKey, int, float, bytes]]:
+    """Enumerate one shard's non-empty admissible cube cells.
+
+    Walks the same lattice as the serial kernel (attributes in order, each
+    cell extended only by later attributes) over the shard's local slice,
+    keeping every cell whose values are all globally admissible and that has
+    at least one local row.  No support pruning happens here — local support
+    says nothing about global support, so the coordinator decides viability
+    after the merge.  Returns ``(pairs, count, rating_sum, packed_bits)``
+    per cell, where ``pairs`` is the integer cell key, ``count``/
+    ``rating_sum`` are the local partials and ``packed_bits`` is the
+    ``np.packbits`` bitset of local member rows.
+    """
+    num_rows = len(rating_slice)
+    out: List[Tuple[CellKey, int, float, bytes]] = []
+    if num_rows == 0 or not attributes or max_length < 1:
+        return out
+    codes_list = [rating_slice.codes_for(attribute) for attribute in attributes]
+    keep_masks: List[np.ndarray] = []
+    for attribute, codes in zip(attributes, admissible):
+        vocabulary_size = rating_slice.vocabulary(attribute).shape[0]
+        keep = np.zeros(vocabulary_size, dtype=bool)
+        if len(codes):
+            keep[np.asarray(codes, dtype=np.int64)] = True
+        keep_masks.append(keep)
+    scores = rating_slice.scores
+
+    def extend(pairs: CellKey, rows: np.ndarray, attribute_index: int) -> None:
+        if len(pairs) >= max_length:
+            return
+        for next_index in range(attribute_index, len(attributes)):
+            keep = keep_masks[next_index]
+            node_codes = codes_list[next_index][rows]
+            kept = keep[node_codes]
+            if not kept.any():
+                continue
+            kept_rows = rows[kept]
+            order = np.argsort(node_codes[kept], kind="stable")
+            sorted_rows = kept_rows[order]
+            sorted_codes = node_codes[kept][order]
+            values, starts = np.unique(sorted_codes, return_index=True)
+            boundaries = np.append(starts[1:], sorted_codes.shape[0])
+            for value, start, end in zip(
+                values.tolist(), starts.tolist(), boundaries.tolist()
+            ):
+                child_rows = sorted_rows[start:end]
+                child_pairs = pairs + ((next_index, int(value)),)
+                member = np.zeros(num_rows, dtype=bool)
+                member[child_rows] = True
+                out.append(
+                    (
+                        child_pairs,
+                        int(child_rows.shape[0]),
+                        float(np.add.reduce(scores[child_rows])),
+                        np.packbits(member).tobytes(),
+                    )
+                )
+                extend(child_pairs, child_rows, next_index + 1)
+
+    extend((), np.arange(num_rows, dtype=np.int64), 0)
+    return out
+
+
+class MergedCells:
+    """Coordinator-side accumulator of per-shard cube cells.
+
+    Merges the partial bincount cube: integer counts and score sums add
+    exactly; the per-shard packed bitsets are kept as-is and only expanded
+    (through each shard's localmap) for cells the replay actually emits.
+    """
+
+    def __init__(self) -> None:
+        self._cells: Dict[CellKey, List[Any]] = {}
+
+    def add_shard(
+        self,
+        shard_id: int,
+        num_rows: int,
+        cells: Sequence[Tuple[CellKey, int, float, bytes]],
+    ) -> None:
+        """Fold one shard's cells into the merged cube."""
+        for pairs, count, rating_sum, bits in cells:
+            entry = self._cells.get(pairs)
+            if entry is None:
+                entry = self._cells[pairs] = [0, 0.0, []]
+            entry[0] += int(count)
+            entry[1] += float(rating_sum)
+            entry[2].append((int(shard_id), int(num_rows), bits))
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def count(self, pairs: CellKey) -> int:
+        """Merged (global) support of one cell; 0 when no shard reported it."""
+        entry = self._cells.get(pairs)
+        return 0 if entry is None else int(entry[0])
+
+    def rating_sum(self, pairs: CellKey) -> float:
+        """Merged score sum of one cell (diagnostic; exact for half-integer scores)."""
+        entry = self._cells.get(pairs)
+        return 0.0 if entry is None else float(entry[1])
+
+    def positions(
+        self, pairs: CellKey, localmaps: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Global slice positions of one cell's members, ascending.
+
+        Each shard's bitset selects its local member rows; the shard's
+        localmap lifts them to global slice positions; the sorted
+        concatenation is exactly the position array the unsharded kernel
+        computes for the cell.
+        """
+        entry = self._cells.get(pairs)
+        if entry is None:
+            return np.array([], dtype=np.int64)
+        parts = []
+        for shard_id, num_rows, bits in entry[2]:
+            member = np.unpackbits(
+                np.frombuffer(bits, dtype=np.uint8), count=num_rows
+            ).astype(bool)
+            parts.append(localmaps[shard_id][member])
+        positions = np.concatenate(parts)
+        positions.sort()
+        return positions
+
+
+def replay_candidates(
+    rating_slice: RatingSlice,
+    enumerator: CandidateEnumerator,
+    merged: MergedCells,
+    localmaps: Sequence[np.ndarray],
+) -> List[Group]:
+    """Re-run the serial kernel's DFS over merged counts; emit global groups.
+
+    Reproduces :meth:`CandidateEnumerator._extend_kernel` decision for
+    decision — admissible iteration order, per-node viability check, support
+    threshold, geo-anchor emission filter, recursion into every viable child
+    — but reads supports from the merged cube instead of local bincounts,
+    and materialises each emitted group from the merged member positions on
+    the *global* slice.  Output is therefore the exact candidate list (same
+    groups, same order, same floats) the unsharded enumerator returns.
+
+    Raises :class:`~repro.errors.PoolError` when a cell's merged positions
+    disagree with its merged count — the merge invariant a lost or duplicated
+    shard response would break.
+    """
+    tables = enumerator._attribute_tables()
+    out: List[Group] = []
+
+    def extend(
+        descriptor: GroupDescriptor, pairs: CellKey, attribute_index: int
+    ) -> None:
+        if len(descriptor) >= enumerator.max_description_length:
+            return
+        for next_index in range(attribute_index, len(tables)):
+            attribute, _codes, vocabulary, admissible = tables[next_index]
+            if admissible.shape[0] == 0:
+                continue
+            supports = [
+                merged.count(pairs + ((next_index, int(code)),))
+                for code in admissible.tolist()
+            ]
+            viable = sum(
+                1 for support in supports if support >= enumerator.min_support
+            )
+            if viable == 0:
+                continue
+            for code, support in zip(admissible.tolist(), supports):
+                if support < enumerator.min_support:
+                    continue
+                child_pairs = pairs + ((next_index, int(code)),)
+                extended = descriptor.with_pair(attribute, vocabulary[code])
+                if not enumerator.require_geo_anchor or extended.has_attribute(
+                    enumerator.geo_attribute
+                ):
+                    positions = merged.positions(child_pairs, localmaps)
+                    if int(positions.shape[0]) != support:
+                        raise PoolError(
+                            "sharded merge invariant violated: cell "
+                            f"{extended.label()!r} has merged support {support} "
+                            f"but {int(positions.shape[0])} merged member rows"
+                        )
+                    out.append(
+                        Group.from_positions(extended, rating_slice, positions)
+                    )
+                extend(extended, child_pairs, next_index + 1)
+
+    extend(GroupDescriptor.empty(), (), 0)
+    return out
+
+
+def merged_candidates(
+    rating_slice: RatingSlice,
+    config: MiningConfig,
+    shard_results: Dict[int, Tuple[int, Sequence[Tuple[CellKey, int, float, bytes]]]],
+    localmaps: Sequence[np.ndarray],
+) -> List[Group]:
+    """Merge shard cell lists and replay the kernel in one step.
+
+    ``shard_results`` maps shard id to ``(local_rows, cells)`` as returned
+    by :func:`enumerate_shard_cells`; ``localmaps[s]`` holds the global
+    slice positions of shard ``s``'s rows.  Validates the row-count
+    alignment (each shard reported exactly its localmap's rows, and the
+    localmaps tile the slice) before replaying.
+    """
+    total = 0
+    for shard_id, (num_rows, _cells) in shard_results.items():
+        expected = int(localmaps[shard_id].shape[0])
+        if int(num_rows) != expected:
+            raise PoolError(
+                f"sharded merge invariant violated: shard {shard_id} mined "
+                f"{int(num_rows)} rows but the coordinator mapped {expected}"
+            )
+    for localmap in localmaps:
+        total += int(localmap.shape[0])
+    if total != len(rating_slice):
+        raise PoolError(
+            "sharded merge invariant violated: localmaps cover "
+            f"{total} rows of a {len(rating_slice)}-row slice"
+        )
+    merged = MergedCells()
+    for shard_id, (num_rows, cells) in sorted(shard_results.items()):
+        merged.add_shard(shard_id, num_rows, cells)
+    enumerator = CandidateEnumerator.from_config(rating_slice, config)
+    return replay_candidates(rating_slice, enumerator, merged, localmaps)

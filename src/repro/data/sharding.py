@@ -1,0 +1,254 @@
+"""Data sharding: partition a :class:`RatingStore` into K per-shard stores.
+
+The process backend (PR 5) parallelises over *anchors*: every worker attaches
+the whole store through one shared-memory segment, so the dataset ceiling is
+one box's RAM.  This module is the data-parallel half of the sharded backend
+(``ServerConfig.mining_backend="sharded"``): a store is partitioned into K
+disjoint row sets, each exported as its own
+:class:`~repro.data.shm.SharedStoreExport` segment, and
+:class:`~repro.server.shardpool.ShardedMiningPool` scatters per-shard cube
+work that a coordinator merges losslessly (see
+:mod:`repro.core.shardmerge`).
+
+Two partitioning schemes are provided:
+
+* ``"reviewer"`` (default): rows are assigned by a SplitMix64-style avalanche
+  hash of the reviewer id.  The hash is a pure function of the id (stable
+  across processes and Python runs — never ``hash()``, which is salted by
+  ``PYTHONHASHSEED``), so *any* reviewer id, including ones first seen by a
+  later ingest, lands in a well-defined bucket and both coordinator and
+  workers agree on it without coordination.
+* ``"region"``: rows are assigned by a CRC32 hash of the reviewer's state
+  value, so one state's rows live entirely inside one shard and a
+  within-region mining task touches exactly one shard.
+
+Both schemes preserve the *relative store-row order* inside each shard: a
+shard's rows are the store's rows with that bucket, in ascending position
+order.  That invariant is what makes the scatter-gather merge exact — shard-
+local slice position ``i`` corresponds to global slice position
+``localmap[i]``, where the localmap is computed with the same assignment
+function over the global slice's columns.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..config import GEO_ATTRIBUTE
+from ..errors import DataError
+from .shm import SharedStoreExport, StoreManifest
+from .storage import RatingSlice, RatingStore
+
+__all__ = [
+    "SHARD_SCHEMES",
+    "ShardManifest",
+    "export_shards",
+    "partition_store",
+    "region_shards",
+    "reviewer_shards",
+    "slice_shards",
+    "store_shards",
+]
+
+#: Supported partitioning schemes.
+SHARD_SCHEMES = ("reviewer", "region")
+
+#: SplitMix64 finalizer constants (Steele et al., "Fast splittable
+#: pseudorandom number generators") — a full-avalanche 64-bit mix.
+_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_2 = np.uint64(0x94D049BB133111EB)
+
+
+def _check_shards(num_shards: int) -> int:
+    shards = int(num_shards)
+    if shards < 1:
+        raise DataError("num_shards must be at least 1")
+    return shards
+
+
+def reviewer_shards(reviewer_ids: np.ndarray, num_shards: int) -> np.ndarray:
+    """Shard id per row from a stable avalanche hash of the reviewer id.
+
+    Deterministic across processes, machines and Python invocations; ids
+    never seen before (future ingests) hash into the same fixed bucket
+    space, so routing needs no membership table.
+    """
+    shards = _check_shards(num_shards)
+    x = np.asarray(reviewer_ids, dtype=np.int64).astype(np.uint64)
+    x = x ^ (x >> np.uint64(30))
+    x = x * _MIX_1
+    x = x ^ (x >> np.uint64(27))
+    x = x * _MIX_2
+    x = x ^ (x >> np.uint64(31))
+    return (x % np.uint64(shards)).astype(np.int64)
+
+
+def region_bucket(value: str, num_shards: int) -> int:
+    """The shard one region value (e.g. a state code) is pinned to."""
+    shards = _check_shards(num_shards)
+    return int(zlib.crc32(str(value).encode("utf-8")) % shards)
+
+
+def region_shards(
+    codes: np.ndarray, vocabulary: np.ndarray, num_shards: int
+) -> np.ndarray:
+    """Shard id per row from a CRC32 hash of the row's region *value*.
+
+    Hashing the string value (not the integer code) keeps the assignment
+    independent of vocabulary growth: a compaction that inserts a new state
+    shifts codes but never moves an existing state to a different shard.
+    """
+    shards = _check_shards(num_shards)
+    per_code = np.array(
+        [region_bucket(value, shards) for value in vocabulary.tolist()],
+        dtype=np.int64,
+    )
+    codes = np.asarray(codes)
+    if codes.shape[0] == 0:
+        return np.zeros(0, dtype=np.int64)
+    return per_code[codes]
+
+
+def slice_shards(
+    rating_slice: RatingSlice, num_shards: int, scheme: str = "reviewer"
+) -> np.ndarray:
+    """Per-row shard assignment of a slice (the coordinator's localmap seed)."""
+    if scheme == "reviewer":
+        return reviewer_shards(rating_slice.reviewer_ids, num_shards)
+    if scheme == "region":
+        return region_shards(
+            rating_slice.codes_for(GEO_ATTRIBUTE),
+            rating_slice.vocabulary(GEO_ATTRIBUTE),
+            num_shards,
+        )
+    raise DataError(f"unknown shard scheme {scheme!r}; expected one of {SHARD_SCHEMES}")
+
+
+def store_shards(
+    store: RatingStore, num_shards: int, scheme: str = "reviewer"
+) -> np.ndarray:
+    """Per-row shard assignment of a whole store (the partitioning seed)."""
+    if scheme == "reviewer":
+        return reviewer_shards(store._reviewer_ids, num_shards)
+    if scheme == "region":
+        return region_shards(
+            store.codes_for(GEO_ATTRIBUTE),
+            store.vocabulary_for(GEO_ATTRIBUTE),
+            num_shards,
+        )
+    raise DataError(f"unknown shard scheme {scheme!r}; expected one of {SHARD_SCHEMES}")
+
+
+def _item_index_for(item_ids: np.ndarray) -> Dict[int, np.ndarray]:
+    """Per-item position lists over a shard's (local) row numbering."""
+    if item_ids.shape[0] == 0:
+        return {}
+    order = np.argsort(item_ids, kind="stable")
+    sorted_items = item_ids[order]
+    unique_items, starts = np.unique(sorted_items, return_index=True)
+    segments = np.split(order, starts[1:])
+    return {
+        int(item_id): segment
+        for item_id, segment in zip(unique_items.tolist(), segments)
+    }
+
+
+def partition_store(
+    store: RatingStore, num_shards: int, scheme: str = "reviewer"
+) -> List[RatingStore]:
+    """Split a store into ``num_shards`` disjoint row-subset stores.
+
+    Each shard is a full :class:`RatingStore` (same epoch, same grouping
+    attributes, *shared* vocabulary arrays — codes stay comparable across
+    shards and with the parent) holding the parent's rows of its bucket in
+    ascending position order.  Empty shards are valid stores with zero rows.
+    The union of the shards' rows is exactly the parent's rows; nothing is
+    copied beyond the gathered column arrays.
+    """
+    shards = _check_shards(num_shards)
+    assignment = store_shards(store, shards, scheme)
+    vocabularies = dict(store._vocabularies)  # shared arrays, codes stay aligned
+    parts: List[RatingStore] = []
+    for shard_id in range(shards):
+        rows = np.flatnonzero(assignment == shard_id)
+        item_ids = store._item_ids[rows]
+        parts.append(
+            RatingStore._from_parts(
+                store.dataset,
+                store.grouping_attributes,
+                item_ids,
+                store._reviewer_ids[rows],
+                store._scores[rows],
+                store._timestamps[rows],
+                _item_index_for(item_ids),
+                {
+                    name: codes[rows]
+                    for name, codes in store._attribute_codes.items()
+                },
+                vocabularies,
+                store.epoch,
+            )
+        )
+    return parts
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """Picklable description of one epoch's sharded export.
+
+    Bundles the per-shard :class:`~repro.data.shm.StoreManifest` handles with
+    the partitioning parameters, so a (future multi-host) worker fleet can be
+    handed one object and attach any shard of the epoch.  Pickles cleanly:
+    every field is plain data or a ``StoreManifest`` (itself picklable).
+
+    Attributes:
+        scheme: partitioning scheme the rows were assigned with.
+        num_shards: shard count K.
+        epoch: store epoch all shards belong to.
+        shards: one ``StoreManifest`` per shard, indexed by shard id.
+        row_counts: rows per shard (diagnostics; sums to the parent's rows).
+    """
+
+    scheme: str
+    num_shards: int
+    epoch: int
+    shards: Tuple[StoreManifest, ...]
+    row_counts: Tuple[int, ...]
+
+    @property
+    def total_rows(self) -> int:
+        """Total rows across all shards (== the parent store's rows)."""
+        return int(sum(self.row_counts))
+
+
+def export_shards(
+    shard_stores: List[RatingStore], scheme: str
+) -> Tuple[List[SharedStoreExport], ShardManifest]:
+    """Export partitioned shard stores to shared memory with one manifest.
+
+    Returns the per-shard exports (creator-owned: release each to unlink)
+    and the :class:`ShardManifest` describing them.  Empty shards export
+    fine — the segment layout pads zero-row stores to a minimal segment.
+    """
+    if not shard_stores:
+        raise DataError("export_shards needs at least one shard store")
+    exports: List[SharedStoreExport] = []
+    try:
+        for shard_store in shard_stores:
+            exports.append(SharedStoreExport(shard_store))
+    except BaseException:
+        for export in exports:
+            export.release()
+        raise
+    manifest = ShardManifest(
+        scheme=scheme,
+        num_shards=len(shard_stores),
+        epoch=int(shard_stores[0].epoch),
+        shards=tuple(export.manifest for export in exports),
+        row_counts=tuple(len(shard_store) for shard_store in shard_stores),
+    )
+    return exports, manifest

@@ -49,6 +49,7 @@ from .cache import ResultCache, canonical_explain_key, canonical_geo_key
 from .pool import MiningWorkerPool
 from .precompute import CacheWarmer, ItemAggregate, Precomputer
 from .procpool import ProcessMiningPool
+from .shardpool import ShardedMiningPool
 from .recovery import DurabilityController, RecoveryReport
 
 
@@ -121,6 +122,14 @@ class MapRat:
         if server.mining_backend == "process":
             self.pool = ProcessMiningPool(
                 server.mining_workers, timeout_s=server.mining_timeout_s
+            )
+            self.pool.publish(miner.store)
+        elif server.mining_backend == "sharded":
+            self.pool = ShardedMiningPool(
+                server.mining_workers,
+                shards=server.mining_shards,
+                scheme=server.mining_shard_scheme,
+                timeout_s=server.mining_timeout_s,
             )
             self.pool.publish(miner.store)
         else:
@@ -208,7 +217,8 @@ class MapRat:
 
     @property
     def _process_backend(self) -> bool:
-        return self.config.server.mining_backend == "process"
+        """True for the epoch-publishing pools (process and sharded backends)."""
+        return self.config.server.mining_backend in ("process", "sharded")
 
     @staticmethod
     def _retry_stale_epoch(attempt):

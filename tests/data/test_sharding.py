@@ -1,0 +1,230 @@
+"""Data sharding: stable assignment, lossless partitioning, shard manifests."""
+
+from __future__ import annotations
+
+import pickle
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.data.sharding import (
+    SHARD_SCHEMES,
+    ShardManifest,
+    export_shards,
+    partition_store,
+    region_bucket,
+    region_shards,
+    reviewer_shards,
+    slice_shards,
+    store_shards,
+)
+from repro.data.shm import attach_store, detach_store
+from repro.data.storage import RatingStore
+from repro.errors import DataError
+
+
+class TestReviewerAssignment:
+    def test_assignment_is_deterministic_and_in_range(self):
+        ids = np.arange(0, 5_000, dtype=np.int64)
+        for shards in (1, 2, 3, 7):
+            first = reviewer_shards(ids, shards)
+            second = reviewer_shards(ids, shards)
+            assert np.array_equal(first, second)
+            assert first.min() >= 0 and first.max() < shards
+
+    def test_unknown_future_reviewer_ids_hash_into_the_same_space(self):
+        # Ids never seen at partition time (post-ingest reviewers) must land
+        # in a well-defined bucket without any membership table.
+        fresh = np.array([900_000, 900_001, 10**12, 2**62], dtype=np.int64)
+        assignment = reviewer_shards(fresh, 3)
+        assert assignment.shape == (4,)
+        assert set(assignment.tolist()) <= {0, 1, 2}
+        assert np.array_equal(assignment, reviewer_shards(fresh, 3))
+
+    def test_assignment_is_independent_of_pythonhashseed(self):
+        # The whole point of the avalanche mix: never Python's salted hash().
+        script = (
+            "import numpy as np; from repro.data.sharding import reviewer_shards; "
+            "print(reviewer_shards(np.arange(64, dtype=np.int64), 7).tolist())"
+        )
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={"PYTHONHASHSEED": seed, "PYTHONPATH": "src"},
+            ).stdout
+            for seed in ("0", "1", "424242")
+        }
+        assert len(outputs) == 1
+
+    def test_hash_spreads_across_shards(self):
+        assignment = reviewer_shards(np.arange(10_000, dtype=np.int64), 7)
+        counts = np.bincount(assignment, minlength=7)
+        assert (counts > 0).all()  # no shard starves on uniform ids
+        assert counts.max() < 2 * counts.min()  # and the spread is sane
+
+    def test_single_shard_assigns_everything_to_zero(self):
+        assignment = reviewer_shards(np.arange(100, dtype=np.int64), 1)
+        assert not assignment.any()
+
+    def test_invalid_shard_count_raises_data_error(self):
+        with pytest.raises(DataError, match="at least 1"):
+            reviewer_shards(np.arange(4, dtype=np.int64), 0)
+
+
+class TestRegionAssignment:
+    def test_each_state_is_pinned_to_exactly_one_shard(self, tiny_store):
+        assignment = store_shards(tiny_store, 3, scheme="region")
+        codes = tiny_store.codes_for("state")
+        for code in np.unique(codes):
+            assert len(set(assignment[codes == code].tolist())) == 1
+
+    def test_region_bucket_survives_vocabulary_growth(self, tiny_store):
+        # Compaction may insert new states and shift integer codes; hashing
+        # the string value keeps every existing state on its shard.
+        vocabulary = tiny_store.vocabulary_for("state")
+        grown = np.concatenate([np.array(["AA"], dtype=vocabulary.dtype), vocabulary])
+        codes = tiny_store.codes_for("state")
+        before = region_shards(codes, vocabulary, 5)
+        after = region_shards(codes + 1, grown, 5)
+        assert np.array_equal(before, after)
+
+    def test_region_bucket_matches_row_assignment(self, tiny_store):
+        assignment = store_shards(tiny_store, 4, scheme="region")
+        codes = tiny_store.codes_for("state")
+        vocabulary = tiny_store.vocabulary_for("state")
+        for row in (0, 17, len(tiny_store) - 1):
+            value = str(vocabulary[codes[row]])
+            assert assignment[row] == region_bucket(value, 4)
+
+    def test_empty_codes_yield_empty_assignment(self, tiny_store):
+        empty = region_shards(
+            np.zeros(0, dtype=np.int64), tiny_store.vocabulary_for("state"), 3
+        )
+        assert empty.shape == (0,)
+
+    def test_unknown_scheme_raises_data_error(self, tiny_store):
+        with pytest.raises(DataError, match="unknown shard scheme"):
+            store_shards(tiny_store, 2, scheme="zipcode")
+        with pytest.raises(DataError, match="unknown shard scheme"):
+            slice_shards(tiny_store.slice_all(), 2, scheme="zipcode")
+
+
+class TestPartitionStore:
+    @pytest.mark.parametrize("scheme", SHARD_SCHEMES)
+    @pytest.mark.parametrize("shards", [1, 2, 3, 7])
+    def test_partition_is_a_lossless_ordered_split(self, tiny_store, shards, scheme):
+        parts = partition_store(tiny_store, shards, scheme)
+        assert len(parts) == shards
+        assert sum(len(part) for part in parts) == len(tiny_store)
+        assignment = store_shards(tiny_store, shards, scheme)
+        for shard_id, part in enumerate(parts):
+            rows = np.flatnonzero(assignment == shard_id)
+            # Relative store-row order is preserved — the merge invariant.
+            assert np.array_equal(part._item_ids, tiny_store._item_ids[rows])
+            assert np.array_equal(part._reviewer_ids, tiny_store._reviewer_ids[rows])
+            assert np.array_equal(part._scores, tiny_store._scores[rows])
+            assert np.array_equal(part._timestamps, tiny_store._timestamps[rows])
+
+    def test_vocabularies_are_shared_so_codes_stay_comparable(self, tiny_store):
+        parts = partition_store(tiny_store, 3)
+        for part in parts:
+            for name in tiny_store.grouping_attributes:
+                assert part.vocabulary_for(name) is tiny_store.vocabulary_for(name)
+        assignment = store_shards(tiny_store, 3)
+        for shard_id, part in enumerate(parts):
+            rows = np.flatnonzero(assignment == shard_id)
+            for name in tiny_store.grouping_attributes:
+                assert np.array_equal(
+                    part.codes_for(name), tiny_store.codes_for(name)[rows]
+                )
+
+    def test_single_shard_degenerate_partition_is_the_whole_store(self, tiny_store):
+        (only,) = partition_store(tiny_store, 1)
+        assert len(only) == len(tiny_store)
+        assert np.array_equal(only._item_ids, tiny_store._item_ids)
+        assert only.epoch == tiny_store.epoch
+        # Same code path as K>1: slicing works, per-item index intact.
+        item_id = int(tiny_store._item_ids[0])
+        ours = only.slice_for_items([item_id])
+        theirs = tiny_store.slice_for_items([item_id])
+        assert np.array_equal(ours.scores, theirs.scores)
+
+    def test_empty_shards_are_valid_zero_row_stores(self, tiny_dataset):
+        store = RatingStore(tiny_dataset)
+        # More shards than reviewers guarantees at least one empty bucket.
+        parts = partition_store(store, 997)
+        sizes = [len(part) for part in parts]
+        assert sum(sizes) == len(store)
+        assert 0 in sizes
+        empty = parts[sizes.index(0)]
+        assert empty.slice_for_items([1], allow_empty=True).is_empty()
+
+    def test_shard_epoch_matches_the_parent(self, tiny_store):
+        for part in partition_store(tiny_store, 2):
+            assert part.epoch == tiny_store.epoch
+
+    def test_invalid_shard_count_raises_data_error(self, tiny_store):
+        with pytest.raises(DataError, match="at least 1"):
+            partition_store(tiny_store, 0)
+
+
+class TestShardManifest:
+    def test_manifest_pickle_round_trip(self, tiny_store):
+        exports, manifest = export_shards(partition_store(tiny_store, 3), "reviewer")
+        try:
+            clone = pickle.loads(pickle.dumps(manifest))
+            assert clone == manifest
+            assert clone.scheme == "reviewer"
+            assert clone.num_shards == 3
+            assert clone.epoch == tiny_store.epoch
+            assert len(clone.shards) == 3
+            assert clone.total_rows == len(tiny_store)
+        finally:
+            for export in exports:
+                export.release()
+
+    def test_any_shard_attaches_through_the_manifest(self, tiny_store):
+        exports, manifest = export_shards(partition_store(tiny_store, 3), "reviewer")
+        try:
+            for shard_id in range(manifest.num_shards):
+                attached = attach_store(manifest.shards[shard_id])
+                try:
+                    assert len(attached) == manifest.row_counts[shard_id]
+                finally:
+                    detach_store(attached)
+        finally:
+            for export in exports:
+                export.release()
+
+    def test_empty_shard_exports_and_attaches(self, tiny_dataset):
+        store = RatingStore(tiny_dataset)
+        parts = partition_store(store, 997)
+        sizes = [len(part) for part in parts]
+        shard_id = sizes.index(0)
+        exports, manifest = export_shards(parts, "reviewer")
+        try:
+            assert manifest.row_counts[shard_id] == 0
+            attached = attach_store(manifest.shards[shard_id])
+            try:
+                assert len(attached) == 0
+            finally:
+                detach_store(attached)
+        finally:
+            for export in exports:
+                export.release()
+
+    def test_export_requires_at_least_one_shard(self):
+        with pytest.raises(DataError, match="at least one shard"):
+            export_shards([], "reviewer")
+
+    def test_manifest_is_frozen(self, tiny_store):
+        manifest = ShardManifest(
+            scheme="reviewer", num_shards=1, epoch=0, shards=(), row_counts=(0,)
+        )
+        with pytest.raises(AttributeError):
+            manifest.num_shards = 2

@@ -1,0 +1,262 @@
+"""Differential battery: sharded scatter-gather ≡ unsharded mining.
+
+For randomized ingest/compact schedules, the same snapshots are mined twice —
+once serially (the reference kernel of §3) and once through an inline
+:class:`~repro.server.shardpool.ShardedMiningPool` that partitions the store,
+enumerates per-shard partial cubes and merges them
+(:mod:`repro.core.shardmerge`).  Every payload the serving stack emits must be
+**bit-identical**: SM + DM explanations and within-region geo mining, at every
+published epoch of the schedule.
+
+Schedules vary the shard count (1, 2, 3, 7 — including the degenerate single
+shard), the partitioning scheme (reviewer hash and region hash), skew the
+reviewer distribution (a hot handful of reviewers takes most appends, so
+shards are unbalanced), grow vocabularies mid-schedule (fresh reviewers with
+unseen zip codes — the region scheme must not move existing states), and
+interleave ingest + compaction so the publish/retire epoch protocol runs
+under sharding.  Selections small enough to miss some shards entirely
+exercise the empty-shard path of the scatter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import MiningConfig
+from repro.core.cube import enumerate_candidates
+from repro.core.miner import RatingMiner
+from repro.data.ingest import LiveStore
+from repro.data.model import Rating, Reviewer
+from repro.data.sharding import slice_shards
+from repro.data.storage import RatingStore
+from repro.geo.explorer import GeoExplorer
+from repro.server.shardpool import ShardedMiningPool
+
+#: Randomized schedules the battery replays (acceptance: at least 50).
+NUM_SCHEDULES = 50
+
+#: Shard counts cycled across seeds (1 = degenerate single-shard mode).
+SHARD_COUNTS = [1, 2, 3, 7]
+
+#: Zip codes spread over several states, all resolvable, none in the tiny
+#: dataset — fresh reviewers grow the zipcode/city vocabularies mid-schedule.
+FRESH_ZIPCODES = [
+    "99501", "96801", "82001", "59001", "03031", "05001", "58001", "57001",
+    "83201", "97035", "33101", "60601", "75201", "10118", "02108", "94105",
+]
+
+MINING = MiningConfig(
+    min_group_support=3,
+    min_coverage=0.2,
+    rhe_restarts=2,
+    rhe_max_iterations=60,
+)
+
+
+@pytest.fixture(scope="module")
+def base_store(tiny_dataset):
+    """One frozen epoch-0 store shared (read-only) by every schedule."""
+    return RatingStore(tiny_dataset)
+
+
+def build_schedule(rng, dataset):
+    """One randomized skewed append/compact schedule.
+
+    Returns ``(operations, probe_item_ids)``: operations are
+    ``("append", rating, reviewer_or_None)`` / ``("compact",)``; the probes
+    are items touched by the schedule (mined after each compaction).  The
+    reviewer distribution is deliberately skewed: a hot handful of reviewers
+    takes most of the appends, so reviewer-hash shards end up unbalanced.
+    """
+    item_ids = [item.item_id for item in dataset.items()]
+    reviewer_ids = [reviewer.reviewer_id for reviewer in dataset.reviewers()]
+    hot = [int(r) for r in rng.choice(reviewer_ids, size=3, replace=False)]
+    operations = []
+    touched = set()
+    next_reviewer_id = 900_000
+    for _ in range(int(rng.integers(1, 3))):
+        for _ in range(int(rng.integers(6, 20))):
+            roll = rng.random()
+            if roll < 0.12:
+                # A brand-new reviewer with an unseen zip code: vocabulary
+                # growth that the region scheme must shrug off.
+                zipcode = FRESH_ZIPCODES[int(rng.integers(0, len(FRESH_ZIPCODES)))]
+                reviewer = Reviewer(
+                    reviewer_id=next_reviewer_id,
+                    gender="F" if rng.random() < 0.5 else "M",
+                    age=int(rng.choice([1, 18, 25, 35, 45, 50, 56])),
+                    occupation="programmer",
+                    zipcode=zipcode,
+                )
+                next_reviewer_id += 1
+                reviewer_id = reviewer.reviewer_id
+            else:
+                reviewer = None
+                # Skew: the hot reviewers absorb ~2/3 of the stream.
+                pool = hot if roll < 0.7 else reviewer_ids
+                reviewer_id = int(rng.choice(pool))
+            rating = Rating(
+                item_id=int(rng.choice(item_ids)),
+                reviewer_id=reviewer_id,
+                score=float(rng.integers(1, 6)),
+                timestamp=int(rng.integers(0, 2_000_000_000)),
+            )
+            operations.append(("append", rating, reviewer))
+            touched.add(rating.item_id)
+        operations.append(("compact",))
+    return operations, sorted(touched)
+
+
+def strip_volatile(payload):
+    """Drop wall-clock fields recursively; everything else compares exactly."""
+    if isinstance(payload, dict):
+        return {
+            key: strip_volatile(value)
+            for key, value in payload.items()
+            if key != "elapsed_seconds"
+        }
+    if isinstance(payload, list):
+        return [strip_volatile(value) for value in payload]
+    return payload
+
+
+def explain_payload(store: RatingStore, item_ids, pool=None) -> dict:
+    result = RatingMiner(store, MINING).explain_items(item_ids, pool=pool)
+    return strip_volatile(result.to_dict())
+
+
+def geo_payload(store: RatingStore, item_ids, region, pool=None) -> dict:
+    explorer = GeoExplorer(RatingMiner(store, MINING))
+    result = explorer.explain_region(item_ids, region, pool=pool)
+    return strip_volatile(result.to_dict())
+
+
+class TestShardedEqualsUnsharded:
+    @pytest.mark.parametrize("seed", range(NUM_SCHEDULES))
+    def test_sharded_mining_matches_serial(self, base_store, tiny_dataset, seed):
+        rng = np.random.default_rng(seed)
+        num_shards = SHARD_COUNTS[seed % len(SHARD_COUNTS)]
+        scheme = "region" if seed % 2 else "reviewer"
+        operations, probes = build_schedule(rng, tiny_dataset)
+        live = LiveStore(base_store)
+        pool = ShardedMiningPool(workers=0, shards=num_shards, scheme=scheme)
+        try:
+            for operation in operations:
+                if operation[0] == "append":
+                    live.ingest(operation[1], operation[2])
+                    continue
+                live.compact()
+                snapshot = live.snapshot
+                # Interleaved publish: each compaction's epoch goes live on
+                # the pool (retiring the previous one) and is mined at once.
+                pool.publish(snapshot)
+                assert pool.current_epoch == snapshot.epoch
+                probe = probes[int(rng.integers(0, len(probes)))]
+                assert explain_payload(snapshot, [probe], pool=pool) == (
+                    explain_payload(snapshot, [probe])
+                ), f"SM/DM drift at epoch {snapshot.epoch}"
+            snapshot = live.snapshot
+            assert snapshot.epoch > 0, "every schedule must compact at least once"
+            # Geo: within-region mining of the reviewers' top state.
+            explorer = GeoExplorer(RatingMiner(snapshot, MINING))
+            region = explorer.summary()[0].region
+            assert geo_payload(snapshot, None, region, pool=pool) == (
+                geo_payload(snapshot, None, region)
+            ), f"geo drift for {region!r} at epoch {snapshot.epoch}"
+        finally:
+            pool.shutdown()
+
+    @pytest.mark.parametrize("seed", range(0, NUM_SCHEDULES, 10))
+    def test_merged_candidates_match_the_serial_enumerator(
+        self, base_store, tiny_dataset, seed
+    ):
+        """The merge is exact *before* RHE: same groups, same floats."""
+        rng = np.random.default_rng(seed)
+        num_shards = SHARD_COUNTS[seed % len(SHARD_COUNTS)]
+        item_ids = [item.item_id for item in tiny_dataset.items()]
+        probe = int(rng.choice(item_ids))
+        gslice = base_store.slice_for_items([probe])
+        serial = enumerate_candidates(gslice, MINING)
+        pool = ShardedMiningPool(workers=0, shards=num_shards)
+        try:
+            pool.publish(base_store)
+            merged = pool._scatter_candidates(
+                gslice, base_store.epoch, (probe,), None, None, MINING
+            )
+        finally:
+            pool.shutdown()
+        assert len(merged) == len(serial)
+        for ours, theirs in zip(merged, serial):
+            assert ours.descriptor == theirs.descriptor
+            assert np.array_equal(ours.positions, theirs.positions)
+            assert ours.size == theirs.size
+            assert ours.mean == theirs.mean  # bit-identical, not approx
+            assert ours.error == theirs.error
+
+    def test_selection_missing_some_shards_entirely(self, base_store, tiny_dataset):
+        """Empty shards are skipped by the scatter, not sent empty work."""
+        # More shards than the slice has rows guarantees empty shards; the
+        # probe is the smallest selection that still yields candidates.
+        item_id = min(
+            (
+                item.item_id
+                for item in tiny_dataset.items()
+                if enumerate_candidates(
+                    base_store.slice_for_items([item.item_id]), MINING
+                )
+            ),
+            key=lambda item_id: len(base_store.slice_for_items([item_id])),
+        )
+        gslice = base_store.slice_for_items([item_id])
+        shards = 2 * len(gslice) + 1
+        assignment = slice_shards(gslice, shards, "reviewer")
+        populated = {int(shard) for shard in assignment}
+        assert len(populated) < shards  # the premise: some shards hold no row
+        pool = ShardedMiningPool(workers=0, shards=shards)
+        try:
+            pool.publish(base_store)
+            before = pool.tasks_submitted
+            sharded = explain_payload(base_store, [item_id], pool=pool)
+            assert pool.tasks_submitted - before == len(populated)
+        finally:
+            pool.shutdown()
+        assert sharded == explain_payload(base_store, [item_id])
+
+    def test_region_scheme_pins_a_region_to_one_shard(self, base_store):
+        """Under the region scheme a geo task touches exactly one shard."""
+        explorer = GeoExplorer(RatingMiner(base_store, MINING))
+        region = explorer.summary()[0].region
+        pool = ShardedMiningPool(workers=0, shards=5, scheme="region")
+        try:
+            pool.publish(base_store)
+            before = pool.tasks_submitted
+            sharded = geo_payload(base_store, None, region, pool=pool)
+            assert pool.tasks_submitted - before == 1
+        finally:
+            pool.shutdown()
+        assert sharded == geo_payload(base_store, None, region)
+
+    def test_time_interval_selections_match(self, base_store, tiny_dataset):
+        """The interval plumbing reaches the shard slices unchanged."""
+        item = next(tiny_dataset.items())
+        gslice = base_store.slice_for_items([item.item_id])
+        interval = (
+            int(gslice.timestamps.min()),
+            int(gslice.timestamps.max()),
+        )
+        pool = ShardedMiningPool(workers=0, shards=3)
+        try:
+            pool.publish(base_store)
+            miner = RatingMiner(base_store, MINING)
+            sharded = strip_volatile(
+                miner.explain_items(
+                    [item.item_id], time_interval=interval, pool=pool
+                ).to_dict()
+            )
+            serial = strip_volatile(
+                miner.explain_items([item.item_id], time_interval=interval).to_dict()
+            )
+        finally:
+            pool.shutdown()
+        assert sharded == serial

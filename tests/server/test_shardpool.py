@@ -1,0 +1,417 @@
+"""Data-sharded mining backend: equivalence, epochs, faults, reclamation.
+
+The contract under test (ISSUE 8): the sharded backend's scatter-gather
+merge is **bit-identical** to the serial/thread/process paths on the same
+selections; the PR 5 epoch protocol carries over (publish-before-swap,
+drain-then-retire of all K shard segments, stale-epoch retry); and shard
+faults fail typed and bounded — a killed shard worker raises
+:class:`~repro.errors.PoolError` and a stuck one trips the
+``mining_timeout_s`` deadline, never a hang.
+
+As in ``test_procpool.py``, the inline pool (``workers<=1``) exercises the
+full scatter/merge/replay path without process startup, so the wide
+equivalence matrix is cheap; spawn checks and the kill battery run against
+real workers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.config import MiningConfig, PipelineConfig, ServerConfig
+from repro.core.miner import RatingMiner
+from repro.errors import (
+    ConstraintError,
+    EmptyRatingSetError,
+    MiningTimeoutError,
+    PoolError,
+    StaleEpochError,
+)
+from repro.geo.explorer import GeoExplorer
+from repro.server.api import MapRat
+from repro.server.shardpool import ShardedMiningPool
+
+#: A spec that is valid but trivially empty: no attributes → no cells.  The
+#: kill battery uses it because only the routing fields matter for a task
+#: that is never (or vacuously) executed.
+def noop_spec(epoch: int, shard_id: int) -> tuple:
+    return ("cells", epoch, shard_id, (1,), None, None, (), (), 1)
+
+
+def normalized(payload) -> dict:
+    """JSON round-trip with every (volatile) elapsed_seconds removed."""
+    payload = json.loads(json.dumps(payload))
+
+    def strip(node):
+        if isinstance(node, dict):
+            return {k: strip(v) for k, v in node.items() if k != "elapsed_seconds"}
+        if isinstance(node, list):
+            return [strip(v) for v in node]
+        return node
+
+    return strip(payload)
+
+
+def build_system(dataset, mining_config, workers, **server_kwargs) -> MapRat:
+    config = PipelineConfig(
+        mining=mining_config,
+        server=ServerConfig(
+            mining_backend="sharded", mining_workers=workers, **server_kwargs
+        ),
+    )
+    return MapRat.for_dataset(dataset, config)
+
+
+@pytest.fixture(scope="module")
+def spawned_system(tiny_dataset, mining_config):
+    """One spawned-worker sharded system shared by the read-only checks."""
+    system = build_system(tiny_dataset, mining_config, 2, mining_shards=3)
+    yield system
+    system.close()
+
+
+class TestShardedBackendEquivalence:
+    """Serial == sharded for every K and scheme, bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, tiny_dataset, mining_config):
+        system = MapRat.for_dataset(
+            tiny_dataset, PipelineConfig(mining=mining_config)
+        )
+        payloads = {
+            "explain": normalized(system.explain('title:"Toy Story"').to_dict()),
+            "geo": normalized(
+                system.geo_explain('title:"Toy Story"', "CA").to_dict()
+            ),
+        }
+        system.close()
+        return payloads
+
+    @pytest.mark.parametrize("scheme", ["reviewer", "region"])
+    @pytest.mark.parametrize("shards", [1, 2, 3, 7])
+    def test_inline_sharded_backend_matches_serial(
+        self, tiny_dataset, mining_config, reference, shards, scheme
+    ):
+        system = build_system(
+            tiny_dataset,
+            mining_config,
+            0,
+            mining_shards=shards,
+            mining_shard_scheme=scheme,
+        )
+        try:
+            assert (
+                normalized(system.explain('title:"Toy Story"').to_dict())
+                == reference["explain"]
+            )
+            assert (
+                normalized(system.geo_explain('title:"Toy Story"', "CA").to_dict())
+                == reference["geo"]
+            )
+        finally:
+            system.close()
+
+    def test_spawned_sharded_backend_matches_serial(self, spawned_system, reference):
+        assert (
+            normalized(spawned_system.explain('title:"Toy Story"').to_dict())
+            == reference["explain"]
+        )
+        assert (
+            normalized(
+                spawned_system.geo_explain('title:"Toy Story"', "CA").to_dict()
+            )
+            == reference["geo"]
+        )
+
+    def test_region_fanout_matches_serial(self, tiny_miner, mining_config):
+        explorer = GeoExplorer(tiny_miner)
+        serial = [
+            normalized(result.to_dict())
+            for result in explorer.explain_top_regions(limit=2)
+        ]
+        pool = ShardedMiningPool(workers=0, shards=3)
+        try:
+            pool.publish(tiny_miner.store)
+            fanned = [
+                normalized(result.to_dict())
+                for result in explorer.explain_top_regions(limit=2, pool=pool)
+            ]
+        finally:
+            pool.shutdown()
+        assert fanned == serial
+
+    def test_whole_store_geo_matches_serial(self, tiny_miner):
+        # Whole-store regional mining takes the explorer's fast path on the
+        # coordinator; the scatter itself still goes through the shards.
+        explorer = GeoExplorer(tiny_miner)
+        serial = normalized(explorer.explain_region(None, "CA").to_dict())
+        pool = ShardedMiningPool(workers=0, shards=2)
+        try:
+            pool.publish(tiny_miner.store)
+            sharded = normalized(
+                explorer.explain_region(None, "CA", pool=pool).to_dict()
+            )
+        finally:
+            pool.shutdown()
+        assert sharded == serial
+
+    def test_mining_error_types_cross_the_shard_boundary(self, spawned_system):
+        # WY has no ratings for this selection in the tiny dataset; the
+        # sharded path must surface the same typed error as the serial one
+        # so the JSON layer keeps mapping it to the same 400 payload.
+        with pytest.raises(EmptyRatingSetError):
+            spawned_system.geo_explain('title:"Toy Story"', "WY")
+
+
+class TestEpochLifecycle:
+    """Publish-before-swap, drain-then-retire of K segments, stale epochs."""
+
+    def test_publish_retires_drained_epochs(
+        self, tiny_dataset, tiny_store, mining_config
+    ):
+        pool = ShardedMiningPool(workers=1, shards=2)
+        try:
+            pool.publish(tiny_store)
+            miner = RatingMiner(tiny_store, mining_config)
+            item_ids = [
+                item.item_id for item in tiny_dataset.items_by_title("Toy Story")
+            ]
+            first = miner.explain_items(item_ids, pool=pool)
+            from repro.data.ingest import compact_snapshot
+
+            rating = next(iter(tiny_dataset.ratings()))
+            bumped, _ = compact_snapshot(tiny_store, [rating], use_incremental=False)
+            pool.publish(bumped)
+            assert pool.current_epoch == bumped.epoch
+            assert pool.to_dict()["live_epochs"] == [bumped.epoch]
+            with pytest.raises(StaleEpochError):
+                miner.explain_items(item_ids, pool=pool)
+            second = RatingMiner(bumped, mining_config).explain_items(
+                item_ids, pool=pool
+            )
+            assert normalized(second.to_dict()) == normalized(first.to_dict())
+        finally:
+            pool.shutdown()
+
+    def test_publish_without_retire_keeps_old_epoch_until_retire_older(
+        self, tiny_dataset, tiny_store, mining_config
+    ):
+        pool = ShardedMiningPool(workers=1, shards=2)
+        try:
+            pool.publish(tiny_store)
+            from repro.data.ingest import compact_snapshot
+
+            rating = next(iter(tiny_dataset.ratings()))
+            bumped, _ = compact_snapshot(tiny_store, [rating], use_incremental=False)
+            pool.publish(bumped, retire_previous=False)
+            assert sorted(pool.to_dict()["live_epochs"]) == [
+                tiny_store.epoch, bumped.epoch
+            ]
+            old_miner = RatingMiner(tiny_store, mining_config)
+            item_ids = [
+                item.item_id for item in tiny_dataset.items_by_title("Toy Story")
+            ]
+            old_miner.explain_items(item_ids, pool=pool)  # old epoch still live
+            pool.retire_older(bumped.epoch)
+            assert pool.to_dict()["live_epochs"] == [bumped.epoch]
+            with pytest.raises(StaleEpochError):
+                old_miner.explain_items(item_ids, pool=pool)
+        finally:
+            pool.shutdown()
+
+    def test_facade_retries_stale_serving_state(self, tiny_dataset, mining_config):
+        system = build_system(tiny_dataset, mining_config, 1, mining_shards=2)
+        try:
+            stale = system.serving  # grabbed before the compaction
+            system.ingest(item_id=1, reviewer_id=1, score=5, timestamp=424242)
+            assert system.compact()["compacted"]
+            assert system.pool.to_dict()["live_epochs"] == [system.epoch]
+            with pytest.raises(StaleEpochError):
+                stale.miner.explain_items([1], pool=system.pool)
+            result = system.explain_items([1], use_cache=False)
+            assert result.query.num_ratings >= 1
+        finally:
+            system.close()
+
+    def test_ingest_and_compact_while_spawned_pool_is_live(
+        self, tiny_dataset, mining_config
+    ):
+        system = build_system(tiny_dataset, mining_config, 2, mining_shards=2)
+        try:
+            before = system.explain('title:"Toy Story"', use_cache=False)
+            epochs = [system.epoch]
+            for step in range(2):
+                system.ingest(
+                    item_id=before.query.item_ids[0],
+                    reviewer_id=1 + step,
+                    score=5,
+                    timestamp=1_700_000_000 + step,
+                )
+                assert system.compact()["compacted"]
+                epochs.append(system.epoch)
+                after = system.explain('title:"Toy Story"', use_cache=False)
+                assert after.query.num_ratings == before.query.num_ratings + step + 1
+                assert system.pool.to_dict()["live_epochs"] == [system.epoch]
+            assert epochs == sorted(epochs) and len(set(epochs)) == 3  # monotone
+        finally:
+            system.close()
+
+    def test_manifest_describes_the_published_epoch(self, tiny_store):
+        pool = ShardedMiningPool(workers=2, shards=3)
+        try:
+            pool.publish(tiny_store)
+            manifest = pool.manifest_for(tiny_store.epoch)
+            assert manifest is not None
+            assert manifest.num_shards == 3
+            assert manifest.scheme == "reviewer"
+            assert manifest.epoch == tiny_store.epoch
+            assert manifest.total_rows == len(tiny_store)
+        finally:
+            pool.shutdown()
+        # Inline pools export no segments; there is nothing to describe.
+        inline = ShardedMiningPool(workers=0, shards=2)
+        try:
+            inline.publish(tiny_store)
+            assert inline.manifest_for(tiny_store.epoch) is None
+        finally:
+            inline.shutdown()
+
+
+class TestShardFaults:
+    """A dead or stuck shard fails typed and bounded — never a hang."""
+
+    def test_killed_shard_worker_fails_gather_with_pool_error(self, tiny_store):
+        pool = ShardedMiningPool(workers=2, shards=2, timeout_s=60)
+        try:
+            pool.publish(tiny_store)
+            victim = pool._procs[0]  # shard 0's affine worker (0 % 2)
+            os.kill(victim.pid, signal.SIGSTOP)  # park it so the task queues
+            try:
+                future = pool.submit(noop_spec(tiny_store.epoch, 0))
+            finally:
+                os.kill(victim.pid, signal.SIGKILL)
+            # The monitor must fail the outstanding future long before the
+            # 60s deadline — PoolError, not MiningTimeoutError, not a hang.
+            started = time.monotonic()
+            with pytest.raises(PoolError, match="died unexpectedly"):
+                pool.gather(future)
+            assert time.monotonic() - started < 30
+            # The pool is broken: later submissions fail fast and say why.
+            assert "died unexpectedly" in pool.to_dict()["broken"]
+            with pytest.raises(PoolError, match="died unexpectedly"):
+                pool.submit(noop_spec(tiny_store.epoch, 1))
+        finally:
+            pool.shutdown()
+
+    def test_stuck_shard_worker_trips_the_gather_deadline(self, tiny_store):
+        pool = ShardedMiningPool(workers=2, shards=2, timeout_s=0.2)
+        stopped = []
+        try:
+            pool.publish(tiny_store)
+            for process in pool._procs:
+                os.kill(process.pid, signal.SIGSTOP)
+                stopped.append(process)
+            future = pool.submit(noop_spec(tiny_store.epoch, 0))
+            with pytest.raises(MiningTimeoutError, match="0.2s deadline"):
+                pool.gather(future)
+        finally:
+            for process in stopped:
+                os.kill(process.pid, signal.SIGCONT)
+            pool.shutdown()
+
+    def test_server_config_timeout_reaches_the_pool(self, tiny_dataset, mining_config):
+        system = build_system(
+            tiny_dataset, mining_config, 0, mining_shards=2, mining_timeout_s=7.5
+        )
+        try:
+            assert system.pool.timeout_s == 7.5
+        finally:
+            system.close()
+
+    def test_superseded_segments_unlink_only_after_drain(
+        self, tiny_dataset, tiny_store
+    ):
+        # Retire-while-inflight: epoch 0's K segments must survive until its
+        # last task resolves, then all unlink (drain-then-retire, as PR 5).
+        from repro.data.ingest import compact_snapshot
+
+        pool = ShardedMiningPool(workers=2, shards=2)
+        try:
+            pool.publish(tiny_store)
+            old_segments = pool.segment_names()
+            assert len(old_segments) == 2
+            victim = pool._procs[0]
+            os.kill(victim.pid, signal.SIGSTOP)  # hold shard 0's task inflight
+            try:
+                future = pool.submit(noop_spec(tiny_store.epoch, 0))
+                rating = next(iter(tiny_dataset.ratings()))
+                bumped, _ = compact_snapshot(
+                    tiny_store, [rating], use_incremental=False
+                )
+                pool.publish(bumped)  # retires epoch 0 — but it must not drop yet
+                assert pool.to_dict()["retiring_epochs"] == [tiny_store.epoch]
+                assert set(old_segments) <= set(pool.segment_names())
+                for name in old_segments:  # segments still linked while inflight
+                    shared_memory.SharedMemory(name=name).close()
+            finally:
+                os.kill(victim.pid, signal.SIGCONT)
+            pool.gather(future)  # drain: the collector retires epoch 0 first
+            assert pool.to_dict()["retiring_epochs"] == []
+            assert set(pool.segment_names()).isdisjoint(old_segments)
+            for name in old_segments:
+                with pytest.raises(FileNotFoundError):
+                    shared_memory.SharedMemory(name=name)
+        finally:
+            pool.shutdown()
+
+
+class TestShutdownAndReclamation:
+    def test_close_reclaims_every_segment(self, tiny_dataset, mining_config):
+        system = build_system(tiny_dataset, mining_config, 2, mining_shards=3)
+        system.explain('title:"Toy Story"', use_cache=False)
+        segments = set(system.pool.segment_names())
+        assert len(segments) == 3  # one segment per shard
+        system.ingest(item_id=1, reviewer_id=1, score=4, timestamp=99)
+        system.compact()
+        segments |= set(system.pool.segment_names())
+        assert len(segments) == 6  # both epochs' exports existed
+        system.close()
+        for name in segments:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_submit_after_shutdown_raises_pool_error(self, tiny_store):
+        pool = ShardedMiningPool(workers=1, shards=2)
+        pool.publish(tiny_store)
+        pool.shutdown()
+        with pytest.raises(PoolError):
+            pool.submit(noop_spec(tiny_store.epoch, 0))
+
+    def test_close_is_idempotent(self, tiny_dataset, mining_config):
+        system = build_system(tiny_dataset, mining_config, 1, mining_shards=2)
+        system.close()
+        system.close()
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(PoolError):
+            ShardedMiningPool(workers=-1)
+        with pytest.raises(PoolError):
+            ShardedMiningPool(shards=0)
+        with pytest.raises(PoolError):
+            ShardedMiningPool(scheme="zipcode")
+        with pytest.raises(PoolError):
+            ShardedMiningPool(timeout_s=0)
+
+    def test_server_config_validates_sharding_fields(self):
+        with pytest.raises(ConstraintError):
+            ServerConfig(mining_shards=0)
+        with pytest.raises(ConstraintError):
+            ServerConfig(mining_shard_scheme="zipcode")
+        with pytest.raises(ConstraintError):
+            ServerConfig(mining_backend="threaded")
