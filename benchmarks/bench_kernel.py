@@ -79,7 +79,10 @@ def _build_slice(scale):
 def _enumerate(rating_slice, use_kernel):
     enumerator = CandidateEnumerator.from_config(rating_slice, MINING_CONFIG)
     enumerator.use_kernel = use_kernel
-    return enumerator.enumerate()
+    # Per-run stats (ISSUE 9): the enumerator no longer stores counters, so
+    # the benchmark reads them from the same call it times.
+    groups, stats = enumerator.enumerate_with_stats()
+    return groups, stats
 
 
 def _solve(problem, use_fast_eval):
@@ -91,13 +94,16 @@ def bench_scale(scale, repeats):
     """Benchmark one scale; returns the result record for BENCH_kernel.json."""
     rating_slice = _build_slice(scale)
 
-    kernel_groups = _enumerate(rating_slice, True)
-    naive_groups = _enumerate(rating_slice, False)
-    enum_identical = [g.descriptor for g in kernel_groups] == [
-        g.descriptor for g in naive_groups
-    ]
+    kernel_groups, kernel_stats = _enumerate(rating_slice, True)
+    naive_groups, naive_stats = _enumerate(rating_slice, False)
+    enum_identical = (
+        [g.descriptor for g in kernel_groups] == [g.descriptor for g in naive_groups]
+        and kernel_stats == naive_stats
+    )
 
-    enum_kernel_s, candidates = _best_of(lambda: _enumerate(rating_slice, True), repeats)
+    enum_kernel_s, (candidates, stats) = _best_of(
+        lambda: _enumerate(rating_slice, True), repeats
+    )
     enum_naive_s, _ = _best_of(lambda: _enumerate(rating_slice, False), repeats)
 
     record = {
@@ -108,6 +114,8 @@ def bench_scale(scale, repeats):
             "naive_ms": round(enum_naive_s * 1000, 3),
             "speedup": round(enum_naive_s / enum_kernel_s, 2),
             "identical": enum_identical,
+            "explored": stats.explored,
+            "pruned_by_support": stats.pruned_by_support,
         },
     }
 

@@ -1,0 +1,268 @@
+"""Benchmark of the materialised cuboid lattice vs per-request enumeration.
+
+Measures, per scale, on the synthetic MovieLens-shaped workload:
+
+* **lattice construction** — build wall-clock, resident bytes, cuboid and
+  cell counts, and the pre-build estimate the budget gate uses;
+* **candidate stage** — p50 of ``CandidateEnumerator.enumerate_with_stats``
+  with ``use_lattice=True`` vs ``False`` for the four slice shapes the
+  serving stack produces: whole-store (``direct`` mode), region
+  (``restrict``), single-item and multi-item (``scan``).  Both paths are
+  verified bit-identical before timings are recorded.  For the memoised
+  modes the first (materialising) call is recorded separately from the
+  steady-state lookup p50 — the lookup is what a cold request pays once the
+  epoch's artifact exists, which is the lattice's design point;
+* **cold endpoints** — p50 of cache-bypassed ``explain`` / ``geo_explain``
+  requests against two otherwise-identical systems (lattice on / off).
+  These improve by less than the candidate stage: with candidate production
+  reduced to ~0, the cold request is bounded below by the RHE solves and
+  explanation rendering, which are byte-identical on both sides (Amdahl's
+  law — see PERFORMANCE.md).
+
+Run the writer (from the repository root)::
+
+    python benchmarks/bench_lattice.py           # writes BENCH_lattice.json
+    python benchmarks/bench_lattice.py --quick   # medium scale only, fewer repeats
+
+``BENCH_lattice.json`` is the perf trajectory future PRs regress against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+# Make the src layout importable when the package is not installed.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+from repro.config import MiningConfig, PipelineConfig, ServerConfig
+from repro.core.cube import CandidateEnumerator
+from repro.core.miner import RatingMiner
+from repro.data.lattice import CuboidLattice
+from repro.data.storage import RatingStore
+from repro.data.synthetic import SyntheticConfig, SyntheticMovieLens
+from repro.geo.explorer import GeoExplorer
+from repro.server.api import MapRat
+
+MINING_CONFIG = MiningConfig(
+    max_groups=3, min_coverage=0.25, min_group_support=5, rhe_restarts=4
+)
+
+SCALES = {
+    "medium": dict(num_reviewers=2400, num_movies=300, ratings_per_reviewer=50),
+    "large": dict(num_reviewers=9600, num_movies=600, ratings_per_reviewer=50),
+}
+
+
+def _p50(fn, repeats):
+    """Median wall-clock of ``repeats`` runs, in milliseconds."""
+    times = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - started)
+    return round(statistics.median(times) * 1000, 3)
+
+
+def _build_dataset(scale):
+    config = SyntheticConfig(seed=5, **scale)
+    return SyntheticMovieLens(config).generate(name="bench-lattice")
+
+
+def _identical(left, right):
+    """Bit-identity of two candidate lists (descriptor, rows, stats)."""
+    if [g.descriptor for g in left] != [g.descriptor for g in right]:
+        return False
+    return all(
+        np.array_equal(a.positions, b.positions)
+        and a.mean == b.mean
+        and a.error == b.error
+        for a, b in zip(left, right)
+    )
+
+
+def _enumerate(rating_slice, use_lattice):
+    enumerator = CandidateEnumerator.from_config(rating_slice, MINING_CONFIG)
+    enumerator.use_lattice = use_lattice
+    return enumerator.enumerate()
+
+
+def bench_candidate_stage(store, repeats):
+    """Per-slice-shape candidate timings: lattice path vs DFS enumeration."""
+    explorer = GeoExplorer(RatingMiner(store, MINING_CONFIG))
+    region = explorer.top_regions(limit=1)[0]
+    top_items = [item_id for item_id, _ in store.most_rated_items(limit=3)]
+    workloads = {
+        "whole_store": lambda: store.slice_all(),
+        "region": lambda: explorer._region_slice(region, None, None),
+        "single_item": lambda: store.slice_for_items(top_items[:1]),
+        "multi_item": lambda: store.slice_for_items(top_items),
+    }
+    record = {}
+    for name, make_slice in workloads.items():
+        rating_slice = make_slice()
+        first_started = time.perf_counter()
+        fast_groups = _enumerate(rating_slice, True)
+        first_ms = round((time.perf_counter() - first_started) * 1000, 3)
+        slow_groups = _enumerate(rating_slice, False)
+        identical = _identical(fast_groups, slow_groups)
+        lattice_ms = _p50(lambda: _enumerate(make_slice(), True), repeats)
+        enum_ms = _p50(lambda: _enumerate(make_slice(), False), repeats)
+        record[name] = {
+            "ratings": len(rating_slice),
+            "candidates": len(fast_groups),
+            "lattice_first_call_ms": first_ms,
+            "lattice_p50_ms": lattice_ms,
+            "enumeration_p50_ms": enum_ms,
+            "speedup": round(enum_ms / lattice_ms, 1) if lattice_ms else None,
+            "identical": identical,
+        }
+    return record
+
+
+def _strip_elapsed(node):
+    if isinstance(node, dict):
+        return {
+            k: _strip_elapsed(v) for k, v in node.items() if k != "elapsed_seconds"
+        }
+    if isinstance(node, list):
+        return [_strip_elapsed(v) for v in node]
+    return node
+
+
+def bench_cold_endpoints(dataset, repeats, budget_mb):
+    """Cache-bypassed endpoint p50s on lattice-on vs lattice-off systems."""
+    results = {}
+    payloads = {}
+    for use_lattice in (False, True):
+        config = PipelineConfig(
+            mining=MINING_CONFIG,
+            server=ServerConfig(
+                use_cuboid_lattice=use_lattice,
+                lattice_budget_mb=budget_mb,
+                mining_workers=0,
+                precompute_top_items=0,
+            ),
+        )
+        system = MapRat.for_dataset(dataset, config)
+        try:
+            store = system.miner.store
+            region = GeoExplorer(system.miner).top_regions(limit=1)[0]
+            top_items = [item_id for item_id, _ in store.most_rated_items(limit=3)]
+            calls = {
+                "explain_single_item": lambda: system.explain_items(
+                    top_items[:1], use_cache=False
+                ),
+                "explain_multi_item": lambda: system.explain_items(
+                    top_items, use_cache=False
+                ),
+                "geo_explain_whole_store": lambda: system.geo_explain_items(
+                    None, region, use_cache=False
+                ),
+                "geo_explain_item": lambda: system.geo_explain_items(
+                    top_items[:1], region, use_cache=False
+                ),
+            }
+            payloads[use_lattice] = {
+                name: _strip_elapsed(json.loads(json.dumps(call().to_dict())))
+                for name, call in calls.items()
+            }
+            results[use_lattice] = {
+                name: _p50(call, repeats) for name, call in calls.items()
+            }
+        finally:
+            system.close()
+    record = {}
+    for name in results[True]:
+        on_ms, off_ms = results[True][name], results[False][name]
+        record[name] = {
+            "lattice_p50_ms": on_ms,
+            "enumeration_p50_ms": off_ms,
+            "speedup": round(off_ms / on_ms, 2) if on_ms else None,
+            "identical": payloads[True][name] == payloads[False][name],
+        }
+    return record
+
+
+def bench_scale(scale, repeats, budget_mb):
+    dataset = _build_dataset(scale)
+    store = RatingStore(dataset)
+
+    started = time.perf_counter()
+    lattice = CuboidLattice.build(store)
+    build_ms = round((time.perf_counter() - started) * 1000, 1)
+    store.attach_lattice(lattice)
+
+    record = {
+        "ratings": len(store),
+        "lattice": {
+            "build_ms": build_ms,
+            "resident_bytes": lattice.nbytes,
+            "resident_mb": round(lattice.nbytes / 2**20, 1),
+            "estimate_bytes": CuboidLattice.estimate_nbytes(len(store)),
+            "num_cuboids": lattice.num_cuboids,
+            "num_cells": lattice.num_cells,
+        },
+        "candidate_stage": bench_candidate_stage(store, repeats),
+        "cold_endpoints": bench_cold_endpoints(dataset, repeats, budget_mb),
+    }
+    return record
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_lattice.json"),
+        help="where to write the JSON record (default: repo-root BENCH_lattice.json)",
+    )
+    parser.add_argument("--repeats", type=int, default=7, help="timing repeats (p50)")
+    parser.add_argument(
+        "--quick", action="store_true", help="medium scale only, 3 repeats"
+    )
+    args = parser.parse_args(argv)
+
+    repeats = 3 if args.quick else args.repeats
+    scales = {"medium": SCALES["medium"]} if args.quick else SCALES
+
+    report = {
+        "benchmark": "lattice",
+        "workload": "synthetic MovieLens; cold (cache-bypassed) mining requests",
+        "mining": {
+            "max_groups": MINING_CONFIG.max_groups,
+            "min_coverage": MINING_CONFIG.min_coverage,
+            "min_group_support": MINING_CONFIG.min_group_support,
+            "rhe_restarts": MINING_CONFIG.rhe_restarts,
+        },
+        "scales": {},
+    }
+    for name, scale in scales.items():
+        print(f"[bench_lattice] running scale {name!r} ...", flush=True)
+        record = bench_scale(scale, repeats, budget_mb=1024)
+        report["scales"][name] = record
+        stage = record["candidate_stage"]["whole_store"]
+        print(
+            f"[bench_lattice]   {name}: ratings={record['ratings']} "
+            f"build={record['lattice']['build_ms']}ms "
+            f"size={record['lattice']['resident_mb']}MB "
+            f"whole-store candidates {stage['enumeration_p50_ms']}ms -> "
+            f"{stage['lattice_p50_ms']}ms ({stage['speedup']}x)",
+            flush=True,
+        )
+
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_lattice] wrote {output}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -44,6 +44,7 @@ import numpy as np
 
 from ..errors import IngestError, MapRatError
 from ..geo.zipcodes import ZipResolver
+from .lattice import CuboidLattice
 from .model import Rating, RatingDataset, Reviewer
 from .storage import AttributeIndex, RatingStore
 
@@ -468,10 +469,14 @@ def compact_snapshot(
     * the per-item inverted index receives appends only for touched items,
     * every :class:`~repro.data.storage.AttributeIndex` already built on the
       old snapshot is delta-updated (scatter + delta bincounts + bitset
-      extension) instead of rebuilt.
+      extension) instead of rebuilt,
+    * an attached :class:`~repro.data.lattice.CuboidLattice` is carried
+      forward the same way — per-cuboid delta merges driven by the very
+      remaps and delta code columns computed for the indexes.
 
     ``use_incremental=False`` rebuilds the store from the merged dataset —
-    the reference the differential battery compares against.
+    the reference the differential battery compares against (the lattice is
+    rebuilt from scratch on that path too, when the old snapshot carried one).
     """
     dataset = _merged_dataset(snapshot.dataset, ratings, reviewers)
     reviewer_lookup = {reviewer.reviewer_id: reviewer for reviewer in reviewers}
@@ -493,6 +498,16 @@ def compact_snapshot(
             grouping_attributes=snapshot.grouping_attributes,
             epoch=snapshot.epoch + 1,
         )
+        old_lattice = snapshot.lattice()
+        if old_lattice is not None:
+            store.attach_lattice(
+                CuboidLattice.build(
+                    store,
+                    attributes=old_lattice.attributes,
+                    max_arity=old_lattice.max_arity,
+                    region_attribute=old_lattice.region_attribute,
+                )
+            )
         growth = {
             name: int(store.vocabulary_for(name).shape[0])
             - int(snapshot.vocabulary_for(name).shape[0])
@@ -583,6 +598,23 @@ def compact_snapshot(
             delta_scores,
         )
 
+    # Delta-merge the cuboid lattice with the same remaps and delta columns.
+    old_lattice = snapshot.lattice()
+    lattice = (
+        old_lattice.updated(
+            remaps,
+            {name: int(vocab.shape[0]) for name, vocab in vocabularies.items()},
+            {
+                name: codes.astype(np.int64)
+                for name, codes in delta_code_columns.items()
+            },
+            delta_scores,
+            epoch=snapshot.epoch + 1,
+        )
+        if old_lattice is not None
+        else None
+    )
+
     store = RatingStore._from_parts(
         dataset=dataset,
         grouping_attributes=snapshot.grouping_attributes,
@@ -595,6 +627,7 @@ def compact_snapshot(
         vocabularies=vocabularies,
         epoch=snapshot.epoch + 1,
         indexes=indexes,
+        lattice=lattice,
     )
     delta = CompactionDelta(
         num_rows=len(ratings),

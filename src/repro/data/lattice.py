@@ -1,0 +1,453 @@
+"""Materialized cuboid lattice: per-combination cell statistics for cold mining.
+
+The per-value :class:`~repro.data.storage.AttributeIndex` answers "how do the
+rows of *one* attribute value aggregate?".  Candidate enumeration needs the
+same answer for every attribute **combination** up to the description-length
+bound: the support, rating sum and member rows of every cell ``(gender=F,
+state=CA)``, ``(age_group=25-34, occupation=student, state=NY)``, and so on.
+:class:`CuboidLattice` materialises exactly that — one columnar *cuboid* per
+attribute combination — so a cold ``explain``/``geo_explain`` becomes a
+vectorised filter over precomputed cells instead of a recursive walk that
+re-sorts the store's rows on every request.
+
+Representation (per cuboid, i.e. per attribute combination):
+
+* ``keys``    — ``(num_cells, k)`` ``int32`` value codes, rows sorted by the
+  cell's linear id (row-major over the vocabulary sizes), which equals the
+  lexicographic order of the code tuples;
+* ``counts`` / ``sums`` — per-cell support and rating sum (one ``np.unique``
+  + ``np.bincount`` pass at build time);
+* ``offsets`` / ``positions`` — a CSR layout of the member rows: cell ``i``
+  owns ``positions[offsets[i]:offsets[i+1]]``, ascending store-row positions.
+  ``positions`` is a permutation of ``arange(num_rows)`` (every row lives in
+  exactly one cell per cuboid), so the resident cost is linear in the store —
+  about ``num_cuboids × num_rows × 8`` bytes — where per-cell packed bitsets
+  would be quadratic-ish (``num_cells × num_rows / 8`` bytes, hundreds of MB
+  on a medium store).  Packed coverage bitsets are therefore derived **on
+  demand** per cell via :meth:`CuboidCells.packed_bits`, never stored.
+
+Incremental maintenance mirrors ``AttributeIndex.updated``: compaction passes
+the per-attribute vocabulary remaps plus the appended rows' code columns, and
+each cuboid merges delta cells into its sorted cell list with searchsorted
+scatters and delta bincounts — no full-store rescan.  Counts, keys and row
+positions are integers, so the delta-updated lattice is bit-identical to a
+rebuild; the float ``sums`` carry the same exactness contract as the
+attribute index (exact for binary-representable scores).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import GEO_ATTRIBUTE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (storage imports us)
+    from .storage import RatingStore
+
+#: Attributes the lattice materialises by default: every mining surface
+#: (item explain, geo explain, region drill) draws its grouping attributes
+#: from this set.  ``zipcode`` is deliberately excluded — its vocabulary is
+#: quasi-unique per reviewer, so its cuboids would be all-singleton noise.
+DEFAULT_LATTICE_ATTRIBUTES: Tuple[str, ...] = (
+    "gender", "age_group", "occupation", "state", "city",
+)
+
+#: Largest attribute combination materialised outright — matches the paper's
+#: ``max_description_length`` default of 3 attribute/value pairs per label.
+DEFAULT_MAX_ARITY = 3
+
+
+def _linear_ids(columns: Sequence[np.ndarray], dims: Tuple[int, ...]) -> np.ndarray:
+    """Row-major linear cell id of each row; empty-safe, always ``int64``."""
+    if not columns or columns[0].shape[0] == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.ravel_multi_index(tuple(columns), dims).astype(np.int64, copy=False)
+
+
+def _keys_from_cells(cells: np.ndarray, dims: Tuple[int, ...]) -> np.ndarray:
+    """Unpack sorted linear cell ids back into ``(num_cells, k)`` code rows."""
+    if cells.shape[0] == 0:
+        return np.empty((0, len(dims)), dtype=np.int32)
+    return np.stack(np.unravel_index(cells, dims), axis=1).astype(np.int32, copy=False)
+
+
+def _offsets_from_counts(counts: np.ndarray) -> np.ndarray:
+    """CSR offsets (length ``num_cells + 1``) from per-cell counts."""
+    offsets = np.zeros(counts.shape[0] + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return offsets
+
+
+def _sorted_cells(
+    lin: np.ndarray, scores: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Group rows by linear cell id: ``(cells, counts, sums, order)``.
+
+    ``order`` is the stable argsort of ``lin`` — rows sorted by cell, and
+    ascending within each cell, which is exactly the CSR ``positions`` layout.
+    """
+    if lin.shape[0] == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), np.empty(0, dtype=np.float64), empty.copy()
+    order = np.argsort(lin, kind="stable").astype(np.int64, copy=False)
+    cells, counts = np.unique(lin, return_counts=True)
+    inverse = np.searchsorted(cells, lin)
+    sums = np.bincount(inverse, weights=scores, minlength=cells.shape[0])
+    return cells, counts.astype(np.int64, copy=False), sums, order
+
+
+class CuboidCells:
+    """Columnar cell table of one cuboid (one attribute combination).
+
+    Cells are sorted by their row-major linear id, i.e. lexicographically by
+    the ``(code_0, ..., code_{k-1})`` tuple in the cuboid's attribute order.
+    """
+
+    __slots__ = ("attributes", "dims", "keys", "counts", "sums", "offsets", "positions")
+
+    def __init__(
+        self,
+        attributes: Tuple[str, ...],
+        dims: Tuple[int, ...],
+        keys: np.ndarray,
+        counts: np.ndarray,
+        sums: np.ndarray,
+        offsets: np.ndarray,
+        positions: np.ndarray,
+    ) -> None:
+        self.attributes = tuple(attributes)
+        self.dims = tuple(int(d) for d in dims)
+        self.keys = keys
+        self.counts = counts
+        self.sums = sums
+        self.offsets = offsets
+        self.positions = positions
+
+    @property
+    def num_cells(self) -> int:
+        """Number of non-empty cells in the cuboid."""
+        return int(self.counts.shape[0])
+
+    def cell_positions(self, index: int) -> np.ndarray:
+        """Ascending store-row positions of one cell (zero-copy CSR view)."""
+        return self.positions[int(self.offsets[index]) : int(self.offsets[index + 1])]
+
+    def packed_bits(self, index: int, num_rows: int) -> np.ndarray:
+        """Packed coverage bitset of one cell, derived on demand.
+
+        Stored bitsets would cost ``num_cells × num_rows / 8`` bytes per
+        cuboid; deriving them from the CSR positions keeps the lattice linear
+        in the store while serving the same ``uint8`` layout as
+        :func:`repro.data.storage._pack_positions`.
+        """
+        member = np.zeros(int(num_rows), dtype=bool)
+        positions = self.cell_positions(index)
+        if positions.shape[0]:
+            member[positions] = True
+        return np.packbits(member)
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the cuboid's five arrays."""
+        return int(
+            self.keys.nbytes
+            + self.counts.nbytes
+            + self.sums.nbytes
+            + self.offsets.nbytes
+            + self.positions.nbytes
+        )
+
+    @classmethod
+    def build(
+        cls,
+        attributes: Tuple[str, ...],
+        dims: Tuple[int, ...],
+        code_columns: Mapping[str, np.ndarray],
+        scores: np.ndarray,
+    ) -> "CuboidCells":
+        """Build the cuboid from full-store code columns (one sort pass)."""
+        columns = [code_columns[a].astype(np.int64, copy=False) for a in attributes]
+        lin = _linear_ids(columns, dims)
+        cells, counts, sums, order = _sorted_cells(lin, scores)
+        return cls(
+            attributes,
+            dims,
+            _keys_from_cells(cells, dims),
+            counts,
+            sums,
+            _offsets_from_counts(counts),
+            order,
+        )
+
+    def updated(
+        self,
+        remaps: Sequence[np.ndarray],
+        dims: Tuple[int, ...],
+        delta_columns: Sequence[np.ndarray],
+        delta_scores: np.ndarray,
+        old_num_rows: int,
+    ) -> "CuboidCells":
+        """Delta-merge appended rows into the cuboid (the compaction path).
+
+        ``remaps[j][old_code] -> new_code`` re-homes the existing cells after
+        vocabulary growth.  The remaps are monotone (vocabularies stay
+        sorted), so the remapped cell list is still sorted and is merged with
+        the delta cells by a single ``np.union1d`` + two searchsorted
+        scatters.  Appended rows take store positions ``old_num_rows + i``,
+        which are larger than every existing position — so concatenating each
+        cell's delta segment after its existing segment keeps the CSR
+        positions ascending per cell, bit-identical to a rebuild.
+        """
+        k = len(self.attributes)
+        if self.keys.shape[0]:
+            remapped = [
+                remaps[j][self.keys[:, j].astype(np.int64)].astype(np.int64)
+                for j in range(k)
+            ]
+            old_cells = _linear_ids(remapped, dims)
+        else:
+            old_cells = np.empty(0, dtype=np.int64)
+        delta = [c.astype(np.int64, copy=False) for c in delta_columns]
+        dlin = _linear_ids(delta, dims)
+        dcells, dcounts, dsums, dorder = _sorted_cells(dlin, delta_scores)
+
+        merged = np.union1d(old_cells, dcells)
+        old_at = np.searchsorted(merged, old_cells)
+        delta_at = np.searchsorted(merged, dcells)
+        counts = np.zeros(merged.shape[0], dtype=np.int64)
+        counts[old_at] = self.counts
+        counts[delta_at] += dcounts
+        sums = np.zeros(merged.shape[0], dtype=np.float64)
+        sums[old_at] = self.sums
+        sums[delta_at] += dsums
+        offsets = _offsets_from_counts(counts)
+
+        positions = np.empty(int(offsets[-1]), dtype=np.int64)
+        if self.positions.shape[0]:
+            # Existing segments land first in their (possibly shifted) cells.
+            shift = offsets[:-1][old_at] - self.offsets[:-1]
+            dest = np.arange(self.positions.shape[0], dtype=np.int64)
+            dest += np.repeat(shift, self.counts)
+            positions[dest] = self.positions
+        if dorder.shape[0]:
+            old_in_cell = np.zeros(merged.shape[0], dtype=np.int64)
+            old_in_cell[old_at] = self.counts
+            delta_starts = offsets[:-1][delta_at] + old_in_cell[delta_at]
+            shift_d = delta_starts - _offsets_from_counts(dcounts)[:-1]
+            dest_d = np.arange(dorder.shape[0], dtype=np.int64)
+            dest_d += np.repeat(shift_d, dcounts)
+            positions[dest_d] = dorder + int(old_num_rows)
+        return CuboidCells(
+            self.attributes,
+            dims,
+            _keys_from_cells(merged, dims),
+            counts,
+            sums,
+            offsets,
+            positions,
+        )
+
+
+class CuboidLattice:
+    """Epoch-versioned set of materialised cuboids over a rating store.
+
+    Holds one :class:`CuboidCells` per attribute combination of size up to
+    ``max_arity``, plus the size ``max_arity + 1`` combinations that contain
+    the region attribute — those serve region-restricted mining, where the
+    region pins one attribute and the description uses up to ``max_arity``
+    more.  Built once per epoch from the store's code columns; compactions
+    carry it forward with :meth:`updated` (delta merges, no rescan).
+    """
+
+    def __init__(
+        self,
+        attributes: Tuple[str, ...],
+        max_arity: int,
+        region_attribute: str,
+        num_rows: int,
+        epoch: int,
+        cuboids: Dict[Tuple[str, ...], CuboidCells],
+    ) -> None:
+        self.attributes = tuple(attributes)
+        self.max_arity = int(max_arity)
+        self.region_attribute = region_attribute
+        self.num_rows = int(num_rows)
+        self.epoch = int(epoch)
+        self._cuboids = dict(cuboids)
+        #: Materialised candidate lists keyed by the enumerator's memo key
+        #: (slice identity + enumeration parameters).  Epoch-scoped for free:
+        #: compaction and shm attach construct a *new* lattice object, so the
+        #: memo never outlives the rows it describes.  Process-local — never
+        #: exported through shared memory.
+        self.candidate_memo: Dict[Tuple, Tuple] = {}
+
+    @staticmethod
+    def combinations(
+        attributes: Sequence[str],
+        max_arity: int = DEFAULT_MAX_ARITY,
+        region_attribute: str = GEO_ATTRIBUTE,
+    ) -> List[Tuple[str, ...]]:
+        """The attribute combinations a lattice over ``attributes`` holds."""
+        combos: List[Tuple[str, ...]] = []
+        for size in range(1, min(max_arity, len(attributes)) + 1):
+            combos.extend(itertools.combinations(attributes, size))
+        if region_attribute in attributes and max_arity + 1 <= len(attributes):
+            combos.extend(
+                combo
+                for combo in itertools.combinations(attributes, max_arity + 1)
+                if region_attribute in combo
+            )
+        return combos
+
+    @classmethod
+    def build(
+        cls,
+        store: "RatingStore",
+        attributes: Optional[Sequence[str]] = None,
+        max_arity: int = DEFAULT_MAX_ARITY,
+        region_attribute: str = GEO_ATTRIBUTE,
+    ) -> "CuboidLattice":
+        """Materialise the lattice over a store's code columns.
+
+        ``attributes`` defaults to the store's grouping attributes restricted
+        to :data:`DEFAULT_LATTICE_ATTRIBUTES` (store order preserved).  Each
+        cuboid costs one stable argsort + one ``np.unique`` pass.
+        """
+        if attributes is None:
+            attributes = tuple(
+                a for a in store.grouping_attributes if a in DEFAULT_LATTICE_ATTRIBUTES
+            )
+        attributes = tuple(attributes)
+        code_columns = {a: store.codes_for(a) for a in attributes}
+        dims_of = {a: int(store.vocabulary_for(a).shape[0]) for a in attributes}
+        scores = store._scores  # sibling-module access, same as the compactor
+        cuboids: Dict[Tuple[str, ...], CuboidCells] = {}
+        for combo in cls.combinations(attributes, max_arity, region_attribute):
+            dims = tuple(dims_of[a] for a in combo)
+            cuboids[combo] = CuboidCells.build(combo, dims, code_columns, scores)
+        return cls(
+            attributes, max_arity, region_attribute, len(store), store.epoch, cuboids
+        )
+
+    # -- lookup -------------------------------------------------------------------
+
+    @property
+    def cuboids(self) -> Dict[Tuple[str, ...], CuboidCells]:
+        """The cuboid table, keyed by canonical attribute combination."""
+        return self._cuboids
+
+    def cells_for(self, attrs: Iterable[str]) -> Optional[CuboidCells]:
+        """The cuboid of an attribute set (any order); ``None`` if absent."""
+        wanted = set(attrs)
+        key = tuple(a for a in self.attributes if a in wanted)
+        if len(key) != len(wanted):
+            return None
+        return self._cuboids.get(key)
+
+    # -- sizes --------------------------------------------------------------------
+
+    @property
+    def num_cuboids(self) -> int:
+        """Number of materialised cuboids."""
+        return len(self._cuboids)
+
+    @property
+    def num_cells(self) -> int:
+        """Total non-empty cells across every cuboid."""
+        return sum(c.num_cells for c in self._cuboids.values())
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes across every cuboid's arrays."""
+        return sum(c.nbytes for c in self._cuboids.values())
+
+    @staticmethod
+    def estimate_nbytes(
+        num_rows: int,
+        attributes: Sequence[str] = DEFAULT_LATTICE_ATTRIBUTES,
+        max_arity: int = DEFAULT_MAX_ARITY,
+        region_attribute: str = GEO_ATTRIBUTE,
+    ) -> int:
+        """Pre-build resident-size estimate (positions-dominated heuristic).
+
+        Each cuboid's ``positions`` array is exactly ``num_rows`` ``int64``
+        entries; the cell-level arrays add a data-dependent fraction on top,
+        approximated here at 25%.  Used by the serving layer's memory-budget
+        gate before paying for a build.
+        """
+        combos = len(
+            CuboidLattice.combinations(attributes, max_arity, region_attribute)
+        )
+        return int(combos * num_rows * 10)
+
+    # -- maintenance --------------------------------------------------------------
+
+    def updated(
+        self,
+        remaps: Mapping[str, np.ndarray],
+        vocab_sizes: Mapping[str, int],
+        delta_code_columns: Mapping[str, np.ndarray],
+        delta_scores: np.ndarray,
+        epoch: int,
+    ) -> "CuboidLattice":
+        """A new lattice for the compacted store: per-cuboid delta merges.
+
+        Arguments mirror ``AttributeIndex.updated``: ``remaps`` re-home old
+        codes after vocabulary growth, ``delta_code_columns`` hold the
+        appended rows' codes in the new code space, ``delta_scores`` their
+        ratings.  Every cuboid is merged independently; see
+        :meth:`CuboidCells.updated` for the invariants.
+        """
+        cuboids: Dict[Tuple[str, ...], CuboidCells] = {}
+        for combo, cub in self._cuboids.items():
+            dims = tuple(int(vocab_sizes[a]) for a in combo)
+            cuboids[combo] = cub.updated(
+                [remaps[a] for a in combo],
+                dims,
+                [delta_code_columns[a] for a in combo],
+                delta_scores,
+                self.num_rows,
+            )
+        return CuboidLattice(
+            self.attributes,
+            self.max_arity,
+            self.region_attribute,
+            self.num_rows + int(delta_scores.shape[0]),
+            epoch,
+            cuboids,
+        )
+
+
+@dataclass
+class LatticeHint:
+    """How a :class:`~repro.data.storage.RatingSlice` relates to the lattice.
+
+    Attached to slices cut from a lattice-carrying store so the candidate
+    enumerator can pick its fast path:
+
+    * ``whole_store`` — the slice is the store's full row range in order;
+      cuboid cells can be read out directly (sub-ms cold path).
+    * ``restrict_attribute``/``restrict_code`` + ``store_positions`` — the
+      slice is all store rows of one attribute value (a region), in ascending
+      store order; cells come from the cuboid extended by that attribute,
+      with store rows mapped onto slice rows by one ``searchsorted``.
+    * neither — the fallback ``scan`` mode: a flat vectorised cell grouping
+      over the slice's own code columns, taken when a hinted slice no longer
+      matches its lattice (stale dims after a detach, a missing cuboid).
+      Arbitrary subsets (item selections, restrictions) carry **no** hint at
+      all — the DFS kernel beats the flat scan on those shapes.
+    """
+
+    lattice: CuboidLattice
+    whole_store: bool = False
+    restrict_attribute: Optional[str] = None
+    restrict_code: Optional[int] = None
+    store_positions: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def scan_only(self) -> "LatticeHint":
+        """The hint downgraded to the flat-scan mode (after a restriction)."""
+        return LatticeHint(self.lattice)

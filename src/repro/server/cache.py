@@ -183,6 +183,9 @@ class ResultCache:
             :meth:`get_or_compute` misses on the same key run one computation;
             when False every missing caller computes independently (the
             pre-PR-2 behaviour, kept for the serving benchmark's baseline).
+        clock: monotonic time source for TTL bookkeeping; injectable so the
+            expiry-accounting regression tests can advance time
+            deterministically instead of sleeping.
     """
 
     def __init__(
@@ -190,6 +193,7 @@ class ResultCache:
         capacity: int = 256,
         ttl_seconds: Optional[float] = None,
         single_flight: bool = True,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if capacity < 1:
             raise CacheError("cache capacity must be at least 1")
@@ -198,6 +202,7 @@ class ResultCache:
         self.capacity = capacity
         self.ttl_seconds = ttl_seconds
         self.single_flight = single_flight
+        self._clock = clock
         self.stats = CacheStats()
         self._entries: "OrderedDict[Hashable, Tuple[float, Any]]" = OrderedDict()
         self._inflight: dict = {}
@@ -212,12 +217,14 @@ class ResultCache:
     def __contains__(self, key: Hashable) -> bool:
         return self.get(key, record_stats=False) is not None
 
-    def _lookup_locked(self, key: Hashable) -> Any:
+    def _lookup_locked(self, key: Hashable, record_stats: bool = True) -> Any:
         """Fresh value of ``key`` or ``_MISSING``; caller holds the lock.
 
         The one implementation of hit/expiry/LRU-refresh accounting: drops an
-        expired entry (counting the expiration) and refreshes LRU order on a
-        hit.  Hit/miss counters are the caller's responsibility.
+        expired entry (counting the expiration only when ``record_stats`` —
+        untracked scans such as ``__contains__`` and the epoch-migration pass
+        must never mutate the counters) and refreshes LRU order on a hit.
+        Hit/miss counters are the caller's responsibility.
         """
         entry = self._entries.get(key)
         if entry is None:
@@ -225,7 +232,8 @@ class ResultCache:
         stored_at, value = entry
         if self._expired(stored_at):
             del self._entries[key]
-            self.stats.expirations += 1
+            if record_stats:
+                self.stats.expirations += 1
             return _MISSING
         self._entries.move_to_end(key)
         return value
@@ -233,7 +241,7 @@ class ResultCache:
     def get(self, key: Hashable, default: Any = None, record_stats: bool = True) -> Any:
         """Return the cached value or ``default``; refreshes LRU order on hit."""
         with self._lock:
-            value = self._lookup_locked(key)
+            value = self._lookup_locked(key, record_stats)
             if value is _MISSING:
                 if record_stats:
                     self.stats.misses += 1
@@ -243,11 +251,21 @@ class ResultCache:
             return value
 
     def put(self, key: Hashable, value: Any) -> None:
-        """Insert or refresh an entry, evicting the LRU entry beyond capacity."""
+        """Insert or refresh an entry, evicting the LRU entry beyond capacity.
+
+        Replacing an entry that has already expired counts the expiration: the
+        old value died of TTL without ever being looked up (the classic case
+        is a single-flight leader storing its recomputation over the entry
+        that expired while it was computing), and silently overwriting it
+        would otherwise leave the death invisible to every counter.
+        """
         with self._lock:
-            if key in self._entries:
+            entry = self._entries.get(key)
+            if entry is not None:
+                if self._expired(entry[0]):
+                    self.stats.expirations += 1
                 self._entries.move_to_end(key)
-            self._entries[key] = (time.monotonic(), value)
+            self._entries[key] = (self._clock(), value)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
@@ -339,4 +357,4 @@ class ResultCache:
     def _expired(self, stored_at: float) -> bool:
         if self.ttl_seconds is None:
             return False
-        return (time.monotonic() - stored_at) > self.ttl_seconds
+        return (self._clock() - stored_at) > self.ttl_seconds

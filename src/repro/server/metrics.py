@@ -122,8 +122,26 @@ class HttpMetrics:
         self._latency_sum: Dict[str, float] = defaultdict(float)
         self._latency_count: Dict[str, int] = defaultdict(int)
         self._rate_limited: Dict[str, int] = defaultdict(int)
+        self._watermarks: Dict[str, int] = {}
         self.load_shed_total = 0
         self.connections_total = 0
+
+    def monotonic_total(self, name: str, value: int) -> int:
+        """High-watermark of a counter sourced from rebuildable core state.
+
+        Prometheus counters must never regress between scrapes, but the core
+        objects :func:`render_metrics` reads them from (cache stats, pool
+        stats, live-store stats) can be replaced by ``MapRat.compact`` or a
+        backend swap, resetting their tallies.  The edge's ``HttpMetrics``
+        outlives those rebuilds, so it keeps the per-series high watermark:
+        a scrape reports ``max(watermark, value)`` and a post-compaction
+        reset shows as a flat line instead of a counter regression (which
+        Prometheus ``rate()`` would misread as a giant spike).
+        """
+        with self._lock:
+            watermark = max(self._watermarks.get(name, 0), int(value))
+            self._watermarks[name] = watermark
+            return watermark
 
     def observe(self, method: str, route: str, status: int, seconds: float) -> None:
         """Record one completed request (any status, any route)."""
@@ -205,6 +223,12 @@ def render_metrics(system, http_metrics: HttpMetrics, edge: str) -> str:
     edge_label = _escape_label(edge)
     lines: list = []
 
+    def counter(name: str, value: int) -> int:
+        # Counter-typed series sourced from the (compaction-rebuildable)
+        # serving core go through the edge-held watermark so no scrape ever
+        # reports a regressing total.
+        return http_metrics.monotonic_total(name, value)
+
     _metric(lines, "maprat_http_requests_total", "counter",
             "HTTP requests served, by method, route and status.")
     for method, route, status, count in http_metrics.rows():
@@ -244,29 +268,38 @@ def render_metrics(system, http_metrics: HttpMetrics, edge: str) -> str:
 
     _metric(lines, "maprat_cache_hits_total", "counter",
             "Result-cache lookups served from cache.")
-    lines.append("maprat_cache_hits_total %d" % cache.hits)
+    lines.append("maprat_cache_hits_total %d" % counter("cache_hits", cache.hits))
     _metric(lines, "maprat_cache_misses_total", "counter",
             "Result-cache lookups that computed (equals mining runs while "
             "computations succeed).")
-    lines.append("maprat_cache_misses_total %d" % cache.misses)
+    lines.append("maprat_cache_misses_total %d" % counter("cache_misses", cache.misses))
     _metric(lines, "maprat_cache_coalesced_total", "counter",
             "Duplicate concurrent computations avoided by single flight.")
-    lines.append("maprat_cache_coalesced_total %d" % cache.coalesced)
+    lines.append(
+        "maprat_cache_coalesced_total %d" % counter("cache_coalesced", cache.coalesced)
+    )
     _metric(lines, "maprat_cache_evictions_total", "counter",
             "LRU evictions beyond the cache capacity.")
-    lines.append("maprat_cache_evictions_total %d" % cache.evictions)
+    lines.append(
+        "maprat_cache_evictions_total %d" % counter("cache_evictions", cache.evictions)
+    )
     _metric(lines, "maprat_cache_expirations_total", "counter",
             "TTL expirations dropped on lookup.")
-    lines.append("maprat_cache_expirations_total %d" % cache.expirations)
+    lines.append(
+        "maprat_cache_expirations_total %d"
+        % counter("cache_expirations", cache.expirations)
+    )
     _metric(lines, "maprat_cache_entries", "gauge", "Live result-cache entries.")
     lines.append("maprat_cache_entries %d" % len(system.cache))
 
     _metric(lines, "maprat_pool_tasks_submitted_total", "counter",
             "Mining tasks submitted to the request worker pool.")
+    pool_backend = str(pool.get("backend", "thread"))
     lines.append(
         'maprat_pool_tasks_submitted_total{backend="%s"} %d'
-        % (_escape_label(pool.get("backend", "thread")),
-           pool.get("tasks_submitted", 0))
+        % (_escape_label(pool_backend),
+           counter("pool_tasks_submitted:%s" % pool_backend,
+                   pool.get("tasks_submitted", 0)))
     )
     _metric(lines, "maprat_pool_workers", "gauge",
             "Configured worker count of the request mining pool.")
@@ -283,13 +316,21 @@ def render_metrics(system, http_metrics: HttpMetrics, edge: str) -> str:
     lines.append("maprat_store_buffered %d" % store.get("buffered", 0))
     _metric(lines, "maprat_ingest_accepted_total", "counter",
             "Ratings accepted by the live store since start.")
-    lines.append("maprat_ingest_accepted_total %d" % store.get("accepted_total", 0))
+    lines.append(
+        "maprat_ingest_accepted_total %d"
+        % counter("ingest_accepted", store.get("accepted_total", 0))
+    )
     _metric(lines, "maprat_ingest_duplicates_total", "counter",
             "Duplicate ratings absorbed by the live store since start.")
-    lines.append("maprat_ingest_duplicates_total %d" % store.get("duplicates_total", 0))
+    lines.append(
+        "maprat_ingest_duplicates_total %d"
+        % counter("ingest_duplicates", store.get("duplicates_total", 0))
+    )
     _metric(lines, "maprat_compactions_total", "counter",
             "Epoch turnovers performed by the live store since start.")
-    lines.append("maprat_compactions_total %d" % store.get("compactions", 0))
+    lines.append(
+        "maprat_compactions_total %d" % counter("compactions", store.get("compactions", 0))
+    )
 
     _metric(lines, "maprat_edge_info", "gauge",
             "Static info about the serving edge (value is always 1).")

@@ -70,8 +70,8 @@ class TestEnumeration:
 
     def test_enumeration_stats_track_pruning(self, toy_story_slice):
         enumerator = CandidateEnumerator(toy_story_slice, min_support=5)
-        groups = enumerator.enumerate()
-        stats = enumerator.stats()
+        groups, stats = enumerator.enumerate_with_stats()
+        assert stats.candidates == len(groups)
         assert stats.explored >= len(groups)
         assert stats.pruned_by_support >= 0
 

@@ -1,0 +1,315 @@
+"""Unit tests for the materialised cuboid lattice.
+
+Covers the four layers independently of the enumerator fast path (which has
+its own differential battery in ``tests/property/test_property_lattice.py``):
+
+* **build correctness** — every cuboid's cells match a brute-force pandas-free
+  groupby over the store's code columns: same keys (lexicographic order),
+  counts, sums, and CSR member positions (ascending per cell, a permutation
+  of ``arange(num_rows)`` overall);
+* **incremental maintenance** — compacting a :class:`LiveStore` carries the
+  lattice forward bit-identically to rebuilding it from the compacted store;
+* **hint plumbing** — slices cut from a lattice-carrying store advertise the
+  right :class:`LatticeHint` mode (whole-store / restrict / scan), and
+  restriction downgrades the hint;
+* **serving integration** — the config/budget gate in :class:`MapRat` and the
+  shared-memory manifest round-trip.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.config import GEO_ATTRIBUTE, ConstraintError, PipelineConfig, ServerConfig
+from repro.data.ingest import LiveStore
+from repro.data.lattice import (
+    DEFAULT_LATTICE_ATTRIBUTES,
+    CuboidLattice,
+    LatticeHint,
+)
+from repro.data.model import Rating, Reviewer
+from repro.data.shm import SharedStoreExport, attach_store, detach_store
+from repro.data.storage import RatingStore
+from repro.geo.explorer import GeoExplorer
+from repro.server.api import MapRat
+
+
+@pytest.fixture(scope="module")
+def lattice_store(tiny_dataset):
+    """A store with a freshly built lattice (module-local, mutated by nobody)."""
+    store = RatingStore(tiny_dataset)
+    store.attach_lattice(CuboidLattice.build(store))
+    return store
+
+
+def brute_force_cells(store, attrs):
+    """Reference groupby: ``{key_tuple: (count, sum, positions)}`` via dicts."""
+    columns = [store.codes_for(a) for a in attrs]
+    scores = store.slice_all().scores
+    cells = {}
+    for row in range(len(store)):
+        key = tuple(int(column[row]) for column in columns)
+        count, total, positions = cells.setdefault(key, (0, 0.0, []))
+        positions.append(row)
+        cells[key] = (count + 1, total + float(scores[row]), positions)
+    return cells
+
+
+class TestBuild:
+    def test_every_cuboid_matches_brute_force(self, lattice_store):
+        lattice = lattice_store.lattice()
+        assert lattice.num_cuboids == len(
+            CuboidLattice.combinations(lattice.attributes)
+        )
+        for combo, cub in lattice.cuboids.items():
+            expected = brute_force_cells(lattice_store, combo)
+            assert cub.num_cells == len(expected)
+            # Cells are sorted lexicographically by their code tuple.
+            keys = [tuple(int(v) for v in row) for row in cub.keys]
+            assert keys == sorted(expected)
+            for index, key in enumerate(keys):
+                count, total, positions = expected[key]
+                assert int(cub.counts[index]) == count
+                assert float(cub.sums[index]) == total  # binary-exact scores
+                assert cub.cell_positions(index).tolist() == positions
+
+    def test_positions_are_a_permutation_per_cuboid(self, lattice_store):
+        lattice = lattice_store.lattice()
+        everyone = np.arange(len(lattice_store), dtype=np.int64)
+        for cub in lattice.cuboids.values():
+            assert np.array_equal(np.sort(cub.positions), everyone)
+            assert int(cub.offsets[-1]) == len(lattice_store)
+
+    def test_packed_bits_matches_membership_mask(self, lattice_store):
+        lattice = lattice_store.lattice()
+        cub = lattice.cells_for(("gender", "state"))
+        num_rows = len(lattice_store)
+        for index in range(min(cub.num_cells, 10)):
+            member = np.zeros(num_rows, dtype=bool)
+            member[cub.cell_positions(index)] = True
+            assert np.array_equal(cub.packed_bits(index, num_rows), np.packbits(member))
+
+    def test_default_attributes_exclude_zipcode(self, lattice_store):
+        lattice = lattice_store.lattice()
+        assert "zipcode" not in lattice.attributes
+        assert lattice.attributes == tuple(
+            a
+            for a in lattice_store.grouping_attributes
+            if a in DEFAULT_LATTICE_ATTRIBUTES
+        )
+
+
+class TestCombinations:
+    def test_all_subsets_up_to_arity_plus_region_extension(self):
+        attrs = ("gender", "age_group", "occupation", "state", "city")
+        combos = CuboidLattice.combinations(attrs, max_arity=3)
+        sized = {}
+        for combo in combos:
+            sized.setdefault(len(combo), []).append(combo)
+        for size in (1, 2, 3):
+            assert sorted(sized[size]) == sorted(itertools.combinations(attrs, size))
+        # Size-4 cuboids exist only for combinations containing the region
+        # attribute (they serve region-restricted mining at full depth).
+        assert all(GEO_ATTRIBUTE in combo for combo in sized[4])
+        assert len(sized[4]) == len(
+            [c for c in itertools.combinations(attrs, 4) if GEO_ATTRIBUTE in c]
+        )
+        assert 5 not in sized
+
+    def test_cells_for_canonicalises_attribute_order(self, lattice_store):
+        lattice = lattice_store.lattice()
+        forward = lattice.cells_for(("gender", "state"))
+        backward = lattice.cells_for(("state", "gender"))
+        assert forward is backward is not None
+        assert lattice.cells_for(("gender", "not_an_attribute")) is None
+        assert lattice.cells_for(("zipcode",)) is None  # outside the universe
+
+
+class TestIncrementalMaintenance:
+    def test_compaction_carry_equals_rebuild(self, tiny_dataset):
+        base = RatingStore(tiny_dataset)
+        base.attach_lattice(CuboidLattice.build(base))
+        live = LiveStore(base, use_incremental=True)
+        rng = np.random.default_rng(7)
+        item_ids = [item.item_id for item in tiny_dataset.items()]
+        reviewer_ids = [r.reviewer_id for r in tiny_dataset.reviewers()]
+        for round_index in range(3):
+            for _ in range(20):
+                live.ingest(
+                    Rating(
+                        item_id=int(rng.choice(item_ids)),
+                        reviewer_id=int(rng.choice(reviewer_ids)),
+                        score=float(rng.integers(1, 6)),
+                        timestamp=int(rng.integers(0, 2_000_000_000)),
+                    )
+                )
+            # A brand-new reviewer with an unseen zip code grows the city /
+            # state vocabularies, exercising the monotone key remap.
+            reviewer = Reviewer(
+                reviewer_id=800_000 + round_index,
+                gender="F",
+                age=25,
+                occupation="programmer",
+                zipcode=("99501", "96801", "82001")[round_index],
+            )
+            live.ingest(
+                Rating(item_ids[0], reviewer.reviewer_id, 4.0, 123), reviewer
+            )
+            live.compact()
+            carried = live.snapshot.lattice()
+            assert carried is not None
+            assert carried.epoch == live.snapshot.epoch
+            assert carried.num_rows == len(live.snapshot)
+            rebuilt = CuboidLattice.build(live.snapshot)
+            assert set(carried.cuboids) == set(rebuilt.cuboids)
+            for combo, left in carried.cuboids.items():
+                right = rebuilt.cuboids[combo]
+                assert left.dims == right.dims, combo
+                for name in ("keys", "counts", "sums", "offsets", "positions"):
+                    assert np.array_equal(
+                        getattr(left, name), getattr(right, name)
+                    ), (combo, name)
+
+    def test_store_without_lattice_stays_without(self, tiny_dataset):
+        live = LiveStore(RatingStore(tiny_dataset), use_incremental=True)
+        item = next(tiny_dataset.items())
+        reviewer = next(tiny_dataset.reviewers())
+        live.ingest(Rating(item.item_id, reviewer.reviewer_id, 3.0, 99))
+        live.compact()
+        assert live.snapshot.lattice() is None
+
+
+class TestHintPlumbing:
+    def test_no_lattice_means_no_hint(self, tiny_dataset):
+        store = RatingStore(tiny_dataset)
+        assert store.slice_all().lattice_hint is None
+
+    def test_slice_all_advertises_whole_store(self, lattice_store):
+        hint = lattice_store.slice_all().lattice_hint
+        assert isinstance(hint, LatticeHint)
+        assert hint.whole_store
+        assert hint.lattice is lattice_store.lattice()
+
+    def test_item_slice_carries_no_hint(self, lattice_store, tiny_dataset):
+        # Arbitrary subsets stay on the DFS kernel — the lattice only wins
+        # on the whole-store and region shapes.
+        items = tiny_dataset.items_by_title("Toy Story")
+        rating_slice = lattice_store.slice_for_items([i.item_id for i in items])
+        assert rating_slice.lattice_hint is None
+
+    def test_restrict_drops_the_hint(self, lattice_store):
+        whole = lattice_store.slice_all()
+        mask = whole.mask_for("gender", "F")
+        assert whole.restrict(mask).lattice_hint is None
+
+    def test_region_slice_gets_restrict_hint(self, lattice_store, mining_config):
+        from repro.core.miner import RatingMiner
+
+        explorer = GeoExplorer(RatingMiner(lattice_store, mining_config))
+        region = explorer.top_regions(limit=1)[0]
+        region_slice = explorer._region_slice(region, None, None)
+        hint = region_slice.lattice_hint
+        assert hint.restrict_attribute == GEO_ATTRIBUTE
+        vocabulary = lattice_store.vocabulary_for(GEO_ATTRIBUTE)
+        assert vocabulary[hint.restrict_code] == region
+        assert hint.store_positions.shape[0] == len(region_slice)
+        index = lattice_store.attribute_index(GEO_ATTRIBUTE)
+        assert np.array_equal(
+            hint.store_positions, index.positions_for(hint.restrict_code)
+        )
+
+
+class TestServingIntegration:
+    def test_flag_off_means_no_lattice(self, tiny_dataset, mining_config):
+        system = MapRat.for_dataset(
+            tiny_dataset,
+            PipelineConfig(
+                mining=mining_config, server=ServerConfig(use_cuboid_lattice=False)
+            ),
+        )
+        try:
+            assert system.miner.store.lattice() is None
+        finally:
+            system.close()
+
+    def test_flag_on_attaches_lattice(self, tiny_dataset, mining_config):
+        system = MapRat.for_dataset(
+            tiny_dataset,
+            PipelineConfig(
+                mining=mining_config, server=ServerConfig(use_cuboid_lattice=True)
+            ),
+        )
+        try:
+            lattice = system.miner.store.lattice()
+            assert lattice is not None
+            assert lattice.num_rows == len(system.miner.store)
+        finally:
+            system.close()
+
+    def test_env_var_drives_the_default(self, tiny_dataset, monkeypatch):
+        monkeypatch.setenv("MAPRAT_USE_LATTICE", "1")
+        assert ServerConfig().use_cuboid_lattice is True
+        monkeypatch.delenv("MAPRAT_USE_LATTICE")
+        assert ServerConfig().use_cuboid_lattice is False
+        # An explicit value always wins over the environment.
+        monkeypatch.setenv("MAPRAT_USE_LATTICE", "1")
+        assert ServerConfig(use_cuboid_lattice=False).use_cuboid_lattice is False
+
+    def test_budget_gate_skips_the_build(self, tiny_dataset, mining_config):
+        # estimate_nbytes for the tiny store is well above 1 << 20 × 0 — use
+        # a 1 MB budget only if the estimate exceeds it; otherwise force the
+        # comparison by checking the estimate directly.
+        rows = sum(1 for _ in tiny_dataset.ratings())
+        assert CuboidLattice.estimate_nbytes(rows) > 0
+        system = MapRat.for_dataset(
+            tiny_dataset,
+            PipelineConfig(
+                mining=mining_config,
+                server=ServerConfig(use_cuboid_lattice=True, lattice_budget_mb=1),
+            ),
+        )
+        try:
+            if CuboidLattice.estimate_nbytes(rows) > (1 << 20):
+                assert system.miner.store.lattice() is None
+            else:  # pragma: no cover - tiny dataset fits in 1 MB
+                assert system.miner.store.lattice() is not None
+        finally:
+            system.close()
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ConstraintError):
+            ServerConfig(lattice_budget_mb=0)
+
+    def test_shm_roundtrip_preserves_the_lattice(self, lattice_store):
+        export = SharedStoreExport(lattice_store)
+        try:
+            attached = attach_store(export.manifest)
+            try:
+                left = lattice_store.lattice()
+                right = attached.lattice()
+                assert right is not None
+                assert right.epoch == left.epoch
+                assert right.num_rows == left.num_rows
+                assert set(right.cuboids) == set(left.cuboids)
+                for combo, cub in left.cuboids.items():
+                    other = right.cuboids[combo]
+                    for name in ("keys", "counts", "sums", "offsets", "positions"):
+                        array = getattr(other, name)
+                        assert np.array_equal(getattr(cub, name), array), (combo, name)
+                        assert not array.flags.writeable  # zero-copy view
+                assert attached.slice_all().lattice_hint.whole_store
+            finally:
+                detach_store(attached)
+        finally:
+            export.release()
+
+    def test_estimate_tracks_actual_size(self, lattice_store):
+        lattice = lattice_store.lattice()
+        estimate = CuboidLattice.estimate_nbytes(len(lattice_store))
+        # The heuristic is positions-dominated: within a small constant
+        # factor of the real footprint, and never an order of magnitude off.
+        assert estimate > lattice.num_cuboids * len(lattice_store) * 8
+        assert lattice.nbytes < estimate * 4

@@ -82,15 +82,16 @@ def mining_configs(draw):
 def _enumerate(rating_slice, config, use_kernel):
     enumerator = CandidateEnumerator.from_config(rating_slice, config)
     enumerator.use_kernel = use_kernel
-    return enumerator, enumerator.enumerate()
+    groups, stats = enumerator.enumerate_with_stats()
+    return stats, groups
 
 
 class TestEnumerationParity:
     @given(rating_slices(), mining_configs())
     @settings(max_examples=40, deadline=None)
     def test_kernel_matches_naive_bit_for_bit(self, rating_slice, config):
-        kernel, kernel_groups = _enumerate(rating_slice, config, True)
-        naive, naive_groups = _enumerate(rating_slice, config, False)
+        kernel_stats, kernel_groups = _enumerate(rating_slice, config, True)
+        naive_stats, naive_groups = _enumerate(rating_slice, config, False)
         assert [g.descriptor for g in kernel_groups] == [
             g.descriptor for g in naive_groups
         ]
@@ -99,20 +100,42 @@ class TestEnumerationParity:
             assert fast.size == slow.size
             assert fast.mean == slow.mean
             assert fast.error == slow.error
-        assert kernel.stats() == naive.stats()
+        assert kernel_stats == naive_stats
 
     @given(rating_slices(), mining_configs())
     @settings(max_examples=25, deadline=None)
     def test_stats_candidates_is_the_emitted_count(self, rating_slice, config):
         for use_kernel in (True, False):
-            enumerator, groups = _enumerate(rating_slice, config, use_kernel)
-            stats = enumerator.stats()
+            stats, groups = _enumerate(rating_slice, config, use_kernel)
             assert stats.candidates == len(groups)
             assert stats.explored >= stats.pruned_by_support
 
-    def test_stats_candidates_is_minus_one_before_any_run(self, tiny_store):
+    def test_stats_are_per_run_not_shared_state(self, tiny_store):
+        # Two runs on one shared enumerator must produce independent stats
+        # objects (ISSUE 9): nothing accumulates on the instance between runs.
         enumerator = CandidateEnumerator(tiny_store.slice_all(), min_support=3)
-        assert enumerator.stats().candidates == -1
+        _, first = enumerator.enumerate_with_stats()
+        _, second = enumerator.enumerate_with_stats()
+        assert first == second
+        assert first.explored > 0
+        assert not hasattr(enumerator, "_explored")
+
+    def test_concurrent_runs_never_interleave_counters(self, tiny_store):
+        import threading
+
+        enumerator = CandidateEnumerator(tiny_store.slice_all(), min_support=3)
+        _, expected = enumerator.enumerate_with_stats()
+        results = []
+
+        def run():
+            results.append(enumerator.enumerate_with_stats()[1])
+
+        threads = [threading.Thread(target=run) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(stats == expected for stats in results)
 
 
 class TestCoverageParity:

@@ -239,6 +239,109 @@ class TestRenderMetrics:
             assert math.isfinite(float(value)), line
 
 
+def _counter_samples(page):
+    """Every ``*_total`` sample of a scrape as ``{series: float}``."""
+    samples = {}
+    for line in page.strip().splitlines():
+        if line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        if "_total" in name:
+            samples[name] = float(value)
+    return samples
+
+
+class _StubCache:
+    def __init__(self, stats):
+        self.stats = stats
+
+    def __len__(self):
+        return 0
+
+
+class _StubPool:
+    def __init__(self, submitted):
+        self.submitted = submitted
+
+    def to_dict(self):
+        return {"backend": "thread", "workers": 2, "tasks_submitted": self.submitted}
+
+
+class _StubLive:
+    def __init__(self, accepted):
+        self.accepted = accepted
+
+    def stats(self):
+        return {
+            "epoch": 1,
+            "rows": 10,
+            "buffered": 0,
+            "accepted_total": self.accepted,
+            "duplicates_total": 0,
+            "compactions": 1,
+        }
+
+
+class _StubSystem:
+    """Minimal render_metrics target whose counters can be forced backwards."""
+
+    def __init__(self):
+        from repro.server.cache import CacheStats
+
+        self.cache = _StubCache(CacheStats(hits=5, misses=3, coalesced=1))
+        self.pool = _StubPool(submitted=7)
+        self.live = _StubLive(accepted=20)
+
+
+class TestMonotonicCounterCarry:
+    """Prometheus counters must never regress across core-state rebuilds.
+
+    ``MapRat.compact`` (and a mining-backend swap) can replace the stats
+    objects ``render_metrics`` reads; the edge-held watermark in
+    :class:`HttpMetrics` must absorb any reset (ISSUE 9).
+    """
+
+    def test_monotonic_total_is_a_high_watermark(self):
+        metrics = HttpMetrics()
+        assert metrics.monotonic_total("cache_hits", 5) == 5
+        assert metrics.monotonic_total("cache_hits", 3) == 5   # regression absorbed
+        assert metrics.monotonic_total("cache_hits", 9) == 9
+        assert metrics.monotonic_total("other", 1) == 1        # independent series
+
+    def test_two_scrapes_straddling_a_live_compaction_never_regress(self, fresh_system):
+        metrics = HttpMetrics()
+        fresh_system.explain('title:"Toy Story"')
+        fresh_system.explain('title:"Toy Story"')  # one miss + one hit on the cache
+        before = _counter_samples(render_metrics(fresh_system, metrics, edge="sync"))
+        reviewer = next(fresh_system.dataset.reviewers())
+        fresh_system.ingest(1, reviewer.reviewer_id, 5.0, timestamp=99_999_999)
+        fresh_system.compact(rewarm=False)
+        after = _counter_samples(render_metrics(fresh_system, metrics, edge="sync"))
+        assert before and set(before) <= set(after)
+        for series, value in before.items():
+            assert after[series] >= value, series
+
+    def test_watermark_absorbs_a_forced_counter_reset(self):
+        from repro.server.cache import CacheStats
+
+        system = _StubSystem()
+        metrics = HttpMetrics()
+        before = _counter_samples(render_metrics(system, metrics, edge="sync"))
+        # Simulate a compaction rebuilding every stats object from zero.
+        system.cache = _StubCache(CacheStats())
+        system.pool = _StubPool(submitted=0)
+        system.live = _StubLive(accepted=0)
+        after = _counter_samples(render_metrics(system, metrics, edge="sync"))
+        for series in (
+            "maprat_cache_hits_total",
+            "maprat_cache_misses_total",
+            "maprat_cache_coalesced_total",
+            'maprat_pool_tasks_submitted_total{backend="thread"}',
+            "maprat_ingest_accepted_total",
+        ):
+            assert after[series] == before[series] > 0, series
+
+
 class TestServerConfigHttpFields:
     def test_defaults(self):
         config = ServerConfig()
