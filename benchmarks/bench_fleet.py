@@ -1,0 +1,238 @@
+"""Fleet-backend benchmark: TCP scatter-gather vs in-box sharding vs serial.
+
+The sharded backend (PR 8, ``bench_shards.py``) scatters one request's
+candidate-cube enumeration over forked workers that attach /dev/shm
+segments.  The fleet backend (``mining_backend="fleet"``) keeps the same
+scatter and the same merge but replaces the fork-and-mmap transport with
+TCP: packed shard segments are shipped once per epoch to localhost worker
+processes (length-prefixed CRC frames), tasks are routed by consistent
+hashing with replicated placement, and the coordinator merges exactly as
+before — so every result stays bit-identical while the workers could, in
+principle, live on other machines.
+
+This driver measures the *transport tax* of that substitution on one box:
+
+* the same medium synthetic dataset and cold ``explain_items`` anchors as
+  ``bench_procs`` / ``bench_shards``,
+* **serial** (the reference), **sharded spawned** (the /dev/shm scatter the
+  fleet replaces), and **fleet** (2 localhost TCP workers, replicas=2 — the
+  smallest production topology),
+* bit-identity of the first anchor's full response asserted across all
+  modes before any timing is recorded, and the bytes shipped over the wire
+  reported from the pool's own counters.
+
+Results go to ``BENCH_fleet.json``.  On a 1-core box every mode shares one
+CPU, so expect the fleet to *trail* serial and in-box sharding: the numbers
+here price the pickle+frame+socket round-trip per task plus the one-time
+segment ship per epoch, not scale-out.  The scale-out claim — per-worker
+memory and CPU that leave the coordinator's box entirely — is structural
+(workers are plain TCP endpoints; point ``--fleet-worker`` at another host)
+and is documented, not measured, by this benchmark.
+
+Run the writer (from the repository root)::
+
+    python benchmarks/bench_fleet.py            # writes BENCH_fleet.json
+    python benchmarks/bench_fleet.py --quick    # smaller load, same shape
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+# Make the src layout importable when the package is not installed.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.config import MiningConfig, PipelineConfig, ServerConfig
+from repro.data.synthetic import SyntheticConfig, SyntheticMovieLens
+from repro.server.api import MapRat
+
+MINING_CONFIG = MiningConfig(max_groups=3, min_coverage=0.25, rhe_restarts=6)
+#: The bench_procs / bench_shards dataset shape, for comparable numbers.
+DATASET_CONFIG = SyntheticConfig(
+    num_reviewers=2400, num_movies=300, ratings_per_reviewer=50, seed=5
+)
+
+
+def build_dataset():
+    return SyntheticMovieLens(DATASET_CONFIG).generate(name="bench-fleet")
+
+
+def build_system(dataset, backend: str, workers: int, shards: int) -> MapRat:
+    config = PipelineConfig(
+        mining=MINING_CONFIG,
+        server=ServerConfig(
+            mining_backend=backend,
+            mining_workers=workers,
+            mining_shards=shards,
+            fleet_replicas=2,
+        ),
+    )
+    return MapRat.for_dataset(dataset, config)
+
+
+def normalized(payload: dict) -> dict:
+    payload = json.loads(json.dumps(payload))
+
+    def strip(node):
+        if isinstance(node, dict):
+            return {k: strip(v) for k, v in node.items() if k != "elapsed_seconds"}
+        if isinstance(node, list):
+            return [strip(v) for v in node]
+        return node
+
+    return strip(payload)
+
+
+def percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def drive(system: MapRat, anchors) -> dict:
+    """Open loop, one client: per-request latency is what the wire taxes."""
+    latencies = []
+    started = time.perf_counter()
+    for item_ids in anchors:
+        request_started = time.perf_counter()
+        system.explain_items(item_ids, use_cache=False)
+        latencies.append(time.perf_counter() - request_started)
+    elapsed = time.perf_counter() - started
+    latencies.sort()
+    return {
+        "anchors": len(anchors),
+        "elapsed_seconds": round(elapsed, 4),
+        "explains_per_second": round(len(anchors) / elapsed, 2) if elapsed else 0.0,
+        "p50_ms": round(percentile(latencies, 0.50) * 1000, 2),
+        "p95_ms": round(percentile(latencies, 0.95) * 1000, 2),
+    }
+
+
+def run(quick: bool) -> dict:
+    cpu_count = os.cpu_count() or 1
+    workers = max(2, min(4, cpu_count))
+    shards = workers
+    num_anchors = 6 if quick else 24
+
+    dataset = build_dataset()
+    modes = {
+        "serial": ("thread", 0, 1),
+        "sharded_spawned": ("sharded", workers, shards),
+        "fleet": ("fleet", workers, shards),
+    }
+    results: dict = {}
+    fingerprints = {}
+    fleet_wire: dict = {}
+    for mode, (backend, mode_workers, mode_shards) in modes.items():
+        started = time.perf_counter()
+        system = build_system(dataset, backend, mode_workers, mode_shards)
+        try:
+            anchors = [
+                [aggregate.item_id]
+                for aggregate in system.precomputer.top_items(limit=num_anchors)
+            ]
+            startup = time.perf_counter() - started
+            fingerprints[mode] = normalized(
+                system.explain_items(anchors[0], use_cache=False).to_dict()
+            )
+            measured = drive(system, anchors)
+            measured["startup_seconds"] = round(startup, 4)
+            measured["backend"] = backend
+            measured["workers"] = mode_workers
+            measured["shards"] = mode_shards
+            if backend == "fleet":
+                pool = system.pool.to_dict()
+                fleet_wire = {
+                    "bytes_shipped": pool.get("bytes_shipped", 0),
+                    "tasks_submitted": pool.get("tasks_submitted", 0),
+                    "failovers": pool.get("failovers", 0),
+                    "replicas": pool.get("replicas", 0),
+                }
+            results[mode] = measured
+        finally:
+            system.close()
+
+    for mode in modes:
+        assert fingerprints[mode] == fingerprints["serial"], f"{mode} != serial"
+
+    def speedup(numerator: str, denominator: str) -> float:
+        slow = results[numerator]["elapsed_seconds"]
+        fast = results[denominator]["elapsed_seconds"]
+        return round(slow / fast, 2) if fast else 0.0
+
+    return {
+        "benchmark": "fleet mining backend (TCP transport tax, cold explain latency)",
+        "workload": {
+            "dataset": {
+                "reviewers": DATASET_CONFIG.num_reviewers,
+                "movies": DATASET_CONFIG.num_movies,
+                "ratings": dataset.num_ratings,
+            },
+            "mining": {
+                "max_groups": MINING_CONFIG.max_groups,
+                "min_coverage": MINING_CONFIG.min_coverage,
+                "rhe_restarts": MINING_CONFIG.rhe_restarts,
+            },
+            "anchors": num_anchors,
+            "clients": 1,
+            "cache": "off (cold mining isolates backend latency)",
+        },
+        "shards": shards,
+        "workers": workers,
+        "cpu_count": cpu_count,
+        "environment": {
+            "cpu_count": cpu_count,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "modes": results,
+        "fleet_wire": fleet_wire,
+        "bit_identical": True,
+        "speedup_fleet_vs_serial": speedup("serial", "fleet"),
+        "speedup_fleet_vs_sharded_spawned": speedup("sharded_spawned", "fleet"),
+        "interpretation": (
+            "The fleet keeps the sharded backend's scatter and merge but "
+            "swaps fork+/dev/shm for TCP: segments ship once per epoch over "
+            "CRC-framed sockets and every task round-trips a pickled spec "
+            "and result.  On this 1-core box the fleet therefore pays the "
+            "in-box sharding tax plus the wire tax with no parallelism to "
+            "buy it back — the honest headline is the per-task transport "
+            "overhead, visible as the fleet/sharded latency gap, and the "
+            "one-time segment ship recorded in fleet_wire.bytes_shipped.  "
+            "What this benchmark cannot show on one machine is the "
+            "backend's actual claim: workers are plain TCP endpoints "
+            "(serve with `repro fleet-worker`, point --fleet-worker at "
+            "other hosts), so the K-way split of memory *and CPU* leaves "
+            "the coordinator's box entirely, with replicated placement "
+            "surviving worker loss — all while every response stays "
+            "bit-identical to serial, which is what the asserts here and "
+            "the golden-fleet CI lane pin down."
+        ),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller load, same shape")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_fleet.json",
+    )
+    args = parser.parse_args()
+    report = run(quick=args.quick)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -109,7 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--warm-up", type=int, default=0, help="pre-compute this many popular items")
     serve.add_argument(
         "--mining-backend",
-        choices=("thread", "process", "sharded"),
+        choices=("thread", "process", "sharded", "fleet"),
         default="thread",
         help="shard mining across threads (default; GIL-bound), across "
         "worker processes attached to shared-memory store snapshots "
@@ -139,6 +139,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="row partitioning of the sharded backend: 'reviewer' (stable "
         "reviewer-id hash, even spread) or 'region' (state hash; each "
         "state's rows live wholly on one shard)",
+    )
+    serve.add_argument(
+        "--fleet-replicas",
+        type=int,
+        default=2,
+        help="replica factor R of the fleet backend: each shard is routed "
+        "to R distinct workers on the consistent-hash ring, so the "
+        "coordinator can fail over when a worker dies (ignored by the "
+        "other backends)",
+    )
+    serve.add_argument(
+        "--fleet-worker",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="address of an external fleet worker started with 'repro "
+        "fleet-worker'; repeatable; omitted = spawn --mining-workers "
+        "localhost worker subprocesses",
     )
     serve.add_argument(
         "--data-dir",
@@ -213,6 +231,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="memory budget for the materialised lattice in MiB; when the "
         "estimate or the built lattice exceeds it the server falls back "
         "to plain enumeration (default: 512)",
+    )
+
+    fleet_worker = subparsers.add_parser(
+        "fleet-worker",
+        help="run one fleet mining worker (TCP server for the fleet backend)",
+    )
+    fleet_worker.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address of the worker's TCP listener",
+    )
+    fleet_worker.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port; 0 (default) picks a free port and reports it on "
+        "the READY line",
+    )
+    fleet_worker.add_argument(
+        "--parent-pid",
+        type=int,
+        default=None,
+        help="exit automatically when this process dies (set by a "
+        "coordinator spawning localhost workers, so a crashed "
+        "coordinator cannot leak orphans)",
     )
 
     return parser
@@ -354,6 +397,8 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
             mining_workers=args.mining_workers,
             mining_shards=args.mining_shards,
             mining_shard_scheme=args.mining_shard_scheme,
+            fleet_replicas=args.fleet_replicas,
+            fleet_workers=tuple(args.fleet_worker or ()),
             data_dir=None if args.data_dir is None else str(args.data_dir),
             wal_fsync=args.wal_fsync,
             mining_timeout_s=args.mining_timeout,
@@ -378,12 +423,21 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_fleet_worker(args: argparse.Namespace, out) -> int:
+    from .server.fleet import serve_worker
+
+    return serve_worker(
+        host=args.host, port=args.port, parent_pid=args.parent_pid, out=out
+    )
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "explain": _cmd_explain,
     "explore": _cmd_explore,
     "timeline": _cmd_timeline,
     "serve": _cmd_serve,
+    "fleet-worker": _cmd_fleet_worker,
 }
 
 

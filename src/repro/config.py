@@ -168,6 +168,23 @@ class ServerConfig:
             per-shard store segments an epoch is partitioned into (ignored
             by the other backends).  1 is the degenerate single-shard mode,
             which still routes through the scatter-gather merge.
+        fleet_replicas: replica factor R of the ``"fleet"`` backend — how
+            many distinct workers each shard is routed to on the
+            consistent-hash ring.  R ≥ 2 lets the coordinator fail a task
+            over to another replica when a worker dies mid-request; ignored
+            by the other backends.
+        fleet_heartbeat_s: membership probe period (seconds) of the fleet
+            coordinator's heartbeat thread, which marks unresponsive
+            workers dead, revives returning ones and respawns exited
+            localhost workers.
+        fleet_io_timeout_s: per-connection socket deadline (seconds) of the
+            fleet transport — bounds connects, segment ships and single
+            task round-trips, so a stuck worker fails over (or surfaces a
+            typed timeout) instead of hanging a request.
+        fleet_workers: external fleet worker addresses (``"host:port"``
+            strings, started via ``repro fleet-worker``).  Non-empty
+            switches the fleet pool to connect-only mode; empty (default)
+            spawns ``mining_workers`` localhost worker subprocesses.
         mining_shard_scheme: row-partitioning scheme of the ``"sharded"``
             backend: ``"reviewer"`` (stable hash of the reviewer id — even
             spread) or ``"region"`` (hash of the reviewer's state — each
@@ -255,6 +272,10 @@ class ServerConfig:
     mining_workers: int = 4
     mining_shards: int = 2
     mining_shard_scheme: str = "reviewer"
+    fleet_replicas: int = 2
+    fleet_heartbeat_s: float = 2.0
+    fleet_io_timeout_s: float = 30.0
+    fleet_workers: Sequence[str] = ()
     precompute_top_items: int = 50
     precompute_top_regions: int = 0
     warm_in_background: bool = True
@@ -286,10 +307,10 @@ class ServerConfig:
             raise ConstraintError("lattice_budget_mb must be at least 1")
         if self.cache_capacity < 1:
             raise ConstraintError("cache_capacity must be at least 1")
-        if self.mining_backend not in ("thread", "process", "sharded"):
+        if self.mining_backend not in ("thread", "process", "sharded", "fleet"):
             raise ConstraintError(
-                "mining_backend must be 'thread', 'process' or 'sharded', "
-                f"got {self.mining_backend!r}"
+                "mining_backend must be 'thread', 'process', 'sharded' or "
+                f"'fleet', got {self.mining_backend!r}"
             )
         if self.mining_workers < 0:
             raise ConstraintError("mining_workers must be non-negative")
@@ -300,6 +321,17 @@ class ServerConfig:
                 "mining_shard_scheme must be 'reviewer' or 'region', "
                 f"got {self.mining_shard_scheme!r}"
             )
+        if self.fleet_replicas < 1:
+            raise ConstraintError("fleet_replicas must be at least 1")
+        if self.fleet_heartbeat_s <= 0:
+            raise ConstraintError("fleet_heartbeat_s must be positive")
+        if self.fleet_io_timeout_s <= 0:
+            raise ConstraintError("fleet_io_timeout_s must be positive")
+        object.__setattr__(
+            self,
+            "fleet_workers",
+            tuple(str(address) for address in self.fleet_workers),
+        )
         if self.precompute_top_items < 0:
             raise ConstraintError("precompute_top_items must be non-negative")
         if self.precompute_top_regions < 0:

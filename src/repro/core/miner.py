@@ -185,6 +185,7 @@ class RatingMiner:
         if pool is not None and getattr(pool, "kind", "thread") in (
             "process",
             "sharded",
+            "fleet",
         ):
             similarity, diversity = pool.mine_pair(
                 self.store.epoch, list(item_ids), time_interval, config

@@ -1,0 +1,304 @@
+"""Fleet wire format: framed TCP transport and the consistent-hash ring.
+
+The sharded backend (PR 8) partitions an epoch into K per-shard stores, but
+its segments only travel over ``/dev/shm`` — every worker must live on the
+serving box.  This module is the transport half of the multi-host fleet
+backend (:mod:`repro.server.fleet`): it moves the exact same artifacts —
+picklable :class:`~repro.data.shm.StoreManifest` metadata plus the packed
+store bytes — over a TCP socket instead of a shared-memory segment.
+
+Three layers, smallest first:
+
+* **Frames** — the unit of transmission is one length-prefixed,
+  CRC32-checksummed frame (``[u32 length][u32 crc32][payload]``,
+  little-endian — the exact record framing of the write-ahead log in
+  :mod:`repro.data.durability`, applied to a socket instead of a file).  A
+  frame that cannot complete (peer closed mid-frame), fails its checksum or
+  declares a length beyond the negotiated maximum raises a typed
+  :class:`~repro.errors.WireProtocolError`; a clean close *between* frames
+  reads as end-of-stream (``None``), the socket equivalent of end-of-file.
+* **Messages** — one pickled tuple per frame (``("task", spec)``,
+  ``("result", ok, blob)``, …).  Undecodable payloads raise
+  :class:`~repro.errors.WireProtocolError`, never a bare pickle error.
+* **Store shipping** — :func:`pack_store_bytes` serializes a store through
+  the exact shared-memory pack format (:func:`repro.data.shm._pack_store`),
+  so one byte layout serves shm segments, durability snapshots and the
+  wire; :func:`store_from_bytes` re-assembles a read-only store over the
+  received buffer, zero-copy, exactly like :func:`repro.data.shm.attach_store`
+  does over a mapped segment.
+
+:class:`HashRing` is the routing half: a consistent-hash ring over worker
+names with virtual nodes.  Hashes are BLAKE2b digests of the key bytes —
+pure functions of their input, independent of ``PYTHONHASHSEED``, identical
+across processes and machines — so every coordinator incarnation routes a
+shard to the same replica set, and adding one worker to N reassigns only
+about ``1/(N+1)`` of the keys (the classic minimal-reshuffle property).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import struct
+import zlib
+from bisect import bisect_right
+from typing import Iterable, List, Optional, Tuple
+
+from ..errors import WireProtocolError
+from .model import RatingDataset
+from .shm import StoreManifest, _Layout, _pack_store, _store_from_buffer
+from .storage import RatingStore
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FRAME_HEADER",
+    "HashRing",
+    "pack_store_bytes",
+    "recv_frame",
+    "recv_message",
+    "send_frame",
+    "send_message",
+    "store_from_bytes",
+]
+
+#: Framing of one wire frame: payload length, CRC32 of the payload — the
+#: same header the write-ahead log puts before every record.
+FRAME_HEADER = struct.Struct("<II")
+
+#: Largest frame either side accepts by default (256 MiB comfortably holds
+#: the packed segment of a multi-million-row shard).
+DEFAULT_MAX_FRAME_BYTES = 256 << 20
+
+#: Virtual nodes per worker on the consistent-hash ring.  More vnodes mean a
+#: smoother key split and a reshuffle closer to the ideal 1/N on membership
+#: change, at the cost of a (tiny) larger sorted ring.
+DEFAULT_VNODES = 64
+
+
+# -- frames ------------------------------------------------------------------------
+
+
+def send_frame(sock, payload: bytes) -> None:
+    """Write one framed payload to a socket (length + CRC32 + bytes)."""
+    header = FRAME_HEADER.pack(len(payload), zlib.crc32(payload))
+    sock.sendall(header + payload)
+
+
+def _recv_exactly(sock, count: int, allow_eof: bool) -> Optional[bytes]:
+    """Read exactly ``count`` bytes from a socket.
+
+    Returns ``None`` when the peer closed the connection before the first
+    byte **and** ``allow_eof`` is set (the clean between-frames close);
+    raises :class:`~repro.errors.WireProtocolError` when the stream ends
+    anywhere else — a torn frame, the socket twin of the WAL's torn tail.
+    """
+    chunks: List[bytes] = []
+    received = 0
+    while received < count:
+        chunk = sock.recv(min(count - received, 1 << 20))
+        if not chunk:
+            if received == 0 and allow_eof:
+                return None
+            raise WireProtocolError(
+                f"connection closed mid-frame ({received} of {count} bytes)"
+            )
+        chunks.append(chunk)
+        received += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(
+    sock, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> Optional[bytes]:
+    """Read one framed payload; ``None`` on a clean end-of-stream.
+
+    Raises :class:`~repro.errors.WireProtocolError` on a torn frame (peer
+    vanished mid-frame), a declared length beyond ``max_frame_bytes`` (a
+    garbage or hostile header — reading it would buffer unbounded data) or
+    a CRC32 mismatch (corruption in transit or a desynchronised stream).
+    """
+    header = _recv_exactly(sock, FRAME_HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    length, crc = FRAME_HEADER.unpack(header)
+    if length > max_frame_bytes:
+        raise WireProtocolError(
+            f"frame of {length} bytes exceeds the {max_frame_bytes}-byte "
+            "maximum (garbage header or misconfigured peer)"
+        )
+    payload = _recv_exactly(sock, length, allow_eof=False)
+    if zlib.crc32(payload) != crc:
+        raise WireProtocolError(
+            f"frame checksum mismatch over {length} bytes "
+            "(corruption in transit or a desynchronised stream)"
+        )
+    return payload
+
+
+# -- messages ----------------------------------------------------------------------
+
+
+def send_message(sock, message: tuple) -> None:
+    """Send one protocol message (a picklable tuple) as a single frame."""
+    send_frame(sock, pickle.dumps(message))
+
+
+def recv_message(
+    sock, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> Optional[tuple]:
+    """Receive one protocol message; ``None`` on a clean end-of-stream.
+
+    A frame that decodes but does not unpickle to a tuple raises
+    :class:`~repro.errors.WireProtocolError` — the stream carries something
+    that is not this protocol.
+    """
+    payload = recv_frame(sock, max_frame_bytes)
+    if payload is None:
+        return None
+    try:
+        message = pickle.loads(payload)
+    except Exception as exc:
+        raise WireProtocolError(f"undecodable wire message: {exc}") from exc
+    if not isinstance(message, tuple) or not message:
+        raise WireProtocolError(
+            f"wire message must be a non-empty tuple, got {type(message).__name__}"
+        )
+    return message
+
+
+# -- store shipping ----------------------------------------------------------------
+
+
+def pack_store_bytes(
+    store: RatingStore, name: str = ""
+) -> Tuple[StoreManifest, bytes]:
+    """Serialize one store into (manifest, packed bytes) for shipping.
+
+    The byte layout is exactly the shared-memory segment layout
+    (:func:`repro.data.shm._pack_store`): 64-byte-aligned arrays, the
+    inverted item index as one ``(item_id, start, length)`` table, built
+    attribute indexes and any attached lattice included.  ``name`` fills
+    the manifest's ``segment`` field (a logical label — there is no shm
+    segment behind it).
+    """
+    layout = _Layout()
+    fields = _pack_store(store, layout)
+    buffer = bytearray(max(layout.total, 1))
+    layout.copy_into(memoryview(buffer))
+    manifest = StoreManifest(segment=name, epoch=store.epoch, **fields)
+    return manifest, bytes(buffer)
+
+
+def store_from_bytes(manifest: StoreManifest, data: bytes) -> RatingStore:
+    """Re-assemble a read-only store over a received packed buffer.
+
+    Every column is a zero-copy view into ``data`` (kept alive through the
+    store's ``_wire_buffer`` attribute), and the store carries an empty stub
+    dataset exactly like a shared-memory attach — mining runs purely on the
+    columnar parts.
+    """
+    dataset = RatingDataset(
+        reviewers=(),
+        items=(),
+        ratings=(),
+        name=f"wire-epoch-{manifest.epoch}",
+        validate=False,
+    )
+    store = _store_from_buffer(manifest, memoryview(data), dataset)
+    store._wire_buffer = data  # keeps the backing bytes alive with the store
+    return store
+
+
+# -- consistent-hash ring ----------------------------------------------------------
+
+
+def stable_hash(key: str) -> int:
+    """A 64-bit stable hash of a string key.
+
+    BLAKE2b over the UTF-8 bytes: a pure function of the key, independent
+    of ``PYTHONHASHSEED``, Python version and platform — never the salted
+    builtin ``hash()``.
+    """
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class HashRing:
+    """Consistent-hash ring over worker names with virtual nodes.
+
+    Each worker contributes ``vnodes`` points at
+    ``stable_hash(f"{name}#{i}")``; a key routes to the owner of the first
+    ring point at or after ``stable_hash(key)``, wrapping around.  Replica
+    lookups continue clockwise, skipping points of workers already chosen,
+    so the R replicas of a key are R *distinct* workers in a stable order.
+
+    Membership changes are minimal by construction: removing a worker only
+    reassigns the keys it owned; adding one to N existing workers claims
+    roughly ``1/(N+1)`` of the key space and moves nothing else.
+    """
+
+    def __init__(
+        self, workers: Iterable[str] = (), vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be at least 1")
+        self.vnodes = int(vnodes)
+        self._points: List[Tuple[int, str]] = []
+        self._hashes: List[int] = []
+        self._workers: set = set()
+        for name in workers:
+            self.add(name)
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __contains__(self, name: str) -> bool:
+        return str(name) in self._workers
+
+    @property
+    def workers(self) -> Tuple[str, ...]:
+        """The current members, sorted by name."""
+        return tuple(sorted(self._workers))
+
+    def _rebuild(self) -> None:
+        self._points.sort()
+        self._hashes = [point for point, _ in self._points]
+
+    def add(self, name: str) -> None:
+        """Add one worker's virtual nodes to the ring (idempotent)."""
+        name = str(name)
+        if name in self._workers:
+            return
+        self._workers.add(name)
+        for index in range(self.vnodes):
+            self._points.append((stable_hash(f"{name}#{index}"), name))
+        self._rebuild()
+
+    def remove(self, name: str) -> None:
+        """Remove one worker from the ring (idempotent)."""
+        name = str(name)
+        if name not in self._workers:
+            return
+        self._workers.discard(name)
+        self._points = [point for point in self._points if point[1] != name]
+        self._hashes = [point for point, _ in self._points]
+
+    def lookup(self, key: str, count: int = 1) -> List[str]:
+        """The first ``count`` distinct workers clockwise of ``key``.
+
+        Returns fewer than ``count`` names when the ring holds fewer
+        workers, and an empty list on an empty ring — the caller decides
+        whether that is an error.
+        """
+        if not self._points or count < 1:
+            return []
+        start = bisect_right(self._hashes, stable_hash(str(key)))
+        chosen: List[str] = []
+        total = len(self._points)
+        for step in range(total):
+            _, name = self._points[(start + step) % total]
+            if name not in chosen:
+                chosen.append(name)
+                if len(chosen) >= count:
+                    break
+        return chosen

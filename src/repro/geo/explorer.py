@@ -447,6 +447,7 @@ class GeoExplorer:
         if pool is not None and getattr(pool, "kind", "thread") in (
             "process",
             "sharded",
+            "fleet",
         ):
             # Process backend: the two region minings are shipped as spec
             # tuples; each worker rebuilds the identical region slice from
@@ -520,7 +521,10 @@ class GeoExplorer:
                 time_interval,
                 base_config,
             )
-        if pool is not None and getattr(pool, "kind", "thread") == "sharded":
+        if pool is not None and getattr(pool, "kind", "thread") in (
+            "sharded",
+            "fleet",
+        ):
             # Sharded backend: each region explanation is itself one
             # scatter-gather round over the data shards, so the fan-out
             # stays a simple loop here — the parallelism lives inside

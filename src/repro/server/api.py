@@ -50,6 +50,7 @@ from .cache import ResultCache, canonical_explain_key, canonical_geo_key
 from .pool import MiningWorkerPool
 from .precompute import CacheWarmer, ItemAggregate, Precomputer
 from .procpool import ProcessMiningPool
+from .fleet import FleetMiningPool
 from .shardpool import ShardedMiningPool
 from .recovery import DurabilityController, RecoveryReport
 
@@ -139,6 +140,18 @@ class MapRat:
                 timeout_s=server.mining_timeout_s,
             )
             self.pool.publish(miner.store)
+        elif server.mining_backend == "fleet":
+            self.pool = FleetMiningPool(
+                server.mining_workers,
+                shards=server.mining_shards,
+                scheme=server.mining_shard_scheme,
+                replicas=server.fleet_replicas,
+                addresses=server.fleet_workers,
+                heartbeat_s=server.fleet_heartbeat_s,
+                io_timeout_s=server.fleet_io_timeout_s,
+                timeout_s=server.mining_timeout_s,
+            )
+            self.pool.publish(miner.store)
         else:
             self.pool = MiningWorkerPool(
                 server.mining_workers, timeout_s=server.mining_timeout_s
@@ -224,8 +237,8 @@ class MapRat:
 
     @property
     def _process_backend(self) -> bool:
-        """True for the epoch-publishing pools (process and sharded backends)."""
-        return self.config.server.mining_backend in ("process", "sharded")
+        """True for the epoch-publishing pools (process/sharded/fleet)."""
+        return self.config.server.mining_backend in ("process", "sharded", "fleet")
 
     @staticmethod
     def _retry_stale_epoch(attempt):

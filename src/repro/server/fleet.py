@@ -1,0 +1,1002 @@
+"""Multi-host miner fleet (``mining_backend="fleet"``).
+
+The sharded backend (:mod:`repro.server.shardpool`) already partitions an
+epoch into K per-shard stores, but its segments travel over ``/dev/shm`` —
+every worker must share the serving box's memory.  This module moves the
+same scatter-gather over TCP so workers can live anywhere:
+
+* :class:`FleetWorkerServer` is one worker: a small threaded TCP server
+  (the ``repro fleet-worker`` CLI entrypoint) that attaches shard segments
+  shipped as packed bytes (:func:`repro.data.wire.store_from_bytes`) and
+  executes the exact same ``("cells", ...)`` specs as the shard worker
+  processes, via the shared :func:`~repro.server.shardpool._execute_shard_spec`.
+* :class:`FleetMiningPool` is the coordinator: it packs each published
+  epoch's shards once (:func:`repro.data.wire.pack_store_bytes`), routes
+  every shard to R workers picked from a consistent-hash ring
+  (:class:`repro.data.wire.HashRing` — stable across processes, minimal
+  reshuffle on membership change), ships segments lazily on first use (which
+  is also how a worker joining or reconnecting mid-epoch re-syncs), and
+  fails over to the next replica on any transport fault.  The partial cubes
+  come back over the wire and the coordinator merge + serial DFS replay
+  (:mod:`repro.core.shardmerge`) is inherited unchanged — **fleet ≡ serial**,
+  bit for bit, like every other backend.
+
+Failure semantics, all typed and bounded:
+
+* a worker that dies mid-request (``SIGKILL``, crash, network partition)
+  surfaces as a transport error on its socket; the coordinator marks it
+  dead, removes it from the ring and retries the task on the next replica —
+  the caller sees the identical answer, later;
+* a stuck worker (``SIGSTOP``, livelock) trips the per-connection I/O
+  deadline; with no replica left the task fails
+  :class:`~repro.errors.MiningTimeoutError` — never a hang;
+* torn or corrupt frames raise :class:`~repro.errors.WireProtocolError`
+  (failover first, surfaced only when no replica remains);
+* a retired epoch raises :class:`~repro.errors.StaleEpochError` exactly as
+  the PR 5 protocol demands, and the façade retries once on the current
+  epoch.
+
+A heartbeat thread drives membership: it pings every idle worker, marks
+unresponsive ones dead, revives returning ones, respawns locally-spawned
+workers that exited (worker recycling), and propagates epoch retirement
+(``detach_below``) so workers drop superseded segments.  The epoch protocol
+itself is the sharded pool's, inherited: publish-before-swap,
+drain-then-retire, per-epoch in-flight accounting.
+
+With ``workers <= 1`` and no addresses the pool runs every spec inline over
+the same partitioned shard stores — the degenerate single-node mode, used
+by the wide equivalence batteries.  The fleet never creates shared-memory
+segments: segments are byte strings in the coordinator and in worker RAM.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..data.sharding import partition_store
+from ..data.wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    HashRing,
+    pack_store_bytes,
+    recv_frame,
+    recv_message,
+    send_frame,
+    send_message,
+    store_from_bytes,
+)
+from ..errors import (
+    MiningTimeoutError,
+    PoolError,
+    StaleEpochError,
+    WireProtocolError,
+)
+from .shardpool import ShardedMiningPool, _execute_shard_spec
+
+__all__ = ["FleetMiningPool", "FleetWorkerServer", "serve_worker"]
+
+
+# -- the worker --------------------------------------------------------------------
+
+
+class FleetWorkerServer:
+    """One fleet mining worker: a threaded TCP server executing shard specs.
+
+    Speaks the framed message protocol of :mod:`repro.data.wire`, one
+    coordinator connection per handler thread.  Attached stores live in a
+    server-wide ``(epoch, shard_id)`` cache shared by every connection, so a
+    coordinator reconnecting on a fresh socket still finds the segments an
+    earlier connection shipped.  A connection that sends garbage (framing or
+    checksum failure) is dropped; the server and its other connections keep
+    serving.
+
+    Messages handled:
+
+    * ``("ping",)`` → ``("pong", held_segments)`` — liveness + heartbeat.
+    * ``("attach", epoch, shard_id, manifest)`` followed by one raw bytes
+      frame → ``("ok",)`` — map one shard segment into the cache.
+    * ``("detach_below", floor)`` → ``("ok",)`` — drop every store of an
+      epoch below ``floor`` (epoch retirement).
+    * ``("task", spec)`` → ``("result", ok, pickled_payload)`` — execute one
+      cell-enumeration spec; errors travel pickled, exactly like the shard
+      worker processes.
+    * ``("shutdown",)`` — stop the server.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._listener = socket.create_server((host, int(port)))
+        self._listener.settimeout(0.2)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._stores: Dict[Tuple[int, int], Any] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._conns: set = set()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (port 0 resolves to the kernel's pick)."""
+        return (self.host, self.port)
+
+    def serve_forever(self) -> None:
+        """Accept coordinator connections until shutdown is requested."""
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:  # listener closed under us
+                break
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                self._conns.add(conn)
+            threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="maprat-fleet-conn",
+                daemon=True,
+            ).start()
+        self.close()
+
+    def _serve_connection(self, conn) -> None:
+        """Serve one coordinator connection until EOF, garbage or shutdown."""
+        try:
+            while not self._stop.is_set():
+                try:
+                    message = recv_message(conn, self.max_frame_bytes)
+                    if message is None or not self._dispatch(conn, message):
+                        break
+                except (WireProtocolError, OSError):
+                    break  # garbage or a vanished peer: drop this connection
+        finally:
+            with self._lock:
+                self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def _dispatch(self, conn, message: tuple) -> bool:
+        """Handle one message; False closes the connection."""
+        tag = message[0]
+        if tag == "ping":
+            with self._lock:
+                held = len(self._stores)
+            send_message(conn, ("pong", held))
+            return True
+        if tag == "attach":
+            _, epoch, shard_id, manifest = message
+            blob = recv_frame(conn, self.max_frame_bytes)
+            if blob is None:
+                return False
+            store = store_from_bytes(manifest, blob)
+            with self._lock:
+                self._stores[(int(epoch), int(shard_id))] = store
+            send_message(conn, ("ok",))
+            return True
+        if tag == "detach_below":
+            floor = int(message[1])
+            with self._lock:
+                for key in [key for key in self._stores if key[0] < floor]:
+                    del self._stores[key]
+            send_message(conn, ("ok",))
+            return True
+        if tag == "task":
+            spec = message[1]
+            try:
+                payload: Any = _execute_shard_spec(spec, self._stores)
+                ok = True
+            except BaseException as exc:
+                payload, ok = exc, False
+            try:
+                blob = pickle.dumps(payload)
+            except Exception:
+                blob = pickle.dumps(
+                    PoolError(
+                        f"fleet worker: unpicklable "
+                        f"{'result' if ok else 'error'} "
+                        f"{type(payload).__name__}: {payload}"
+                    )
+                )
+                ok = False
+            send_message(conn, ("result", ok, blob))
+            return True
+        if tag == "shutdown":
+            self._stop.set()
+            return False
+        return False  # unknown tag: protocol violation, drop the connection
+
+    def close(self) -> None:
+        """Stop accepting, close every connection, drop attached stores."""
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        with self._lock:
+            conns = list(self._conns)
+            self._conns.clear()
+            self._stores.clear()
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+
+def serve_worker(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    parent_pid: Optional[int] = None,
+    out=None,
+) -> int:
+    """Run one fleet worker until shutdown (the CLI entrypoint's body).
+
+    Prints the machine-readable ``FLEET-WORKER READY <host> <port>`` line
+    (flushed) once the listener is bound, so a spawning coordinator can read
+    the kernel-assigned port.  With ``parent_pid``, a watchdog thread exits
+    the worker when that process disappears — a coordinator that dies
+    without a clean shutdown cannot leak orphan workers.
+    """
+    out = out if out is not None else sys.stdout
+    server = FleetWorkerServer(host, port)
+    if parent_pid:
+        def _watch_parent() -> None:
+            while not server._stop.wait(1.0):
+                if os.getppid() != int(parent_pid):
+                    server._stop.set()
+                    return
+
+        threading.Thread(
+            target=_watch_parent, name="maprat-fleet-parent-watch", daemon=True
+        ).start()
+    print(f"FLEET-WORKER READY {server.host} {server.port}", file=out, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+# -- coordinator-side worker handles ------------------------------------------------
+
+
+def _spawn_worker_proc() -> subprocess.Popen:
+    """Start one localhost worker subprocess on a kernel-assigned port.
+
+    The package is not installed (tests import it via a ``sys.path`` hook),
+    so the child's ``PYTHONPATH`` gets this tree's ``src/`` prepended; the
+    ``--parent-pid`` watchdog ties the worker's lifetime to this process.
+    """
+    src_dir = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = str(src_dir) + (os.pathsep + existing if existing else "")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "fleet-worker",
+            "--port",
+            "0",
+            "--parent-pid",
+            str(os.getpid()),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+
+
+def _ready_address(proc: subprocess.Popen) -> Tuple[str, int]:
+    """Read a spawned worker's READY line; returns its ``(host, port)``."""
+    line = proc.stdout.readline() if proc.stdout else ""
+    parts = line.split()
+    if len(parts) != 4 or parts[:2] != ["FLEET-WORKER", "READY"]:
+        try:
+            proc.terminate()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        raise PoolError(f"fleet worker failed to start (said {line!r})")
+    return parts[2], int(parts[3])
+
+
+def _reap(proc: subprocess.Popen, timeout: float = 5.0) -> None:
+    """Wait a terminated worker out; escalate to SIGKILL if it lingers."""
+    try:
+        proc.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:  # pragma: no cover - wedged worker
+        proc.kill()
+        proc.wait(timeout=timeout)
+    if proc.stdout is not None:
+        proc.stdout.close()
+
+
+class _FleetMember:
+    """Coordinator-side state of one fleet worker.
+
+    ``lock`` serializes all use of the member's socket (task round-trips,
+    heartbeats, reconnects); ``attached`` is the coordinator's record of
+    which ``(epoch, shard_id)`` segments this worker holds **on the current
+    connection** — cleared on reconnect, which is exactly what forces the
+    lazy re-sync after a worker recycles.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        address: Tuple[str, int],
+        proc: Optional[subprocess.Popen] = None,
+    ) -> None:
+        self.name = name
+        self.address = address
+        self.proc = proc
+        self.lock = threading.Lock()
+        self.sock: Optional[socket.socket] = None
+        self.attached: set = set()
+        self.alive = True
+        self.tasks = 0
+        self.failures = 0
+
+
+def _parse_address(address: str) -> Tuple[str, int]:
+    """Split one ``HOST:PORT`` worker address string."""
+    host, _, port = str(address).rpartition(":")
+    if not host or not port.isdigit():
+        raise PoolError(
+            f"fleet worker address must be HOST:PORT, got {address!r}"
+        )
+    return host, int(port)
+
+
+# -- the coordinator ---------------------------------------------------------------
+
+
+class FleetMiningPool(ShardedMiningPool):
+    """Scatter-gather mining over TCP-connected fleet workers.
+
+    Keeps the :class:`~repro.server.shardpool.ShardedMiningPool` surface
+    (``publish``/``retire_older``/``mine_pair``/``gather``/``shutdown``/
+    ``to_dict``) and its coordinator merge + epoch protocol; only transport
+    and placement change.  Callers branch on ``pool.kind == "fleet"``.
+
+    Args:
+        workers: localhost worker subprocesses to spawn (ignored when
+            ``addresses`` is given); ``0``/``1`` with no addresses runs every
+            spec inline over partitioned shard stores, bit-identically.
+        shards: partition count K per epoch (as the sharded backend).
+        scheme: ``"reviewer"`` or ``"region"`` row partitioning.
+        replicas: R — how many distinct workers each shard is routed to; the
+            coordinator fails over along this replica list, so R ≥ 2 rides
+            out any single worker death without failing a request.
+        addresses: external worker ``HOST:PORT`` strings; non-empty switches
+            the pool to connect-only mode (no spawning, no respawning).
+        heartbeat_s: membership probe period in seconds.
+        io_timeout_s: per-connection socket deadline — bounds connects,
+            segment ships and task round-trips; a stuck worker fails over
+            (or times out typed) after at most this long.
+        timeout_s: end-to-end gather deadline per task
+            (:class:`~repro.errors.MiningTimeoutError` beyond it), as in
+            every other pool.
+        respawn: restart spawned workers that exit (worker recycling); the
+            fault batteries disable it for deterministic membership.
+        vnodes: virtual nodes per worker on the consistent-hash ring.
+    """
+
+    kind = "fleet"
+
+    def __init__(
+        self,
+        workers: int = 0,
+        shards: int = 2,
+        scheme: str = "reviewer",
+        replicas: int = 2,
+        addresses: Tuple[str, ...] = (),
+        heartbeat_s: float = 2.0,
+        io_timeout_s: float = 30.0,
+        timeout_s: Optional[float] = None,
+        respawn: bool = True,
+        vnodes: int = 64,
+    ) -> None:
+        super().__init__(
+            workers=workers, shards=shards, scheme=scheme, timeout_s=timeout_s
+        )
+        if int(replicas) < 1:
+            raise PoolError("replicas must be at least 1")
+        if float(heartbeat_s) <= 0:
+            raise PoolError("heartbeat_s must be positive")
+        if float(io_timeout_s) <= 0:
+            raise PoolError("io_timeout_s must be positive")
+        self.replicas = int(replicas)
+        self.heartbeat_s = float(heartbeat_s)
+        self.io_timeout_s = float(io_timeout_s)
+        self.respawn = bool(respawn)
+        self.addresses = tuple(str(address) for address in addresses)
+        for address in self.addresses:
+            _parse_address(address)  # fail fast on malformed config
+        self._members: Dict[str, _FleetMember] = {}
+        self._ring = HashRing(vnodes=vnodes)
+        self._segments: Dict[Tuple[int, int], Tuple[Any, bytes]] = {}
+        self._pending: set = set()
+        self._dispatcher: Optional[ThreadPoolExecutor] = None
+        self._heartbeat: Optional[threading.Thread] = None
+        self._hb_stop = threading.Event()
+        self._failovers = 0
+        self._heartbeat_failures = 0
+        self._bytes_shipped = 0
+        self._next_spawn_id = 0
+
+    # -- lifecycle / epochs -----------------------------------------------------------
+
+    @property
+    def parallel(self) -> bool:
+        """True when specs run on fleet workers (spawned or addressed)."""
+        return self.workers > 1 or bool(self.addresses)
+
+    def _ensure_fleet_locked(self) -> None:
+        """Start the members, dispatcher and heartbeat (under the pool lock)."""
+        if self._members or not self.parallel:
+            return
+        members: List[_FleetMember] = []
+        if self.addresses:
+            for address in self.addresses:
+                members.append(_FleetMember(address, _parse_address(address)))
+        else:
+            procs = [_spawn_worker_proc() for _ in range(self.workers)]
+            for proc in procs:
+                name = f"w{self._next_spawn_id}"
+                self._next_spawn_id += 1
+                members.append(_FleetMember(name, _ready_address(proc), proc))
+        for member in members:
+            self._members[member.name] = member
+            self._ring.add(member.name)
+        self._dispatcher = ThreadPoolExecutor(
+            max_workers=max(8, 2 * self.shards),
+            thread_name_prefix="maprat-fleet-dispatch",
+        )
+        self._heartbeat = threading.Thread(
+            target=self._heartbeat_loop, name="maprat-fleet-heartbeat", daemon=True
+        )
+        self._heartbeat.start()
+
+    def publish(self, store, retire_previous: bool = True) -> int:
+        """Partition and pack a store epoch; make it submittable.
+
+        Same publish-before-swap contract as the sharded pool, but segments
+        are packed byte strings held by the coordinator, not shm exports:
+        workers receive a segment lazily the first time a task routes a
+        shard to them (which also covers mid-epoch joins and post-recycle
+        re-syncs).  The partition + pack runs outside the pool lock.
+        """
+        epoch = int(store.epoch)
+        with self._lock:
+            if self._shutdown:
+                raise PoolError("fleet mining pool is shut down")
+            if epoch == self._current_epoch:
+                return epoch
+            parallel = self.parallel
+        shard_stores = partition_store(store, self.shards, self.scheme)
+        segments = None
+        if parallel:
+            segments = [
+                pack_store_bytes(shard_store, name=f"fleet-e{epoch}-s{shard_id}")
+                for shard_id, shard_store in enumerate(shard_stores)
+            ]
+        with self._lock:
+            if self._shutdown:
+                raise PoolError("fleet mining pool is shut down")
+            if epoch == self._current_epoch:  # raced duplicate publish
+                return epoch
+            if parallel:
+                self._ensure_fleet_locked()
+                for shard_id, segment in enumerate(segments):
+                    self._segments[(epoch, shard_id)] = segment
+            else:
+                for shard_id, shard_store in enumerate(shard_stores):
+                    self._shard_stores[(epoch, shard_id)] = shard_store
+            self._full_stores[epoch] = store
+            previous = self._current_epoch
+            self._current_epoch = epoch
+            if previous is not None and retire_previous:
+                self._retiring.add(previous)
+            self._drain_retired_locked()
+            return epoch
+
+    def _drain_retired_locked(self) -> None:
+        """Drop a retiring epoch's packed segments once its tasks drained.
+
+        Workers learn about the retirement from the heartbeat's
+        ``detach_below`` floor; until then their copies are inert (no task
+        can reference a retired epoch — submission already refuses it).
+        """
+        for epoch in sorted(self._retiring):
+            if self._inflight.get(epoch, 0) > 0:
+                continue
+            self._retiring.discard(epoch)
+            self._full_stores.pop(epoch, None)
+            self._explorers.pop(epoch, None)
+            for key in [key for key in self._segments if key[0] == epoch]:
+                del self._segments[key]
+            for key in [key for key in self._shard_stores if key[0] == epoch]:
+                del self._shard_stores[key]
+
+    def segment_names(self) -> List[str]:
+        """The fleet links no shared-memory segments; always empty."""
+        return []
+
+    # -- submission -------------------------------------------------------------------
+
+    def submit(self, spec: tuple) -> Future:
+        """Schedule one shard spec; returns a future resolving to its result.
+
+        Parallel mode hands the spec to a dispatch thread that runs the
+        route-ship-execute-failover protocol (:meth:`_execute_remote`);
+        inline mode executes on the calling thread over the local shard
+        stores, exactly as the sharded pool.
+        """
+        future: Future = Future()
+        with self._lock:
+            if self._shutdown:
+                raise PoolError("fleet mining pool is shut down")
+            epoch = int(spec[1])
+            if epoch not in self._full_stores:
+                raise StaleEpochError(
+                    f"epoch {epoch} is not exported "
+                    f"(current epoch: {self._current_epoch})"
+                )
+            self._submitted += 1
+            parallel = self.parallel
+            if parallel:
+                self._inflight[epoch] = self._inflight.get(epoch, 0) + 1
+                self._pending.add(future)
+                dispatcher = self._dispatcher
+
+        if not parallel:
+            try:
+                future.set_result(_execute_shard_spec(spec, self._shard_stores))
+            except BaseException as exc:
+                future.set_exception(exc)
+            return future
+
+        def _run() -> None:
+            try:
+                result = self._execute_remote(spec, epoch)
+            except BaseException as exc:
+                self._finish(future, epoch, error=exc)
+            else:
+                self._finish(future, epoch, result=result)
+
+        dispatcher.submit(_run)
+        return future
+
+    def _finish(self, future: Future, epoch: int, result=None, error=None) -> None:
+        """Resolve one dispatched future and drive epoch drain accounting."""
+        with self._lock:
+            self._pending.discard(future)
+            remaining = self._inflight.get(epoch, 0) - 1
+            if remaining > 0:
+                self._inflight[epoch] = remaining
+            else:
+                self._inflight.pop(epoch, None)
+            self._drain_retired_locked()
+        try:
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+        except InvalidStateError:  # pragma: no cover - lost race with shutdown
+            pass
+
+    # -- remote execution (routing, shipping, failover) ---------------------------------
+
+    def _execute_remote(self, spec: tuple, epoch: int):
+        """Run one spec on the shard's replica set, failing over on faults.
+
+        Routing is a consistent-hash lookup of the shard key over the *live*
+        ring, recomputed per attempt: a worker marked dead mid-loop drops
+        out, and after the preferred replicas are exhausted any surviving
+        worker can serve (the lazy attach ships it the segment).  Transport
+        faults (socket errors, I/O deadlines, wire-protocol violations)
+        fail over; application errors — stale epochs, empty selections,
+        worker-side mining failures — propagate immediately, because every
+        replica would answer the same.
+        """
+        shard_id = int(spec[2])
+        attempted: set = set()
+        last_error: Optional[BaseException] = None
+        while True:
+            with self._lock:
+                if self._shutdown:
+                    raise PoolError("fleet mining pool is shut down")
+                order = self._ring.lookup(f"shard-{shard_id}", self.replicas)
+                member = next(
+                    (
+                        self._members[name]
+                        for name in order
+                        if name not in attempted
+                    ),
+                    None,
+                )
+            if member is None:
+                break
+            attempted.add(member.name)
+            try:
+                return self._request_on(member, spec, epoch, shard_id)
+            except (WireProtocolError, OSError) as exc:
+                last_error = exc
+                self._mark_dead(member)
+                with self._lock:
+                    self._failovers += 1
+        if last_error is None:
+            raise PoolError(
+                f"no live fleet worker to serve shard {shard_id} "
+                f"(epoch {epoch})"
+            )
+        if isinstance(last_error, (socket.timeout, TimeoutError)):
+            raise MiningTimeoutError(
+                f"fleet worker(s) for shard {shard_id} exceeded the "
+                f"{self.io_timeout_s:g}s I/O deadline"
+            ) from last_error
+        if isinstance(last_error, WireProtocolError):
+            raise last_error
+        raise PoolError(
+            f"all {len(attempted)} replica worker(s) for shard {shard_id} "
+            f"failed: {last_error}"
+        ) from last_error
+
+    def _connect_locked(self, member: _FleetMember) -> socket.socket:
+        """The member's live socket, (re)connecting if needed (member lock held).
+
+        A fresh connection clears the member's attach record: whatever the
+        worker held belongs to an older connection's epoch sync, and the
+        lazy attach re-ships on demand (epoch re-sync after reconnect).
+        """
+        if member.sock is not None:
+            return member.sock
+        sock = socket.create_connection(member.address, timeout=self.io_timeout_s)
+        sock.settimeout(self.io_timeout_s)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        member.sock = sock
+        member.attached = set()
+        return sock
+
+    def _request_on(
+        self, member: _FleetMember, spec: tuple, epoch: int, shard_id: int
+    ):
+        """One task round-trip on one member (attach-on-demand first)."""
+        with member.lock:
+            sock = self._connect_locked(member)
+            key = (epoch, shard_id)
+            if key not in member.attached:
+                with self._lock:
+                    segment = self._segments.get(key)
+                    current = self._current_epoch
+                if segment is None:
+                    raise StaleEpochError(
+                        f"epoch {epoch} shard {shard_id} is no longer "
+                        f"exported (current epoch: {current})"
+                    )
+                manifest, blob = segment
+                send_message(sock, ("attach", epoch, shard_id, manifest))
+                send_frame(sock, blob)
+                reply = recv_message(sock)
+                if reply is None:
+                    raise WireProtocolError(
+                        f"fleet worker {member.name} closed the connection "
+                        "during attach"
+                    )
+                if reply[0] != "ok":
+                    raise WireProtocolError(
+                        f"fleet worker {member.name} rejected attach: "
+                        f"{reply[0]!r}"
+                    )
+                member.attached.add(key)
+                with self._lock:
+                    self._bytes_shipped += len(blob)
+            send_message(sock, ("task", spec))
+            reply = recv_message(sock)
+            if reply is None:
+                raise WireProtocolError(
+                    f"fleet worker {member.name} closed the connection mid-task"
+                )
+            if reply[0] != "result" or len(reply) != 3:
+                raise WireProtocolError(
+                    f"unexpected {reply[0]!r} reply from fleet worker "
+                    f"{member.name}"
+                )
+            _, ok, blob = reply
+            member.tasks += 1
+        try:
+            payload = pickle.loads(blob)
+        except Exception as exc:
+            raise WireProtocolError(
+                f"undecodable result payload from fleet worker "
+                f"{member.name}: {exc}"
+            ) from exc
+        if ok:
+            return payload
+        if isinstance(payload, BaseException):
+            raise payload
+        raise PoolError(str(payload))
+
+    def _mark_dead(self, member: _FleetMember) -> None:
+        """Drop a member from the ring and close its connection."""
+        with member.lock:
+            if member.sock is not None:
+                try:
+                    member.sock.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+                member.sock = None
+            member.attached = set()
+        with self._lock:
+            member.failures += 1
+            if member.alive:
+                member.alive = False
+                self._ring.remove(member.name)
+
+    def _revive(self, member: _FleetMember) -> None:
+        """Return a responsive member to the ring."""
+        with self._lock:
+            if self._shutdown:
+                return
+            if not member.alive and member.name in self._members:
+                member.alive = True
+                self._ring.add(member.name)
+
+    # -- membership (heartbeat, recycling, churn) ----------------------------------------
+
+    def _heartbeat_loop(self) -> None:
+        """Probe every member each period; recycle, revive and retire."""
+        while not self._hb_stop.wait(self.heartbeat_s):
+            with self._lock:
+                if self._shutdown:
+                    return
+                members = list(self._members.values())
+                floor = min(self._full_stores) if self._full_stores else None
+            for member in members:
+                self._heartbeat_member(member, floor)
+
+    def _heartbeat_member(self, member: _FleetMember, floor: Optional[int]) -> None:
+        """One membership probe: detach floor + ping, or recycle the corpse."""
+        if member.proc is not None and member.proc.poll() is not None:
+            self._mark_dead(member)
+            if self.respawn:
+                self._respawn(member)
+            return
+        if not member.lock.acquire(blocking=False):
+            return  # mid-task on its socket — busy means alive
+        ok = True
+        try:
+            sock = self._connect_locked(member)
+            if floor is not None:
+                send_message(sock, ("detach_below", floor))
+                reply = recv_message(sock)
+                if reply is None or reply[0] != "ok":
+                    raise WireProtocolError("bad detach_below reply")
+                member.attached = {
+                    key for key in member.attached if key[0] >= floor
+                }
+            send_message(sock, ("ping",))
+            reply = recv_message(sock)
+            if reply is None or reply[0] != "pong":
+                raise WireProtocolError("bad ping reply")
+        except (OSError, WireProtocolError):
+            ok = False
+            if member.sock is not None:
+                try:
+                    member.sock.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+                member.sock = None
+            member.attached = set()
+        finally:
+            member.lock.release()
+        if ok:
+            self._revive(member)
+        else:
+            with self._lock:
+                self._heartbeat_failures += 1
+            self._mark_dead(member)
+
+    def _respawn(self, member: _FleetMember) -> None:
+        """Replace a spawned member's dead process (worker recycling)."""
+        old = member.proc
+        try:
+            proc = _spawn_worker_proc()
+            address = _ready_address(proc)
+        except PoolError:  # pragma: no cover - spawn failure
+            return  # leave the member dead; the next heartbeat retries
+        with member.lock:
+            member.proc = proc
+            member.address = address
+            member.sock = None
+            member.attached = set()
+        if old is not None:
+            _reap(old)
+        self._revive(member)
+
+    def recycle_worker(self, name: str) -> str:
+        """Kill and respawn one spawned worker; it re-syncs lazily on reuse."""
+        with self._lock:
+            member = self._members.get(str(name))
+        if member is None or member.proc is None:
+            raise PoolError(f"no spawned fleet worker named {name!r}")
+        try:
+            member.proc.terminate()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        _reap(member.proc)
+        self._mark_dead(member)
+        self._respawn(member)
+        return member.name
+
+    def add_worker(self, address: Optional[str] = None) -> str:
+        """Join one worker mid-epoch (spawned, or an external ``HOST:PORT``).
+
+        The ring reassigns only ~1/(N+1) of the shard keys to the newcomer;
+        its first routed task ships it the live segments (mid-epoch
+        re-sync).  Returns the new member's name.
+        """
+        with self._lock:
+            if self._shutdown:
+                raise PoolError("fleet mining pool is shut down")
+            if not self._members:
+                raise PoolError(
+                    "the fleet is not started — publish an epoch first"
+                )
+        if address is not None:
+            member = _FleetMember(str(address), _parse_address(address))
+        else:
+            proc = _spawn_worker_proc()
+            worker_address = _ready_address(proc)
+            with self._lock:
+                name = f"w{self._next_spawn_id}"
+                self._next_spawn_id += 1
+            member = _FleetMember(name, worker_address, proc)
+        with self._lock:
+            if self._shutdown:
+                if member.proc is not None:
+                    member.proc.terminate()
+                raise PoolError("fleet mining pool is shut down")
+            self._members[member.name] = member
+            self._ring.add(member.name)
+        return member.name
+
+    def remove_worker(self, name: str) -> None:
+        """Retire one worker from the ring (kills it if the pool spawned it)."""
+        with self._lock:
+            member = self._members.pop(str(name), None)
+            if member is None:
+                raise PoolError(f"unknown fleet worker {name!r}")
+            if member.alive:
+                self._ring.remove(member.name)
+            member.alive = False
+        with member.lock:
+            if member.sock is not None:
+                try:
+                    member.sock.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+                member.sock = None
+        if member.proc is not None:
+            try:
+                member.proc.terminate()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            _reap(member.proc)
+
+    def live_workers(self) -> Tuple[str, ...]:
+        """Names of the ring's current live members (diagnostics, tests)."""
+        with self._lock:
+            return self._ring.workers
+
+    # -- shutdown / reporting -----------------------------------------------------------
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop the fleet: close sockets, reap spawned workers (idempotent)."""
+        with self._lock:
+            already = self._shutdown
+            self._shutdown = True
+            members = list(self._members.values())
+            self._members = {}
+            pending = list(self._pending)
+            self._pending.clear()
+            self._segments.clear()
+            self._shard_stores.clear()
+            self._full_stores.clear()
+            self._explorers.clear()
+            self._retiring.clear()
+            self._inflight.clear()
+            dispatcher, self._dispatcher = self._dispatcher, None
+            heartbeat, self._heartbeat = self._heartbeat, None
+            self._ring = HashRing(vnodes=self._ring.vnodes)
+        if already and not members:
+            return
+        self._hb_stop.set()
+        for future in pending:
+            try:
+                future.set_exception(PoolError("fleet mining pool is shut down"))
+            except InvalidStateError:
+                pass
+        for member in members:
+            with member.lock:
+                sock, member.sock = member.sock, None
+                if sock is not None:
+                    if member.proc is not None:
+                        try:
+                            send_message(sock, ("shutdown",))
+                        except OSError:
+                            pass
+                    try:
+                        sock.close()
+                    except OSError:  # pragma: no cover - already closed
+                        pass
+        for member in members:
+            if member.proc is not None:
+                try:
+                    member.proc.terminate()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+        for member in members:
+            if member.proc is not None:
+                _reap(member.proc, timeout=5.0 if wait else 0.5)
+        if dispatcher is not None:
+            dispatcher.shutdown(wait=False)
+        if heartbeat is not None:
+            heartbeat.join(timeout=5)
+
+    def to_dict(self) -> dict:
+        """Status payload for the ``summary`` endpoint and ``/metrics``."""
+        with self._lock:
+            members = sorted(
+                (
+                    {
+                        "name": member.name,
+                        "alive": member.alive,
+                        "address": "%s:%d" % member.address,
+                        "spawned": member.proc is not None,
+                        "tasks": member.tasks,
+                        "failures": member.failures,
+                    }
+                    for member in self._members.values()
+                ),
+                key=lambda entry: entry["name"],
+            )
+            return {
+                "backend": "fleet",
+                "workers": len(members) if members else self.workers,
+                "shards": self.shards,
+                "scheme": self.scheme,
+                "replicas": self.replicas,
+                "parallel": self.parallel,
+                "tasks_submitted": self._submitted,
+                "current_epoch": self._current_epoch,
+                "live_epochs": sorted(self._full_stores),
+                "retiring_epochs": sorted(self._retiring),
+                "members": members,
+                "failovers": self._failovers,
+                "heartbeat_failures": self._heartbeat_failures,
+                "bytes_shipped": self._bytes_shipped,
+                # Worker death is a membership change handled by failover,
+                # never a broken pool: the fleet stays submittable as long
+                # as it is not shut down.
+                "broken": None,
+            }

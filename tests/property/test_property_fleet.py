@@ -1,0 +1,200 @@
+"""Differential battery: fleet scatter-gather over TCP ≡ serial mining.
+
+The same randomized ingest/compact schedules as the sharding battery, mined
+once serially and once through a :class:`~repro.server.fleet.FleetMiningPool`
+— the multi-host backend that ships packed shard segments to TCP workers,
+routes by consistent hashing and merges partial cubes at the coordinator.
+Every payload must be **bit-identical** (descriptors, positions, float-==
+means) at every published epoch.
+
+Three fleet shapes are cycled across the 50 seeds:
+
+* the ``workers=1`` inline degenerate (no sockets, the partitioned stores
+  mined on the calling thread) — most seeds, keeping the battery fast;
+* spawned localhost workers with ``R=1`` (every shard lives on exactly one
+  worker; any routing error is a wrong answer, not a masked retry);
+* spawned localhost workers with ``R=2`` plus **membership churn**: workers
+  join mid-epoch, get recycled (killed + respawned, reconnect and re-sync
+  segments lazily) and leave again between probes — equivalence must hold
+  across every ring change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import MiningConfig
+from repro.core.miner import RatingMiner
+from repro.data.ingest import LiveStore
+from repro.data.model import Rating, Reviewer
+from repro.data.storage import RatingStore
+from repro.geo.explorer import GeoExplorer
+from repro.server.fleet import FleetMiningPool
+
+#: Randomized schedules the battery replays (acceptance: at least 50).
+NUM_SCHEDULES = 50
+
+#: Shard counts cycled across seeds (1 = degenerate single-shard mode).
+SHARD_COUNTS = [1, 2, 3, 7]
+
+#: Every 5th seed drives real spawned workers; the rest run inline.  The
+#: spawned seeds alternate the replica factor between 1 and 2.
+SPAWN_EVERY = 5
+
+#: Zip codes spread over several states, all resolvable, none in the tiny
+#: dataset — fresh reviewers grow the zipcode/city vocabularies mid-schedule.
+FRESH_ZIPCODES = [
+    "99501", "96801", "82001", "59001", "03031", "05001", "58001", "57001",
+    "83201", "97035", "33101", "60601", "75201", "10118", "02108", "94105",
+]
+
+MINING = MiningConfig(
+    min_group_support=3,
+    min_coverage=0.2,
+    rhe_restarts=2,
+    rhe_max_iterations=60,
+)
+
+
+@pytest.fixture(scope="module")
+def base_store(tiny_dataset):
+    """One frozen epoch-0 store shared (read-only) by every schedule."""
+    return RatingStore(tiny_dataset)
+
+
+def build_schedule(rng, dataset):
+    """One randomized skewed append/compact schedule (see the sharding battery)."""
+    item_ids = [item.item_id for item in dataset.items()]
+    reviewer_ids = [reviewer.reviewer_id for reviewer in dataset.reviewers()]
+    hot = [int(r) for r in rng.choice(reviewer_ids, size=3, replace=False)]
+    operations = []
+    touched = set()
+    next_reviewer_id = 910_000
+    for _ in range(int(rng.integers(1, 3))):
+        for _ in range(int(rng.integers(6, 20))):
+            roll = rng.random()
+            if roll < 0.12:
+                zipcode = FRESH_ZIPCODES[int(rng.integers(0, len(FRESH_ZIPCODES)))]
+                reviewer = Reviewer(
+                    reviewer_id=next_reviewer_id,
+                    gender="F" if rng.random() < 0.5 else "M",
+                    age=int(rng.choice([1, 18, 25, 35, 45, 50, 56])),
+                    occupation="programmer",
+                    zipcode=zipcode,
+                )
+                next_reviewer_id += 1
+                reviewer_id = reviewer.reviewer_id
+            else:
+                reviewer = None
+                pool = hot if roll < 0.7 else reviewer_ids
+                reviewer_id = int(rng.choice(pool))
+            rating = Rating(
+                item_id=int(rng.choice(item_ids)),
+                reviewer_id=reviewer_id,
+                score=float(rng.integers(1, 6)),
+                timestamp=int(rng.integers(0, 2_000_000_000)),
+            )
+            operations.append(("append", rating, reviewer))
+            touched.add(rating.item_id)
+        operations.append(("compact",))
+    return operations, sorted(touched)
+
+
+def strip_volatile(payload):
+    """Drop wall-clock fields recursively; everything else compares exactly."""
+    if isinstance(payload, dict):
+        return {
+            key: strip_volatile(value)
+            for key, value in payload.items()
+            if key != "elapsed_seconds"
+        }
+    if isinstance(payload, list):
+        return [strip_volatile(value) for value in payload]
+    return payload
+
+
+def explain_payload(store: RatingStore, item_ids, pool=None) -> dict:
+    result = RatingMiner(store, MINING).explain_items(item_ids, pool=pool)
+    return strip_volatile(result.to_dict())
+
+
+def geo_payload(store: RatingStore, item_ids, region, pool=None) -> dict:
+    explorer = GeoExplorer(RatingMiner(store, MINING))
+    result = explorer.explain_region(item_ids, region, pool=pool)
+    return strip_volatile(result.to_dict())
+
+
+def churn_membership(pool: FleetMiningPool, rng, joined: list) -> None:
+    """One random membership move: join, recycle or retire a worker."""
+    roll = rng.random()
+    if roll < 0.4:
+        joined.append(pool.add_worker())
+        return
+    if roll < 0.7 and joined:
+        pool.remove_worker(joined.pop(int(rng.integers(0, len(joined)))))
+        return
+    live = [name for name in pool.live_workers() if name not in joined]
+    if live:
+        pool.recycle_worker(live[int(rng.integers(0, len(live)))])
+
+
+class TestFleetEqualsSerial:
+    @pytest.mark.parametrize("seed", range(NUM_SCHEDULES))
+    def test_fleet_mining_matches_serial(self, base_store, tiny_dataset, seed):
+        rng = np.random.default_rng(seed)
+        num_shards = SHARD_COUNTS[seed % len(SHARD_COUNTS)]
+        scheme = "region" if seed % 2 else "reviewer"
+        spawned = seed % SPAWN_EVERY == 0
+        replicas = 2 if (seed // SPAWN_EVERY) % 2 else 1
+        operations, probes = build_schedule(rng, tiny_dataset)
+        live = LiveStore(base_store)
+        pool = FleetMiningPool(
+            workers=2 if spawned else 1,
+            shards=num_shards,
+            scheme=scheme,
+            replicas=replicas,
+            heartbeat_s=60.0,  # membership is driven explicitly below
+        )
+        joined: list = []
+        try:
+            for operation in operations:
+                if operation[0] == "append":
+                    live.ingest(operation[1], operation[2])
+                    continue
+                live.compact()
+                snapshot = live.snapshot
+                pool.publish(snapshot)
+                assert pool.current_epoch == snapshot.epoch
+                if spawned and rng.random() < 0.6:
+                    # The ring changes *between* publish and probe: the next
+                    # task may route to a worker that has never seen this
+                    # epoch, forcing the lazy segment re-sync.
+                    churn_membership(pool, rng, joined)
+                probe = probes[int(rng.integers(0, len(probes)))]
+                assert explain_payload(snapshot, [probe], pool=pool) == (
+                    explain_payload(snapshot, [probe])
+                ), f"SM/DM drift at epoch {snapshot.epoch}"
+            snapshot = live.snapshot
+            assert snapshot.epoch > 0, "every schedule must compact at least once"
+            explorer = GeoExplorer(RatingMiner(snapshot, MINING))
+            region = explorer.summary()[0].region
+            assert geo_payload(snapshot, None, region, pool=pool) == (
+                geo_payload(snapshot, None, region)
+            ), f"geo drift for {region!r} at epoch {snapshot.epoch}"
+            assert pool.segment_names() == []  # the fleet never touches shm
+        finally:
+            pool.shutdown()
+
+    def test_replica_sets_are_distinct_workers(self, base_store):
+        """With R=2 each shard's replica list names two different workers."""
+        pool = FleetMiningPool(workers=2, shards=3, replicas=2, heartbeat_s=60.0)
+        try:
+            pool.publish(base_store)
+            with pool._lock:
+                for shard_id in range(pool.shards):
+                    order = pool._ring.lookup(f"shard-{shard_id}", 2)
+                    assert len(order) == 2
+                    assert len(set(order)) == 2
+        finally:
+            pool.shutdown()

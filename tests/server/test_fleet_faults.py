@@ -1,0 +1,382 @@
+"""Network fault-injection battery for the fleet mining backend.
+
+Every fault a distributed pool can meet on one box, injected for real:
+workers SIGKILLed mid-flight (replica failover must answer bit-identically),
+workers SIGSTOPped (the I/O deadline must surface a typed
+:class:`~repro.errors.MiningTimeoutError`, never a hang), peers speaking
+garbage (torn frames, corrupt checksums, non-protocol payloads must raise
+:class:`~repro.errors.WireProtocolError`), workers joining mid-epoch (lazy
+segment re-sync), and a full-system ``close()`` that must leave no socket and
+no ``/dev/shm`` segment behind.
+
+The rogue-peer tests run the coordinator against an in-test TCP server that
+deliberately violates the protocol; the process-fault tests drive real
+spawned ``repro fleet-worker`` subprocesses.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import socket
+import threading
+
+import pytest
+
+from repro.config import MiningConfig, PipelineConfig, ServerConfig
+from repro.core.miner import RatingMiner
+from repro.data.storage import RatingStore
+from repro.data.wire import FRAME_HEADER, recv_frame, recv_message, send_message
+from repro.errors import MiningTimeoutError, PoolError, WireProtocolError
+from repro.server.api import MapRat
+from repro.server.fleet import FleetMiningPool, FleetWorkerServer
+
+MINING = MiningConfig(
+    min_group_support=3,
+    min_coverage=0.2,
+    rhe_restarts=2,
+    rhe_max_iterations=60,
+)
+
+
+@pytest.fixture(scope="module")
+def base_store(tiny_dataset):
+    """One frozen epoch-0 store shared (read-only) by the battery."""
+    return RatingStore(tiny_dataset)
+
+
+@pytest.fixture(scope="module")
+def probe_items(tiny_dataset):
+    """A selection wide enough that every shard of a 2-way split has rows."""
+    return [item.item_id for item in tiny_dataset.items()][:5]
+
+
+def strip_volatile(payload):
+    """Drop wall-clock fields recursively; everything else compares exactly."""
+    if isinstance(payload, dict):
+        return {
+            key: strip_volatile(value)
+            for key, value in payload.items()
+            if key != "elapsed_seconds"
+        }
+    if isinstance(payload, list):
+        return [strip_volatile(value) for value in payload]
+    return payload
+
+
+def explain_payload(store, item_ids, pool=None):
+    result = RatingMiner(store, MINING).explain_items(item_ids, pool=pool)
+    return strip_volatile(result.to_dict())
+
+
+def _resume(process) -> None:
+    """SIGCONT a worker, shrugging off one that already exited."""
+    try:
+        os.kill(process.pid, signal.SIGCONT)
+    except (ProcessLookupError, OSError):
+        pass
+
+
+def open_socket_fds():
+    """The process's open socket file descriptors (fd -> socket inode)."""
+    sockets = []
+    for fd in os.listdir("/proc/self/fd"):
+        try:
+            target = os.readlink(f"/proc/self/fd/{fd}")
+        except OSError:
+            continue
+        if target.startswith("socket:"):
+            sockets.append((fd, target))
+    return sorted(sockets)
+
+
+class _RoguePeer:
+    """A TCP server that accepts fleet connections and misbehaves on purpose.
+
+    ``behavior(conn)`` runs once per accepted connection; it is expected to
+    consume whatever the coordinator sends (so the coordinator's blob write
+    never blocks on a full socket buffer) and then answer with something
+    protocol-breaking.
+    """
+
+    def __init__(self, behavior):
+        self._behavior = behavior
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.port = self._listener.getsockname()[1]
+        self.address = f"127.0.0.1:{self.port}"
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            try:
+                self._behavior(conn)
+            except OSError:
+                pass
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def close(self):
+        self._listener.close()
+
+
+def rogue_pool(address):
+    """A single-replica coordinator wired to one (rogue) external worker."""
+    return FleetMiningPool(
+        workers=0,
+        shards=2,
+        replicas=1,
+        addresses=(address,),
+        heartbeat_s=60.0,  # keep the heartbeat out of these deterministic tests
+        io_timeout_s=10.0,
+    )
+
+
+class TestWorkerDeath:
+    def test_sigkill_mid_flight_fails_over_bit_identically(
+        self, base_store, probe_items
+    ):
+        """Killing the preferred replica re-routes to the survivor, same bits."""
+        serial = explain_payload(base_store, probe_items)
+        pool = FleetMiningPool(
+            workers=2, shards=2, replicas=2, heartbeat_s=60.0, respawn=False
+        )
+        try:
+            pool.publish(base_store)
+            # Warm both connections first so the kill hits live sockets, as a
+            # worker crash mid-request would.
+            assert explain_payload(base_store, probe_items, pool=pool) == serial
+            with pool._lock:
+                victim_name = pool._ring.lookup("shard-0", 1)[0]
+                victim = pool._members[victim_name]
+            os.kill(victim.proc.pid, signal.SIGKILL)
+            victim.proc.wait(timeout=10)
+            # Shard 0's first replica is now a corpse: the request must fail
+            # over to the surviving worker and still answer bit-identically.
+            assert explain_payload(base_store, probe_items, pool=pool) == serial
+            status = pool.to_dict()
+            assert status["failovers"] >= 1
+            by_name = {member["name"]: member for member in status["members"]}
+            assert by_name[victim_name]["alive"] is False
+            assert status["broken"] is None  # a dead worker never breaks the pool
+        finally:
+            pool.shutdown()
+
+    def test_sigstopped_fleet_times_out_typed_never_hangs(
+        self, base_store, probe_items
+    ):
+        """With every replica wedged, the I/O deadline surfaces a typed error."""
+        pool = FleetMiningPool(
+            workers=2,
+            shards=2,
+            replicas=2,
+            heartbeat_s=60.0,
+            io_timeout_s=0.8,
+            respawn=False,
+        )
+        stopped = []
+        try:
+            pool.publish(base_store)
+            assert explain_payload(base_store, probe_items, pool=pool) is not None
+            try:
+                with pool._lock:
+                    members = list(pool._members.values())
+                for member in members:
+                    os.kill(member.proc.pid, signal.SIGSTOP)
+                    stopped.append(member.proc)
+                with pytest.raises(MiningTimeoutError):
+                    explain_payload(base_store, probe_items, pool=pool)
+            finally:
+                for process in stopped:
+                    _resume(process)
+        finally:
+            pool.shutdown()
+
+    def test_recycled_worker_reconnects_and_resyncs(self, base_store, probe_items):
+        """Kill + respawn one worker: it re-syncs segments lazily and serves."""
+        serial = explain_payload(base_store, probe_items)
+        pool = FleetMiningPool(
+            workers=2, shards=2, replicas=1, heartbeat_s=60.0
+        )
+        try:
+            pool.publish(base_store)
+            assert explain_payload(base_store, probe_items, pool=pool) == serial
+            shipped_before = pool.to_dict()["bytes_shipped"]
+            with pool._lock:
+                name = next(iter(pool._members))
+            pool.recycle_worker(name)
+            assert explain_payload(base_store, probe_items, pool=pool) == serial
+            # The recycled worker lost its attached segments with its process:
+            # serving again required re-shipping them.
+            assert pool.to_dict()["bytes_shipped"] > shipped_before
+        finally:
+            pool.shutdown()
+
+
+class TestMembership:
+    def test_worker_joining_mid_epoch_resyncs_segments(
+        self, base_store, probe_items
+    ):
+        """A joiner that becomes the only route must receive the live epoch."""
+        serial = explain_payload(base_store, probe_items)
+        pool = FleetMiningPool(
+            workers=2, shards=2, replicas=1, heartbeat_s=60.0
+        )
+        try:
+            pool.publish(base_store)
+            assert explain_payload(base_store, probe_items, pool=pool) == serial
+            originals = list(pool.live_workers())
+            joiner = pool.add_worker()
+            for name in originals:
+                pool.remove_worker(name)
+            assert pool.live_workers() == (joiner,)
+            # Every shard now routes to the joiner, which was not around at
+            # publish time — the lazy attach must ship it the epoch.
+            assert explain_payload(base_store, probe_items, pool=pool) == serial
+            by_name = {
+                member["name"]: member for member in pool.to_dict()["members"]
+            }
+            assert by_name[joiner]["tasks"] > 0
+        finally:
+            pool.shutdown()
+
+
+class TestWireFaults:
+    def _consume_attach(self, conn):
+        """Read the coordinator's attach message + segment blob frames."""
+        recv_frame(conn)  # ("attach", epoch, shard, manifest)
+        recv_frame(conn)  # the packed segment bytes
+
+    def test_corrupt_reply_checksum_is_a_typed_wire_error(
+        self, base_store, probe_items
+    ):
+        def bad_crc(conn):
+            self._consume_attach(conn)
+            conn.sendall(FRAME_HEADER.pack(5, 12345) + b"hello")
+
+        rogue = _RoguePeer(bad_crc)
+        pool = rogue_pool(rogue.address)
+        try:
+            pool.publish(base_store)
+            with pytest.raises(WireProtocolError):
+                explain_payload(base_store, probe_items, pool=pool)
+        finally:
+            pool.shutdown()
+            rogue.close()
+
+    def test_torn_reply_frame_is_a_typed_wire_error(self, base_store, probe_items):
+        def torn(conn):
+            self._consume_attach(conn)
+            conn.sendall(FRAME_HEADER.pack(100, 0) + b"abc")  # then close
+
+        rogue = _RoguePeer(torn)
+        pool = rogue_pool(rogue.address)
+        try:
+            pool.publish(base_store)
+            with pytest.raises(WireProtocolError):
+                explain_payload(base_store, probe_items, pool=pool)
+        finally:
+            pool.shutdown()
+            rogue.close()
+
+    def test_non_protocol_reply_payload_is_a_typed_wire_error(
+        self, base_store, probe_items
+    ):
+        def wrong_type(conn):
+            self._consume_attach(conn)
+            payload = pickle.dumps([1, 2, 3])  # a list is not a message
+            import zlib
+
+            conn.sendall(FRAME_HEADER.pack(len(payload), zlib.crc32(payload)))
+            conn.sendall(payload)
+
+        rogue = _RoguePeer(wrong_type)
+        pool = rogue_pool(rogue.address)
+        try:
+            pool.publish(base_store)
+            with pytest.raises(WireProtocolError):
+                explain_payload(base_store, probe_items, pool=pool)
+        finally:
+            pool.shutdown()
+            rogue.close()
+
+    def test_worker_drops_garbage_connection_and_keeps_serving(self):
+        """A client speaking garbage loses its connection, nobody else's."""
+        server = FleetWorkerServer()
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            garbage = socket.create_connection(server.address, timeout=5)
+            garbage.settimeout(5)
+            garbage.sendall(b"\xff" * 64)  # an absurd length prefix
+            try:
+                hung_up = garbage.recv(1) == b""
+            except ConnectionResetError:
+                hung_up = True  # closed with our bytes unread -> RST, same thing
+            assert hung_up  # the worker hung up on us...
+            garbage.close()
+            clean = socket.create_connection(server.address, timeout=5)
+            clean.settimeout(5)
+            send_message(clean, ("ping",))
+            reply = recv_message(clean)
+            assert reply is not None and reply[0] == "pong"  # ...but still serves
+            clean.close()
+        finally:
+            server.close()
+            thread.join(timeout=5)
+
+
+class TestCleanShutdown:
+    def test_close_leaks_no_sockets_no_shm_and_no_workers(self, tiny_dataset):
+        """A full fleet-backed system tears down to exactly where it started."""
+        shm_before = sorted(os.listdir("/dev/shm"))
+        fds_before = open_socket_fds()
+        system = MapRat.for_dataset(
+            tiny_dataset,
+            PipelineConfig(
+                mining=MINING,
+                server=ServerConfig(
+                    mining_backend="fleet",
+                    mining_workers=2,
+                    mining_shards=2,
+                    fleet_replicas=2,
+                    fleet_heartbeat_s=60.0,
+                ),
+            ),
+        )
+        item_ids = [item.item_id for item in tiny_dataset.items()][:3]
+        system.explain_items(item_ids)
+        pool = system.pool
+        assert pool.segment_names() == []  # the fleet never creates shm segments
+        assert sorted(os.listdir("/dev/shm")) == shm_before
+        with pool._lock:
+            processes = [
+                member.proc
+                for member in pool._members.values()
+                if member.proc is not None
+            ]
+        assert processes, "the fleet backend must have spawned workers"
+        system.close()
+        for process in processes:
+            assert process.poll() is not None, "worker survived close()"
+        # No *new* socket fd and no new /dev/shm entry may survive close()
+        # (fds left over from other tests' teardown may disappear, which is
+        # fine — only additions are leaks).
+        assert set(open_socket_fds()) - set(fds_before) == set()
+        assert set(os.listdir("/dev/shm")) - set(shm_before) == set()
+
+    def test_shutdown_is_idempotent_and_rejects_new_work(self, base_store):
+        pool = FleetMiningPool(workers=2, shards=2, heartbeat_s=60.0)
+        pool.publish(base_store)
+        pool.shutdown()
+        pool.shutdown()  # second call is a no-op, not an error
+        with pytest.raises(PoolError):
+            pool.publish(base_store)

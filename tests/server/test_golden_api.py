@@ -42,6 +42,11 @@ from repro.server.api import JsonApi, MapRat
 #: overrides it); golden files are backend-independent by construction.
 BACKEND = os.environ.get("MAPRAT_MINING_BACKEND", "thread")
 
+#: Worker count for the replayed systems (the fleet lane pins 2 localhost
+#: workers; every backend is bit-identical at any count, so the golden
+#: files never depend on it).
+WORKERS = int(os.environ.get("MAPRAT_MINING_WORKERS", "4"))
+
 #: When truthy, the ``api``/``ingest_api`` systems get a temporary data
 #: directory — the durability differential lane.  Golden files must not
 #: change: durability is a recovery guarantee, never a response change.
@@ -317,6 +322,7 @@ def api(tiny_dataset, mining_config, tmp_path_factory):
         mining=mining_config,
         server=ServerConfig(
             mining_backend=BACKEND,
+            mining_workers=WORKERS,
             data_dir=_maybe_data_dir(tmp_path_factory, "golden-frozen"),
         ),
     )
@@ -339,6 +345,7 @@ def ingest_api(tiny_dataset, mining_config, tmp_path_factory):
             auto_compact_threshold=4,
             ingest_batch_size=8,
             mining_backend=BACKEND,
+            mining_workers=WORKERS,
             data_dir=_maybe_data_dir(tmp_path_factory, "golden-ingest"),
         ),
     )
@@ -354,6 +361,7 @@ def durable_api(tiny_dataset, mining_config, tmp_path_factory):
         mining=mining_config,
         server=ServerConfig(
             mining_backend=BACKEND,
+            mining_workers=WORKERS,
             data_dir=str(tmp_path_factory.mktemp("golden-durable")),
         ),
     )

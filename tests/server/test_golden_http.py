@@ -38,6 +38,7 @@ from repro.server.http_common import WRITE_ENDPOINTS
 
 from test_golden_api import (
     BACKEND,
+    WORKERS,
     CORPUS,
     DURABLE_CORPUS,
     INGEST_CORPUS,
@@ -61,7 +62,8 @@ def _serve(system):
 def frozen_server(tiny_dataset, mining_config):
     """HTTP server over the same system config as the in-process ``api``."""
     config = PipelineConfig(
-        mining=mining_config, server=ServerConfig(mining_backend=BACKEND)
+        mining=mining_config,
+        server=ServerConfig(mining_backend=BACKEND, mining_workers=WORKERS),
     )
     server = _serve(MapRat.for_dataset(tiny_dataset, config))
     yield server
@@ -77,6 +79,7 @@ def ingest_server(tiny_dataset, mining_config):
             auto_compact_threshold=4,
             ingest_batch_size=8,
             mining_backend=BACKEND,
+            mining_workers=WORKERS,
         ),
     )
     server = _serve(MapRat.for_dataset(tiny_dataset, config))
@@ -91,6 +94,7 @@ def durable_server(tiny_dataset, mining_config, tmp_path_factory):
         mining=mining_config,
         server=ServerConfig(
             mining_backend=BACKEND,
+            mining_workers=WORKERS,
             data_dir=str(tmp_path_factory.mktemp("golden-http-durable")),
         ),
     )

@@ -44,6 +44,20 @@ def noop_spec(epoch: int, shard_id: int) -> tuple:
     return ("cells", epoch, shard_id, (1,), None, None, (), (), 1)
 
 
+def _resume(process) -> None:
+    """SIGCONT a parked worker, shrugging off one that already exited.
+
+    Used in ``finally`` blocks: a worker the monitor already reaped raises
+    ``ProcessLookupError`` on the signal, and letting that propagate would
+    skip the remaining resumes and the pool shutdown — a red test would
+    then leave SIGSTOPped processes behind and wedge CI.
+    """
+    try:
+        os.kill(process.pid, signal.SIGCONT)
+    except (ProcessLookupError, OSError):
+        pass
+
+
 def normalized(payload) -> dict:
     """JSON round-trip with every (volatile) elapsed_seconds removed."""
     payload = json.loads(json.dumps(payload))
@@ -295,7 +309,10 @@ class TestShardFaults:
             try:
                 future = pool.submit(noop_spec(tiny_store.epoch, 0))
             finally:
-                os.kill(victim.pid, signal.SIGKILL)
+                try:
+                    os.kill(victim.pid, signal.SIGKILL)
+                except (ProcessLookupError, OSError):
+                    pass  # already dead is exactly what we wanted anyway
             # The monitor must fail the outstanding future long before the
             # 60s deadline — PoolError, not MiningTimeoutError, not a hang.
             started = time.monotonic()
@@ -321,9 +338,14 @@ class TestShardFaults:
             with pytest.raises(MiningTimeoutError, match="0.2s deadline"):
                 pool.gather(future)
         finally:
-            for process in stopped:
-                os.kill(process.pid, signal.SIGCONT)
-            pool.shutdown()
+            # Resume every parked worker even if one signal fails, and shut
+            # the pool down regardless — a red assertion above must not
+            # leave SIGSTOPped processes behind.
+            try:
+                for process in stopped:
+                    _resume(process)
+            finally:
+                pool.shutdown()
 
     def test_server_config_timeout_reaches_the_pool(self, tiny_dataset, mining_config):
         system = build_system(
@@ -360,7 +382,7 @@ class TestShardFaults:
                 for name in old_segments:  # segments still linked while inflight
                     shared_memory.SharedMemory(name=name).close()
             finally:
-                os.kill(victim.pid, signal.SIGCONT)
+                _resume(victim)
             pool.gather(future)  # drain: the collector retires epoch 0 first
             assert pool.to_dict()["retiring_epochs"] == []
             assert set(pool.segment_names()).isdisjoint(old_segments)

@@ -31,6 +31,7 @@ class TestParser:
             "explore",
             "timeline",
             "serve",
+            "fleet-worker",
         }
 
     def test_missing_subcommand_exits_with_usage_error(self):
